@@ -1,0 +1,1 @@
+bench/ablation.ml: Jv_apps Jv_lang Jv_vm Jvolve_core List Printf String Support Table1

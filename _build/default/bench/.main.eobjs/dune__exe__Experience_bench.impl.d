@@ -1,0 +1,1 @@
+bench/experience_bench.ml: Fmt Jv_apps Jvolve_core List Printf String Support

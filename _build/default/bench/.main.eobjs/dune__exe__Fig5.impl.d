@@ -1,0 +1,1 @@
+bench/fig5.ml: Jv_apps Jv_simnet Jv_vm Jvolve_core List Printf Support

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Experience_bench Fig5 Micro Overhead Printf Stdlib Support Sys Table1 Unix

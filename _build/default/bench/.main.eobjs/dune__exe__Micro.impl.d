@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Jv_apps Jv_lang Jv_vm Jvolve_core List Measure Printf Staged Support Table1 Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/overhead.ml: Jv_apps Jv_baseline Jv_vm Jvolve_core List Micro Printf Support

@@ -1,0 +1,1 @@
+bench/support.ml: Array Jv_apps Jv_lang Printf String Sys Unix

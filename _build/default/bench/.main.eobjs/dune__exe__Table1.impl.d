@@ -1,0 +1,1 @@
+bench/table1.ml: Jv_apps Jv_lang Jv_vm Jvolve_core List Printf Stdlib Support

@@ -1,0 +1,55 @@
+(* The benchmark harness: regenerates every table and figure from the
+   paper's evaluation (§4), plus the ablations DESIGN.md calls for.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe table1       # Table 1 + Figure 6
+     dune exec bench/main.exe fig5         # Figure 5
+     dune exec bench/main.exe experience   # Tables 2, 3, 4 + §4 summary
+     dune exec bench/main.exe overhead     # steady-state / baseline costs
+     dune exec bench/main.exe ablation     # design-choice ablations
+     dune exec bench/main.exe micro        # Bechamel kernels
+
+   Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
+     ablation|micro|all]";
+  exit 1
+
+let run_one = function
+  | "table1" | "fig6" -> Table1.run ()
+  | "fig5" -> Fig5.run ()
+  | "experience" | "table2" | "table3" | "table4" -> Experience_bench.run ()
+  | "overhead" -> Overhead.run ()
+  | "ablation" -> Ablation.run ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+      (* Table 1 first: its pause measurements are the most sensitive to
+         host-heap churn from the other sections *)
+      Table1.run ();
+      Experience_bench.run ();
+      Fig5.run ();
+      Overhead.run ();
+      Ablation.run ();
+      Micro.run ()
+  | _ -> usage ()
+
+let () =
+  (* keep the host-language GC out of the measured pauses: large minor
+     heap, relaxed major-collection pacing *)
+  Stdlib.Gc.set
+    {
+      (Stdlib.Gc.get ()) with
+      Stdlib.Gc.minor_heap_size = 1 lsl 22;
+      space_overhead = 300;
+    };
+  let t0 = Unix.gettimeofday () in
+  (match Array.to_list Sys.argv with
+  | [ _ ] -> run_one "all"
+  | [ _; cmd ] -> run_one cmd
+  | _ -> usage ());
+  Printf.printf "\n[bench completed in %.1f s%s]\n"
+    (Unix.gettimeofday () -. t0)
+    (if Support.quick then ", quick mode" else "")

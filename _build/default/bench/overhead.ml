@@ -1,0 +1,177 @@
+(* Steady-state overhead (paper §4.1 and §5).
+
+   Jvolve's design thesis: an eager, GC-based update mechanism imposes
+   *zero* cost on steady-state execution, unlike lazy indirection-based
+   designs (JDrums, DVM) that tax every object dereference, update or no
+   update.  We measure miniweb under identical load in three VM modes:
+
+     1. normal (Jvolve) mode — no dereference checks;
+     2. indirection mode, no update in flight — every getfield / putfield
+        / invokevirtual pays the handle-table check (the persistent tax);
+     3. indirection mode with a lazy update applied mid-run — checks plus
+        on-demand object migration.
+
+   Also reports the sub-millisecond safe-point synchronization and
+   classloading portions of an update (paper: "the time to suspend threads
+   ... is less than a millisecond, and classloading time is usually less
+   than 20ms"). *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+module A = Jv_apps
+module B = Jv_baseline
+
+(* Fixed-work measurement: serve [target] requests, report wall time.
+   A warm-up window first lets the adaptive compiler settle. *)
+let run_mode ~indirection ~target =
+  let config =
+    {
+      A.Experience.default_config with
+      VM.State.indirection_mode = indirection;
+    }
+  in
+  let vm = A.Experience.boot_version ~config A.Experience.web_desc ~version:"5.1.6" in
+  let w =
+    A.Workload.attach vm ~port:A.Miniweb.protocol_port
+      ~script:A.Workload.web_script ~ok:A.Workload.web_ok ~concurrency:6 ()
+  in
+  VM.Vm.run vm ~rounds:200 (* warm-up *);
+  let base_reqs = w.A.Workload.completed_requests in
+  let checks0 = vm.VM.State.deref_checks in
+  let t0 = Support.now () in
+  while w.A.Workload.completed_requests - base_reqs < target do
+    VM.Vm.run vm ~rounds:50
+  done;
+  let wall = Support.now () -. t0 in
+  let reqs = w.A.Workload.completed_requests - base_reqs in
+  let checks = vm.VM.State.deref_checks - checks0 in
+  A.Workload.detach vm w;
+  (float_of_int reqs /. wall, checks)
+
+let run_lazy ~target =
+  let config =
+    {
+      A.Experience.default_config with
+      VM.State.indirection_mode = true;
+    }
+  in
+  (* minimail 1.3.3 -> 1.3.4 adds quota fields to User: the three User
+     objects in the store migrate lazily when the delivery path first
+     touches them *)
+  let vm =
+    A.Experience.boot_version ~config A.Experience.mail_desc ~version:"1.3.3"
+  in
+  VM.Vm.run vm ~rounds:10;
+  let spec =
+    J.Spec.make ~version_tag:"133"
+      ~old_program:(Support.compile_version A.Minimail.app ~version:"1.3.3")
+      ~new_program:(Support.compile_version A.Minimail.app ~version:"1.3.4")
+      ()
+  in
+  let prepared = J.Transformers.prepare spec in
+  let st =
+    (* lazy systems have no barrier machinery: retry between rounds until
+       the restricted methods happen to be off stack (idle here) *)
+    let rec attempt k =
+      if k = 0 then failwith "lazy update never reached a safe point"
+      else
+        match B.Indirection.apply vm prepared with
+        | Ok st -> st
+        | Error _ ->
+            VM.Vm.run vm ~rounds:5;
+            attempt (k - 1)
+    in
+    attempt 100
+  in
+  let w =
+    A.Workload.attach vm ~port:A.Minimail.smtp_port
+      ~script:A.Workload.smtp_script ~concurrency:6 ()
+  in
+  let t0 = Support.now () in
+  while w.A.Workload.completed_requests < target do
+    VM.Vm.run vm ~rounds:50
+  done;
+  let wall = Support.now () -. t0 in
+  let reqs = w.A.Workload.completed_requests in
+  A.Workload.detach vm w;
+  (float_of_int reqs /. wall, st.B.Indirection.transformed)
+
+let update_phase_breakdown () =
+  (* one representative update; report the paper's phase claims *)
+  let vm = A.Experience.boot_version A.Experience.web_desc ~version:"5.1.5" in
+  let w =
+    A.Workload.attach vm ~port:A.Miniweb.protocol_port
+      ~script:A.Workload.web_script ~ok:A.Workload.web_ok ~concurrency:4 ()
+  in
+  VM.Vm.run vm ~rounds:40;
+  let spec =
+    J.Spec.make ~version_tag:"515"
+      ~old_program:(Support.compile_version A.Miniweb.app ~version:"5.1.5")
+      ~new_program:(Support.compile_version A.Miniweb.app ~version:"5.1.6")
+      ()
+  in
+  let h = J.Jvolve.update_now vm spec in
+  A.Workload.detach vm w;
+  match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Applied t ->
+      Printf.printf
+        "Update phases (miniweb 5.1.5 -> 5.1.6): safe-point sync %.3f ms, \
+         classloading/install %.3f ms, GC %.3f ms, transformers %.3f ms\n"
+        h.J.Jvolve.h_sync_ms t.J.Updater.u_load_ms t.J.Updater.u_gc_ms
+        t.J.Updater.u_transform_ms;
+      Printf.printf
+        "  (paper: sync < 1 ms, classloading < 20 ms; pause dominated by GC \
+         + transformers)\n"
+  | o -> failwith ("overhead: " ^ J.Jvolve.outcome_to_string o)
+
+(* The per-dereference tax measured on an interpreter-bound kernel (a
+   pointer-chasing loop), where it cannot hide behind scheduler or I/O
+   overhead.  Instructions/second with checks on vs off. *)
+let deref_tax () =
+  let vm_off = Micro.loop_vm ~indirection:false in
+  let vm_on = Micro.loop_vm ~indirection:true in
+  VM.Vm.run vm_off ~rounds:5 (* warm-up / JIT *);
+  VM.Vm.run vm_on ~rounds:5;
+  let rounds = if Support.quick then 150 else 500 in
+  let sample vm =
+    let i0 = vm.VM.State.instr_count in
+    let t0 = Support.now () in
+    VM.Vm.run vm ~rounds;
+    let wall = Support.now () -. t0 in
+    float_of_int (vm.VM.State.instr_count - i0) /. wall /. 1.0e6
+  in
+  (* interleave the two configurations and take medians, so machine noise
+     hits both alike *)
+  let samples = List.init 9 (fun _ -> (sample vm_off, sample vm_on)) in
+  ( Support.median (List.map fst samples),
+    Support.median (List.map snd samples) )
+
+let run () =
+  Support.section
+    "Steady-state overhead: Jvolve (eager, zero-tax) vs indirection \
+     baseline (JDrums/DVM-style)";
+  let target = if Support.quick then 2_000 else 30_000 in
+  let normal_rps, checks0 = run_mode ~indirection:false ~target in
+  let indirect_rps, checks1 = run_mode ~indirection:true ~target in
+  let lazy_rps, migrated = run_lazy ~target:(target / 2) in
+  Printf.printf "%-48s %12s %16s\n" "mode" "req/s" "deref checks";
+  Printf.printf "%-48s %12.0f %16d\n" "miniweb, Jvolve mode (no checks)"
+    normal_rps checks0;
+  Printf.printf "%-48s %12.0f %16d\n"
+    "miniweb, indirection mode, no update in flight" indirect_rps checks1;
+  Printf.printf "%-48s %12.0f %16s\n"
+    "minimail, indirection mode, lazy update applied" lazy_rps
+    (Printf.sprintf "(%d migrated)" migrated);
+  Printf.printf
+    "(request rates are client-pacing-bound; the dereference tax is \
+     measured on an\ninterpreter-bound kernel below)\n\n";
+  let off_mips, on_mips = deref_tax () in
+  Printf.printf
+    "Pointer-chasing kernel: %.1f M instr/s without checks, %.1f M instr/s \
+     with checks\n-> per-dereference indirection tax: %.1f%% (paper: \
+     DVM-style traps cost ~10%%;\nJvolve's eager design costs zero during \
+     steady state).\n"
+    off_mips on_mips
+    ((off_mips -. on_mips) /. off_mips *. 100.0);
+  print_newline ();
+  update_phase_breakdown ()

@@ -1,0 +1,101 @@
+(* jvolve_run: run a MiniJava program on the VM, optionally applying a
+   dynamic update while it executes.
+
+     dune exec bin/jvolve_run.exe -- program.mj
+     dune exec bin/jvolve_run.exe -- v1.mj --update v2.mj --at 50 --tag 2 \
+       --transformers custom.mj --rounds 500 *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run path main_class rounds update_path at tag transformers_path verbose =
+  try
+    let old_program = Jv_lang.Compile.compile_program (read_file path) in
+    let vm = VM.Vm.create () in
+    VM.Vm.boot vm old_program;
+    ignore (VM.Vm.spawn_main vm ~main_class);
+    (match update_path with
+    | None -> ignore (VM.Vm.run_to_quiescence ~max_rounds:rounds vm)
+    | Some upath ->
+        VM.Vm.run vm ~rounds:at;
+        let new_program = Jv_lang.Compile.compile_program (read_file upath) in
+        let transformer_src = Option.map read_file transformers_path in
+        let spec =
+          J.Spec.make ~transformer_src ~version_tag:tag ~old_program
+            ~new_program ()
+        in
+        let h = J.Jvolve.update_now vm spec in
+        Printf.eprintf "[jvolve] update at round %d: %s\n" at
+          (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
+        ignore (VM.Vm.run_to_quiescence ~max_rounds:(max 0 (rounds - at)) vm));
+    print_string (VM.Vm.output vm);
+    let stats = VM.Vm.stats vm in
+    if verbose then begin
+      Printf.eprintf
+        "[jvolve] %d instructions, %d base compiles, %d opt compiles, %d \
+         GCs, %d OSRs\n"
+        stats.VM.Vm.instr_count stats.VM.Vm.compile_count
+        stats.VM.Vm.opt_compile_count stats.VM.Vm.gc_count stats.VM.Vm.osr_count;
+      List.iter
+        (fun (tid, msg) -> Printf.eprintf "[jvolve] thread %d trapped: %s\n" tid msg)
+        stats.VM.Vm.traps
+    end;
+    if stats.VM.Vm.traps = [] then 0 else 2
+  with
+  | Jv_lang.Compile.Error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      1
+  | VM.Classloader.Load_error errs ->
+      Printf.eprintf "load error:\n  %s\n" (String.concat "\n  " errs);
+      1
+  | J.Transformers.Prepare_error e ->
+      Printf.eprintf "prepare error: %s\n" e;
+      1
+
+open Cmdliner
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniJava program.")
+
+let main_class =
+  Arg.(value & opt string "Main" & info [ "main" ] ~docv:"CLASS"
+         ~doc:"Class whose static main() to run.")
+
+let rounds =
+  Arg.(value & opt int 100_000 & info [ "rounds" ] ~docv:"N"
+         ~doc:"Maximum scheduler rounds.")
+
+let update_path =
+  Arg.(value & opt (some file) None & info [ "update" ] ~docv:"FILE"
+         ~doc:"New program version to apply dynamically.")
+
+let at =
+  Arg.(value & opt int 50 & info [ "at" ] ~docv:"ROUND"
+         ~doc:"Round at which to request the update.")
+
+let tag =
+  Arg.(value & opt string "1" & info [ "tag" ] ~docv:"TAG"
+         ~doc:"Version tag for renamed old classes.")
+
+let transformers_path =
+  Arg.(value & opt (some file) None & info [ "transformers" ] ~docv:"FILE"
+         ~doc:"Customized JvolveTransformers source (default: generated).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print VM statistics.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
+    Term.(
+      const run $ path $ main_class $ rounds $ update_path $ at $ tag
+      $ transformers_path $ verbose)
+
+let () = exit (Cmd.eval' cmd)

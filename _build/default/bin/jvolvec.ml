@@ -1,0 +1,104 @@
+(* jvolvec: the MiniJava compiler CLI.
+
+   Compiles a source file to class files, verifies the bytecode, and
+   prints a summary, a full disassembly, or round-trippable assembly.
+   With --asm, the input is bytecode assembly rather than MiniJava.
+
+     dune exec bin/jvolvec.exe -- program.mj
+     dune exec bin/jvolvec.exe -- --emit-asm program.mj > program.jasm
+     dune exec bin/jvolvec.exe -- --asm program.jasm
+     dune exec bin/jvolvec.exe -- --transformer-mode transformers.mj *)
+
+module CF = Jv_classfile
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run dump emit_asm asm_input transformer_mode path =
+  let src = read_file path in
+  let vmode =
+    if transformer_mode then CF.Verifier.Transformer else CF.Verifier.Strict
+  in
+  let mode =
+    if transformer_mode then Jv_lang.Compile.Transformer
+    else Jv_lang.Compile.Strict
+  in
+  let compiled =
+    if asm_input then begin
+      match CF.Assembler.parse_program src with
+      | classes -> (
+          match
+            CF.Verifier.verify_program ~mode:vmode
+              (CF.Cls.program_of_list (CF.Builtins.all @ classes))
+          with
+          | [] -> Ok classes
+          | errs ->
+              Error
+                ("verification failed:\n  " ^ String.concat "\n  " errs))
+      | exception CF.Assembler.Asm_error (m, line) ->
+          Error (Printf.sprintf "assembly error at line %d: %s" line m)
+    end
+    else
+      match Jv_lang.Compile.compile_program ~mode src with
+      | classes -> Ok classes
+      | exception Jv_lang.Compile.Error e -> Error e
+  in
+  match compiled with
+  | Ok classes ->
+      if emit_asm then print_string (CF.Assembler.print_program classes)
+      else begin
+        Printf.printf "%s: %d classes, verification OK\n" path
+          (List.length classes);
+        List.iter
+          (fun (c : CF.Cls.t) ->
+            if dump then Fmt.pr "%a@." CF.Cls.pp c
+            else
+              Printf.printf "  class %s extends %s (%d fields, %d methods)\n"
+                c.CF.Cls.c_name c.CF.Cls.c_super
+                (List.length c.CF.Cls.c_fields)
+                (List.length c.CF.Cls.c_methods))
+          classes
+      end;
+      0
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      1
+
+open Cmdliner
+
+let dump =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Print full bytecode disassembly.")
+
+let emit_asm =
+  Arg.(
+    value & flag
+    & info [ "emit-asm" ]
+        ~doc:"Emit round-trippable bytecode assembly on stdout.")
+
+let asm_input =
+  Arg.(
+    value & flag
+    & info [ "asm" ] ~doc:"Treat the input as bytecode assembly (.jasm).")
+
+let tmode =
+  Arg.(
+    value & flag
+    & info [ "transformer-mode" ]
+        ~doc:
+          "Compile in transformer mode (ignore access modifiers, allow \
+           assignment to final fields), as the UPT does for \
+           JvolveTransformers classes.")
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniJava source file.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jvolvec" ~doc:"MiniJava compiler for the Jvolve VM")
+    Term.(const run $ dump $ emit_asm $ asm_input $ tmode $ path)
+
+let () = exit (Cmd.eval' cmd)

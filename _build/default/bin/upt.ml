@@ -1,0 +1,84 @@
+(* upt: the Update Preparation Tool CLI (paper §3.1, Figure 1).
+
+   Diffs two versions of a program, prints the update specification
+   (class updates / method body updates / indirect method updates), and
+   emits the generated default transformer source, ready for the
+   programmer to customize.
+
+     dune exec bin/upt.exe -- old.mj new.mj --tag 131 *)
+
+module J = Jvolve_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run old_path new_path tag emit_transformers =
+  try
+    let old_program = Jv_lang.Compile.compile_program (read_file old_path) in
+    let new_program = Jv_lang.Compile.compile_program (read_file new_path) in
+    let spec = J.Spec.make ~version_tag:tag ~old_program ~new_program () in
+    let d = spec.J.Spec.diff in
+    Printf.printf "update specification (%s -> %s, tag v%s):\n" old_path
+      new_path tag;
+    Printf.printf "  summary: %s\n" (J.Diff.summary d);
+    let plist label = function
+      | [] -> ()
+      | xs -> Printf.printf "  %s: %s\n" label (String.concat ", " xs)
+    in
+    plist "added classes" d.J.Diff.added_classes;
+    plist "deleted classes" d.J.Diff.deleted_classes;
+    plist "class updates" d.J.Diff.class_updates;
+    plist "class updates (layout closure)" d.J.Diff.class_updates_closure;
+    plist "method body updates"
+      (List.map J.Diff.mref_to_string d.J.Diff.body_updates);
+    plist "indirect method updates (recompiled)"
+      (List.map J.Diff.mref_to_string d.J.Diff.indirect_methods);
+    (match J.Spec.unsupported_reason spec with
+    | Some r -> Printf.printf "  UNSUPPORTED: %s\n" r
+    | None -> ());
+    Printf.printf "  supportable by method-body-only systems: %b\n"
+      (J.Diff.method_body_only_supported d);
+    if emit_transformers then begin
+      print_endline "\n// ---- generated JvolveTransformers.mj ----";
+      print_string (J.Transformers.generate_source spec);
+      print_endline "\n// ---- old-class stubs (for reference) ----";
+      List.iter
+        (fun c -> Fmt.pr "%a@." Jv_classfile.Cls.pp c)
+        (J.Transformers.stubs_for spec)
+    end;
+    0
+  with
+  | Jv_lang.Compile.Error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      1
+  | J.Transformers.Prepare_error e ->
+      Printf.eprintf "prepare error: %s\n" e;
+      1
+
+open Cmdliner
+
+let old_path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+         ~doc:"Old program version.")
+
+let new_path =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+         ~doc:"New program version.")
+
+let tag =
+  Arg.(value & opt string "0" & info [ "tag" ] ~docv:"TAG"
+         ~doc:"Version tag prepended to old class names (e.g. 131).")
+
+let emit =
+  Arg.(value & flag & info [ "transformers" ]
+         ~doc:"Emit the generated default transformer source.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "upt" ~doc:"Jvolve Update Preparation Tool")
+    Term.(const run $ old_path $ new_path $ tag $ emit)
+
+let () = exit (Cmd.eval' cmd)

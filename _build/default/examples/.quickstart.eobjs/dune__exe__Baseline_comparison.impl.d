@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Jv_apps Jv_baseline Jv_lang Jv_vm Jvolve_core List Printf String

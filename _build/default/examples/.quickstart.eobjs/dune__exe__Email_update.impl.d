@@ -1,0 +1,1 @@
+examples/email_update.ml: Buffer Jv_apps Jv_lang Jv_vm Jvolve_core List Printf String

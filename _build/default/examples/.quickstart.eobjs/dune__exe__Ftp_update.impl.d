@@ -1,0 +1,1 @@
+examples/ftp_update.ml: Jv_apps Jv_lang Jv_vm Jvolve_core List Printf

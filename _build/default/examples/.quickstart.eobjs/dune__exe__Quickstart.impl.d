@@ -1,0 +1,1 @@
+examples/quickstart.ml: Jv_lang Jv_vm Jvolve_core Printf

@@ -1,0 +1,1 @@
+examples/web_live_update.ml: Jv_apps Jv_lang Jv_vm Jvolve_core List Printf

@@ -1,0 +1,1 @@
+lib/apps/experience.ml: Fmt Jv_baseline Jv_lang Jv_vm Jvolve_core List Miniftp Minimail Miniweb Patching Printf String Workload

@@ -1,0 +1,1 @@
+lib/apps/miniftp.ml: Patching

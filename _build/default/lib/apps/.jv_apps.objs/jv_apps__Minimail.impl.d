@@ -1,0 +1,1 @@
+lib/apps/minimail.ml: Patching

@@ -1,0 +1,1 @@
+lib/apps/miniweb.ml: Patching

@@ -1,0 +1,1 @@
+lib/apps/patching.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Jv_simnet Jv_vm List String

@@ -1,0 +1,790 @@
+(* minimail: the JavaEmailServer analogue (paper §4.3, Table 3, and the
+   running example of Figures 2-3).
+
+   An SMTP+POP3-ish server in MiniJava: an SMTP accept loop
+   ([SMTPProcessor.run]), a POP3 accept loop ([Pop3Processor.run]), and a
+   background delivery thread ([SMTPSender.run]) draining a queue — the
+   three "infinite processing loop" threads the paper discusses.
+
+   Ten versions, 1.2.1 through 1.4:
+   - 1.2.2, 1.2.4, 1.3.1, 1.3.3 are method-body-only;
+   - 1.3 reworks the configuration framework (deletes the AdminTool,
+     adds FileConfig) and edits the always-running processor loops — the
+     paper's JavaEmailServer failure: no safe point is ever reachable;
+   - 1.3.2 is the paper's User/EmailAddress update (Figure 2): the
+     forwardAddresses field changes type from String[] to EmailAddress[],
+     setForwardedAddresses changes signature, and a customized object
+     transformer (Figure 3) rebuilds the addresses.  The processor run()
+     loops reference User, so they are category-(2) methods lifted by
+     OSR, just as in the paper;
+   - 1.3.4 adds quota fields to User (OSR again), 1.2.3 and 1.4 are mixed
+     field/signature releases. *)
+
+let smtp_port = 2525
+let pop_port = 2110
+
+let base_version = "1.2.1"
+
+let base_src =
+  {|
+class Config {
+  static int smtpPort = 2525;
+  static int popPort = 2110;
+  static String domain = "local";
+}
+class Log {
+  static boolean verbose = false;
+  static void info(String m) { if (verbose) { Sys.println("[mail] " + m); } }
+}
+class Stats {
+  static int received = 0;
+  static int delivered = 0;
+  static int bounced = 0;
+  static void receive() { received = received + 1; }
+  static void deliver() { delivered = delivered + 1; }
+  static void bounce() { bounced = bounced + 1; }
+}
+class User {
+  String username;
+  String domain;
+  String password;
+  String[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new String[0];
+  }
+  String[] getForwardedAddresses() { return forwardAddresses; }
+  void setForwardedAddresses(String[] f) { forwardAddresses = f; }
+  boolean auth(String pw) { return password.equals(pw); }
+}
+class UserStore {
+  static User[] users;
+  static int n;
+  static void init(int cap) { users = new User[cap]; n = 0; }
+  static void add(User u) { users[n] = u; n = n + 1; }
+  static User lookup(String name) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (users[i].username.equals(name)) { return users[i]; }
+    }
+    return null;
+  }
+}
+class Message {
+  String sender;
+  String rcpt;
+  String body;
+  Message(String f, String r, String b) { sender = f; rcpt = r; body = b; }
+}
+class Mailbox {
+  String owner;
+  Message[] msgs;
+  int n;
+  Mailbox(String o) { owner = o; msgs = new Message[32]; n = 0; }
+  void add(Message m) { if (n < msgs.length) { msgs[n] = m; n = n + 1; } }
+  int count() { return n; }
+  Message get(int i) {
+    if (i < 0) { return null; }
+    if (i >= n) { return null; }
+    return msgs[i];
+  }
+}
+class MailStore {
+  static Mailbox[] boxes;
+  static int n;
+  static void init(int cap) { boxes = new Mailbox[cap]; n = 0; }
+  static Mailbox boxFor(String owner) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (boxes[i].owner.equals(owner)) { return boxes[i]; }
+    }
+    Mailbox b = new Mailbox(owner);
+    boxes[n] = b;
+    n = n + 1;
+    return b;
+  }
+}
+class QueueStats {
+  static int peak = 0;
+  static int enqueued = 0;
+  static void note(int depth) {
+    enqueued = enqueued + 1;
+    if (depth > peak) { peak = depth; }
+  }
+}
+class AddressUtil {
+  static String localPart(String addr) {
+    int at = addr.indexOf("@");
+    if (at < 0) { return addr; }
+    return addr.substring(0, at);
+  }
+  static String domainPart(String addr) {
+    int at = addr.indexOf("@");
+    if (at < 0) { return ""; }
+    return addr.substring(at + 1, addr.length());
+  }
+  static boolean wellFormed(String addr) {
+    int at = addr.indexOf("@");
+    return at > 0 && at < addr.length() - 1;
+  }
+}
+class DeliveryQueue {
+  static Message[] items;
+  static int head;
+  static int tail;
+  static int count;
+  static void init(int cap) { items = new Message[cap]; head = 0; tail = 0; count = 0; }
+  static void put(Message m) {
+    if (count >= items.length) { return; }
+    items[tail] = m;
+    tail = (tail + 1) % items.length;
+    count = count + 1;
+    QueueStats.note(count);
+  }
+  static Message take() {
+    if (count == 0) { return null; }
+    Message m = items[head];
+    head = (head + 1) % items.length;
+    count = count - 1;
+    return m;
+  }
+}
+class SMTPCommands {
+  static String execute(SMTPSession s, String line) {
+    if (line.startsWith("HELO")) { return "250 hello"; }
+    if (line.startsWith("MAIL ")) {
+      s.sender = line.substring(5, line.length());
+      return "250 sender ok";
+    }
+    if (line.startsWith("RCPT ")) {
+      s.rcpt = line.substring(5, line.length());
+      return "250 rcpt ok";
+    }
+    if (line.startsWith("BODY ")) {
+      if (s.sender == null) { return "503 need MAIL"; }
+      if (s.rcpt == null) { return "503 need RCPT"; }
+      Message m = new Message(s.sender, s.rcpt, line.substring(5, line.length()));
+      DeliveryQueue.put(m);
+      Stats.receive();
+      return "250 queued";
+    }
+    if (line.startsWith("QUIT")) { return "221 bye"; }
+    return "500 unknown command";
+  }
+}
+class SMTPSession {
+  int conn;
+  String sender;
+  String rcpt;
+  SMTPSession(int c) { conn = c; sender = null; rcpt = null; }
+  void serve() {
+    while (true) {
+      String line = Net.recvLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      String resp = SMTPCommands.execute(this, line);
+      Net.send(conn, resp);
+      if (resp.startsWith("221")) { Net.close(conn); return; }
+    }
+  }
+}
+class SMTPProcessor {
+  int listener;
+  SMTPProcessor() { listener = Net.listen(Config.smtpPort); }
+  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      SMTPSession s = new SMTPSession(conn);
+      s.serve();
+    }
+  }
+}
+class Router {
+  static User resolve(String rcpt) {
+    String[] parts = rcpt.split("@", 2);
+    return UserStore.lookup(parts[0]);
+  }
+}
+class SMTPSender {
+  void deliverTo(User u, Message m) {
+    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m);
+    Stats.deliver();
+  }
+  void run() {
+    while (true) {
+      Message m = DeliveryQueue.take();
+      if (m == null) { Thread.yieldNow(); }
+      else {
+        User u = Router.resolve(m.rcpt);
+        if (u == null) { Stats.bounce(); }
+        else { deliverTo(u, m); }
+      }
+    }
+  }
+}
+class Pop3Commands {
+  static String execute(Pop3Session s, String line) {
+    if (line.startsWith("USER ")) {
+      s.username = line.substring(5, line.length());
+      return "+OK user accepted";
+    }
+    if (line.startsWith("PASS ")) {
+      if (s.username == null) { return "-ERR no USER"; }
+      User u = UserStore.lookup(s.username);
+      if (u == null) { return "-ERR no such user"; }
+      if (u.auth(line.substring(5, line.length()))) {
+        s.authed = true;
+        return "+OK authed";
+      }
+      return "-ERR bad password";
+    }
+    if (line.startsWith("STAT")) {
+      if (!s.authed) { return "-ERR not authed"; }
+      Mailbox b = MailStore.boxFor(s.username);
+      return "+OK " + b.count();
+    }
+    if (line.startsWith("LIST")) {
+      if (!s.authed) { return "-ERR not authed"; }
+      Mailbox b = MailStore.boxFor(s.username);
+      String out = "+OK";
+      for (int i = 0; i < b.count(); i = i + 1) {
+        out = out + " " + i;
+      }
+      return out;
+    }
+    if (line.startsWith("RETR ")) {
+      if (!s.authed) { return "-ERR not authed"; }
+      Mailbox b = MailStore.boxFor(s.username);
+      int i = line.substring(5, line.length()).toInt();
+      Message m = b.get(i);
+      if (m == null) { return "-ERR no such message"; }
+      return "+OK " + m.body;
+    }
+    if (line.startsWith("QUIT")) { return "+OK bye"; }
+    return "-ERR unknown command";
+  }
+}
+class Pop3Session {
+  int conn;
+  String username;
+  boolean authed;
+  Pop3Session(int c) { conn = c; username = null; authed = false; }
+  void serve() {
+    while (true) {
+      String line = Net.recvLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      String resp = Pop3Commands.execute(this, line);
+      Net.send(conn, resp);
+      if (resp.startsWith("+OK bye")) { Net.close(conn); return; }
+    }
+  }
+}
+class Pop3Processor {
+  int listener;
+  Pop3Processor() { listener = Net.listen(Config.popPort); }
+  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      User admin = UserStore.lookup("admin");
+      if (admin == null) { Log.info("warning: no admin account"); }
+      Pop3Session s = new Pop3Session(conn);
+      s.serve();
+    }
+  }
+}
+class AdminTool {
+  static String describeUser(String name) {
+    User u = UserStore.lookup(name);
+    if (u == null) { return "no such user"; }
+    return u.username + "@" + u.domain + " fwd:" + u.getForwardedAddresses().length;
+  }
+  static String summary() {
+    return "users=" + UserStore.n + " delivered=" + Stats.delivered;
+  }
+}
+class ConfigurationManager {
+  static void loadUsers() {
+    UserStore.add(new User("admin", Config.domain, "adminpw"));
+    User alice = new User("alice", Config.domain, "pw1");
+    String[] f = new String[2];
+    f[0] = "bob@dest.org";
+    f[1] = "carol@other.net";
+    alice.setForwardedAddresses(f);
+    UserStore.add(alice);
+    UserStore.add(new User("bob", Config.domain, "pw2"));
+  }
+}
+class Main {
+  static void main() {
+    UserStore.init(16);
+    MailStore.init(16);
+    DeliveryQueue.init(64);
+    ConfigurationManager.loadUsers();
+    Thread.spawn(new SMTPProcessor());
+    Thread.spawn(new Pop3Processor());
+    Thread.spawn(new SMTPSender());
+    Log.info(AdminTool.summary());
+  }
+}
+|}
+
+(* --- releases ---------------------------------------------------------- *)
+
+let releases =
+  [
+    (* 1.2.2: body-only fixes *)
+    ( "1.2.2",
+      [
+        ( {|  static void info(String m) { if (verbose) { Sys.println("[mail] " + m); } }|},
+          {|  static void info(String m) { if (verbose) { Sys.println("[minimail] " + m); } }|}
+        );
+        ( {|    if (line.startsWith("HELO")) { return "250 hello"; }|},
+          {|    if (line.startsWith("HELO")) { return "250 hello, pleased to meet you"; }|}
+        );
+        ( {|  Message get(int i) {
+    if (i < 0) { return null; }
+    if (i >= n) { return null; }
+    return msgs[i];
+  }|},
+          {|  Message get(int i) {
+    if (i < 0 || i >= n) { return null; }
+    return msgs[i];
+  }|}
+        );
+      ] );
+    (* 1.2.3: message metadata and statistics fields, two signature
+       changes *)
+    ( "1.2.3",
+      [
+        ( {|class Message {
+  String sender;
+  String rcpt;
+  String body;
+  Message(String f, String r, String b) { sender = f; rcpt = r; body = b; }
+}|},
+          {|class Message {
+  String sender;
+  String rcpt;
+  String body;
+  int size;
+  int arrivedAt;
+  Message(String f, String r, String b) {
+    sender = f; rcpt = r; body = b;
+    size = b.length();
+    arrivedAt = Sys.time();
+  }
+}|}
+        );
+        ( {|class Stats {
+  static int received = 0;
+  static int delivered = 0;
+  static int bounced = 0;
+  static void receive() { received = received + 1; }
+  static void deliver() { delivered = delivered + 1; }
+  static void bounce() { bounced = bounced + 1; }
+}|},
+          {|class Stats {
+  static int received = 0;
+  static int delivered = 0;
+  static int bounced = 0;
+  static int bytesIn = 0;
+  static void receive() { received = received + 1; }
+  static void deliver() { delivered = delivered + 1; }
+  static void bounce() { bounced = bounced + 1; }
+  static void bytes(int k) { bytesIn = bytesIn + k; }
+}|}
+        );
+        ( {|      Message m = new Message(s.sender, s.rcpt, line.substring(5, line.length()));
+      DeliveryQueue.put(m);
+      Stats.receive();
+      return "250 queued";|},
+          {|      Message m = new Message(s.sender, s.rcpt, line.substring(5, line.length()));
+      DeliveryQueue.put(m);
+      Stats.receive();
+      Stats.bytes(m.size);
+      return "250 queued";|}
+        );
+        ( {|  void add(Message m) { if (n < msgs.length) { msgs[n] = m; n = n + 1; } }|},
+          {|  void add(Message m, boolean front) {
+    if (n >= msgs.length) { return; }
+    if (front) {
+      for (int i = n; i > 0; i = i - 1) { msgs[i] = msgs[i - 1]; }
+      msgs[0] = m;
+      n = n + 1;
+    } else {
+      msgs[n] = m;
+      n = n + 1;
+    }
+  }|}
+        );
+        ( {|    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m);
+    Stats.deliver();|},
+          {|    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m, false);
+    Stats.deliver();|}
+        );
+      ] );
+    (* 1.2.4: body-only fixes *)
+    ( "1.2.4",
+      [
+        ( {|    if (line.startsWith("QUIT")) { return "221 bye"; }
+    return "500 unknown command";|},
+          {|    if (line.startsWith("QUIT")) { return "221 bye"; }
+    if (line.startsWith("NOOP")) { return "250 ok"; }
+    return "500 unknown command";|}
+        );
+        ( {|    if (line.startsWith("QUIT")) { return "+OK bye"; }
+    return "-ERR unknown command";|},
+          {|    if (line.startsWith("NOOP")) { return "+OK"; }
+    if (line.startsWith("QUIT")) { return "+OK bye"; }
+    return "-ERR unknown command";|}
+        );
+        ( {|    return "users=" + UserStore.n + " delivered=" + Stats.delivered;|},
+          {|    return "users=" + UserStore.n + " delivered=" + Stats.delivered + " bounced=" + Stats.bounced;|}
+        );
+      ] );
+    (* 1.3: the configuration-framework rework the paper cannot apply —
+       removes the AdminTool, adds a file-based configuration system, and
+       modifies the always-running processor loops to consult it *)
+    ( "1.3",
+      [
+        ( {|class AdminTool {
+  static String describeUser(String name) {
+    User u = UserStore.lookup(name);
+    if (u == null) { return "no such user"; }
+    return u.username + "@" + u.domain + " fwd:" + u.getForwardedAddresses().length;
+  }
+  static String summary() {
+    return "users=" + UserStore.n + " delivered=" + Stats.delivered + " bounced=" + Stats.bounced;
+  }
+}|},
+          {|class FileConfig {
+  static String[] keys;
+  static String[] vals;
+  static int n;
+  static int generation;
+  static void init(int cap) { keys = new String[cap]; vals = new String[cap]; n = 0; generation = 0; }
+  static void set(String k, String v) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (keys[i].equals(k)) { vals[i] = v; generation = generation + 1; return; }
+    }
+    keys[n] = k; vals[n] = v; n = n + 1;
+    generation = generation + 1;
+  }
+  static String get(String k, String deflt) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (keys[i].equals(k)) { return vals[i]; }
+    }
+    return deflt;
+  }
+}
+class ConfigWatcher {
+  static int seen;
+  static boolean changed() {
+    if (FileConfig.generation != seen) { seen = FileConfig.generation; return true; }
+    return false;
+  }
+}|}
+        );
+        ( {|  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      SMTPSession s = new SMTPSession(conn);
+      s.serve();
+    }
+  }|},
+          {|  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      if (ConfigWatcher.changed()) { Log.info("smtp config reloaded"); }
+      SMTPSession s = new SMTPSession(conn);
+      s.serve();
+    }
+  }|}
+        );
+        ( {|  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      User admin = UserStore.lookup("admin");
+      if (admin == null) { Log.info("warning: no admin account"); }
+      Pop3Session s = new Pop3Session(conn);
+      s.serve();
+    }
+  }|},
+          {|  void run() {
+    while (true) {
+      int conn = Net.accept(listener);
+      if (ConfigWatcher.changed()) { Log.info("pop3 config reloaded"); }
+      User admin = UserStore.lookup("admin");
+      if (admin == null) { Log.info("warning: no admin account"); }
+      Pop3Session s = new Pop3Session(conn);
+      s.serve();
+    }
+  }|}
+        );
+        ( {|      Message m = DeliveryQueue.take();
+      if (m == null) { Thread.yieldNow(); }|},
+          {|      if (ConfigWatcher.changed()) { Log.info("sender config reloaded"); }
+      Message m = DeliveryQueue.take();
+      if (m == null) { Thread.yieldNow(); }|}
+        );
+        ( {|    UserStore.init(16);
+    MailStore.init(16);
+    DeliveryQueue.init(64);
+    ConfigurationManager.loadUsers();|},
+          {|    UserStore.init(16);
+    MailStore.init(16);
+    DeliveryQueue.init(64);
+    FileConfig.init(16);
+    FileConfig.set("domain", "local");
+    ConfigurationManager.loadUsers();|}
+        );
+        ( {|    Log.info(AdminTool.summary());|}, {|    Log.info("mail server up");|} );
+      ] );
+    (* 1.3.1: body-only configuration loading fixes *)
+    ( "1.3.1",
+      [
+        ( {|  static void loadUsers() {
+    UserStore.add(new User("admin", Config.domain, "adminpw"));|},
+          {|  static void loadUsers() {
+    UserStore.add(new User("admin", FileConfig.get("domain", Config.domain), "adminpw"));|}
+        );
+        ( {|    return deflt;
+  }
+}|},
+          {|    if (deflt == null) { return ""; }
+    return deflt;
+  }
+}|}
+        );
+      ] );
+    (* 1.3.2: the paper's Figure 2 update — EmailAddress replaces raw
+       forwarding strings; User's field and setter change type; the
+       always-running loops reference User and are lifted by OSR *)
+    ( "1.3.2",
+      [
+        ( {|class User {
+  String username;
+  String domain;
+  String password;
+  String[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new String[0];
+  }
+  String[] getForwardedAddresses() { return forwardAddresses; }
+  void setForwardedAddresses(String[] f) { forwardAddresses = f; }
+  boolean auth(String pw) { return password.equals(pw); }
+}|},
+          {|class EmailAddress {
+  String username;
+  String host;
+  EmailAddress(String u, String h) { username = u; host = h; }
+  String render() { return username + "@" + host; }
+}
+class User {
+  String username;
+  String domain;
+  String password;
+  EmailAddress[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new EmailAddress[0];
+  }
+  EmailAddress[] getForwardedAddresses() { return forwardAddresses; }
+  void setForwardedAddresses(EmailAddress[] f) { forwardAddresses = f; }
+  boolean auth(String pw) { return password.equals(pw); }
+}|}
+        );
+        ( {|    User alice = new User("alice", Config.domain, "pw1");
+    String[] f = new String[2];
+    f[0] = "bob@dest.org";
+    f[1] = "carol@other.net";
+    alice.setForwardedAddresses(f);
+    UserStore.add(alice);|},
+          {|    User alice = new User("alice", Config.domain, "pw1");
+    EmailAddress[] f = new EmailAddress[2];
+    f[0] = new EmailAddress("bob", "dest.org");
+    f[1] = new EmailAddress("carol", "other.net");
+    alice.setForwardedAddresses(f);
+    UserStore.add(alice);|}
+        );
+        ( {|  void deliverTo(User u, Message m) {
+    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m, false);
+    Stats.deliver();
+  }|},
+          {|  void deliverTo(User u, Message m) {
+    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m, false);
+    EmailAddress[] fwd = u.getForwardedAddresses();
+    for (int i = 0; i < fwd.length; i = i + 1) {
+      Log.info("forward to " + fwd[i].render());
+    }
+    Stats.deliver();
+  }|}
+        );
+      ] );
+    (* 1.3.3: body-only delivery fixes *)
+    ( "1.3.3",
+      [
+        ( {|  static User resolve(String rcpt) {
+    String[] parts = rcpt.split("@", 2);
+    return UserStore.lookup(parts[0]);
+  }|},
+          {|  static User resolve(String rcpt) {
+    String[] parts = rcpt.split("@", 2);
+    return UserStore.lookup(parts[0].trim());
+  }|}
+        );
+        ( {|      if (u.auth(line.substring(5, line.length()))) {
+        s.authed = true;
+        return "+OK authed";
+      }
+      return "-ERR bad password";|},
+          {|      if (u.auth(line.substring(5, line.length()).trim())) {
+        s.authed = true;
+        return "+OK authed";
+      }
+      return "-ERR bad password";|}
+        );
+        ( {|    if (line.startsWith("STAT")) {
+      if (!s.authed) { return "-ERR not authed"; }
+      Mailbox b = MailStore.boxFor(s.username);
+      return "+OK " + b.count();
+    }|},
+          {|    if (line.startsWith("STAT")) {
+      if (!s.authed) { return "-ERR not authed, say PASS first"; }
+      Mailbox b = MailStore.boxFor(s.username);
+      return "+OK " + b.count();
+    }|}
+        );
+      ] );
+    (* 1.3.4: quota fields on User — the run() loops reference User, so
+       OSR lifts them again *)
+    ( "1.3.4",
+      [
+        ( {|class User {
+  String username;
+  String domain;
+  String password;
+  EmailAddress[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new EmailAddress[0];
+  }|},
+          {|class User {
+  String username;
+  String domain;
+  String password;
+  EmailAddress[] forwardAddresses;
+  int quota;
+  int used;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new EmailAddress[0];
+    quota = 1000000;
+    used = 0;
+  }
+  boolean overQuota(int extra) { return used + extra > quota; }|}
+        );
+        ( {|  void deliverTo(User u, Message m) {
+    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m, false);
+    EmailAddress[] fwd = u.getForwardedAddresses();|},
+          {|  void deliverTo(User u, Message m) {
+    if (u.overQuota(m.size)) { Stats.bounce(); return; }
+    u.used = u.used + m.size;
+    Mailbox b = MailStore.boxFor(u.username);
+    b.add(m, false);
+    EmailAddress[] fwd = u.getForwardedAddresses();|}
+        );
+      ] );
+    (* 1.4: relay controls and housekeeping fields across several classes,
+       one signature change *)
+    ( "1.4",
+      [
+        ( {|class Config {
+  static int smtpPort = 2525;
+  static int popPort = 2110;
+  static String domain = "local";
+}|},
+          {|class Config {
+  static int smtpPort = 2525;
+  static int popPort = 2110;
+  static String domain = "local";
+  static int maxRecipients = 8;
+  static boolean relayEnabled = false;
+}|}
+        );
+        ( {|  static int bytesIn = 0;
+  static void receive() { received = received + 1; }|},
+          {|  static int bytesIn = 0;
+  static int relayed = 0;
+  static int rejected = 0;
+  static void receive() { received = received + 1; }|}
+        );
+        ( {|class Mailbox {
+  String owner;
+  Message[] msgs;
+  int n;
+  Mailbox(String o) { owner = o; msgs = new Message[32]; n = 0; }|},
+          {|class Mailbox {
+  String owner;
+  Message[] msgs;
+  int n;
+  int totalBytes;
+  Mailbox(String o) { owner = o; msgs = new Message[32]; n = 0; totalBytes = 0; }|}
+        );
+        ( {|    if (line.startsWith("RCPT ")) {
+      s.rcpt = line.substring(5, line.length());
+      return "250 rcpt ok";
+    }|},
+          {|    if (line.startsWith("RCPT ")) {
+      String r = line.substring(5, line.length());
+      if (!AddressUtil.wellFormed(r)) { Stats.rejected = Stats.rejected + 1; return "501 bad address"; }
+      String dom = AddressUtil.domainPart(r);
+      if (!Config.relayEnabled && !dom.equals(Config.domain)
+          && !dom.equals("dest.org") && !dom.equals("other.net")) {
+        Stats.rejected = Stats.rejected + 1;
+        return "550 relaying denied";
+      }
+      s.rcpt = r;
+      return "250 rcpt ok";
+    }|}
+        );
+        ( {|  void add(Message m, boolean front) {
+    if (n >= msgs.length) { return; }|},
+          {|  void add(Message m, boolean front) {
+    if (n >= msgs.length) { return; }
+    totalBytes = totalBytes + m.size;|}
+        );
+      ] );
+  ]
+
+let app : Patching.versioned =
+  Patching.build ~app_name:"minimail" ~base_version ~base_src ~releases
+
+let failing_update = "1.3"
+
+(* The customized object transformer for the 1.3.1 -> 1.3.2 update: the
+   paper's Figure 3, rebuilding EmailAddress values from the old forwarding
+   strings. *)
+let user_transformer_132 =
+  {|
+    to.username = from.username;
+    to.domain = from.domain;
+    to.password = from.password;
+    int len = from.forwardAddresses.length;
+    to.forwardAddresses = new EmailAddress[len];
+    for (int i = 0; i < len; i = i + 1) {
+      String[] parts = from.forwardAddresses[i].split("@", 2);
+      to.forwardAddresses[i] = new EmailAddress(parts[0], parts[1]);
+    }
+|}
+
+(* Per-update customized transformers (class name -> body), keyed by the
+   *target* version; everything else uses UPT defaults. *)
+let object_overrides ~to_version =
+  match to_version with
+  | "1.3.2" -> [ ("User", user_transformer_132) ]
+  | _ -> []

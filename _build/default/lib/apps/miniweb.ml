@@ -1,0 +1,621 @@
+(* miniweb: the Jetty-analogue HTTP server (paper §4.2, Table 2).
+
+   A multi-threaded line-protocol web server written in MiniJava: an
+   acceptor thread ([ThreadedServer.run] / [acceptSocket]), a pool of
+   worker threads ([PoolThread.run]) feeding off a shared connection
+   queue, a handler chain with virtual dispatch, a static resource cache,
+   and assorted config/log/stats plumbing.
+
+   Eleven versions, 5.1.0 through 5.1.10, derived by source patches whose
+   change mix mirrors the paper's Table 2:
+   - 5.1.1, 5.1.2, 5.1.8, 5.1.9, 5.1.10 are method-body-only releases
+     (the ones an edit-and-continue system could also apply);
+   - 5.1.3 changes [ThreadedServer.acceptSocket] and [PoolThread.run],
+     which are always on stack, so the dynamic update cannot reach a safe
+     point and must abort — the paper's one Jetty failure;
+   - 5.1.5 is the big release (field/method additions to classes the pool
+     loop references, forcing OSR of [PoolThread.run]);
+   - the rest add/delete fields and change signatures. *)
+
+let protocol_port = 8080
+
+let base_version = "5.1.0"
+
+let base_src =
+  {|
+class Config {
+  static int port = 8080;
+  static int poolSize = 4;
+  static String serverName = "MiniWeb/5.1";
+}
+class Log {
+  static boolean verbose = false;
+  static void info(String m) { if (verbose) { Sys.println("[web] " + m); } }
+}
+class Stats {
+  static int requests = 0;
+  static int errors = 0;
+  static void request() { requests = requests + 1; }
+  static void error() { errors = errors + 1; }
+}
+class ConnQueue {
+  static int[] items;
+  static int head;
+  static int tail;
+  static int count;
+  static void init(int cap) { items = new int[cap]; head = 0; tail = 0; count = 0; }
+  static void put(int c) {
+    if (count >= items.length) { Net.close(c); return; }
+    items[tail] = c;
+    tail = (tail + 1) % items.length;
+    count = count + 1;
+  }
+  static int take() {
+    if (count == 0) { return 0; }
+    int c = items[head];
+    head = (head + 1) % items.length;
+    count = count - 1;
+    return c;
+  }
+}
+class ThreadedServer {
+  int listener;
+  ThreadedServer(int port) { listener = Net.listen(port); }
+  int acceptSocket() {
+    return Net.accept(listener);
+  }
+  void run() {
+    while (true) {
+      int conn = acceptSocket();
+      ConnQueue.put(conn);
+    }
+  }
+}
+class PoolThread {
+  int id;
+  PoolThread(int n) { id = n; }
+  void run() {
+    while (true) {
+      int conn = ConnQueue.take();
+      if (conn == 0) { Thread.yieldNow(); }
+      else {
+        HttpConnection h = new HttpConnection(conn);
+        h.handle();
+      }
+    }
+  }
+}
+class HttpRequest {
+  String method;
+  String path;
+  boolean bad;
+  HttpRequest(String line) {
+    String[] parts = line.split(" ", 0);
+    if (parts.length < 2) { bad = true; method = ""; path = ""; }
+    else { bad = false; method = parts[0]; path = parts[1]; }
+  }
+}
+class HttpResponse {
+  int status;
+  String reason;
+  String ctype;
+  String body;
+  HttpResponse(int s, String r, String ct, String b) {
+    status = s; reason = r; ctype = ct; body = b;
+  }
+  String render() {
+    return "HTTP/1.0 " + status + " " + reason + " " + ctype + " " + body.length() + " " + body;
+  }
+}
+class Handler {
+  boolean matches(HttpRequest r) { return true; }
+  HttpResponse handle(HttpRequest r) {
+    return new HttpResponse(500, "Error", "text/plain", "unhandled");
+  }
+}
+class StaticHandler extends Handler {
+  boolean matches(HttpRequest r) {
+    return ResourceCache.lookup(r.path) != null;
+  }
+  HttpResponse handle(HttpRequest r) {
+    String body = ResourceCache.lookup(r.path);
+    return new HttpResponse(200, "OK", Mime.typeOf(r.path), body);
+  }
+}
+class NotFoundHandler extends Handler {
+  boolean matches(HttpRequest r) { return true; }
+  HttpResponse handle(HttpRequest r) {
+    Stats.error();
+    return new HttpResponse(404, "NotFound", "text/plain", ErrorPages.notFound(r.path));
+  }
+}
+class StringUtil {
+  static String pad(String s, int width) {
+    String out = s;
+    while (out.length() < width) { out = out + " "; }
+    return out;
+  }
+  static String join(String[] parts, String sep) {
+    String out = "";
+    for (int i = 0; i < parts.length; i = i + 1) {
+      if (i > 0) { out = out + sep; }
+      out = out + parts[i];
+    }
+    return out;
+  }
+  static boolean isDigits(String s) {
+    if (s.length() == 0) { return false; }
+    for (int i = 0; i < s.length(); i = i + 1) {
+      int c = s.charAt(i);
+      if (c < 48 || c > 57) { return false; }
+    }
+    return true;
+  }
+}
+class RequestTimer {
+  static int marks = 0;
+  static void mark() { marks = marks + 1; }
+  static int count() { return marks; }
+}
+class ErrorPages {
+  static String notFound(String path) {
+    return "no such resource";
+  }
+  static String badRequest() { return "malformed request line"; }
+}
+class StatusHandler extends Handler {
+  boolean matches(HttpRequest r) { return r.path.equals("/status"); }
+  HttpResponse handle(HttpRequest r) {
+    String line = StringUtil.pad("marks=" + RequestTimer.count(), 12)
+      + " uptime=" + Sys.time();
+    return new HttpResponse(200, "OK", "text/plain", line);
+  }
+}
+class HandlerChain {
+  static Handler[] handlers;
+  static void init() {
+    handlers = new Handler[3];
+    handlers[0] = new StaticHandler();
+    handlers[1] = new StatusHandler();
+    handlers[2] = new NotFoundHandler();
+  }
+  static HttpResponse dispatch(HttpRequest r) {
+    for (int i = 0; i < handlers.length; i = i + 1) {
+      if (handlers[i].matches(r)) { return handlers[i].handle(r); }
+    }
+    return new HttpResponse(500, "Error", "text/plain", "no handler");
+  }
+}
+class ResourceCache {
+  static String[] names;
+  static String[] contents;
+  static int n;
+  static void init(int cap) { names = new String[cap]; contents = new String[cap]; n = 0; }
+  static void add(String name, String body) {
+    names[n] = name; contents[n] = body; n = n + 1;
+  }
+  static String lookup(String name) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (names[i].equals(name)) { return contents[i]; }
+    }
+    return null;
+  }
+}
+class Mime {
+  static String typeOf(String path) {
+    if (path.endsWith(".html")) { return "text/html"; }
+    if (path.endsWith(".txt")) { return "text/plain"; }
+    return "application/octet-stream";
+  }
+}
+class Pages {
+  static String repeat(String s, int k) {
+    String out = "";
+    for (int i = 0; i < k; i = i + 1) { out = out + s; }
+    return out;
+  }
+  static void install() {
+    ResourceCache.add("/index.html", "<html>" + repeat("0123456789abcdef", 64) + "</html>");
+    ResourceCache.add("/hello.txt", "hello from miniweb");
+    ResourceCache.add("/big.html", "<html>" + repeat("payload-chunk-", 256) + "</html>");
+  }
+}
+class HttpConnection {
+  int conn;
+  HttpConnection(int c) { conn = c; }
+  void handle() {
+    while (true) {
+      String line = Net.recvLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      HttpRequest req = new HttpRequest(line);
+      if (req.bad) {
+        Stats.error();
+        Net.send(conn, "HTTP/1.0 400 Bad request");
+      } else {
+        Stats.request();
+        HttpResponse resp = HandlerChain.dispatch(req);
+        Net.send(conn, resp.render());
+        Log.info(req.method + " " + req.path);
+      }
+    }
+  }
+}
+class HttpServer {
+  static void start() {
+    ResourceCache.init(16);
+    Pages.install();
+    HandlerChain.init();
+    ConnQueue.init(64);
+    Thread.spawn(new ThreadedServer(Config.port));
+    for (int i = 0; i < Config.poolSize; i = i + 1) {
+      Thread.spawn(new PoolThread(i));
+    }
+    Log.info("started " + Config.serverName);
+  }
+}
+class Main {
+  static void main() { HttpServer.start(); }
+}
+|}
+
+(* --- releases -------------------------------------------------------- *)
+
+let releases =
+  [
+    (* 5.1.1: method-body-only maintenance release (several fixes) *)
+    ( "5.1.1",
+      [
+        ( {|  static void info(String m) { if (verbose) { Sys.println("[web] " + m); } }|},
+          {|  static void info(String m) { if (verbose) { Sys.println("[miniweb] " + m); } }|}
+        );
+        ( {|    if (path.endsWith(".html")) { return "text/html"; }
+    if (path.endsWith(".txt")) { return "text/plain"; }
+    return "application/octet-stream";|},
+          {|    if (path.endsWith(".html")) { return "text/html"; }
+    if (path.endsWith(".txt")) { return "text/plain"; }
+    if (path.endsWith(".css")) { return "text/css"; }
+    return "application/octet-stream";|}
+        );
+        ( {|  static String notFound(String path) {
+    return "no such resource";
+  }|},
+          {|  static String notFound(String path) {
+    return "no such resource: " + path;
+  }|}
+        );
+        ( {|    if (parts.length < 2) { bad = true; method = ""; path = ""; }
+    else { bad = false; method = parts[0]; path = parts[1]; }|},
+          {|    if (parts.length < 2) { bad = true; method = ""; path = ""; }
+    else {
+      bad = false;
+      method = parts[0];
+      path = parts[1];
+      int q = path.indexOf("?");
+      if (q >= 0) { path = path.substring(0, q); }
+    }|}
+        );
+      ] );
+    (* 5.1.2: another body-only batch, touching different classes *)
+    ( "5.1.2",
+      [
+        ( {|    return "HTTP/1.0 " + status + " " + reason + " " + ctype + " " + body.length() + " " + body;|},
+          {|    return "HTTP/1.0 " + status + " " + reason + " " + ctype + " len=" + body.length() + " " + body;|}
+        );
+        ( {|    ResourceCache.add("/hello.txt", "hello from miniweb");|},
+          {|    ResourceCache.add("/hello.txt", "hello from miniweb server");|}
+        );
+        ( {|    Log.info("started " + Config.serverName);|},
+          {|    Log.info("listening on port " + Config.port + " as " + Config.serverName);|}
+        );
+        ( {|      if (handlers[i].matches(r)) { return handlers[i].handle(r); }
+    }
+    return new HttpResponse(500, "Error", "text/plain", "no handler");|},
+          {|      if (handlers[i].matches(r)) { return handlers[i].handle(r); }
+    }
+    Stats.error();
+    return new HttpResponse(500, "Error", "text/plain", "no handler");|}
+        );
+        ( {|  static String join(String[] parts, String sep) {
+    String out = "";
+    for (int i = 0; i < parts.length; i = i + 1) {
+      if (i > 0) { out = out + sep; }
+      out = out + parts[i];
+    }
+    return out;
+  }|},
+          {|  static String join(String[] parts, String sep) {
+    if (parts.length == 0) { return ""; }
+    String out = parts[0];
+    for (int i = 1; i < parts.length; i = i + 1) {
+      out = out + sep + parts[i];
+    }
+    return out;
+  }|}
+        );
+      ] );
+    (* 5.1.3: reworks the accept/dispatch path — adds connection
+       accounting fields and classes and changes the always-on-stack
+       acceptSocket/run loops.  Jvolve cannot reach a safe point: the
+       paper's Jetty failure. *)
+    ( "5.1.3",
+      [
+        ( {|class ThreadedServer {
+  int listener;
+  ThreadedServer(int port) { listener = Net.listen(port); }
+  int acceptSocket() {
+    return Net.accept(listener);
+  }
+  void run() {
+    while (true) {
+      int conn = acceptSocket();
+      ConnQueue.put(conn);
+    }
+  }
+}|},
+          {|class AcceptStats {
+  static int accepted = 0;
+  static int rejected = 0;
+  static void accept() { accepted = accepted + 1; }
+}
+class ThreadedServer {
+  int listener;
+  int acceptCount;
+  ThreadedServer(int port) { listener = Net.listen(port); acceptCount = 0; }
+  int acceptSocket() {
+    int c = Net.accept(listener);
+    acceptCount = acceptCount + 1;
+    AcceptStats.accept();
+    return c;
+  }
+  void run() {
+    while (true) {
+      int conn = acceptSocket();
+      if (conn > 0) { ConnQueue.put(conn); }
+    }
+  }
+}|}
+        );
+        ( {|class PoolThread {
+  int id;
+  PoolThread(int n) { id = n; }
+  void run() {
+    while (true) {
+      int conn = ConnQueue.take();
+      if (conn == 0) { Thread.yieldNow(); }
+      else {
+        HttpConnection h = new HttpConnection(conn);
+        h.handle();
+      }
+    }
+  }
+}|},
+          {|class PoolThread {
+  int id;
+  int handled;
+  PoolThread(int n) { id = n; handled = 0; }
+  void run() {
+    while (true) {
+      int conn = ConnQueue.take();
+      if (conn == 0) { Thread.yieldNow(); }
+      else {
+        handled = handled + 1;
+        HttpConnection h = new HttpConnection(conn);
+        h.handle();
+      }
+    }
+  }
+}|}
+        );
+      ] );
+    (* 5.1.4: signature changes and field deletions *)
+    ( "5.1.4",
+      [
+        ( {|class Config {
+  static int port = 8080;
+  static int poolSize = 4;
+  static String serverName = "MiniWeb/5.1";
+}|},
+          {|class Config {
+  static int port = 8080;
+  static int threads = 4;
+  static String serverName = "MiniWeb/5.1";
+}|}
+        );
+        ( {|    for (int i = 0; i < Config.poolSize; i = i + 1) {|},
+          {|    for (int i = 0; i < Config.threads; i = i + 1) {|}
+        );
+        ( {|  static String typeOf(String path) {|},
+          {|  static String typeOf(String path, String deflt) {|} );
+        ( {|    if (path.endsWith(".css")) { return "text/css"; }
+    return "application/octet-stream";|},
+          {|    if (path.endsWith(".css")) { return "text/css"; }
+    return deflt;|}
+        );
+        ( {|    return new HttpResponse(200, "OK", Mime.typeOf(r.path), body);|},
+          {|    return new HttpResponse(200, "OK", Mime.typeOf(r.path, "application/octet-stream"), body);|}
+        );
+      ] );
+    (* 5.1.5: the big release — keep-alive limits, byte accounting, new
+       methods and fields on classes the pool loop references (OSR) *)
+    ( "5.1.5",
+      [
+        ( {|class Stats {
+  static int requests = 0;
+  static int errors = 0;
+  static void request() { requests = requests + 1; }
+  static void error() { errors = errors + 1; }
+}|},
+          {|class Stats {
+  static int requests = 0;
+  static int errors = 0;
+  static int bytesOut = 0;
+  static void request() { requests = requests + 1; }
+  static void error() { errors = errors + 1; }
+  static void sent(int n) { bytesOut = bytesOut + n; }
+}|}
+        );
+        ( {|class HttpResponse {
+  int status;
+  String reason;
+  String ctype;
+  String body;
+  HttpResponse(int s, String r, String ct, String b) {
+    status = s; reason = r; ctype = ct; body = b;
+  }|},
+          {|class HttpResponse {
+  int status;
+  String reason;
+  String ctype;
+  String body;
+  int size;
+  HttpResponse(int s, String r, String ct, String b) {
+    status = s; reason = r; ctype = ct; body = b; size = b.length();
+  }
+  int length() { return size; }|}
+        );
+        ( {|    return "HTTP/1.0 " + status + " " + reason + " " + ctype + " len=" + body.length() + " " + body;|},
+          {|    return "HTTP/1.0 " + status + " " + reason + " " + ctype + " len=" + size + " " + body;|}
+        );
+        ( {|class HttpConnection {
+  int conn;
+  HttpConnection(int c) { conn = c; }
+  void handle() {
+    while (true) {
+      String line = Net.recvLine(conn);
+      if (line == null) { Net.close(conn); return; }|},
+          {|class HttpConnection {
+  int conn;
+  int served;
+  HttpConnection(int c) { conn = c; served = 0; }
+  void handle() {
+    while (true) {
+      if (served >= 100) { Net.close(conn); return; }
+      String line = Net.recvLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      served = served + 1;
+      RequestTimer.mark();|}
+        );
+        ( {|        Stats.request();
+        HttpResponse resp = HandlerChain.dispatch(req);
+        Net.send(conn, resp.render());
+        Log.info(req.method + " " + req.path);|},
+          {|        Stats.request();
+        HttpResponse resp = HandlerChain.dispatch(req);
+        String payload = resp.render();
+        Stats.sent(payload.length());
+        Net.send(conn, payload);
+        Log.info(req.method + " " + req.path + " " + resp.length());|}
+        );
+      ] );
+    (* 5.1.6: reworks the statistics fields *)
+    ( "5.1.6",
+      [
+        ( {|class Stats {
+  static int requests = 0;
+  static int errors = 0;
+  static int bytesOut = 0;
+  static void request() { requests = requests + 1; }
+  static void error() { errors = errors + 1; }
+  static void sent(int n) { bytesOut = bytesOut + n; }
+}|},
+          {|class Stats {
+  static int[] counters;
+  static void request() { bump(0); }
+  static void error() { bump(1); }
+  static void sent(int n) { if (counters != null) { counters[2] = counters[2] + n; } }
+  static void bump(int k) {
+    if (counters == null) { counters = new int[4]; }
+    counters[k] = counters[k] + 1;
+  }
+}|}
+        );
+      ] );
+    (* 5.1.7: response headers and cache accounting — new methods and
+       fields *)
+    ( "5.1.7",
+      [
+        ( {|  int size;
+  HttpResponse(int s, String r, String ct, String b) {
+    status = s; reason = r; ctype = ct; body = b; size = b.length();
+  }
+  int length() { return size; }|},
+          {|  int size;
+  String server;
+  boolean cacheable;
+  HttpResponse(int s, String r, String ct, String b) {
+    status = s; reason = r; ctype = ct; body = b; size = b.length();
+    server = Config.serverName;
+    cacheable = s == 200;
+  }
+  int length() { return size; }
+  boolean isCacheable() { return cacheable; }|}
+        );
+        ( {|class ResourceCache {
+  static String[] names;
+  static String[] contents;
+  static int n;
+  static void init(int cap) { names = new String[cap]; contents = new String[cap]; n = 0; }
+  static void add(String name, String body) {
+    names[n] = name; contents[n] = body; n = n + 1;
+  }|},
+          {|class ResourceCache {
+  static String[] names;
+  static String[] contents;
+  static int[] sizes;
+  static int n;
+  static void init(int cap) {
+    names = new String[cap]; contents = new String[cap]; sizes = new int[cap]; n = 0;
+  }
+  static void add(String name, String body) {
+    names[n] = name; contents[n] = body; sizes[n] = body.length(); n = n + 1;
+  }
+  static int totalBytes() {
+    int t = 0;
+    for (int i = 0; i < n; i = i + 1) { t = t + sizes[i]; }
+    return t;
+  }|}
+        );
+      ] );
+    (* 5.1.8: one-line body fix *)
+    ( "5.1.8",
+      [
+        ( {|    ResourceCache.add("/hello.txt", "hello from miniweb server");|},
+          {|    ResourceCache.add("/hello.txt", "hello from the miniweb server");|}
+        );
+      ] );
+    (* 5.1.9: one-line body fix *)
+    ( "5.1.9",
+      [
+        ( {|  static void info(String m) { if (verbose) { Sys.println("[miniweb] " + m); } }|},
+          {|  static void info(String m) { if (verbose) { Sys.println("[miniweb] info " + m); } }|}
+        );
+      ] );
+    (* 5.1.10: small body-only batch *)
+    ( "5.1.10",
+      [
+        ( {|        Stats.error();
+        Net.send(conn, "HTTP/1.0 400 Bad request");|},
+          {|        Stats.error();
+        Net.send(conn, "HTTP/1.0 400 Bad malformed request line");|}
+        );
+        ( {|    if (path.endsWith(".css")) { return "text/css"; }
+    return deflt;|},
+          {|    if (path.endsWith(".css")) { return "text/css"; }
+    if (path.endsWith(".js")) { return "text/javascript"; }
+    return deflt;|}
+        );
+        ( {|    ResourceCache.add("/big.html", "<html>" + repeat("payload-chunk-", 256) + "</html>");|},
+          {|    ResourceCache.add("/big.html", "<html>" + repeat("payload-chunk-", 256) + "</html>");
+    ResourceCache.add("/status.txt", "ok");|}
+        );
+        ( {|  static String badRequest() { return "malformed request line"; }|},
+          {|  static String badRequest() { return "malformed or empty request line"; }|}
+        );
+      ] );
+  ]
+
+let app : Patching.versioned =
+  Patching.build ~app_name:"miniweb" ~base_version ~base_src ~releases
+
+(* The update the paper cannot apply. *)
+let failing_update = "5.1.3"

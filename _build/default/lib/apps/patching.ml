@@ -1,0 +1,96 @@
+(* Version construction for the benchmark applications.
+
+   Each application release is derived from its predecessor by an explicit
+   list of (old fragment -> new fragment) source patches, exactly like the
+   real release diffs the paper studies.  Building versions this way
+   guarantees that untouched code is byte-identical across releases, which
+   is what makes the UPT's change classification meaningful. *)
+
+exception Patch_error of string
+
+let count_occurrences hay needle =
+  let n = String.length hay and m = String.length needle in
+  if m = 0 then 0
+  else begin
+    let c = ref 0 in
+    let i = ref 0 in
+    while !i + m <= n do
+      if String.sub hay !i m = needle then begin
+        incr c;
+        i := !i + m
+      end
+      else incr i
+    done;
+    !c
+  end
+
+let replace_once hay ~old_frag ~new_frag =
+  match count_occurrences hay old_frag with
+  | 0 ->
+      raise
+        (Patch_error
+           (Printf.sprintf "fragment not found:\n%s"
+              (if String.length old_frag > 200 then
+                 String.sub old_frag 0 200 ^ "..."
+               else old_frag)))
+  | 1 ->
+      let m = String.length old_frag in
+      let n = String.length hay in
+      let rec find i =
+        if String.sub hay i m = old_frag then i else find (i + 1)
+      in
+      let i = find 0 in
+      String.sub hay 0 i ^ new_frag ^ String.sub hay (i + m) (n - i - m)
+  | k ->
+      raise
+        (Patch_error
+           (Printf.sprintf "fragment ambiguous (%d occurrences):\n%s" k
+              old_frag))
+
+(* Apply an ordered list of single-occurrence replacements. *)
+let patch (src : string) (edits : (string * string) list) : string =
+  List.fold_left
+    (fun acc (old_frag, new_frag) -> replace_once acc ~old_frag ~new_frag)
+    src edits
+
+(* A versioned application: the name of each release paired with its full
+   source, v(n+1) derived from v(n). *)
+type versioned = {
+  app_name : string;
+  versions : (string * string) list; (* (version name, source), oldest first *)
+}
+
+let build ~app_name ~base_version ~base_src
+    ~(releases : (string * (string * string) list) list) : versioned =
+  let rec go acc prev = function
+    | [] -> List.rev acc
+    | (ver, edits) :: rest ->
+        let src =
+          try patch prev edits
+          with Patch_error e ->
+            raise
+              (Patch_error
+                 (Printf.sprintf "%s %s: %s" app_name ver e))
+        in
+        go ((ver, src) :: acc) src rest
+  in
+  {
+    app_name;
+    versions = (base_version, base_src) :: go [] base_src releases;
+  }
+
+let source v ~version =
+  match List.assoc_opt version v.versions with
+  | Some s -> s
+  | None ->
+      raise
+        (Patch_error (Printf.sprintf "%s: unknown version %s" v.app_name version))
+
+(* Consecutive (from, to) pairs: the update chain the experience harness
+   walks. *)
+let update_pairs v =
+  let rec go = function
+    | (a, sa) :: ((b, sb) :: _ as rest) -> ((a, sa), (b, sb)) :: go rest
+    | _ -> []
+  in
+  go v.versions

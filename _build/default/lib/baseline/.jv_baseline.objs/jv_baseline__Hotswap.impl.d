@@ -1,0 +1,1 @@
+lib/baseline/hotswap.ml: Jv_vm Jvolve_core List Printf String

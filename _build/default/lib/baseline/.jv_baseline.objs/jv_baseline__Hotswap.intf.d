@@ -1,0 +1,1 @@
+lib/baseline/hotswap.mli: Jv_vm Jvolve_core

@@ -1,0 +1,1 @@
+lib/baseline/indirection.ml: Array Hashtbl Jv_classfile Jv_vm Jvolve_core List String

@@ -1,0 +1,1 @@
+lib/baseline/indirection.mli: Hashtbl Jv_vm Jvolve_core

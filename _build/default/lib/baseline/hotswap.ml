@@ -1,0 +1,63 @@
+(* The "edit-and-continue" baseline: method-body-only updating, as provided
+   by HotSpot's HotSwap, .NET E&C, and PROSE (paper §5).
+
+   Such systems replace method bodies so the *next* invocation runs the new
+   code, but they support nothing else: no signature changes, no field or
+   method additions/deletions, no new or removed classes.  The paper uses
+   this class of systems as the flexibility baseline: they can handle only
+   9 of the 22 benchmark updates. *)
+
+module State = Jv_vm.State
+module J = Jvolve_core
+
+type result =
+  | Applied of int (* number of method bodies swapped *)
+  | Unsupported of string
+
+(* Would this update be expressible at all?  (The flexibility check used by
+   the experience tables.) *)
+let supported (diff : J.Diff.t) : bool = J.Diff.method_body_only_supported diff
+
+let why_unsupported (diff : J.Diff.t) : string =
+  let parts = [] in
+  let parts =
+    if diff.J.Diff.class_updates <> [] then
+      Printf.sprintf "class signature changes (%s)"
+        (String.concat ", " diff.J.Diff.class_updates)
+      :: parts
+    else parts
+  in
+  let parts =
+    if diff.J.Diff.added_classes <> [] then
+      Printf.sprintf "added classes (%s)"
+        (String.concat ", " diff.J.Diff.added_classes)
+      :: parts
+    else parts
+  in
+  let parts =
+    if diff.J.Diff.deleted_classes <> [] then
+      Printf.sprintf "deleted classes (%s)"
+        (String.concat ", " diff.J.Diff.deleted_classes)
+      :: parts
+    else parts
+  in
+  let parts =
+    if diff.J.Diff.super_changes <> [] then "superclass changes" :: parts
+    else parts
+  in
+  String.concat "; " (List.rev parts)
+
+(* Apply a body-only update with next-invocation semantics: no safe point,
+   no barriers, no object work.  Running activations keep executing old
+   code — the E&C model. *)
+let apply vm (spec : J.Spec.t) : result =
+  if not (supported spec.J.Spec.diff) then
+    Unsupported (why_unsupported spec.J.Spec.diff)
+  else begin
+    (* compute restricted sets first: opt code that inlined a swapped body
+       must be thrown away even in the E&C model *)
+    let restricted = J.Safepoint.compute vm spec in
+    J.Updater.swap_method_bodies vm spec;
+    ignore (J.Updater.invalidate_stale_code vm restricted);
+    Applied (List.length spec.J.Spec.diff.J.Diff.body_updates)
+  end

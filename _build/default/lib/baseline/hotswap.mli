@@ -1,0 +1,13 @@
+(** The "edit-and-continue" baseline: method-body-only updating, as in
+    HotSpot's HotSwap, .NET E&C, and PROSE (paper §5).  Bodies are
+    replaced with next-invocation semantics — no safe point, no object
+    work — but nothing beyond bodies is expressible: the paper's
+    flexibility baseline (9 of the 22 benchmark updates). *)
+
+type result =
+  | Applied of int  (** number of method bodies swapped *)
+  | Unsupported of string
+
+val supported : Jvolve_core.Diff.t -> bool
+val why_unsupported : Jvolve_core.Diff.t -> string
+val apply : Jv_vm.State.t -> Jvolve_core.Spec.t -> result

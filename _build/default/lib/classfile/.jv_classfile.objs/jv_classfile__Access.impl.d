@@ -1,0 +1,1 @@
+lib/classfile/access.ml: Fmt List String

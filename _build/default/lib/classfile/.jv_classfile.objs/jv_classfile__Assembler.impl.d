@@ -1,0 +1,1 @@
+lib/classfile/assembler.ml: Access Array Buffer Cls Fun Hashtbl Instr List Printf Scanf String Types

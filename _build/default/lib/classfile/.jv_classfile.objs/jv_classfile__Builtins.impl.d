@@ -1,0 +1,1 @@
+lib/classfile/builtins.ml: Access Cls List Types

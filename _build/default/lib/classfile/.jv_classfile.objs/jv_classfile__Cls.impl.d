@@ -1,0 +1,1 @@
+lib/classfile/cls.ml: Access Array Fmt Hashtbl Instr List Printf String Types

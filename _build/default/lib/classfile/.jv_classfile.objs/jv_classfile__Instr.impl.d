@@ -1,0 +1,1 @@
+lib/classfile/instr.ml: Array Fmt Hashtbl List Printf Types

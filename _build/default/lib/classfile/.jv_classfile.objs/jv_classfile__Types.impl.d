@@ -1,0 +1,1 @@
+lib/classfile/types.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/classfile/verifier.ml: Access Array Cls Instr List Printf Queue String Types

@@ -1,0 +1,397 @@
+(* A textual assembler and disassembler for MiniJava bytecode class files.
+
+   Lets tooling (and tests) author class files without the MiniJava
+   frontend, and gives a stable dump format whose round trip is the
+   identity:
+
+     class Counter extends Object {
+       field public int value
+       method public tick ()V locals=1 {
+           yield_entry
+           load 0
+           load 0
+           getfield Counter.value I
+           const_int 1
+           add
+           putfield Counter.value I
+           return
+       }
+     }
+
+   Branches use labels ("top:" ... "goto top"); the disassembler emits
+   "Ln:" labels at every branch target. *)
+
+exception Asm_error of string * int (* message, 1-based line *)
+
+let err line fmt = Printf.ksprintf (fun m -> raise (Asm_error (m, line))) fmt
+
+(* --- disassembly ---------------------------------------------------------- *)
+
+let vis_kw = function
+  | Access.Public -> "public"
+  | Access.Protected -> "protected"
+  | Access.Private -> "private"
+  | Access.Package -> "package"
+
+let mods_str (a : Access.t) =
+  String.concat " "
+    (List.filter
+       (fun s -> s <> "")
+       [
+         vis_kw a.Access.visibility;
+         (if a.Access.is_static then "static" else "");
+         (if a.Access.is_final then "final" else "");
+         (if a.Access.is_native then "native" else "");
+       ])
+
+let instr_str ~label = function
+  | Instr.Const_int i -> Printf.sprintf "const_int %d" i
+  | Instr.Const_bool b -> Printf.sprintf "const_bool %b" b
+  | Instr.Const_str s -> Printf.sprintf "const_str %S" s
+  | Instr.Const_null -> "const_null"
+  | Instr.Load i -> Printf.sprintf "load %d" i
+  | Instr.Store i -> Printf.sprintf "store %d" i
+  | Instr.Dup -> "dup"
+  | Instr.Pop -> "pop"
+  | Instr.Swap -> "swap"
+  | Instr.Binop b -> Instr.binop_to_string b
+  | Instr.Neg -> "neg"
+  | Instr.Icmp c -> "icmp_" ^ Instr.icmp_to_string c
+  | Instr.Bnot -> "bnot"
+  | Instr.Acmp_eq -> "acmp_eq"
+  | Instr.Acmp_ne -> "acmp_ne"
+  | Instr.If_true t -> Printf.sprintf "if_true %s" (label t)
+  | Instr.If_false t -> Printf.sprintf "if_false %s" (label t)
+  | Instr.Goto t -> Printf.sprintf "goto %s" (label t)
+  | Instr.Get_field f ->
+      Printf.sprintf "getfield %s.%s %s" f.Instr.f_class f.Instr.f_name
+        (Types.descriptor f.Instr.f_ty)
+  | Instr.Put_field f ->
+      Printf.sprintf "putfield %s.%s %s" f.Instr.f_class f.Instr.f_name
+        (Types.descriptor f.Instr.f_ty)
+  | Instr.Get_static f ->
+      Printf.sprintf "getstatic %s.%s %s" f.Instr.f_class f.Instr.f_name
+        (Types.descriptor f.Instr.f_ty)
+  | Instr.Put_static f ->
+      Printf.sprintf "putstatic %s.%s %s" f.Instr.f_class f.Instr.f_name
+        (Types.descriptor f.Instr.f_ty)
+  | Instr.Invoke_virtual m ->
+      Printf.sprintf "invokevirtual %s.%s %s" m.Instr.m_class m.Instr.m_name
+        (Types.msig_descriptor m.Instr.m_sig)
+  | Instr.Invoke_static m ->
+      Printf.sprintf "invokestatic %s.%s %s" m.Instr.m_class m.Instr.m_name
+        (Types.msig_descriptor m.Instr.m_sig)
+  | Instr.Invoke_direct m ->
+      Printf.sprintf "invokedirect %s.%s %s" m.Instr.m_class m.Instr.m_name
+        (Types.msig_descriptor m.Instr.m_sig)
+  | Instr.New_obj c -> "new " ^ c
+  | Instr.New_array t -> "newarray " ^ Types.descriptor t
+  | Instr.Array_load t -> "aload " ^ Types.descriptor t
+  | Instr.Array_store t -> "astore " ^ Types.descriptor t
+  | Instr.Array_len -> "arraylength"
+  | Instr.Check_cast t -> "checkcast " ^ Types.descriptor t
+  | Instr.Instance_of t -> "instanceof " ^ Types.descriptor t
+  | Instr.Return -> "return"
+  | Instr.Return_val -> "return_val"
+  | Instr.Yield Instr.Y_entry -> "yield_entry"
+  | Instr.Yield Instr.Y_backedge -> "yield_backedge"
+
+let print_method buf (m : Cls.meth) =
+  let mods = mods_str m.Cls.md_access in
+  Printf.bprintf buf "  method %s%s%s %s locals=%d"
+    mods
+    (if mods = "" then "" else " ")
+    m.Cls.md_name
+    (Types.msig_descriptor m.Cls.md_sig)
+    m.Cls.md_max_locals;
+  match m.Cls.md_code with
+  | None -> Buffer.add_string buf "\n"
+  | Some code ->
+      Buffer.add_string buf " {\n";
+      (* label every branch target *)
+      let targets = Hashtbl.create 8 in
+      Array.iter
+        (fun i ->
+          match i with
+          | Instr.If_true t | Instr.If_false t | Instr.Goto t ->
+              if not (Hashtbl.mem targets t) then
+                Hashtbl.replace targets t
+                  (Printf.sprintf "L%d" (Hashtbl.length targets))
+          | _ -> ())
+        code;
+      let label t = Hashtbl.find targets t in
+      Array.iteri
+        (fun pc i ->
+          (match Hashtbl.find_opt targets pc with
+          | Some l -> Printf.bprintf buf "    %s:\n" l
+          | None -> ());
+          Printf.bprintf buf "      %s\n" (instr_str ~label i))
+        code;
+      Buffer.add_string buf "  }\n"
+
+let print_class buf (c : Cls.t) =
+  Printf.bprintf buf "class %s extends %s {\n" c.Cls.c_name c.Cls.c_super;
+  List.iter
+    (fun (f : Cls.field) ->
+      let mods = mods_str f.Cls.fd_access in
+      Printf.bprintf buf "  field %s%s%s %s\n" mods
+        (if mods = "" then "" else " ")
+        f.Cls.fd_name
+        (Types.descriptor f.Cls.fd_ty))
+    c.Cls.c_fields;
+  List.iter (print_method buf) c.Cls.c_methods;
+  Buffer.add_string buf "}\n"
+
+let print_program (classes : Cls.t list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter (print_class buf) classes;
+  Buffer.contents buf
+
+(* --- assembly --------------------------------------------------------------- *)
+
+(* split a line into tokens; string literals (%S) form one token *)
+let tokenize_line line lno : string list =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '"' then begin
+      (* scan an escaped string literal *)
+      let j = ref (!i + 1) in
+      let fin = ref false in
+      while (not !fin) && !j < n do
+        if line.[!j] = '\\' then j := !j + 2
+        else if line.[!j] = '"' then fin := true
+        else incr j
+      done;
+      if not !fin then err lno "unterminated string literal";
+      out := String.sub line !i (!j - !i + 1) :: !out;
+      i := !j + 1
+    end
+    else begin
+      let j = ref !i in
+      while !j < n && line.[!j] <> ' ' && line.[!j] <> '\t' do
+        incr j
+      done;
+      out := String.sub line !i (!j - !i) :: !out;
+      i := !j
+    end
+  done;
+  List.rev !out
+
+let parse_mods lno (toks : string list) : Access.t * string list =
+  let rec go acc = function
+    | "public" :: r -> go { acc with Access.visibility = Access.Public } r
+    | "private" :: r -> go { acc with Access.visibility = Access.Private } r
+    | "protected" :: r ->
+        go { acc with Access.visibility = Access.Protected } r
+    | "package" :: r -> go { acc with Access.visibility = Access.Package } r
+    | "static" :: r -> go { acc with Access.is_static = true } r
+    | "final" :: r -> go { acc with Access.is_final = true } r
+    | "native" :: r -> go { acc with Access.is_native = true } r
+    | r -> (acc, r)
+  in
+  ignore lno;
+  go Access.default toks
+
+let parse_member_ref lno (s : string) : string * string =
+  match String.rindex_opt s '.' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> err lno "expected Class.member, got %s" s
+
+let parse_ty lno s =
+  try Types.of_descriptor s
+  with Types.Bad_descriptor _ -> err lno "bad type descriptor %s" s
+
+let parse_msig lno s =
+  try Types.msig_of_descriptor s
+  with Types.Bad_descriptor _ -> err lno "bad method descriptor %s" s
+
+let fref lno cls_name ty_desc =
+  let c, f = parse_member_ref lno cls_name in
+  { Instr.f_class = c; f_name = f; f_ty = parse_ty lno ty_desc }
+
+let mref lno cls_name sig_desc =
+  let c, m = parse_member_ref lno cls_name in
+  { Instr.m_class = c; m_name = m; m_sig = parse_msig lno sig_desc }
+
+let parse_instr lno (toks : string list) :
+    [ `Ins of Instr.t | `Branch of (int -> Instr.t) * string ] =
+  match toks with
+  | [ "const_int"; v ] -> `Ins (Instr.Const_int (int_of_string v))
+  | [ "const_bool"; v ] -> `Ins (Instr.Const_bool (bool_of_string v))
+  | [ "const_str"; s ] -> `Ins (Instr.Const_str (Scanf.sscanf s "%S" Fun.id))
+  | [ "const_null" ] -> `Ins Instr.Const_null
+  | [ "load"; i ] -> `Ins (Instr.Load (int_of_string i))
+  | [ "store"; i ] -> `Ins (Instr.Store (int_of_string i))
+  | [ "dup" ] -> `Ins Instr.Dup
+  | [ "pop" ] -> `Ins Instr.Pop
+  | [ "swap" ] -> `Ins Instr.Swap
+  | [ "add" ] -> `Ins (Instr.Binop Instr.Add)
+  | [ "sub" ] -> `Ins (Instr.Binop Instr.Sub)
+  | [ "mul" ] -> `Ins (Instr.Binop Instr.Mul)
+  | [ "div" ] -> `Ins (Instr.Binop Instr.Div)
+  | [ "rem" ] -> `Ins (Instr.Binop Instr.Rem)
+  | [ "neg" ] -> `Ins Instr.Neg
+  | [ "icmp_eq" ] -> `Ins (Instr.Icmp Instr.Eq)
+  | [ "icmp_ne" ] -> `Ins (Instr.Icmp Instr.Ne)
+  | [ "icmp_lt" ] -> `Ins (Instr.Icmp Instr.Lt)
+  | [ "icmp_le" ] -> `Ins (Instr.Icmp Instr.Le)
+  | [ "icmp_gt" ] -> `Ins (Instr.Icmp Instr.Gt)
+  | [ "icmp_ge" ] -> `Ins (Instr.Icmp Instr.Ge)
+  | [ "bnot" ] -> `Ins Instr.Bnot
+  | [ "acmp_eq" ] -> `Ins Instr.Acmp_eq
+  | [ "acmp_ne" ] -> `Ins Instr.Acmp_ne
+  | [ "if_true"; l ] -> `Branch ((fun t -> Instr.If_true t), l)
+  | [ "if_false"; l ] -> `Branch ((fun t -> Instr.If_false t), l)
+  | [ "goto"; l ] -> `Branch ((fun t -> Instr.Goto t), l)
+  | [ "getfield"; r; d ] -> `Ins (Instr.Get_field (fref lno r d))
+  | [ "putfield"; r; d ] -> `Ins (Instr.Put_field (fref lno r d))
+  | [ "getstatic"; r; d ] -> `Ins (Instr.Get_static (fref lno r d))
+  | [ "putstatic"; r; d ] -> `Ins (Instr.Put_static (fref lno r d))
+  | [ "invokevirtual"; r; d ] -> `Ins (Instr.Invoke_virtual (mref lno r d))
+  | [ "invokestatic"; r; d ] -> `Ins (Instr.Invoke_static (mref lno r d))
+  | [ "invokedirect"; r; d ] -> `Ins (Instr.Invoke_direct (mref lno r d))
+  | [ "new"; c ] -> `Ins (Instr.New_obj c)
+  | [ "newarray"; d ] -> `Ins (Instr.New_array (parse_ty lno d))
+  | [ "aload"; d ] -> `Ins (Instr.Array_load (parse_ty lno d))
+  | [ "astore"; d ] -> `Ins (Instr.Array_store (parse_ty lno d))
+  | [ "arraylength" ] -> `Ins Instr.Array_len
+  | [ "checkcast"; d ] -> `Ins (Instr.Check_cast (parse_ty lno d))
+  | [ "instanceof"; d ] -> `Ins (Instr.Instance_of (parse_ty lno d))
+  | [ "return" ] -> `Ins Instr.Return
+  | [ "return_val" ] -> `Ins Instr.Return_val
+  | [ "yield_entry" ] -> `Ins (Instr.Yield Instr.Y_entry)
+  | [ "yield_backedge" ] -> `Ins (Instr.Yield Instr.Y_backedge)
+  | t :: _ -> err lno "unknown instruction %s" t
+  | [] -> err lno "empty instruction"
+
+type pstate = {
+  lines : (int * string list) array; (* (line number, tokens) *)
+  mutable k : int;
+}
+
+let peek st = if st.k < Array.length st.lines then Some st.lines.(st.k) else None
+
+let next st =
+  match peek st with
+  | Some l ->
+      st.k <- st.k + 1;
+      l
+  | None -> err 0 "unexpected end of input"
+
+let parse_code st : Instr.t array * int =
+  (* returns code and the max local referenced (for a locals sanity
+     check); the caller got locals= from the header *)
+  let labels = Hashtbl.create 8 in
+  let out = ref [] in
+  let patches = ref [] in
+  let n = ref 0 in
+  let fin = ref false in
+  while not !fin do
+    (let lno, toks = next st in
+     match toks with
+     | [ "}" ] -> fin := true
+     | [ lbl ]
+       when String.length lbl > 1 && lbl.[String.length lbl - 1] = ':' ->
+         Hashtbl.replace labels (String.sub lbl 0 (String.length lbl - 1)) !n
+     | _ -> (
+         match parse_instr lno toks with
+         | `Ins i ->
+             out := i :: !out;
+             incr n
+         | `Branch (mk, l) ->
+             patches := (!n, lno, mk, l) :: !patches;
+             out := Instr.Return :: !out (* placeholder *);
+             incr n))
+  done;
+  let code = Array.of_list (List.rev !out) in
+  List.iter
+    (fun (idx, lno, mk, l) ->
+      match Hashtbl.find_opt labels l with
+      | Some t -> code.(idx) <- mk t
+      | None -> err lno "unknown label %s" l)
+    !patches;
+  (code, !n)
+
+let parse_locals lno s =
+  match String.split_on_char '=' s with
+  | [ "locals"; v ] -> int_of_string v
+  | _ -> err lno "expected locals=N, got %s" s
+
+let parse_class st : Cls.t =
+  let lno, toks = next st in
+  match toks with
+  | [ "class"; name; "extends"; super; "{" ] ->
+      let fields = ref [] and methods = ref [] in
+      let fin = ref false in
+      while not !fin do
+        (let lno, toks = next st in
+        match toks with
+        | [ "}" ] -> fin := true
+        | "field" :: rest -> (
+            let access, rest = parse_mods lno rest in
+            match rest with
+            | [ fname; desc ] ->
+                fields :=
+                  {
+                    Cls.fd_name = fname;
+                    fd_ty = parse_ty lno desc;
+                    fd_access = access;
+                  }
+                  :: !fields
+            | _ -> err lno "expected: field [mods] name descriptor")
+        | "method" :: rest -> (
+            let access, rest = parse_mods lno rest in
+            match rest with
+            | [ mname; desc; locals ] ->
+                (* native method: no body *)
+                methods :=
+                  {
+                    Cls.md_name = mname;
+                    md_sig = parse_msig lno desc;
+                    md_access = access;
+                    md_max_locals = parse_locals lno locals;
+                    md_code = None;
+                  }
+                  :: !methods
+            | [ mname; desc; locals; "{" ] ->
+                let code, _ = parse_code st in
+                methods :=
+                  {
+                    Cls.md_name = mname;
+                    md_sig = parse_msig lno desc;
+                    md_access = access;
+                    md_max_locals = parse_locals lno locals;
+                    md_code = Some code;
+                  }
+                  :: !methods
+            | _ -> err lno "expected: method [mods] name descriptor locals=N {")
+        | t :: _ -> err lno "unexpected %s in class body" t
+        | [] -> ())
+      done;
+      {
+        Cls.c_name = name;
+        c_super = super;
+        c_fields = List.rev !fields;
+        c_methods = List.rev !methods;
+      }
+  | _ -> err lno "expected: class Name extends Super {"
+
+let parse_program (src : string) : Cls.t list =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i l ->
+           (* '#' starts a comment line (';' is taken by descriptors) *)
+           let l = if String.trim l <> "" && (String.trim l).[0] = '#' then "" else l in
+           (i + 1, tokenize_line l (i + 1)))
+    |> List.filter (fun (_, toks) -> toks <> [])
+  in
+  let st = { lines = Array.of_list lines; k = 0 } in
+  let out = ref [] in
+  while peek st <> None do
+    out := parse_class st :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,154 @@
+(* The MiniJava bytecode instruction set.
+
+   This is a stack-based ISA in the style of JVM bytecode.  Field and method
+   references are *symbolic* (class name + member name + type): resolving
+   them to hard-coded offsets, JTOC slots and TIB indices is the job of the
+   JIT ([Jv_vm.Jit]), exactly as in Jikes RVM.  That split is load-bearing
+   for the paper's category-(2) "indirect method updates": compiled code
+   embeds offsets, bytecode does not. *)
+
+type field_ref = { f_class : string; f_name : string; f_ty : Types.ty }
+
+type method_ref = { m_class : string; m_name : string; m_sig : Types.msig }
+
+type binop = Add | Sub | Mul | Div | Rem
+
+type icmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(* Yield-point kinds.  The compiler inserts yield points on method entry and
+   loop back edges; method exit is an implicit yield point at [Return].
+   Yield points are the VM safe points at which threads stop for GC,
+   scheduling, and dynamic updates. *)
+type yield_kind = Y_entry | Y_backedge
+
+type t =
+  | Const_int of int
+  | Const_bool of bool
+  | Const_str of string
+  | Const_null
+  | Load of int (* local slot -> stack *)
+  | Store of int (* stack -> local slot *)
+  | Dup
+  | Pop
+  | Swap
+  | Binop of binop (* int, int -> int *)
+  | Neg (* int -> int *)
+  | Icmp of icmp (* int, int -> bool *)
+  | Bnot (* bool -> bool *)
+  | Acmp_eq (* ref, ref -> bool *)
+  | Acmp_ne
+  | If_true of int (* bool -> .; branch to absolute index *)
+  | If_false of int
+  | Goto of int
+  | Get_field of field_ref (* ref -> value *)
+  | Put_field of field_ref (* ref, value -> . *)
+  | Get_static of field_ref
+  | Put_static of field_ref
+  | Invoke_virtual of method_ref (* this, args... -> [ret] *)
+  | Invoke_static of method_ref
+  | Invoke_direct of method_ref (* constructors and private methods *)
+  | New_obj of string
+  | New_array of Types.ty (* length -> ref *)
+  | Array_load of Types.ty (* ref, idx -> value *)
+  | Array_store of Types.ty (* ref, idx, value -> . *)
+  | Array_len (* ref -> int *)
+  | Check_cast of Types.ty (* ref -> ref, traps on failure *)
+  | Instance_of of Types.ty (* ref -> bool *)
+  | Return
+  | Return_val
+  | Yield of yield_kind
+
+let field_ref_to_string { f_class; f_name; f_ty } =
+  Printf.sprintf "%s.%s:%s" f_class f_name (Types.descriptor f_ty)
+
+let method_ref_to_string { m_class; m_name; m_sig } =
+  Printf.sprintf "%s.%s%s" m_class m_name (Types.msig_descriptor m_sig)
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+
+let icmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let to_string = function
+  | Const_int i -> Printf.sprintf "const_int %d" i
+  | Const_bool b -> Printf.sprintf "const_bool %b" b
+  | Const_str s -> Printf.sprintf "const_str %S" s
+  | Const_null -> "const_null"
+  | Load i -> Printf.sprintf "load %d" i
+  | Store i -> Printf.sprintf "store %d" i
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Swap -> "swap"
+  | Binop b -> binop_to_string b
+  | Neg -> "neg"
+  | Icmp c -> Printf.sprintf "icmp_%s" (icmp_to_string c)
+  | Bnot -> "bnot"
+  | Acmp_eq -> "acmp_eq"
+  | Acmp_ne -> "acmp_ne"
+  | If_true l -> Printf.sprintf "if_true -> %d" l
+  | If_false l -> Printf.sprintf "if_false -> %d" l
+  | Goto l -> Printf.sprintf "goto -> %d" l
+  | Get_field f -> "getfield " ^ field_ref_to_string f
+  | Put_field f -> "putfield " ^ field_ref_to_string f
+  | Get_static f -> "getstatic " ^ field_ref_to_string f
+  | Put_static f -> "putstatic " ^ field_ref_to_string f
+  | Invoke_virtual m -> "invokevirtual " ^ method_ref_to_string m
+  | Invoke_static m -> "invokestatic " ^ method_ref_to_string m
+  | Invoke_direct m -> "invokedirect " ^ method_ref_to_string m
+  | New_obj c -> "new " ^ c
+  | New_array t -> "newarray " ^ Types.descriptor t
+  | Array_load t -> "aload " ^ Types.descriptor t
+  | Array_store t -> "astore " ^ Types.descriptor t
+  | Array_len -> "arraylength"
+  | Check_cast t -> "checkcast " ^ Types.to_string t
+  | Instance_of t -> "instanceof " ^ Types.to_string t
+  | Return -> "return"
+  | Return_val -> "return_val"
+  | Yield Y_entry -> "yield_entry"
+  | Yield Y_backedge -> "yield_backedge"
+
+let pp ppf i = Fmt.string ppf (to_string i)
+
+let equal (a : t) (b : t) = a = b
+
+(* Structural equality of two code arrays: the UPT's notion of "the bytecode
+   did not change". *)
+let equal_code (a : t array) (b : t array) =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec go i = i >= n || (equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(* All class names a single instruction refers to.  Used by the UPT to find
+   category-(2) indirect method updates: methods whose bytecode mentions an
+   updated class have stale compiled code (hard-coded offsets / TIB slots)
+   even when the bytecode itself is unchanged. *)
+let referenced_classes = function
+  | Get_field f | Put_field f | Get_static f | Put_static f ->
+      f.f_class :: Types.classes_of_ty [] f.f_ty
+  | Invoke_virtual m | Invoke_static m | Invoke_direct m ->
+      m.m_class :: Types.classes_of_msig m.m_sig
+  | New_obj c -> [ c ]
+  | New_array t | Array_load t | Array_store t | Check_cast t | Instance_of t
+    ->
+      Types.classes_of_ty [] t
+  | _ -> []
+
+let code_referenced_classes code =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      List.iter (fun c -> Hashtbl.replace tbl c ()) (referenced_classes i))
+    code;
+  Hashtbl.fold (fun c () acc -> c :: acc) tbl []

@@ -1,0 +1,438 @@
+(* Bytecode verifier: an abstract interpretation over the MiniJava bytecode
+   that type-checks every method body against the class table.
+
+   Jvolve's safety story (paper §1, §2.2) rests on two legs: (a) the bytecode
+   of an updated program verifies, so a self-consistent new version cannot
+   commit type errors, and (b) DSU safe points prevent old code from running
+   against new layouts.  This module is leg (a).
+
+   The verifier runs a standard dataflow fixpoint: for every instruction we
+   keep the abstract state (operand-stack types + local-variable types) on
+   entry, merge states at join points with a least-upper-bound, and check
+   each instruction's stack discipline, member resolution and access
+   rights.
+
+   [mode]:
+   - [Strict] is normal verification.
+   - [Transformer] corresponds to the paper's JastAdd extension (§2.3): the
+     Jvolve transformer class is allowed to ignore access modifiers and to
+     assign [final] fields, and the VM must accept such bytecode "in this
+     special circumstance". *)
+
+type mode = Strict | Transformer
+
+(* Abstract value types. *)
+type rty = R_null | R_class of string | R_array of Types.ty
+
+type vty = V_int | V_bool | V_ref of rty | V_uninit
+
+let vty_of_ty = function
+  | Types.TInt -> V_int
+  | Types.TBool -> V_bool
+  | Types.TRef c -> V_ref (R_class c)
+  | Types.TArray t -> V_ref (R_array t)
+  | Types.TVoid -> invalid_arg "vty_of_ty: void"
+
+let vty_to_string = function
+  | V_int -> "int"
+  | V_bool -> "boolean"
+  | V_ref R_null -> "null"
+  | V_ref (R_class c) -> c
+  | V_ref (R_array t) -> Types.to_string t ^ "[]"
+  | V_uninit -> "<uninit>"
+
+type state = { stack : vty list; locals : vty array }
+
+exception Verify_error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Verify_error s)) fmt
+
+(* Subtyping on abstract values.  Arrays are invariant in their element type
+   (MiniJava has no array covariance, so no store checks are needed) and are
+   subtypes of Object. *)
+let vty_subtype prog a b =
+  match (a, b) with
+  | V_int, V_int | V_bool, V_bool -> true
+  | V_ref R_null, V_ref _ -> true
+  | V_ref (R_class x), V_ref (R_class y) -> Cls.is_subclass prog ~sub:x ~super:y
+  | V_ref (R_array x), V_ref (R_array y) -> Types.equal_ty x y
+  | V_ref (R_array _), V_ref (R_class o) -> String.equal o Types.object_class
+  | _ -> false
+
+(* Least upper bound for merge points.  Incomparable scalar/ref mixes merge
+   to [V_uninit], which is fine as long as the slot is never read. *)
+let lub prog a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | V_ref R_null, (V_ref _ as r) | (V_ref _ as r), V_ref R_null -> r
+    | V_ref (R_class x), V_ref (R_class y) ->
+        (* walk x's ancestry for the nearest common superclass *)
+        let anc =
+          match Cls.find_class prog x with
+          | None -> [ Types.object_class ]
+          | Some c -> List.map (fun a -> a.Cls.c_name) (Cls.ancestry prog c [])
+        in
+        let rec first = function
+          | [] -> Types.object_class
+          | cand :: rest ->
+              if Cls.is_subclass prog ~sub:y ~super:cand then cand
+              else first rest
+        in
+        V_ref (R_class (first anc))
+    | V_ref (R_array x), V_ref (R_array y) when Types.equal_ty x y ->
+        V_ref (R_array x)
+    | V_ref _, V_ref _ -> V_ref (R_class Types.object_class)
+    | _ -> V_uninit
+
+let merge_states prog pc (a : state) (b : state) : state * bool =
+  if List.length a.stack <> List.length b.stack then
+    errf "pc %d: operand stack depth mismatch at merge (%d vs %d)" pc
+      (List.length a.stack) (List.length b.stack);
+  let changed = ref false in
+  let stack =
+    List.map2
+      (fun x y ->
+        let m = lub prog x y in
+        if m <> x then changed := true;
+        (if m = V_uninit then
+           (* a live stack slot may never be poisoned *)
+           errf "pc %d: incompatible stack types at merge (%s vs %s)" pc
+             (vty_to_string x) (vty_to_string y));
+        m)
+      a.stack b.stack
+  in
+  let locals =
+    Array.mapi
+      (fun i x ->
+        let m = lub prog x b.locals.(i) in
+        if m <> x then changed := true;
+        m)
+      a.locals
+  in
+  ({ stack; locals }, !changed)
+
+type ctx = {
+  prog : Cls.program;
+  mode : mode;
+  cls : Cls.t; (* class being verified *)
+  meth : Cls.meth;
+}
+
+let check_access ctx ~(member_vis : Access.visibility) ~declaring =
+  match ctx.mode with
+  | Transformer -> ()
+  | Strict ->
+      let same_class = String.equal ctx.cls.Cls.c_name declaring in
+      let same_hierarchy =
+        Cls.is_subclass ctx.prog ~sub:ctx.cls.Cls.c_name ~super:declaring
+      in
+      if not (Access.accessible member_vis ~same_class ~same_hierarchy) then
+        errf "illegal access to %s member of %s from %s"
+          (Access.visibility_to_string member_vis)
+          declaring ctx.cls.Cls.c_name
+
+let pop st pc =
+  match st.stack with
+  | [] -> errf "pc %d: pop from empty operand stack" pc
+  | v :: rest -> (v, { st with stack = rest })
+
+let pop_expect ctx st pc expected what =
+  let v, st = pop st pc in
+  if not (vty_subtype ctx.prog v expected) then
+    errf "pc %d: %s expects %s, found %s" pc what (vty_to_string expected)
+      (vty_to_string v);
+  st
+
+let pop_ref st pc what =
+  let v, st = pop st pc in
+  match v with
+  | V_ref r -> (r, st)
+  | _ -> errf "pc %d: %s expects a reference, found %s" pc what
+           (vty_to_string v)
+
+let push v st = { st with stack = v :: st.stack }
+
+let resolve_field ctx pc (f : Instr.field_ref) ~want_static =
+  match Cls.resolve_field ctx.prog f.Instr.f_class f.Instr.f_name with
+  | None -> errf "pc %d: unresolved field %s" pc (Instr.field_ref_to_string f)
+  | Some (decl, fd) ->
+      if not (Types.equal_ty fd.Cls.fd_ty f.Instr.f_ty) then
+        errf "pc %d: field %s has type %s, reference says %s" pc
+          (Instr.field_ref_to_string f)
+          (Types.to_string fd.Cls.fd_ty)
+          (Types.to_string f.Instr.f_ty);
+      if fd.Cls.fd_access.Access.is_static <> want_static then
+        errf "pc %d: field %s static-ness mismatch" pc
+          (Instr.field_ref_to_string f);
+      check_access ctx ~member_vis:fd.Cls.fd_access.Access.visibility
+        ~declaring:decl.Cls.c_name;
+      (decl, fd)
+
+let check_final_store ctx pc (decl : Cls.t) (fd : Cls.field) =
+  if fd.Cls.fd_access.Access.is_final && ctx.mode = Strict then
+    (* final instance fields may only be written in a constructor of the
+       declaring class; final statics only in its <clinit>. *)
+    let inside_init =
+      String.equal ctx.cls.Cls.c_name decl.Cls.c_name
+      &&
+      if fd.Cls.fd_access.Access.is_static then
+        String.equal ctx.meth.Cls.md_name Cls.clinit_name
+      else String.equal ctx.meth.Cls.md_name Cls.ctor_name
+    in
+    if not inside_init then
+      errf "pc %d: assignment to final field %s.%s" pc decl.Cls.c_name
+        fd.Cls.fd_name
+
+let resolve_method ctx pc (m : Instr.method_ref) ~want_static =
+  match Cls.resolve_method ctx.prog m.Instr.m_class m.Instr.m_name m.Instr.m_sig
+  with
+  | None ->
+      errf "pc %d: unresolved method %s" pc (Instr.method_ref_to_string m)
+  | Some (decl, md) ->
+      if md.Cls.md_access.Access.is_static <> want_static then
+        errf "pc %d: method %s static-ness mismatch" pc
+          (Instr.method_ref_to_string m);
+      check_access ctx ~member_vis:md.Cls.md_access.Access.visibility
+        ~declaring:decl.Cls.c_name;
+      (decl, md)
+
+(* Pop arguments right-to-left, checking each against the declared type. *)
+let pop_args ctx st pc (msig : Types.msig) what =
+  List.fold_left
+    (fun st ty -> pop_expect ctx st pc (vty_of_ty ty) what)
+    st
+    (List.rev msig.Types.params)
+
+let transfer ctx pc (ins : Instr.t) (st : state) :
+    [ `Next of state | `Jump of (int * state) list | `Stop ] =
+  let prog = ctx.prog in
+  match ins with
+  | Const_int _ -> `Next (push V_int st)
+  | Const_bool _ -> `Next (push V_bool st)
+  | Const_str _ -> `Next (push (V_ref (R_class Types.string_class)) st)
+  | Const_null -> `Next (push (V_ref R_null) st)
+  | Load i ->
+      if i < 0 || i >= Array.length st.locals then
+        errf "pc %d: local %d out of range" pc i;
+      let v = st.locals.(i) in
+      if v = V_uninit then errf "pc %d: load of uninitialized local %d" pc i;
+      `Next (push v st)
+  | Store i ->
+      if i < 0 || i >= Array.length st.locals then
+        errf "pc %d: local %d out of range" pc i;
+      let v, st = pop st pc in
+      if v = V_uninit then errf "pc %d: store of uninitialized value" pc;
+      let locals = Array.copy st.locals in
+      locals.(i) <- v;
+      `Next { st with locals }
+  | Dup ->
+      let v, _ = pop st pc in
+      `Next (push v st)
+  | Pop ->
+      let _, st = pop st pc in
+      `Next st
+  | Swap ->
+      let a, st' = pop st pc in
+      let b, st'' = pop st' pc in
+      `Next (push b (push a st''))
+  | Binop _ ->
+      let st = pop_expect ctx st pc V_int "binop" in
+      let st = pop_expect ctx st pc V_int "binop" in
+      `Next (push V_int st)
+  | Neg ->
+      let st = pop_expect ctx st pc V_int "neg" in
+      `Next (push V_int st)
+  | Icmp _ ->
+      let st = pop_expect ctx st pc V_int "icmp" in
+      let st = pop_expect ctx st pc V_int "icmp" in
+      `Next (push V_bool st)
+  | Bnot ->
+      let st = pop_expect ctx st pc V_bool "bnot" in
+      `Next (push V_bool st)
+  | Acmp_eq | Acmp_ne ->
+      let _, st = pop_ref st pc "acmp" in
+      let _, st = pop_ref st pc "acmp" in
+      `Next (push V_bool st)
+  | If_true target | If_false target ->
+      let st = pop_expect ctx st pc V_bool "conditional branch" in
+      `Jump [ (target, st); (pc + 1, st) ]
+  | Goto target -> `Jump [ (target, st) ]
+  | Get_field f ->
+      let _decl, fd = resolve_field ctx pc f ~want_static:false in
+      let st =
+        pop_expect ctx st pc (V_ref (R_class f.Instr.f_class)) "getfield"
+      in
+      `Next (push (vty_of_ty fd.Cls.fd_ty) st)
+  | Put_field f ->
+      let decl, fd = resolve_field ctx pc f ~want_static:false in
+      check_final_store ctx pc decl fd;
+      let st = pop_expect ctx st pc (vty_of_ty fd.Cls.fd_ty) "putfield" in
+      let st =
+        pop_expect ctx st pc (V_ref (R_class f.Instr.f_class)) "putfield"
+      in
+      `Next st
+  | Get_static f ->
+      let _decl, fd = resolve_field ctx pc f ~want_static:true in
+      `Next (push (vty_of_ty fd.Cls.fd_ty) st)
+  | Put_static f ->
+      let decl, fd = resolve_field ctx pc f ~want_static:true in
+      check_final_store ctx pc decl fd;
+      let st = pop_expect ctx st pc (vty_of_ty fd.Cls.fd_ty) "putstatic" in
+      `Next st
+  | Invoke_virtual m ->
+      let _decl, md = resolve_method ctx pc m ~want_static:false in
+      let st = pop_args ctx st pc m.Instr.m_sig "invokevirtual arg" in
+      let st =
+        pop_expect ctx st pc
+          (V_ref (R_class m.Instr.m_class))
+          "invokevirtual receiver"
+      in
+      `Next
+        (match md.Cls.md_sig.Types.ret with
+        | Types.TVoid -> st
+        | t -> push (vty_of_ty t) st)
+  | Invoke_direct m ->
+      let _decl, md = resolve_method ctx pc m ~want_static:false in
+      let st = pop_args ctx st pc m.Instr.m_sig "invokedirect arg" in
+      let st =
+        pop_expect ctx st pc
+          (V_ref (R_class m.Instr.m_class))
+          "invokedirect receiver"
+      in
+      `Next
+        (match md.Cls.md_sig.Types.ret with
+        | Types.TVoid -> st
+        | t -> push (vty_of_ty t) st)
+  | Invoke_static m ->
+      let _decl, md = resolve_method ctx pc m ~want_static:true in
+      let st = pop_args ctx st pc m.Instr.m_sig "invokestatic arg" in
+      `Next
+        (match md.Cls.md_sig.Types.ret with
+        | Types.TVoid -> st
+        | t -> push (vty_of_ty t) st)
+  | New_obj c ->
+      if Cls.find_class prog c = None then errf "pc %d: new of unknown class %s" pc c;
+      `Next (push (V_ref (R_class c)) st)
+  | New_array t ->
+      let st = pop_expect ctx st pc V_int "newarray length" in
+      `Next (push (V_ref (R_array t)) st)
+  | Array_load t ->
+      let st = pop_expect ctx st pc V_int "array index" in
+      let st = pop_expect ctx st pc (V_ref (R_array t)) "array load" in
+      `Next (push (vty_of_ty t) st)
+  | Array_store t ->
+      let st = pop_expect ctx st pc (vty_of_ty t) "array store value" in
+      let st = pop_expect ctx st pc V_int "array index" in
+      let st = pop_expect ctx st pc (V_ref (R_array t)) "array store" in
+      `Next st
+  | Array_len ->
+      let r, st = pop_ref st pc "arraylength" in
+      (match r with
+      | R_array _ | R_null -> ()
+      | R_class c -> errf "pc %d: arraylength on non-array %s" pc c);
+      `Next (push V_int st)
+  | Check_cast t ->
+      if not (Types.is_reference t) then
+        errf "pc %d: checkcast to non-reference type" pc;
+      (match t with
+      | Types.TRef c when Cls.find_class prog c = None ->
+          errf "pc %d: checkcast to unknown class %s" pc c
+      | _ -> ());
+      let _, st = pop_ref st pc "checkcast" in
+      `Next (push (vty_of_ty t) st)
+  | Instance_of t ->
+      if not (Types.is_reference t) then
+        errf "pc %d: instanceof non-reference type" pc;
+      let _, st = pop_ref st pc "instanceof" in
+      `Next (push V_bool st)
+  | Return ->
+      if not (Types.equal_ty ctx.meth.Cls.md_sig.Types.ret Types.TVoid) then
+        errf "pc %d: void return from non-void method" pc;
+      `Stop
+  | Return_val ->
+      let ret = ctx.meth.Cls.md_sig.Types.ret in
+      if Types.equal_ty ret Types.TVoid then
+        errf "pc %d: value return from void method" pc;
+      let _ = pop_expect ctx st pc (vty_of_ty ret) "return value" in
+      `Stop
+  | Yield _ -> `Next st
+
+(* Verify one method body.  Raises [Verify_error]. *)
+let verify_method ?(mode = Strict) (prog : Cls.program) (cls : Cls.t)
+    (meth : Cls.meth) : unit =
+  match meth.Cls.md_code with
+  | None -> () (* native *)
+  | Some code ->
+      let ctx = { prog; mode; cls; meth } in
+      let n = Array.length code in
+      if n = 0 then errf "method %s.%s: empty code" cls.Cls.c_name
+          meth.Cls.md_name;
+      (* entry state: [this] (unless static) then parameters *)
+      let locals = Array.make meth.Cls.md_max_locals V_uninit in
+      let slot = ref 0 in
+      if not meth.Cls.md_access.Access.is_static then begin
+        if meth.Cls.md_max_locals < 1 then
+          errf "method %s.%s: max_locals too small for [this]" cls.Cls.c_name
+            meth.Cls.md_name;
+        locals.(0) <- V_ref (R_class cls.Cls.c_name);
+        incr slot
+      end;
+      List.iter
+        (fun ty ->
+          if !slot >= meth.Cls.md_max_locals then
+            errf "method %s.%s: max_locals too small for parameters"
+              cls.Cls.c_name meth.Cls.md_name;
+          locals.(!slot) <- vty_of_ty ty;
+          incr slot)
+        meth.Cls.md_sig.Types.params;
+      let entry = { stack = []; locals } in
+      let states : state option array = Array.make n None in
+      states.(0) <- Some entry;
+      let work = Queue.create () in
+      Queue.add 0 work;
+      let record pc st =
+        if pc < 0 || pc >= n then errf "branch target %d out of range" pc;
+        match states.(pc) with
+        | None ->
+            states.(pc) <- Some st;
+            Queue.add pc work
+        | Some old ->
+            let merged, changed = merge_states prog pc old st in
+            if changed then begin
+              states.(pc) <- Some merged;
+              Queue.add pc work
+            end
+      in
+      while not (Queue.is_empty work) do
+        let pc = Queue.pop work in
+        match states.(pc) with
+        | None -> assert false
+        | Some st -> (
+            match transfer ctx pc code.(pc) st with
+            | `Next st' ->
+                if pc + 1 >= n then
+                  errf "pc %d: control falls off the end of %s.%s" pc
+                    cls.Cls.c_name meth.Cls.md_name;
+                record (pc + 1) st'
+            | `Jump targets -> List.iter (fun (t, s) -> record t s) targets
+            | `Stop -> ())
+      done
+
+(* Verify a whole class / program; collects error messages. *)
+let verify_class ?(mode = Strict) prog cls : string list =
+  List.filter_map
+    (fun m ->
+      try
+        verify_method ~mode prog cls m;
+        None
+      with Verify_error e ->
+        Some (Printf.sprintf "%s.%s: %s" cls.Cls.c_name m.Cls.md_name e))
+    cls.Cls.c_methods
+
+let verify_program ?(mode = Strict) (prog : Cls.program) : string list =
+  let wf = Cls.well_formed prog in
+  if wf <> [] then wf
+  else
+    Cls.program_to_list prog
+    |> List.concat_map (fun c -> verify_class ~mode prog c)

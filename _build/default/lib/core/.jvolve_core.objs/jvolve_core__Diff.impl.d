@@ -1,0 +1,1 @@
+lib/core/diff.ml: Hashtbl Jv_classfile List Printf String

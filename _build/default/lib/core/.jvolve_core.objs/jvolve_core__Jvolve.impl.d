@@ -1,0 +1,1 @@
+lib/core/jvolve.ml: Jv_vm Printf Safepoint Spec Transformers Unix Updater

@@ -1,0 +1,1 @@
+lib/core/jvolve.mli: Jv_vm Safepoint Spec Transformers Updater

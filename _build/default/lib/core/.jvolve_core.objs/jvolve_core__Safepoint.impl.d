@@ -1,0 +1,1 @@
+lib/core/safepoint.ml: Array Diff Int Jv_vm List Printf Set Spec String

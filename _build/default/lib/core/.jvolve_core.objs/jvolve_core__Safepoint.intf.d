@@ -1,0 +1,1 @@
+lib/core/safepoint.mli: Diff Jv_vm Set Spec

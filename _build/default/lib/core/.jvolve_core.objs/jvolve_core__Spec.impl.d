@@ -1,0 +1,1 @@
+lib/core/spec.ml: Diff Jv_classfile Printf String

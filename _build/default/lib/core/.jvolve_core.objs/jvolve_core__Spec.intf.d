@@ -1,0 +1,1 @@
+lib/core/spec.mli: Diff Jv_classfile

@@ -1,0 +1,1 @@
+lib/core/transformers.ml: Buffer Diff Jv_classfile Jv_lang List Option Printf Spec String

@@ -1,0 +1,1 @@
+lib/core/transformers.mli: Jv_classfile Spec

@@ -1,0 +1,1 @@
+lib/core/updater.ml: Array Diff Hashtbl Jv_classfile Jv_vm List Option Printf Safepoint Seq Spec String Transformers Unix

@@ -1,0 +1,1 @@
+lib/core/updater.mli: Jv_vm Safepoint Spec Transformers

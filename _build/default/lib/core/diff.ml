@@ -1,0 +1,276 @@
+(* The Update Preparation Tool (UPT), part 1: diffing two program versions.
+
+   Mirrors the paper's §3.1: changes are grouped into
+   - *class updates*: the class signature changed (fields or methods added,
+     deleted, or with changed types/modifiers),
+   - *method body updates*: only a method's implementation changed,
+   - *indirect method updates*: methods whose bytecode is unchanged but
+     which refer to updated classes, so their compiled code (hard-coded
+     offsets, TIB slots) is stale.
+
+   The diff also carries the per-release statistics reported in the paper's
+   Tables 2-4. *)
+
+module CF = Jv_classfile
+
+type mref = { r_class : string; r_name : string; r_sig : CF.Types.msig }
+
+let mref_to_string r =
+  Printf.sprintf "%s.%s%s" r.r_class r.r_name
+    (CF.Types.msig_descriptor r.r_sig)
+
+(* Per-release change statistics (one row of Tables 2/3/4). *)
+type stats = {
+  s_classes_added : int;
+  s_classes_deleted : int;
+  s_classes_changed : int;
+  s_methods_added : int;
+  s_methods_deleted : int;
+  s_methods_changed_body : int; (* the "x" of the paper's "x/y" column *)
+  s_methods_changed_sig : int; (* the "y" *)
+  s_fields_added : int;
+  s_fields_deleted : int;
+}
+
+let empty_stats =
+  {
+    s_classes_added = 0;
+    s_classes_deleted = 0;
+    s_classes_changed = 0;
+    s_methods_added = 0;
+    s_methods_deleted = 0;
+    s_methods_changed_body = 0;
+    s_methods_changed_sig = 0;
+    s_fields_added = 0;
+    s_fields_deleted = 0;
+  }
+
+type t = {
+  added_classes : string list;
+  deleted_classes : string list;
+  class_updates : string list; (* direct signature changes *)
+  class_updates_closure : string list;
+      (* class updates plus every (new-program) subclass of one: their
+         instance layout changes too, so their objects must be transformed *)
+  body_updates : mref list;
+  indirect_methods : mref list;
+  super_changes : string list; (* unsupported by Jvolve *)
+  stats : stats;
+}
+
+let is_class_update d name = List.mem name d.class_updates_closure
+
+(* field sets compared by (name, type, modifiers) *)
+let field_key (f : CF.Cls.field) =
+  (f.CF.Cls.fd_name, CF.Types.descriptor f.CF.Cls.fd_ty,
+   CF.Access.to_string f.CF.Cls.fd_access)
+
+let meth_header_key (m : CF.Cls.meth) =
+  (m.CF.Cls.md_name, CF.Types.msig_descriptor m.CF.Cls.md_sig,
+   CF.Access.to_string m.CF.Cls.md_access)
+
+let diff_class (oldc : CF.Cls.t) (newc : CF.Cls.t) =
+  let old_fields = List.map field_key oldc.CF.Cls.c_fields in
+  let new_fields = List.map field_key newc.CF.Cls.c_fields in
+  let fields_added =
+    List.filter (fun k -> not (List.mem k old_fields)) new_fields
+  in
+  let fields_deleted =
+    List.filter (fun k -> not (List.mem k new_fields)) old_fields
+  in
+  let old_meths = List.map meth_header_key oldc.CF.Cls.c_methods in
+  let new_meths = List.map meth_header_key newc.CF.Cls.c_methods in
+  let meths_added =
+    List.filter (fun k -> not (List.mem k old_meths)) new_meths
+  in
+  let meths_deleted =
+    List.filter (fun k -> not (List.mem k new_meths)) old_meths
+  in
+  (* a method whose (name, arity-shape) persists but whose signature changed
+     shows up as one add + one delete; pair them up as signature changes,
+     matching how the paper reports "x/y" *)
+  let name_of (n, _, _) = n in
+  let sig_changed =
+    List.filter
+      (fun k -> List.exists (fun k' -> name_of k' = name_of k) meths_deleted)
+      meths_added
+  in
+  let body_changed =
+    List.filter_map
+      (fun (m : CF.Cls.meth) ->
+        match CF.Cls.find_method newc m.CF.Cls.md_name m.CF.Cls.md_sig with
+        | Some m' when CF.Access.equal m.CF.Cls.md_access m'.CF.Cls.md_access
+          ->
+            if CF.Cls.equal_meth_code m m' then None
+            else Some (m.CF.Cls.md_name, m.CF.Cls.md_sig)
+        | _ -> None)
+      oldc.CF.Cls.c_methods
+  in
+  let super_changed = not (String.equal oldc.CF.Cls.c_super newc.CF.Cls.c_super) in
+  let signature_changed =
+    fields_added <> [] || fields_deleted <> [] || meths_added <> []
+    || meths_deleted <> [] || super_changed
+  in
+  ( signature_changed,
+    super_changed,
+    body_changed,
+    List.length fields_added,
+    List.length fields_deleted,
+    List.length meths_added - List.length sig_changed,
+    List.length meths_deleted - List.length sig_changed,
+    List.length sig_changed )
+
+let subclasses_closure (newp : CF.Cls.program) (seeds : string list) :
+    string list =
+  let result = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace result s ()) seeds;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun _ (c : CF.Cls.t) ->
+        if
+          (not (Hashtbl.mem result c.CF.Cls.c_name))
+          && Hashtbl.mem result c.CF.Cls.c_super
+          && not (String.equal c.CF.Cls.c_name CF.Types.object_class)
+        then begin
+          Hashtbl.replace result c.CF.Cls.c_name ();
+          changed := true
+        end)
+      newp
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) result [] |> List.sort compare
+
+(* Which of a program's methods reference any class in [targets]?  Includes
+   references through field/method types in signatures. *)
+let methods_referencing (prog : CF.Cls.program) (targets : string list) :
+    mref list =
+  let tgt = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace tgt c ()) targets;
+  CF.Cls.program_to_list prog
+  |> List.concat_map (fun (c : CF.Cls.t) ->
+         List.filter_map
+           (fun (m : CF.Cls.meth) ->
+             match m.CF.Cls.md_code with
+             | None -> None
+             | Some code ->
+                 if
+                   List.exists (Hashtbl.mem tgt)
+                     (CF.Instr.code_referenced_classes code)
+                 then
+                   Some
+                     {
+                       r_class = c.CF.Cls.c_name;
+                       r_name = m.CF.Cls.md_name;
+                       r_sig = m.CF.Cls.md_sig;
+                     }
+                 else None)
+           c.CF.Cls.c_methods)
+
+let compute ~(old_program : CF.Cls.t list) ~(new_program : CF.Cls.t list) : t =
+  let oldp = CF.Cls.program_of_list old_program in
+  let newp = CF.Cls.program_of_list new_program in
+  let old_names = List.map (fun c -> c.CF.Cls.c_name) old_program in
+  let new_names = List.map (fun c -> c.CF.Cls.c_name) new_program in
+  let added = List.filter (fun n -> not (List.mem n old_names)) new_names in
+  let deleted = List.filter (fun n -> not (List.mem n new_names)) old_names in
+  let stats = ref { empty_stats with
+                    s_classes_added = List.length added;
+                    s_classes_deleted = List.length deleted } in
+  let class_updates = ref [] in
+  let super_changes = ref [] in
+  let body_updates = ref [] in
+  List.iter
+    (fun oldc ->
+      match CF.Cls.find_class newp oldc.CF.Cls.c_name with
+      | None -> ()
+      | Some newc ->
+          let ( sig_changed,
+                super_changed,
+                body_changed,
+                fa,
+                fd,
+                ma,
+                md,
+                msig ) =
+            diff_class oldc newc
+          in
+          if sig_changed || body_changed <> [] then
+            stats :=
+              { !stats with s_classes_changed = !stats.s_classes_changed + 1 };
+          stats :=
+            {
+              !stats with
+              s_fields_added = !stats.s_fields_added + fa;
+              s_fields_deleted = !stats.s_fields_deleted + fd;
+              s_methods_added = !stats.s_methods_added + ma;
+              s_methods_deleted = !stats.s_methods_deleted + md;
+              s_methods_changed_sig = !stats.s_methods_changed_sig + msig;
+              s_methods_changed_body =
+                !stats.s_methods_changed_body + List.length body_changed;
+            };
+          if super_changed then
+            super_changes := oldc.CF.Cls.c_name :: !super_changes;
+          if sig_changed then
+            class_updates := oldc.CF.Cls.c_name :: !class_updates
+          else
+            body_updates :=
+              List.map
+                (fun (n, s) ->
+                  { r_class = oldc.CF.Cls.c_name; r_name = n; r_sig = s })
+                body_changed
+              @ !body_updates)
+    old_program;
+  let class_updates = List.rev !class_updates in
+  (* layout changes propagate to every subclass that survives into the new
+     program (paper §2.2: hierarchy-level changes "propagate correctly to
+     the class's descendants") *)
+  let closure =
+    subclasses_closure newp class_updates
+    |> List.filter (fun n -> List.mem n old_names) (* must exist in old *)
+  in
+  (* indirect updates: unchanged-bytecode methods in the OLD program that
+     mention an updated (or deleted) class; exclude methods that are
+     themselves updated *)
+  let updated_or_deleted = closure @ deleted in
+  let changed_method r =
+    List.mem r.r_class closure
+    || List.exists
+         (fun b ->
+           String.equal b.r_class r.r_class
+           && String.equal b.r_name r.r_name
+           && CF.Types.equal_msig b.r_sig r.r_sig)
+         !body_updates
+  in
+  let indirect =
+    methods_referencing oldp updated_or_deleted
+    |> List.filter (fun r -> not (changed_method r))
+  in
+  {
+    added_classes = added;
+    deleted_classes = deleted;
+    class_updates;
+    class_updates_closure = closure;
+    body_updates = List.rev !body_updates;
+    indirect_methods = indirect;
+    super_changes = List.rev !super_changes;
+    stats = !stats;
+  }
+
+(* Would a method-body-only DSU system (HotSwap / edit-and-continue) support
+   this update?  Paper §4: "previous systems with simple support for
+   updating method bodies would be able to handle only 9 of the 22
+   updates". *)
+let method_body_only_supported d =
+  d.added_classes = [] && d.deleted_classes = [] && d.class_updates = []
+  && d.super_changes = []
+
+let summary d =
+  Printf.sprintf
+    "classes +%d -%d ~%d | methods +%d -%d chg %d/%d | fields +%d -%d%s"
+    d.stats.s_classes_added d.stats.s_classes_deleted
+    d.stats.s_classes_changed d.stats.s_methods_added
+    d.stats.s_methods_deleted d.stats.s_methods_changed_body
+    d.stats.s_methods_changed_sig d.stats.s_fields_added
+    d.stats.s_fields_deleted
+    (if d.super_changes <> [] then " [super changes!]" else "")

@@ -1,0 +1,61 @@
+(** The Update Preparation Tool's diff engine (paper §3.1).
+
+    Compares two program versions and classifies every change the way
+    Jvolve's update model needs: {e class updates} (signature/layout
+    changes), {e method body updates}, and {e indirect method updates}
+    (category-2: unchanged bytecode whose compiled form hard-codes offsets
+    of an updated class).  Also produces the per-release statistics
+    reported in the paper's Tables 2-4. *)
+
+module CF = Jv_classfile
+
+(** A fully-qualified method reference. *)
+type mref = { r_class : string; r_name : string; r_sig : CF.Types.msig }
+
+val mref_to_string : mref -> string
+
+(** One row of the paper's per-release change tables. *)
+type stats = {
+  s_classes_added : int;
+  s_classes_deleted : int;
+  s_classes_changed : int;
+  s_methods_added : int;
+  s_methods_deleted : int;
+  s_methods_changed_body : int;  (** the "x" of the paper's "x/y" column *)
+  s_methods_changed_sig : int;  (** the "y" *)
+  s_fields_added : int;
+  s_fields_deleted : int;
+}
+
+val empty_stats : stats
+
+(** The complete classification of one release's changes. *)
+type t = {
+  added_classes : string list;
+  deleted_classes : string list;
+  class_updates : string list;  (** direct signature changes *)
+  class_updates_closure : string list;
+      (** class updates plus every surviving subclass of one: their
+          instance layout changes too, so their objects must also be
+          transformed (paper §2.2: hierarchy changes "propagate correctly
+          to the class's descendants") *)
+  body_updates : mref list;
+  indirect_methods : mref list;
+      (** category (2): bytecode unchanged, compiled code stale *)
+  super_changes : string list;  (** unsupported by Jvolve (paper §2.2) *)
+  stats : stats;
+}
+
+(** Is [name] in the layout-change closure of this diff? *)
+val is_class_update : t -> string -> bool
+
+(** Diff two versions given as complete class-file lists. *)
+val compute : old_program:CF.Cls.t list -> new_program:CF.Cls.t list -> t
+
+(** Could a method-body-only DSU system (HotSwap / edit-and-continue /
+    PROSE) express this update at all?  Paper §4: such systems support
+    only 9 of the 22 benchmark updates. *)
+val method_body_only_supported : t -> bool
+
+(** One-line human-readable change summary (the table row). *)
+val summary : t -> string

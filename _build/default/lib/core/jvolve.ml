@@ -1,0 +1,135 @@
+(* The Jvolve facade: the public API of the DSU system.
+
+   Usage, mirroring the paper's Figure 1 workflow:
+   {[
+     (* offline: the UPT *)
+     let spec = Jvolve.Spec.make ~version_tag:"131"
+                  ~old_program ~new_program () in
+     let prepared = Jvolve.Transformers.prepare spec in
+     (* online: signal the running VM *)
+     let handle = Jvolve.request vm prepared in
+     (* ... keep running the scheduler; poll [handle] ... *)
+   ]}
+
+   [request] installs the DSU attempt hook; the scheduler invokes it at
+   safe points (every round, and immediately when a return barrier fires).
+   Each attempt re-checks the stacks; if restricted methods are on stack it
+   installs return barriers and waits, up to a timeout, after which the
+   update aborts (paper: 15 seconds, configurable). *)
+
+module State = Jv_vm.State
+
+type outcome =
+  | Pending
+  | Applied of Updater.timings
+  | Aborted of string
+
+type handle = {
+  h_prepared : Transformers.prepared;
+  h_restricted : Safepoint.restricted;
+  h_requested_at : int; (* tick *)
+  h_deadline : int; (* tick *)
+  h_use_osr : bool; (* ablation: lift category-2 frames by OSR *)
+  h_use_barriers : bool; (* ablation: install return barriers *)
+  mutable h_outcome : outcome;
+  mutable h_attempts : int;
+  mutable h_barriers_installed : int;
+  mutable h_blockers : string; (* last observed blocking methods *)
+  mutable h_sync_ms : float; (* stack-scan time of the successful attempt *)
+}
+
+exception Busy
+
+let default_timeout_rounds = 1500
+
+let finish vm h outcome =
+  h.h_outcome <- outcome;
+  Safepoint.clear_barriers vm;
+  Safepoint.release_parked vm;
+  vm.State.dsu_attempt <- None
+
+let attempt h vm =
+  match h.h_outcome with
+  | Applied _ | Aborted _ -> vm.State.dsu_attempt <- None
+  | Pending -> (
+      h.h_attempts <- h.h_attempts + 1;
+      let t0 = Unix.gettimeofday () in
+      match Safepoint.check ~allow_osr:h.h_use_osr vm h.h_restricted with
+      | Safepoint.Safe osr_frames -> (
+          h.h_sync_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
+          match
+            Updater.apply vm h.h_prepared ~restricted:h.h_restricted
+              ~osr_frames
+          with
+          | timings -> finish vm h (Applied timings)
+          | exception Updater.Update_error e -> finish vm h (Aborted e)
+          | exception Jv_vm.Interp.Sync_trap e ->
+              finish vm h (Aborted ("transformer trap: " ^ e))
+          | exception Jv_vm.Jit.Compile_error e ->
+              finish vm h (Aborted ("jit: " ^ e)))
+      | Safepoint.Blocked stuck ->
+          h.h_blockers <- Safepoint.describe_blockers vm stuck;
+          if vm.State.ticks > h.h_deadline then
+            finish vm h
+              (Aborted
+                 (Printf.sprintf
+                    "timeout: restricted methods still on stack (%s)"
+                    h.h_blockers))
+          else if h.h_use_barriers then begin
+            h.h_barriers_installed <-
+              h.h_barriers_installed + Safepoint.install_barriers stuck;
+            (* threads parked at a fired barrier that still have deeper
+               restricted frames must run on to clear them *)
+            Safepoint.unpark_stuck stuck
+          end)
+
+(* Signal the VM that an update is available.  The update is applied by the
+   scheduler at the next DSU safe point.  Raises [Busy] if another update
+   is already pending. *)
+let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
+    ?(use_barriers = true) vm (prepared : Transformers.prepared) : handle =
+  if vm.State.dsu_attempt <> None then raise Busy;
+  let h =
+    {
+      h_prepared = prepared;
+      h_restricted = Safepoint.compute vm prepared.Transformers.p_spec;
+      h_requested_at = vm.State.ticks;
+      h_deadline = vm.State.ticks + timeout_rounds;
+      h_use_osr = use_osr;
+      h_use_barriers = use_barriers;
+      h_outcome = Pending;
+      h_attempts = 0;
+      h_barriers_installed = 0;
+      h_blockers = "";
+      h_sync_ms = 0.0;
+    }
+  in
+  vm.State.dsu_attempt <- Some (attempt h);
+  h
+
+(* Convenience: prepare from a spec and request in one step. *)
+let request_spec ?timeout_rounds ?use_osr ?use_barriers vm (spec : Spec.t) :
+    handle =
+  request ?timeout_rounds ?use_osr ?use_barriers vm (Transformers.prepare spec)
+
+(* Convenience for tests and benchmarks: request the update and drive the
+   scheduler until it resolves (or [max_rounds] elapses). *)
+let update_now ?timeout_rounds ?use_osr ?use_barriers ?(max_rounds = 10_000)
+    vm spec : handle =
+  let h = request_spec ?timeout_rounds ?use_osr ?use_barriers vm spec in
+  let n = ref 0 in
+  while h.h_outcome = Pending && !n < max_rounds do
+    Jv_vm.Sched.round vm;
+    incr n
+  done;
+  h
+
+let outcome_to_string = function
+  | Pending -> "pending"
+  | Applied t ->
+      Printf.sprintf
+        "applied (load %.2fms, gc %.2fms, transform %.2fms, total %.2fms, \
+         %d objects transformed, %d OSRs)"
+        t.Updater.u_load_ms t.Updater.u_gc_ms t.Updater.u_transform_ms
+        t.Updater.u_total_ms t.Updater.u_transformed_objects t.Updater.u_osr
+  | Aborted e -> "aborted: " ^ e

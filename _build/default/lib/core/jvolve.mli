@@ -1,0 +1,75 @@
+(** The Jvolve facade: request a dynamic update on a running VM and let
+    the scheduler apply it at the next DSU safe point (paper Figure 1).
+
+    {[
+      let spec = Jvolve_core.Spec.make ~version_tag:"131"
+                   ~old_program ~new_program () in
+      let handle = Jvolve_core.Jvolve.update_now vm spec in
+      match handle.h_outcome with
+      | Applied timings -> ...
+      | Aborted reason -> ...
+      | Pending -> ...
+    ]} *)
+
+module State = Jv_vm.State
+
+type outcome =
+  | Pending
+  | Applied of Updater.timings
+  | Aborted of string
+      (** e.g. "timeout: restricted methods still on stack (...)" — the
+          paper's abort after 15 s (here a round budget) *)
+
+type handle = {
+  h_prepared : Transformers.prepared;
+  h_restricted : Safepoint.restricted;
+  h_requested_at : int;  (** tick at request time *)
+  h_deadline : int;  (** abort tick *)
+  h_use_osr : bool;  (** ablation: lift category-2 frames by OSR *)
+  h_use_barriers : bool;  (** ablation: install return barriers *)
+  mutable h_outcome : outcome;
+  mutable h_attempts : int;
+  mutable h_barriers_installed : int;
+  mutable h_blockers : string;  (** last observed blocking methods *)
+  mutable h_sync_ms : float;
+      (** stack-scan time of the successful attempt (paper: "less than a
+          millisecond") *)
+}
+
+exception Busy
+(** Raised when another update is already pending on this VM. *)
+
+val default_timeout_rounds : int
+
+val request :
+  ?timeout_rounds:int ->
+  ?use_osr:bool ->
+  ?use_barriers:bool ->
+  State.t ->
+  Transformers.prepared ->
+  handle
+(** Signal the VM: the scheduler will attempt the update at every safe
+    point (and immediately whenever a return barrier fires) until it
+    applies or times out. *)
+
+val request_spec :
+  ?timeout_rounds:int ->
+  ?use_osr:bool ->
+  ?use_barriers:bool ->
+  State.t ->
+  Spec.t ->
+  handle
+(** {!Transformers.prepare} + {!request}. *)
+
+val update_now :
+  ?timeout_rounds:int ->
+  ?use_osr:bool ->
+  ?use_barriers:bool ->
+  ?max_rounds:int ->
+  State.t ->
+  Spec.t ->
+  handle
+(** Convenience for tests and benchmarks: request, then drive the
+    scheduler until the update resolves (or [max_rounds] elapse). *)
+
+val outcome_to_string : outcome -> string

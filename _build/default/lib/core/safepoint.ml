@@ -1,0 +1,184 @@
+(* DSU safe points (paper §3.2).
+
+   A DSU safe point is a VM safe point at which no thread's stack contains
+   a *restricted* method.  Restricted methods are:
+
+   (1) methods whose bytecode the update changes — method-body updates,
+       every method of a class update, and every method of a deleted
+       class — plus opt-compiled methods that *inlined* one of those;
+   (2) methods whose bytecode is unchanged but whose compiled code is
+       stale because it hard-codes offsets of an updated class ("indirect
+       method updates") — these block only if opt-compiled: base-compiled
+       frames are lifted by OSR;
+   (3) methods the user blacklists for version consistency.
+
+   When restricted methods are on stack, Jvolve installs a return barrier
+   on the topmost restricted frame of each stuck thread and retries when it
+   fires. *)
+
+module IntSet = Set.Make (Int)
+module State = Jv_vm.State
+module Rt = Jv_vm.Rt
+module Machine = Jv_vm.Machine
+
+type restricted = {
+  changed : IntSet.t; (* categories (1) and (3) + inline callers: blocking *)
+  stale : IntSet.t; (* category (2): OSR-able when base-compiled *)
+}
+
+let resolve_mref vm (r : Diff.mref) : int option =
+  match Rt.find_class vm.State.reg r.Diff.r_class with
+  | None -> None
+  | Some rc -> (
+      match Rt.resolve_method vm.State.reg rc r.Diff.r_name r.Diff.r_sig with
+      | Some m -> Some m.Rt.uid
+      | None -> None)
+
+(* Resolve the restricted sets against current runtime metadata.  Must run
+   while the update's old classes are still installed under their original
+   names (i.e., at request time). *)
+let compute vm (spec : Spec.t) : restricted =
+  let changed = ref IntSet.empty in
+  let add_set setref uid = setref := IntSet.add uid !setref in
+  (* all methods of updated (closure) and deleted classes *)
+  List.iter
+    (fun cname ->
+      match Rt.find_class vm.State.reg cname with
+      | None -> ()
+      | Some rc ->
+          Array.iter (fun (m : Rt.rt_method) -> add_set changed m.Rt.uid)
+            rc.Rt.methods)
+    (spec.Spec.diff.Diff.class_updates_closure
+    @ spec.Spec.diff.Diff.deleted_classes);
+  (* method body updates *)
+  List.iter
+    (fun r ->
+      match resolve_mref vm r with
+      | Some uid -> add_set changed uid
+      | None -> ())
+    spec.Spec.diff.Diff.body_updates;
+  (* user blacklist: category (3) *)
+  List.iter
+    (fun r ->
+      match resolve_mref vm r with
+      | Some uid -> add_set changed uid
+      | None -> ())
+    spec.Spec.blacklist;
+  (* category (2) *)
+  let stale = ref IntSet.empty in
+  List.iter
+    (fun r ->
+      match resolve_mref vm r with
+      | Some uid -> add_set stale uid
+      | None -> ())
+    spec.Spec.diff.Diff.indirect_methods;
+  (* Inline callers: an opt-compiled method that inlined a restricted body
+     is running old code.  If the caller's own bytecode changed it is in
+     (1) already; otherwise it joins the *stale* set: its active frames
+     block unless OSR can replace them — base frames never inlined
+     anything, and with the opt-OSR extension an opt frame parked outside
+     its inline spans can be wholly replaced (discarding the stale inlined
+     copy), while a frame parked *inside* a span is caught by the span
+     check in [Jv_vm.Osr.eligible]. *)
+  let seed = IntSet.union !changed !stale in
+  Rt.iter_methods vm.State.reg (fun m ->
+      match m.Rt.opt_code with
+      | Some c
+        when List.exists (fun u -> IntSet.mem u seed) c.Machine.inlined
+             && not (IntSet.mem m.Rt.uid !changed) ->
+          add_set stale m.Rt.uid
+      | _ -> ());
+  { changed = !changed; stale = !stale }
+
+type check_result =
+  | Safe of State.frame list (* base-compiled category-(2) frames to OSR *)
+  | Blocked of (State.vthread * State.frame) list
+      (* per stuck thread, the topmost restricted frame (barrier site) *)
+
+(* Classify a frame.  [allow_osr:false] (an ablation mode) treats every
+   category-(2) frame as blocking, showing how much flexibility OSR buys.
+   [Jv_vm.Osr.eligible] admits base-compiled frames and — with the
+   [opt_osr] extension — opt-compiled frames parked outside inlined
+   regions. *)
+let frame_class vm ~allow_osr r (fr : State.frame) =
+  let uid = fr.State.f_method in
+  if IntSet.mem uid r.changed then `Blocking
+  else if IntSet.mem uid r.stale then
+    if allow_osr && Jv_vm.Osr.eligible vm fr then `Osr else `Blocking
+  else `Clear
+
+(* Check whether the stopped world is at a DSU safe point. *)
+let check ?(allow_osr = true) vm (r : restricted) : check_result =
+  let osr_frames = ref [] in
+  let stuck = ref [] in
+  List.iter
+    (fun (t : State.vthread) ->
+      (* walk from the top of the stack; remember the topmost restricted
+         frame in case we must install a barrier *)
+      let top_restricted = ref None in
+      let blocking = ref false in
+      List.iter
+        (fun fr ->
+          match frame_class vm ~allow_osr r fr with
+          | `Blocking ->
+              if !top_restricted = None then top_restricted := Some fr;
+              blocking := true
+          | `Osr ->
+              if !top_restricted = None then top_restricted := Some fr;
+              osr_frames := fr :: !osr_frames
+          | `Clear -> ())
+        t.State.frames;
+      if !blocking then
+        match !top_restricted with
+        | Some fr -> stuck := (t, fr) :: !stuck
+        | None -> assert false)
+    (State.live_threads vm);
+  if !stuck = [] then Safe !osr_frames else Blocked (List.rev !stuck)
+
+(* Install return barriers on the topmost restricted frames (paper: "the VM
+   installs return-barriers for (1) and (3)").  Returns how many new
+   barriers were installed. *)
+let install_barriers (stuck : (State.vthread * State.frame) list) : int =
+  List.fold_left
+    (fun acc (_, fr) ->
+      if fr.State.barrier then acc
+      else begin
+        fr.State.barrier <- true;
+        acc + 1
+      end)
+    0 stuck
+
+let clear_barriers vm =
+  List.iter
+    (fun (t : State.vthread) ->
+      List.iter (fun fr -> fr.State.barrier <- false) t.State.frames)
+    vm.State.threads
+
+(* Release every thread parked by a fired return barrier (when the update
+   resolves either way). *)
+let release_parked vm =
+  List.iter
+    (fun (t : State.vthread) ->
+      if t.State.tstate = State.T_blocked State.B_dsu then
+        t.State.tstate <- State.T_runnable)
+    vm.State.threads
+
+(* A thread that parked at a barrier but still has restricted frames deeper
+   in its stack must keep running (with a fresh barrier) to clear them. *)
+let unpark_stuck (stuck : (State.vthread * State.frame) list) =
+  List.iter
+    (fun ((t : State.vthread), _) ->
+      if t.State.tstate = State.T_blocked State.B_dsu then
+        t.State.tstate <- State.T_runnable)
+    stuck
+
+(* Human-readable description of what blocks the update (for abort
+   messages and the experience tables). *)
+let describe_blockers vm (stuck : (State.vthread * State.frame) list) :
+    string =
+  stuck
+  |> List.map (fun ((t : State.vthread), (fr : State.frame)) ->
+         let m = Rt.method_by_uid vm.State.reg fr.State.f_method in
+         let c = Rt.class_by_id vm.State.reg m.Rt.owner in
+         Printf.sprintf "thread %d: %s" t.State.tid (Rt.method_qname c m))
+  |> List.sort_uniq compare |> String.concat "; "

@@ -1,0 +1,53 @@
+(** DSU safe points (paper §3.2): a VM safe point at which no thread's
+    stack holds a restricted method. *)
+
+module IntSet : Set.S with type elt = int
+
+module State = Jv_vm.State
+
+(** The restricted sets, resolved to runtime method uids. *)
+type restricted = {
+  changed : IntSet.t;
+      (** categories (1) and (3): changed bytecode, methods of updated or
+          deleted classes, user blacklist — blocking wherever on stack *)
+  stale : IntSet.t;
+      (** category (2): unchanged bytecode with stale compiled code, plus
+          unchanged-bytecode inline callers of restricted methods —
+          blocking unless OSR can replace the frame *)
+}
+
+val resolve_mref : State.t -> Diff.mref -> int option
+
+val compute : State.t -> Spec.t -> restricted
+(** Resolve the spec's restricted methods against current metadata.  Must
+    run while the old classes are still installed under their original
+    names (i.e. at request time). *)
+
+type check_result =
+  | Safe of State.frame list
+      (** at a DSU safe point; the listed category-(2) frames must be
+          OSR'd as part of applying the update *)
+  | Blocked of (State.vthread * State.frame) list
+      (** per stuck thread, its topmost restricted frame (the return-
+          barrier installation site) *)
+
+val check : ?allow_osr:bool -> State.t -> restricted -> check_result
+(** Scan all live threads' stacks.  [allow_osr:false] is the ablation
+    mode that treats every category-(2) frame as blocking. *)
+
+val install_barriers : (State.vthread * State.frame) list -> int
+(** Install return barriers on the given frames; returns how many were
+    newly installed. *)
+
+val clear_barriers : State.t -> unit
+
+val release_parked : State.t -> unit
+(** Release every thread parked by a fired return barrier (called when
+    the update resolves either way). *)
+
+val unpark_stuck : (State.vthread * State.frame) list -> unit
+(** A thread that parked at a barrier but still has restricted frames
+    deeper in its stack must keep running (with a fresh barrier) to clear
+    them. *)
+
+val describe_blockers : State.t -> (State.vthread * State.frame) list -> string

@@ -1,0 +1,52 @@
+(* Update specifications: the artifact the UPT hands to the VM (paper §2.1,
+   Figure 1).  Identifies changed/added classes, carries the full new
+   program, the (possibly customized) transformer source, and the user's
+   blacklist of additionally-restricted methods (category 3). *)
+
+module CF = Jv_classfile
+
+type t = {
+  version_tag : string; (* prepended to old class names, e.g. "131" *)
+  diff : Diff.t;
+  old_program : CF.Cls.t list;
+  new_program : CF.Cls.t list;
+  transformer_src : string option; (* None = use generated defaults *)
+  (* custom method *bodies* spliced into the generated transformer class,
+     keyed by class name — the common way programmers customize the UPT
+     output (paper Figure 3) *)
+  object_overrides : (string * string) list;
+  class_overrides : (string * string) list;
+  blacklist : Diff.mref list;
+}
+
+let make ?(transformer_src = None) ?(object_overrides = [])
+    ?(class_overrides = []) ?(blacklist = []) ~version_tag ~old_program
+    ~new_program () =
+  {
+    version_tag;
+    diff = Diff.compute ~old_program ~new_program;
+    old_program;
+    new_program;
+    transformer_src;
+    object_overrides;
+    class_overrides;
+    blacklist;
+  }
+
+let old_class_name ~tag name = Printf.sprintf "v%s_%s" tag name
+
+(* A spec is structurally applicable if it stays within Jvolve's update
+   model.  Hierarchy permutations (changed superclass edges) are not
+   supported (paper §2.2). *)
+let unsupported_reason spec =
+  if spec.diff.Diff.super_changes <> [] then
+    Some
+      (Printf.sprintf "superclass changes are not supported (classes: %s)"
+         (String.concat ", " spec.diff.Diff.super_changes))
+  else None
+
+let changed_anything spec =
+  spec.diff.Diff.class_updates_closure <> []
+  || spec.diff.Diff.body_updates <> []
+  || spec.diff.Diff.added_classes <> []
+  || spec.diff.Diff.deleted_classes <> []

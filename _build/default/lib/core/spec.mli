@@ -1,0 +1,47 @@
+(** Update specifications: the artifact the UPT hands to the VM (paper
+    §2.1, Figure 1). *)
+
+module CF = Jv_classfile
+
+type t = {
+  version_tag : string;
+      (** prepended to superseded class names: tag "131" renames [User]
+          to [v131_User] *)
+  diff : Diff.t;
+  old_program : CF.Cls.t list;
+  new_program : CF.Cls.t list;
+  transformer_src : string option;
+      (** complete custom [JvolveTransformers] source; [None] uses the
+          UPT-generated defaults (possibly with overrides below) *)
+  object_overrides : (string * string) list;
+      (** per-class custom {e bodies} spliced into the generated
+          [jvolveObject] methods — how programmers customize the UPT
+          output (paper Figure 3) *)
+  class_overrides : (string * string) list;
+      (** same, for [jvolveClass] (static-state) transformers *)
+  blacklist : Diff.mref list;
+      (** user-restricted methods — category (3) of the DSU safe-point
+          condition, for version-consistency concerns (paper §3.2) *)
+}
+
+(** Build a spec, running the UPT diff. *)
+val make :
+  ?transformer_src:string option ->
+  ?object_overrides:(string * string) list ->
+  ?class_overrides:(string * string) list ->
+  ?blacklist:Diff.mref list ->
+  version_tag:string ->
+  old_program:CF.Cls.t list ->
+  new_program:CF.Cls.t list ->
+  unit ->
+  t
+
+(** [old_class_name ~tag "User"] is ["v<tag>_User"]. *)
+val old_class_name : tag:string -> string -> string
+
+(** [Some reason] if the update falls outside Jvolve's model (currently:
+    class-hierarchy permutations, paper §2.2). *)
+val unsupported_reason : t -> string option
+
+(** Does the spec change anything at all? *)
+val changed_anything : t -> bool

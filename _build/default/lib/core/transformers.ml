@@ -1,0 +1,167 @@
+(* The Update Preparation Tool, part 2: transformer generation and
+   compilation (paper §2.3).
+
+   For every class update the UPT emits
+   - an *old-class stub*, [v<tag>_Name], holding only the old version's
+     (flattened) instance fields — "all methods have been removed since the
+     updated program may not call them";
+   - a default class transformer [jvolveClass] (empty: unchanged statics
+     are carried over by the updater) and a default object transformer
+     [jvolveObject] that copies same-name same-type fields and leaves new
+     or changed fields at their default values.
+
+   The bundle compiles in the compiler's Transformer mode, which ignores
+   access modifiers and allows assignment to final fields — the paper's
+   JastAdd extension. *)
+
+module CF = Jv_classfile
+
+let transformer_class_name = "JvolveTransformers"
+
+(* Map an old-program type into the post-update namespace: types of updated
+   classes keep their (new) name — after the GC pass, old objects' fields
+   point to *transformed* objects; types of deleted classes are renamed to
+   their stub. *)
+let rec map_old_ty spec (t : CF.Types.ty) : CF.Types.ty =
+  match t with
+  | CF.Types.TRef c when List.mem c spec.Spec.diff.Diff.deleted_classes ->
+      CF.Types.TRef (Spec.old_class_name ~tag:spec.Spec.version_tag c)
+  | CF.Types.TArray e -> CF.Types.TArray (map_old_ty spec e)
+  | t -> t
+
+(* Flattened instance fields of a class in declaration (= layout) order,
+   superclass fields first: exactly the runtime object layout. *)
+let flattened_fields (prog : CF.Cls.program) (c : CF.Cls.t) :
+    CF.Cls.field list =
+  CF.Cls.ancestry prog c [] |> List.rev
+  |> List.concat_map (fun (a : CF.Cls.t) ->
+         List.filter
+           (fun (f : CF.Cls.field) -> not f.CF.Cls.fd_access.CF.Access.is_static)
+           a.CF.Cls.c_fields)
+
+(* The stub class file for an old class: fields only, extends Object.  The
+   field order matches the old runtime layout, which is what lets the JIT
+   resolve stub field references against the renamed old [rt_class]. *)
+let old_class_stub spec (oldp : CF.Cls.program) (c : CF.Cls.t) : CF.Cls.t =
+  {
+    CF.Cls.c_name = Spec.old_class_name ~tag:spec.Spec.version_tag c.CF.Cls.c_name;
+    c_super = CF.Types.object_class;
+    c_fields =
+      List.map
+        (fun (f : CF.Cls.field) ->
+          { f with CF.Cls.fd_ty = map_old_ty spec f.CF.Cls.fd_ty })
+        (flattened_fields oldp c);
+    c_methods = [];
+  }
+
+let stubs_for spec : CF.Cls.t list =
+  let oldp = CF.Cls.program_of_list spec.Spec.old_program in
+  spec.Spec.diff.Diff.class_updates_closure
+  @ spec.Spec.diff.Diff.deleted_classes
+  |> List.filter_map (fun name ->
+         Option.map (old_class_stub spec oldp) (CF.Cls.find_class oldp name))
+
+(* --- default transformer source ---------------------------------------- *)
+
+let default_object_body spec ~(cls : string) : string =
+  let oldp = CF.Cls.program_of_list spec.Spec.old_program in
+  let newp = CF.Cls.program_of_list spec.Spec.new_program in
+  match (CF.Cls.find_class oldp cls, CF.Cls.find_class newp cls) with
+  | Some oldc, Some newc ->
+      let old_fields =
+        List.map
+          (fun (f : CF.Cls.field) ->
+            (f.CF.Cls.fd_name, map_old_ty spec f.CF.Cls.fd_ty))
+          (flattened_fields oldp oldc)
+      in
+      flattened_fields newp newc
+      |> List.filter_map (fun (f : CF.Cls.field) ->
+             match List.assoc_opt f.CF.Cls.fd_name old_fields with
+             | Some oty when CF.Types.equal_ty oty f.CF.Cls.fd_ty ->
+                 Some
+                   (Printf.sprintf "    to.%s = from.%s;" f.CF.Cls.fd_name
+                      f.CF.Cls.fd_name)
+             | _ -> None (* new or changed field: keep the default value *))
+      |> String.concat "\n"
+  | _ -> ""
+
+let generate_source spec : string =
+  let tag = spec.Spec.version_tag in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "class %s {\n" transformer_class_name);
+  List.iter
+    (fun cls ->
+      let class_body =
+        match List.assoc_opt cls spec.Spec.class_overrides with
+        | Some body -> body
+        | None -> ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  static void jvolveClass(%s unused) {\n%s\n  }\n"
+           cls class_body);
+      let obj_body =
+        match List.assoc_opt cls spec.Spec.object_overrides with
+        | Some body -> body
+        | None -> default_object_body spec ~cls
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  static void jvolveObject(%s to, %s from) {\n%s\n  }\n" cls
+           (Spec.old_class_name ~tag cls)
+           obj_body))
+    spec.Spec.diff.Diff.class_updates_closure;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- compilation --------------------------------------------------------- *)
+
+type prepared = {
+  p_spec : Spec.t;
+  p_transformer : CF.Cls.t; (* the compiled JvolveTransformers class *)
+  p_stubs : CF.Cls.t list;
+  p_source : string;
+}
+
+exception Prepare_error of string
+
+let prepare (spec : Spec.t) : prepared =
+  (match Spec.unsupported_reason spec with
+  | Some r -> raise (Prepare_error r)
+  | None -> ());
+  (* the new program must verify on its own, strictly *)
+  (match
+     CF.Verifier.verify_program
+       (CF.Builtins.program_with spec.Spec.new_program)
+   with
+  | [] -> ()
+  | errs ->
+      raise
+        (Prepare_error
+           ("new program does not verify:\n  " ^ String.concat "\n  " errs)));
+  let stubs = stubs_for spec in
+  let src =
+    match spec.Spec.transformer_src with
+    | Some s -> s
+    | None -> generate_source spec
+  in
+  let extra = spec.Spec.new_program @ stubs in
+  let classes =
+    try Jv_lang.Compile.compile_program ~mode:Jv_lang.Compile.Transformer
+          ~extra src
+    with Jv_lang.Compile.Error e ->
+      raise (Prepare_error ("transformer compilation failed: " ^ e))
+  in
+  let transformer =
+    match
+      List.find_opt
+        (fun c -> String.equal c.CF.Cls.c_name transformer_class_name)
+        classes
+    with
+    | Some c -> c
+    | None ->
+        raise
+          (Prepare_error
+             ("transformer source does not define " ^ transformer_class_name))
+  in
+  { p_spec = spec; p_transformer = transformer; p_stubs = stubs; p_source = src }

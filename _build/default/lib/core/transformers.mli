@@ -1,0 +1,47 @@
+(** Transformer generation and compilation — part 2 of the UPT (paper
+    §2.3).
+
+    For every class update the UPT emits an {e old-class stub}
+    ([v<tag>_Name]: the old version's flattened instance fields, methods
+    stripped) and default transformers: [jvolveClass] (statics; empty by
+    default since unchanged statics carry over) and [jvolveObject]
+    (copies same-name same-type fields, leaves the rest at default
+    values).  The bundle compiles in the MiniJava compiler's Transformer
+    mode — the paper's JastAdd extension that ignores access modifiers
+    and permits assignment to final fields. *)
+
+module CF = Jv_classfile
+
+val transformer_class_name : string
+(** ["JvolveTransformers"]. *)
+
+val map_old_ty : Spec.t -> CF.Types.ty -> CF.Types.ty
+(** Map an old-program type into the post-update namespace: updated
+    classes keep their (new) name — after the transforming collection,
+    old objects' fields point to {e transformed} referents — while
+    deleted classes are renamed to their stubs. *)
+
+val stubs_for : Spec.t -> CF.Cls.t list
+(** Old-class stubs for every class in the update's layout closure and
+    every deleted class.  Field order matches the old runtime layout,
+    which is what lets the JIT resolve stub references against the
+    renamed old class metadata. *)
+
+val generate_source : Spec.t -> string
+(** The [JvolveTransformers] MiniJava source: defaults with the spec's
+    overrides spliced in. *)
+
+(** A compiled, ready-to-apply update bundle. *)
+type prepared = {
+  p_spec : Spec.t;
+  p_transformer : CF.Cls.t;  (** the compiled JvolveTransformers class *)
+  p_stubs : CF.Cls.t list;
+  p_source : string;  (** the transformer source actually compiled *)
+}
+
+exception Prepare_error of string
+
+val prepare : Spec.t -> prepared
+(** Verify the new program, generate (or accept) and compile the
+    transformer bundle.  Raises {!Prepare_error} for unsupported updates,
+    verification failures, or transformer compile errors. *)

@@ -1,0 +1,375 @@
+(* Applying an update once a DSU safe point is reached (paper §3.3-3.4):
+
+   1. rename superseded classes and strip their methods;
+   2. install the new class versions (and brand-new classes), carrying
+      over unchanged static fields;
+   3. swap updated method bodies in place and invalidate all compiled code
+      whose resolved offsets the update stales;
+   4. OSR the base-compiled category-(2) frames against the new metadata;
+   5. run a full-heap collection with the transform plan — every instance
+      of an updated class is replaced by a zeroed new-layout object, with
+      the old copy kept in the update log;
+   6. run class transformers, then object transformers over the log;
+   7. discard the transformer class and the log.
+
+   All of this happens with application threads stopped at safe points; the
+   log array is registered as a GC root so transformer-phase allocation
+   (which may trigger a nested plain collection) stays safe. *)
+
+module CF = Jv_classfile
+module State = Jv_vm.State
+module Rt = Jv_vm.Rt
+module Heap = Jv_vm.Heap
+module Value = Jv_vm.Value
+module Gc = Jv_vm.Gc
+module Interp = Jv_vm.Interp
+module Osr = Jv_vm.Osr
+module Classloader = Jv_vm.Classloader
+
+exception Update_error of string
+
+let uerr fmt = Printf.ksprintf (fun s -> raise (Update_error s)) fmt
+
+type timings = {
+  u_load_ms : float; (* class installation + body swaps + OSR *)
+  u_gc_ms : float;
+  u_transform_ms : float;
+  u_total_ms : float;
+  u_osr : int;
+  u_invalidated_methods : int;
+  u_transformed_objects : int;
+  u_copied_objects : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* --- step helpers ------------------------------------------------------- *)
+
+let rename_old_classes vm (spec : Spec.t) : (string * Rt.rt_class) list =
+  let tag = spec.Spec.version_tag in
+  List.filter_map
+    (fun name ->
+      match Rt.find_class vm.State.reg name with
+      | None -> None
+      | Some rc ->
+          Hashtbl.remove vm.State.reg.Rt.by_name name;
+          let stub_name = Spec.old_class_name ~tag name in
+          rc.Rt.name <- stub_name;
+          rc.Rt.valid <- false;
+          Hashtbl.replace vm.State.reg.Rt.by_name stub_name rc.Rt.cid;
+          Array.iter
+            (fun (m : Rt.rt_method) ->
+              m.Rt.m_valid <- false;
+              m.Rt.base_code <- None;
+              m.Rt.opt_code <- None)
+            rc.Rt.methods;
+          Some (name, rc))
+    (spec.Spec.diff.Diff.class_updates_closure
+    @ spec.Spec.diff.Diff.deleted_classes)
+
+let install_new_classes vm (spec : Spec.t) : (string * Rt.rt_class) list =
+  let wanted =
+    spec.Spec.diff.Diff.class_updates_closure
+    @ spec.Spec.diff.Diff.added_classes
+  in
+  let classfiles =
+    List.filter
+      (fun (c : CF.Cls.t) -> List.mem c.CF.Cls.c_name wanted)
+      spec.Spec.new_program
+  in
+  Classloader.install vm ~replace:true classfiles
+  |> List.map (fun (rc : Rt.rt_class) -> (rc.Rt.name, rc))
+
+(* Unchanged statics keep their values across the update; everything else
+   starts at its default and is the class transformer's job.  Superseded
+   classes' static slots are cleared so their referents can be
+   collected. *)
+let carry_over_statics vm (spec : Spec.t)
+    (olds : (string * Rt.rt_class) list) (news : (string * Rt.rt_class) list)
+    =
+  List.iter
+    (fun (name, (old_rc : Rt.rt_class)) ->
+      (match List.assoc_opt name news with
+      | None -> () (* deleted class *)
+      | Some new_rc ->
+          Array.iter
+            (fun (osi : Rt.static_info) ->
+              let mapped_ty = Transformers.map_old_ty spec osi.Rt.si_ty in
+              Array.iter
+                (fun (nsi : Rt.static_info) ->
+                  if
+                    String.equal osi.Rt.si_name nsi.Rt.si_name
+                    && CF.Types.equal_ty mapped_ty nsi.Rt.si_ty
+                  then
+                    State.jtoc_set vm nsi.Rt.si_slot
+                      (State.jtoc_get vm osi.Rt.si_slot))
+                new_rc.Rt.static_fields)
+            old_rc.Rt.static_fields);
+      (* clear the superseded slots *)
+      Array.iter
+        (fun (osi : Rt.static_info) -> State.jtoc_set vm osi.Rt.si_slot 0)
+        old_rc.Rt.static_fields)
+    olds
+
+let swap_method_bodies vm (spec : Spec.t) =
+  let newp = CF.Cls.program_of_list spec.Spec.new_program in
+  List.iter
+    (fun (r : Diff.mref) ->
+      match Rt.find_class vm.State.reg r.Diff.r_class with
+      | None -> uerr "body update: class %s not loaded" r.Diff.r_class
+      | Some rc -> (
+          let rm =
+            Array.to_seq rc.Rt.methods
+            |> Seq.find (fun (m : Rt.rt_method) ->
+                   String.equal m.Rt.m_name r.Diff.r_name
+                   && CF.Types.equal_msig m.Rt.m_sig r.Diff.r_sig)
+          in
+          match
+            ( rm,
+              Option.bind
+                (CF.Cls.find_class newp r.Diff.r_class)
+                (fun c -> CF.Cls.find_method c r.Diff.r_name r.Diff.r_sig) )
+          with
+          | Some rm, Some md ->
+              rm.Rt.bytecode <- md.CF.Cls.md_code;
+              rm.Rt.max_locals <- md.CF.Cls.md_max_locals;
+              rm.Rt.base_code <- None;
+              rm.Rt.opt_code <- None;
+              (* body updates invalidate execution profiles (paper §3.3) *)
+              rm.Rt.invocations <- 0
+          | _ -> uerr "body update: cannot resolve %s" (Diff.mref_to_string r)))
+    spec.Spec.diff.Diff.body_updates
+
+(* Invalidate compiled code with stale offsets: category (2) methods, plus
+   any opt code that inlined a method touched by the update. *)
+let invalidate_stale_code vm (r : Safepoint.restricted) : int =
+  let count = ref 0 in
+  Rt.iter_methods vm.State.reg (fun (m : Rt.rt_method) ->
+      let stale_direct = Safepoint.IntSet.mem m.Rt.uid r.Safepoint.stale in
+      let stale_inline =
+        match m.Rt.opt_code with
+        | Some c ->
+            List.exists
+              (fun u ->
+                Safepoint.IntSet.mem u r.Safepoint.stale
+                || Safepoint.IntSet.mem u r.Safepoint.changed)
+              c.Jv_vm.Machine.inlined
+        | None -> false
+      in
+      if stale_direct && (m.Rt.base_code <> None || m.Rt.opt_code <> None)
+      then begin
+        m.Rt.base_code <- None;
+        m.Rt.opt_code <- None;
+        incr count
+      end
+      else if stale_inline then begin
+        m.Rt.opt_code <- None;
+        incr count
+      end);
+  vm.State.reg.Rt.epoch <- vm.State.reg.Rt.epoch + 1;
+  !count
+
+(* --- transformer phase --------------------------------------------------- *)
+
+type transform_ctx = {
+  log : int array; (* flattened (old, new) pairs; registered as GC roots *)
+  n_pairs : int;
+  status : int array; (* 0 = pending, 1 = in progress, 2 = done *)
+  mutable index : (int, int) Hashtbl.t; (* new addr -> pair index *)
+  mutable index_gc_count : int;
+  transformer_rc : Rt.rt_class;
+  (* (new cid, old cid) -> jvolveObject method: the paper's suggested
+     "caching the lookup" optimization for the reflective dispatch *)
+  method_cache : (int * int, Rt.rt_method) Hashtbl.t;
+  carrier : State.vthread; (* reused for every transformer invocation *)
+}
+
+let build_index ctx vm =
+  let h = Hashtbl.create (max 16 ctx.n_pairs) in
+  for i = 0 to ctx.n_pairs - 1 do
+    Hashtbl.replace h (Value.to_ref ctx.log.((2 * i) + 1)) i
+  done;
+  ctx.index <- h;
+  ctx.index_gc_count <- vm.State.heap.Heap.gc_count
+
+let refresh_index ctx vm =
+  if vm.State.heap.Heap.gc_count <> ctx.index_gc_count then build_index ctx vm
+
+let find_transformer_method ctx ~name ~params =
+  Array.to_seq ctx.transformer_rc.Rt.methods
+  |> Seq.find (fun (m : Rt.rt_method) ->
+         String.equal m.Rt.m_name name
+         && List.length m.Rt.m_sig.CF.Types.params = List.length params
+         && List.for_all2 CF.Types.equal_ty m.Rt.m_sig.CF.Types.params params)
+
+let rec run_pair vm ctx i =
+  match ctx.status.(i) with
+  | 2 -> ()
+  | 1 ->
+      (* a transformer dereferenced a field whose transformation is already
+         on the stack: an ill-defined transformer set (paper §3.4) *)
+      uerr "cyclic object-transformer dependency detected; aborting update"
+  | _ ->
+      ctx.status.(i) <- 1;
+      let old_addr = Value.to_ref ctx.log.(2 * i)
+      and new_addr = Value.to_ref ctx.log.((2 * i) + 1) in
+      let new_cid = Heap.class_id vm.State.heap new_addr in
+      let old_cid = Heap.class_id vm.State.heap old_addr in
+      let m =
+        match Hashtbl.find_opt ctx.method_cache (new_cid, old_cid) with
+        | Some m -> m
+        | None -> (
+            let new_cls = Rt.class_by_id vm.State.reg new_cid in
+            let old_cls = Rt.class_by_id vm.State.reg old_cid in
+            match
+              find_transformer_method ctx ~name:"jvolveObject"
+                ~params:
+                  [
+                    CF.Types.TRef new_cls.Rt.name;
+                    CF.Types.TRef old_cls.Rt.name;
+                  ]
+            with
+            | Some m ->
+                Hashtbl.replace ctx.method_cache (new_cid, old_cid) m;
+                m
+            | None ->
+                uerr "no jvolveObject(%s, %s) in transformer class"
+                  new_cls.Rt.name old_cls.Rt.name)
+      in
+      (* reuse the carrier thread when it is free; recursive transforms
+         (via the Jvolve.transform native) arrive while the carrier is
+         mid-call and need their own thread *)
+      let invoke m args =
+        if ctx.carrier.State.frames = [] then Interp.call_on vm ctx.carrier m args
+        else Interp.call_sync vm m args
+      in
+      (try
+         ignore
+           (invoke m [| Value.of_ref new_addr; Value.of_ref old_addr |])
+       with Interp.Sync_trap e ->
+         uerr "object transformer for %s trapped: %s"
+           (Rt.class_by_id vm.State.reg new_cid).Rt.name e);
+      (* the transformer may have allocated and moved the heap *)
+      refresh_index ctx vm;
+      ctx.status.(i) <- 2
+
+and force_transform vm ctx addr =
+  refresh_index ctx vm;
+  match Hashtbl.find_opt ctx.index addr with
+  | Some i -> run_pair vm ctx i
+  | None -> () (* not an object under transformation: no-op *)
+
+let run_class_transformers vm (spec : Spec.t) ctx =
+  List.iter
+    (fun cname ->
+      match
+        find_transformer_method ctx ~name:"jvolveClass"
+          ~params:[ CF.Types.TRef cname ]
+      with
+      | None -> uerr "no jvolveClass(%s) in transformer class" cname
+      | Some m -> (
+          try ignore (Interp.call_on vm ctx.carrier m [| Value.null |])
+          with Interp.Sync_trap e ->
+            uerr "class transformer for %s trapped: %s" cname e))
+    spec.Spec.diff.Diff.class_updates_closure
+
+let unload_transformer vm (rc : Rt.rt_class) =
+  Hashtbl.remove vm.State.reg.Rt.by_name rc.Rt.name;
+  rc.Rt.valid <- false;
+  Array.iter
+    (fun (m : Rt.rt_method) ->
+      m.Rt.m_valid <- false;
+      m.Rt.base_code <- None;
+      m.Rt.opt_code <- None)
+    rc.Rt.methods
+
+(* --- the driver ----------------------------------------------------------- *)
+
+let apply vm (p : Transformers.prepared)
+    ~(restricted : Safepoint.restricted)
+    ~(osr_frames : State.frame list) : timings =
+  let spec = p.Transformers.p_spec in
+  let t0 = now () in
+  (* 1-3: metadata installation *)
+  let olds = rename_old_classes vm spec in
+  let news = install_new_classes vm spec in
+  carry_over_statics vm spec olds news;
+  swap_method_bodies vm spec;
+  let invalidated = invalidate_stale_code vm restricted in
+  (* static initializers of brand-new classes *)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name news with
+      | Some rc -> (
+          try Classloader.run_clinit vm rc
+          with Interp.Sync_trap e -> uerr "<clinit> of %s trapped: %s" name e)
+      | None -> ())
+    spec.Spec.diff.Diff.added_classes;
+  (* 4: OSR the parked category-(2) frames against the new metadata *)
+  List.iter
+    (fun fr ->
+      try Osr.replace_frame vm fr
+      with Osr.Osr_failed e -> uerr "OSR failed: %s" e)
+    osr_frames;
+  (* install the transformer class *)
+  let transformer_rc =
+    match Classloader.install vm ~replace:true [ p.Transformers.p_transformer ]
+    with
+    | [ rc ] -> rc
+    | _ -> uerr "failed to install transformer class"
+  in
+  let t_load = now () in
+  (* 5: the transforming collection *)
+  let plan = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (old_rc : Rt.rt_class)) ->
+      match List.assoc_opt name news with
+      | Some new_rc -> Hashtbl.replace plan old_rc.Rt.cid new_rc.Rt.cid
+      | None -> () (* deleted classes: instances survive untransformed *))
+    olds;
+  let gcres = Gc.collect ~plan vm in
+  let t_gc = now () in
+  (* 6: transformers *)
+  let ctx =
+    {
+      log = gcres.Gc.update_log;
+      n_pairs = Array.length gcres.Gc.update_log / 2;
+      status = Array.make (max 1 (Array.length gcres.Gc.update_log / 2)) 0;
+      index = Hashtbl.create 16;
+      index_gc_count = -1;
+      transformer_rc;
+      method_cache = Hashtbl.create 8;
+      carrier = Interp.make_carrier vm;
+    }
+  in
+  vm.State.extra_roots <- ctx.log :: vm.State.extra_roots;
+  vm.State.force_transform <- Some (fun vm addr -> force_transform vm ctx addr);
+  let finish_transformers () =
+    vm.State.force_transform <- None;
+    Interp.release_carrier vm ctx.carrier;
+    vm.State.extra_roots <-
+      List.filter (fun a -> a != ctx.log) vm.State.extra_roots
+  in
+  (try
+     build_index ctx vm;
+     run_class_transformers vm spec ctx;
+     for i = 0 to ctx.n_pairs - 1 do
+       run_pair vm ctx i
+     done;
+     finish_transformers ()
+   with e ->
+     finish_transformers ();
+     raise e);
+  (* 7: drop the transformer class; the log is already unreachable *)
+  unload_transformer vm transformer_rc;
+  let t_end = now () in
+  {
+    u_load_ms = (t_load -. t0) *. 1000.0;
+    u_gc_ms = (t_gc -. t_load) *. 1000.0;
+    u_transform_ms = (t_end -. t_gc) *. 1000.0;
+    u_total_ms = (t_end -. t0) *. 1000.0;
+    u_osr = List.length osr_frames;
+    u_invalidated_methods = invalidated;
+    u_transformed_objects = gcres.Gc.transformed_objects;
+    u_copied_objects = gcres.Gc.copied_objects;
+  }

@@ -1,0 +1,60 @@
+(** Applying an update at a DSU safe point (paper §3.3-3.4): metadata
+    installation, code invalidation, OSR, and the transforming collection
+    with its update log. *)
+
+module State = Jv_vm.State
+module Rt = Jv_vm.Rt
+
+exception Update_error of string
+
+(** Where the pause went (the split reported in Table 1). *)
+type timings = {
+  u_load_ms : float;  (** class installation + body swaps + OSR *)
+  u_gc_ms : float;  (** the transforming full-heap collection *)
+  u_transform_ms : float;  (** running class and object transformers *)
+  u_total_ms : float;
+  u_osr : int;  (** frames replaced on stack *)
+  u_invalidated_methods : int;  (** compiled bodies thrown away *)
+  u_transformed_objects : int;
+  u_copied_objects : int;
+}
+
+(** The individual steps, exposed for the baseline updaters (hotswap and
+    lazy indirection reuse the metadata phases without the GC pass): *)
+
+val rename_old_classes : State.t -> Spec.t -> (string * Rt.rt_class) list
+(** Rename superseded classes to their [v<tag>_] stubs, strip their
+    methods, invalidate their compiled code.  Returns (original name,
+    runtime class) pairs. *)
+
+val install_new_classes : State.t -> Spec.t -> (string * Rt.rt_class) list
+(** Install the new versions of updated classes and all added classes. *)
+
+val carry_over_statics :
+  State.t ->
+  Spec.t ->
+  (string * Rt.rt_class) list ->
+  (string * Rt.rt_class) list ->
+  unit
+(** Unchanged (same name, mapped-same type) static fields keep their
+    values; superseded slots are cleared. *)
+
+val swap_method_bodies : State.t -> Spec.t -> unit
+(** Method-body updates: replace bytecode in place, invalidate compiled
+    code, reset profiles (paper §3.3). *)
+
+val invalidate_stale_code : State.t -> Safepoint.restricted -> int
+(** Throw away compiled code with stale offsets (category 2) and opt code
+    that inlined any restricted method.  Returns the invalidation count
+    and bumps the resolution epoch. *)
+
+val apply :
+  State.t ->
+  Transformers.prepared ->
+  restricted:Safepoint.restricted ->
+  osr_frames:State.frame list ->
+  timings
+(** The full update, to be called with all threads stopped at a DSU safe
+    point; [osr_frames] are the category-(2) frames {!Safepoint.check}
+    found.  Raises {!Update_error} (e.g. transformer trap or cyclic
+    transformer dependency — paper §3.4). *)

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Array Jv_classfile List Tast

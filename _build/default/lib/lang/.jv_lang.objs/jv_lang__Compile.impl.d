@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Ast Codegen Jv_classfile Lexer List Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Jv_classfile Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/lang/tast.ml: Jv_classfile List

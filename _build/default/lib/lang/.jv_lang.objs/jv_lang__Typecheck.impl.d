@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Hashtbl Jv_classfile List Option Printf String Tast

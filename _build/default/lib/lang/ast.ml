@@ -1,0 +1,92 @@
+(* Abstract syntax for MiniJava, the source language of programs that run
+   on the VM.  It is the Java subset the paper's benchmark programs
+   exercise: classes with single inheritance, instance/static fields and
+   methods, constructors, access modifiers, final fields, arrays, strings,
+   and the builtin native facades (Sys, Net, Thread, Jvolve). *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+let pos_to_string p = Printf.sprintf "line %d, col %d" p.line p.col
+
+(* Source-level types.  [St_class] covers String and user classes. *)
+type sty = St_int | St_bool | St_void | St_class of string | St_array of sty
+
+let rec sty_to_string = function
+  | St_int -> "int"
+  | St_bool -> "boolean"
+  | St_void -> "void"
+  | St_class c -> c
+  | St_array t -> sty_to_string t ^ "[]"
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | E_int of int
+  | E_bool of bool
+  | E_str of string
+  | E_null
+  | E_this
+  | E_name of string (* identifier: local, field, or class (resolved later) *)
+  | E_field of expr * string (* e.f — also Class.f for statics *)
+  | E_call of expr option * string * expr list
+      (* receiver (None = bare call), method name, arguments *)
+  | E_new of string * expr list
+  | E_new_array of sty * expr (* element type, length *)
+  | E_index of expr * expr
+  | E_assign of expr * expr (* lvalue = rhs; statement position only *)
+  | E_binop of string * expr * expr (* "+", "-", ... "&&", "||", "==", ... *)
+  | E_unop of string * expr (* "!", "-" *)
+  | E_cast of string * expr (* (ClassName) e *)
+  | E_instanceof of expr * string
+
+type stmt =
+  | S_block of stmt list
+  | S_if of expr * stmt * stmt option
+  | S_while of expr * stmt
+  | S_for of stmt option * expr option * expr option * stmt
+  | S_return of expr option * pos
+  | S_break of pos
+  | S_continue of pos
+  | S_var of sty * string * expr option * pos (* local declaration *)
+  | S_expr of expr
+  | S_super of expr list * pos (* super(args); first statement of a ctor *)
+
+type modifiers = {
+  m_vis : Jv_classfile.Access.visibility;
+  m_static : bool;
+  m_final : bool;
+  m_native : bool;
+}
+
+let default_mods =
+  { m_vis = Jv_classfile.Access.Public; m_static = false; m_final = false;
+    m_native = false }
+
+type field_decl = {
+  f_mods : modifiers;
+  f_ty : sty;
+  f_name : string;
+  f_init : expr option;
+  f_pos : pos;
+}
+
+type method_decl = {
+  md_mods : modifiers;
+  md_ret : sty;
+  md_name : string;
+  md_params : (sty * string) list;
+  md_body : stmt list option; (* None for native methods *)
+  md_is_ctor : bool;
+  md_pos : pos;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_super : string option;
+  cd_fields : field_decl list;
+  cd_methods : method_decl list;
+  cd_pos : pos;
+}
+
+type program = class_decl list

@@ -1,0 +1,273 @@
+(* Bytecode generation from the typed AST.
+
+   Yield points are inserted here, mirroring Jikes RVM's compilers: one on
+   method entry and one at every loop header (back edge), so a running
+   thread always reaches a VM safe point in bounded time. *)
+
+module CF = Jv_classfile
+open Tast
+
+(* emission buffer with label patching *)
+type label = int
+
+type ebuf = {
+  mutable code : CF.Instr.t array;
+  mutable n : int;
+  mutable labels : int array; (* label -> pc, -1 if unmarked *)
+  mutable n_labels : int;
+  mutable patches : (int * label) list; (* instr idx to patch, label *)
+}
+
+let new_ebuf () =
+  {
+    code = Array.make 32 CF.Instr.Return;
+    n = 0;
+    labels = Array.make 16 (-1);
+    n_labels = 0;
+    patches = [];
+  }
+
+let emit b i =
+  if b.n >= Array.length b.code then begin
+    let c = Array.make (2 * Array.length b.code) CF.Instr.Return in
+    Array.blit b.code 0 c 0 b.n;
+    b.code <- c
+  end;
+  b.code.(b.n) <- i;
+  b.n <- b.n + 1
+
+let new_label b =
+  if b.n_labels >= Array.length b.labels then begin
+    let l = Array.make (2 * Array.length b.labels) (-1) in
+    Array.blit b.labels 0 l 0 b.n_labels;
+    b.labels <- l
+  end;
+  let l = b.n_labels in
+  b.n_labels <- l + 1;
+  l
+
+let mark b l = b.labels.(l) <- b.n
+
+let emit_branch b mk l =
+  b.patches <- (b.n, l) :: b.patches;
+  emit b (mk (-1))
+
+let finish b : CF.Instr.t array =
+  List.iter
+    (fun (idx, l) ->
+      let target = b.labels.(l) in
+      assert (target >= 0);
+      b.code.(idx) <-
+        (match b.code.(idx) with
+        | CF.Instr.If_true _ -> CF.Instr.If_true target
+        | CF.Instr.If_false _ -> CF.Instr.If_false target
+        | CF.Instr.Goto _ -> CF.Instr.Goto target
+        | _ -> assert false))
+    b.patches;
+  Array.sub b.code 0 b.n
+
+(* loop context for break/continue *)
+type loop_ctx = { l_break : label; l_continue : label }
+
+let string_concat_ref : CF.Instr.method_ref =
+  {
+    CF.Instr.m_class = CF.Types.string_class;
+    m_name = "concat";
+    m_sig = { CF.Types.params = [ CF.Types.t_string ]; ret = CF.Types.t_string };
+  }
+
+let string_of_int_ref : CF.Instr.method_ref =
+  {
+    CF.Instr.m_class = CF.Types.string_class;
+    m_name = "ofInt";
+    m_sig = { CF.Types.params = [ CF.Types.TInt ]; ret = CF.Types.t_string };
+  }
+
+let rec gen_expr b (e : texpr) : unit =
+  match e.te with
+  | T_int i -> emit b (CF.Instr.Const_int i)
+  | T_bool v -> emit b (CF.Instr.Const_bool v)
+  | T_str s -> emit b (CF.Instr.Const_str s)
+  | T_null -> emit b CF.Instr.Const_null
+  | T_this -> emit b (CF.Instr.Load 0)
+  | T_local slot -> emit b (CF.Instr.Load slot)
+  | T_get_field (r, fr) ->
+      gen_expr b r;
+      emit b (CF.Instr.Get_field fr)
+  | T_get_static fr -> emit b (CF.Instr.Get_static fr)
+  | T_array_len a ->
+      gen_expr b a;
+      emit b CF.Instr.Array_len
+  | T_index (a, i) ->
+      gen_expr b a;
+      gen_expr b i;
+      emit b (CF.Instr.Array_load e.tty)
+  | T_call (kind, recv, mref, args) ->
+      (match recv with Some r -> gen_expr b r | None -> ());
+      List.iter (gen_expr b) args;
+      emit b
+        (match kind with
+        | C_virtual -> CF.Instr.Invoke_virtual mref
+        | C_direct -> CF.Instr.Invoke_direct mref
+        | C_static -> CF.Instr.Invoke_static mref)
+  | T_new (ctor, args) ->
+      emit b (CF.Instr.New_obj ctor.CF.Instr.m_class);
+      emit b CF.Instr.Dup;
+      List.iter (gen_expr b) args;
+      emit b (CF.Instr.Invoke_direct ctor)
+  | T_new_array (elem, len) ->
+      gen_expr b len;
+      emit b (CF.Instr.New_array elem)
+  | T_binop (B_arith op, x, y) ->
+      gen_expr b x;
+      gen_expr b y;
+      emit b (CF.Instr.Binop op)
+  | T_binop (B_icmp c, x, y) ->
+      gen_expr b x;
+      gen_expr b y;
+      emit b (CF.Instr.Icmp c)
+  | T_binop (B_acmp eq, x, y) ->
+      gen_expr b x;
+      gen_expr b y;
+      emit b (if eq then CF.Instr.Acmp_eq else CF.Instr.Acmp_ne)
+  | T_binop (B_concat, x, y) ->
+      gen_expr b x;
+      gen_expr b y;
+      emit b (CF.Instr.Invoke_virtual string_concat_ref)
+  | T_binop (B_and, x, y) ->
+      (* x ? y : false *)
+      let l_false = new_label b and l_end = new_label b in
+      gen_expr b x;
+      emit_branch b (fun t -> CF.Instr.If_false t) l_false;
+      gen_expr b y;
+      emit_branch b (fun t -> CF.Instr.Goto t) l_end;
+      mark b l_false;
+      emit b (CF.Instr.Const_bool false);
+      mark b l_end
+  | T_binop (B_or, x, y) ->
+      let l_true = new_label b and l_end = new_label b in
+      gen_expr b x;
+      emit_branch b (fun t -> CF.Instr.If_true t) l_true;
+      gen_expr b y;
+      emit_branch b (fun t -> CF.Instr.Goto t) l_end;
+      mark b l_true;
+      emit b (CF.Instr.Const_bool true);
+      mark b l_end
+  | T_not x ->
+      gen_expr b x;
+      emit b CF.Instr.Bnot
+  | T_neg x ->
+      gen_expr b x;
+      emit b CF.Instr.Neg
+  | T_int_to_string x ->
+      gen_expr b x;
+      emit b (CF.Instr.Invoke_static string_of_int_ref)
+  | T_cast (ty, x) ->
+      gen_expr b x;
+      emit b (CF.Instr.Check_cast ty)
+  | T_instanceof (ty, x) ->
+      gen_expr b x;
+      emit b (CF.Instr.Instance_of ty)
+
+let rec gen_stmt b (loops : loop_ctx list) (s : tstmt) : unit =
+  match s with
+  | Ts_nop -> ()
+  | Ts_seq ss -> List.iter (gen_stmt b loops) ss
+  | Ts_if (c, a, bo) -> (
+      let l_else = new_label b in
+      gen_expr b c;
+      emit_branch b (fun t -> CF.Instr.If_false t) l_else;
+      gen_stmt b loops a;
+      match bo with
+      | None -> mark b l_else
+      | Some eb ->
+          let l_end = new_label b in
+          emit_branch b (fun t -> CF.Instr.Goto t) l_end;
+          mark b l_else;
+          gen_stmt b loops eb;
+          mark b l_end)
+  | Ts_while (c, body) ->
+      let l_head = new_label b and l_end = new_label b in
+      mark b l_head;
+      emit b (CF.Instr.Yield CF.Instr.Y_backedge);
+      gen_expr b c;
+      emit_branch b (fun t -> CF.Instr.If_false t) l_end;
+      gen_stmt b ({ l_break = l_end; l_continue = l_head } :: loops) body;
+      emit_branch b (fun t -> CF.Instr.Goto t) l_head;
+      mark b l_end
+  | Ts_for (init, cond, step, body) ->
+      gen_stmt b loops init;
+      let l_head = new_label b
+      and l_step = new_label b
+      and l_end = new_label b in
+      mark b l_head;
+      emit b (CF.Instr.Yield CF.Instr.Y_backedge);
+      (match cond with
+      | Some c ->
+          gen_expr b c;
+          emit_branch b (fun t -> CF.Instr.If_false t) l_end
+      | None -> ());
+      gen_stmt b ({ l_break = l_end; l_continue = l_step } :: loops) body;
+      mark b l_step;
+      gen_stmt b loops step;
+      emit_branch b (fun t -> CF.Instr.Goto t) l_head;
+      mark b l_end
+  | Ts_return None -> emit b CF.Instr.Return
+  | Ts_return (Some e) ->
+      gen_expr b e;
+      emit b CF.Instr.Return_val
+  | Ts_break -> (
+      match loops with
+      | l :: _ -> emit_branch b (fun t -> CF.Instr.Goto t) l.l_break
+      | [] -> assert false)
+  | Ts_continue -> (
+      match loops with
+      | l :: _ -> emit_branch b (fun t -> CF.Instr.Goto t) l.l_continue
+      | [] -> assert false)
+  | Ts_expr e ->
+      gen_expr b e;
+      if not (CF.Types.equal_ty e.tty CF.Types.TVoid) then emit b CF.Instr.Pop
+  | Ts_set_local (slot, e) ->
+      gen_expr b e;
+      emit b (CF.Instr.Store slot)
+  | Ts_set_field (r, fr, v) ->
+      gen_expr b r;
+      gen_expr b v;
+      emit b (CF.Instr.Put_field fr)
+  | Ts_set_static (fr, v) ->
+      gen_expr b v;
+      emit b (CF.Instr.Put_static fr)
+  | Ts_set_index (a, i, v, elem) ->
+      gen_expr b a;
+      gen_expr b i;
+      gen_expr b v;
+      emit b (CF.Instr.Array_store elem)
+
+let gen_method (m : tmethod) : CF.Cls.meth =
+  let code =
+    match m.tm_body with
+    | None -> None
+    | Some body ->
+        let b = new_ebuf () in
+        emit b (CF.Instr.Yield CF.Instr.Y_entry);
+        List.iter (gen_stmt b []) body;
+        (* void methods (and constructors) may fall off the end *)
+        if CF.Types.equal_ty m.tm_sig.CF.Types.ret CF.Types.TVoid then
+          emit b CF.Instr.Return;
+        Some (finish b)
+  in
+  {
+    CF.Cls.md_name = m.tm_name;
+    md_sig = m.tm_sig;
+    md_access = m.tm_access;
+    md_max_locals = m.tm_max_locals;
+    md_code = code;
+  }
+
+let gen_class (c : tclass) : CF.Cls.t =
+  {
+    CF.Cls.c_name = c.tc_name;
+    c_super = c.tc_super;
+    c_fields = c.tc_fields;
+    c_methods = List.map gen_method c.tc_methods;
+  }

@@ -1,0 +1,51 @@
+(* Compiler driver: source text -> class files.
+
+   [mode = Transformer] is the paper's JastAdd-extended compilation used
+   only for Jvolve transformer classes (ignores access modifiers, allows
+   assignment to final fields); such class files verify only under the
+   verifier's [Transformer] mode, which the VM enables "in this special
+   circumstance" (paper §2.3). *)
+
+module CF = Jv_classfile
+
+type mode = Typecheck.mode = Strict | Transformer
+
+exception Error of string
+
+let error_of_exn = function
+  | Lexer.Lex_error (m, p) ->
+      Some (Printf.sprintf "lex error: %s at %s" m (Ast.pos_to_string p))
+  | Parser.Parse_error (m, p) ->
+      Some (Printf.sprintf "parse error: %s at %s" m (Ast.pos_to_string p))
+  | Typecheck.Type_error (m, p) ->
+      Some (Printf.sprintf "type error: %s at %s" m (Ast.pos_to_string p))
+  | _ -> None
+
+(* Compile source text to class files.  [extra] supplies additional
+   already-compiled classes the source may reference (used for transformer
+   compilation, where old renamed classes and the new program are in
+   class-file form). *)
+let compile ?(mode = Strict) ?(extra = []) (src : string) : CF.Cls.t list =
+  try
+    let ast = Parser.parse_program src in
+    let tcs = Typecheck.check_program ~mode ~extra ast in
+    List.map Codegen.gen_class tcs
+  with e -> (
+    match error_of_exn e with Some m -> raise (Error m) | None -> raise e)
+
+(* Compile and verify, returning a complete verified program (builtins
+   included).  Raises [Error] with all verifier messages on failure. *)
+let compile_program ?(mode = Strict) ?(extra = []) (src : string) :
+    CF.Cls.t list =
+  let classes = compile ~mode ~extra src in
+  let program = CF.Cls.program_of_list (CF.Builtins.all @ extra @ classes) in
+  let vmode =
+    match mode with
+    | Strict -> CF.Verifier.Strict
+    | Transformer -> CF.Verifier.Transformer
+  in
+  (match CF.Verifier.verify_program ~mode:vmode program with
+  | [] -> ()
+  | errs ->
+      raise (Error ("verification failed:\n  " ^ String.concat "\n  " errs)));
+  classes

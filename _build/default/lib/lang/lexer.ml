@@ -1,0 +1,146 @@
+(* Hand-written lexer for MiniJava. *)
+
+type token_kind =
+  | T_int of int
+  | T_string of string
+  | T_ident of string
+  | T_kw of string (* keywords *)
+  | T_punct of string (* operators and punctuation *)
+  | T_eof
+
+type token = { tk : token_kind; tpos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [
+    "class"; "extends"; "public"; "private"; "protected"; "static"; "final";
+    "native"; "void"; "int"; "boolean"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue"; "new"; "this"; "super"; "null"; "true";
+    "false"; "instanceof";
+  ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let out = ref [] in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let cur () = peek 0 in
+  let err msg = raise (Lex_error (msg, pos ())) in
+  let emit tk p = out := { tk; tpos = p } :: !out in
+  while !i < n do
+    let p = pos () in
+    match cur () with
+    | None -> ()
+    | Some c -> (
+        match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance ()
+        | '/' when peek 1 = Some '/' ->
+            while !i < n && src.[!i] <> '\n' do
+              advance ()
+            done
+        | '/' when peek 1 = Some '*' ->
+            advance ();
+            advance ();
+            let closed = ref false in
+            while (not !closed) && !i < n do
+              if src.[!i] = '*' && peek 1 = Some '/' then begin
+                advance ();
+                advance ();
+                closed := true
+              end
+              else advance ()
+            done;
+            if not !closed then err "unterminated comment"
+        | '"' ->
+            advance ();
+            let b = Buffer.create 16 in
+            let closed = ref false in
+            while (not !closed) && !i < n do
+              match src.[!i] with
+              | '"' ->
+                  advance ();
+                  closed := true
+              | '\\' -> (
+                  advance ();
+                  match cur () with
+                  | Some 'n' ->
+                      Buffer.add_char b '\n';
+                      advance ()
+                  | Some 't' ->
+                      Buffer.add_char b '\t';
+                      advance ()
+                  | Some 'r' ->
+                      Buffer.add_char b '\r';
+                      advance ()
+                  | Some '"' ->
+                      Buffer.add_char b '"';
+                      advance ()
+                  | Some '\\' ->
+                      Buffer.add_char b '\\';
+                      advance ()
+                  | _ -> err "bad escape sequence")
+              | '\n' -> err "newline in string literal"
+              | ch ->
+                  Buffer.add_char b ch;
+                  advance ()
+            done;
+            if not !closed then err "unterminated string literal";
+            emit (T_string (Buffer.contents b)) p
+        | c when is_digit c ->
+            let b = Buffer.create 8 in
+            while !i < n && is_digit src.[!i] do
+              Buffer.add_char b src.[!i];
+              advance ()
+            done;
+            emit (T_int (int_of_string (Buffer.contents b))) p
+        | c when is_ident_start c ->
+            let b = Buffer.create 8 in
+            while !i < n && is_ident_char src.[!i] do
+              Buffer.add_char b src.[!i];
+              advance ()
+            done;
+            let s = Buffer.contents b in
+            if List.mem s keywords then emit (T_kw s) p else emit (T_ident s) p
+        | _ ->
+            let two =
+              if !i + 1 < n then String.sub src !i 2 else ""
+            in
+            if List.mem two [ "=="; "!="; "<="; ">="; "&&"; "||" ] then begin
+              advance ();
+              advance ();
+              emit (T_punct two) p
+            end
+            else if String.contains "{}()[];,.=<>+-*/%!" c then begin
+              advance ();
+              emit (T_punct (String.make 1 c)) p
+            end
+            else err (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev ({ tk = T_eof; tpos = pos () } :: !out)
+
+let token_to_string t =
+  match t.tk with
+  | T_int i -> string_of_int i
+  | T_string s -> Printf.sprintf "%S" s
+  | T_ident s -> s
+  | T_kw s -> s
+  | T_punct s -> s
+  | T_eof -> "<eof>"

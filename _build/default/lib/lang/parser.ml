@@ -1,0 +1,568 @@
+(* Recursive-descent parser for MiniJava. *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string * pos
+
+type st = { toks : token array; mutable k : int }
+
+let perr st msg =
+  let t = st.toks.(st.k) in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %S)" msg (token_to_string t), t.tpos))
+
+let cur st = st.toks.(st.k)
+let peek st n = st.toks.(min (st.k + n) (Array.length st.toks - 1))
+let advance st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let is_punct st s =
+  match (cur st).tk with T_punct p -> String.equal p s | _ -> false
+
+let is_kw st s = match (cur st).tk with T_kw p -> String.equal p s | _ -> false
+
+let eat_punct st s =
+  if is_punct st s then advance st else perr st (Printf.sprintf "expected %S" s)
+
+let eat_kw st s =
+  if is_kw st s then advance st
+  else perr st (Printf.sprintf "expected keyword %S" s)
+
+let eat_ident st =
+  match (cur st).tk with
+  | T_ident s ->
+      advance st;
+      s
+  | _ -> perr st "expected identifier"
+
+(* --- types --- *)
+
+let rec parse_array_suffix st base =
+  if is_punct st "[" && (peek st 1).tk = T_punct "]" then begin
+    advance st;
+    advance st;
+    parse_array_suffix st (St_array base)
+  end
+  else base
+
+(* A type: int / boolean / ClassName, with [] suffixes. *)
+let parse_type st =
+  let base =
+    if is_kw st "int" then (
+      advance st;
+      St_int)
+    else if is_kw st "boolean" then (
+      advance st;
+      St_bool)
+    else St_class (eat_ident st)
+  in
+  parse_array_suffix st base
+
+(* Does a type start at offset [n]?  Used to disambiguate declarations from
+   expression statements: [Foo x = ...] vs [x = ...]. *)
+let looks_like_decl st =
+  match (cur st).tk with
+  | T_kw ("int" | "boolean") -> true
+  | T_ident _ -> (
+      match (peek st 1).tk with
+      | T_ident _ -> true (* Foo x *)
+      | T_punct "[" -> (peek st 2).tk = T_punct "]" (* Foo[] x *)
+      | _ -> false)
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec parse_expr st : expr = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_or st in
+  if is_punct st "=" then begin
+    let p = (cur st).tpos in
+    advance st;
+    let rhs = parse_assign st in
+    { e = E_assign (lhs, rhs); epos = p }
+  end
+  else lhs
+
+and parse_or st =
+  let rec go acc =
+    if is_punct st "||" then begin
+      let p = (cur st).tpos in
+      advance st;
+      let r = parse_and st in
+      go { e = E_binop ("||", acc, r); epos = p }
+    end
+    else acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    if is_punct st "&&" then begin
+      let p = (cur st).tpos in
+      advance st;
+      let r = parse_eq st in
+      go { e = E_binop ("&&", acc, r); epos = p }
+    end
+    else acc
+  in
+  go (parse_eq st)
+
+and parse_eq st =
+  let rec go acc =
+    match (cur st).tk with
+    | T_punct (("==" | "!=") as op) ->
+        let p = (cur st).tpos in
+        advance st;
+        let r = parse_rel st in
+        go { e = E_binop (op, acc, r); epos = p }
+    | _ -> acc
+  in
+  go (parse_rel st)
+
+and parse_rel st =
+  let lhs = parse_add st in
+  match (cur st).tk with
+  | T_punct (("<" | "<=" | ">" | ">=") as op) ->
+      let p = (cur st).tpos in
+      advance st;
+      let r = parse_add st in
+      { e = E_binop (op, lhs, r); epos = p }
+  | T_kw "instanceof" ->
+      let p = (cur st).tpos in
+      advance st;
+      let c = eat_ident st in
+      { e = E_instanceof (lhs, c); epos = p }
+  | _ -> lhs
+
+and parse_add st =
+  let rec go acc =
+    match (cur st).tk with
+    | T_punct (("+" | "-") as op) ->
+        let p = (cur st).tpos in
+        advance st;
+        let r = parse_mul st in
+        go { e = E_binop (op, acc, r); epos = p }
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go acc =
+    match (cur st).tk with
+    | T_punct (("*" | "/" | "%") as op) ->
+        let p = (cur st).tpos in
+        advance st;
+        let r = parse_unary st in
+        go { e = E_binop (op, acc, r); epos = p }
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let p = (cur st).tpos in
+  if is_punct st "!" then begin
+    advance st;
+    { e = E_unop ("!", parse_unary st); epos = p }
+  end
+  else if is_punct st "-" then begin
+    advance st;
+    { e = E_unop ("-", parse_unary st); epos = p }
+  end
+  else if
+    (* cast: "(" ClassName ")" followed by something that starts a unary
+       expression other than an operator *)
+    is_punct st "("
+    && (match (peek st 1).tk with T_ident _ -> true | _ -> false)
+    && (peek st 2).tk = T_punct ")"
+    && (match (peek st 3).tk with
+       | T_ident _ | T_int _ | T_string _ -> true
+       | T_kw ("this" | "new" | "null" | "true" | "false") -> true
+       | T_punct "(" -> true
+       | _ -> false)
+  then begin
+    advance st;
+    let c = eat_ident st in
+    eat_punct st ")";
+    { e = E_cast (c, parse_unary st); epos = p }
+  end
+  else parse_postfix st
+
+and parse_postfix st =
+  let rec go acc =
+    if is_punct st "." then begin
+      let p = (cur st).tpos in
+      advance st;
+      let name = eat_ident st in
+      if is_punct st "(" then begin
+        let args = parse_args st in
+        go { e = E_call (Some acc, name, args); epos = p }
+      end
+      else go { e = E_field (acc, name); epos = p }
+    end
+    else if is_punct st "[" then begin
+      let p = (cur st).tpos in
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      go { e = E_index (acc, idx); epos = p }
+    end
+    else acc
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  eat_punct st "(";
+  if is_punct st ")" then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if is_punct st "," then begin
+        advance st;
+        go (e :: acc)
+      end
+      else begin
+        eat_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  let p = (cur st).tpos in
+  match (cur st).tk with
+  | T_int i ->
+      advance st;
+      { e = E_int i; epos = p }
+  | T_string s ->
+      advance st;
+      { e = E_str s; epos = p }
+  | T_kw "true" ->
+      advance st;
+      { e = E_bool true; epos = p }
+  | T_kw "false" ->
+      advance st;
+      { e = E_bool false; epos = p }
+  | T_kw "null" ->
+      advance st;
+      { e = E_null; epos = p }
+  | T_kw "this" ->
+      advance st;
+      { e = E_this; epos = p }
+  | T_kw "new" ->
+      advance st;
+      let base =
+        if is_kw st "int" then (
+          advance st;
+          St_int)
+        else if is_kw st "boolean" then (
+          advance st;
+          St_bool)
+        else St_class (eat_ident st)
+      in
+      if is_punct st "(" then begin
+        match base with
+        | St_class c ->
+            let args = parse_args st in
+            { e = E_new (c, args); epos = p }
+        | _ -> perr st "cannot construct a primitive"
+      end
+      else if is_punct st "[" then begin
+        advance st;
+        let len = parse_expr st in
+        eat_punct st "]";
+        (* trailing "[]" pairs make the element type an array *)
+        let elem = parse_array_suffix st base in
+        { e = E_new_array (elem, len); epos = p }
+      end
+      else perr st "expected ( or [ after new"
+  | T_ident name ->
+      advance st;
+      if is_punct st "(" then begin
+        let args = parse_args st in
+        { e = E_call (None, name, args); epos = p }
+      end
+      else { e = E_name name; epos = p }
+  | T_punct "(" ->
+      advance st;
+      let e = parse_expr st in
+      eat_punct st ")";
+      e
+  | _ -> perr st "expected expression"
+
+(* --- statements --- *)
+
+let rec parse_stmt st : stmt =
+  let p = (cur st).tpos in
+  if is_punct st "{" then begin
+    advance st;
+    let body = parse_stmts st in
+    eat_punct st "}";
+    S_block body
+  end
+  else if is_kw st "if" then begin
+    advance st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    let then_ = parse_stmt st in
+    if is_kw st "else" then begin
+      advance st;
+      let else_ = parse_stmt st in
+      S_if (c, then_, Some else_)
+    end
+    else S_if (c, then_, None)
+  end
+  else if is_kw st "while" then begin
+    advance st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    S_while (c, parse_stmt st)
+  end
+  else if is_kw st "for" then begin
+    advance st;
+    eat_punct st "(";
+    let init =
+      if is_punct st ";" then None
+      else if looks_like_decl st then begin
+        let ty = parse_type st in
+        let name = eat_ident st in
+        let init =
+          if is_punct st "=" then begin
+            advance st;
+            Some (parse_expr st)
+          end
+          else None
+        in
+        Some (S_var (ty, name, init, p))
+      end
+      else Some (S_expr (parse_expr st))
+    in
+    eat_punct st ";";
+    let cond = if is_punct st ";" then None else Some (parse_expr st) in
+    eat_punct st ";";
+    let step = if is_punct st ")" then None else Some (parse_expr st) in
+    eat_punct st ")";
+    S_for (init, cond, step, parse_stmt st)
+  end
+  else if is_kw st "return" then begin
+    advance st;
+    if is_punct st ";" then begin
+      advance st;
+      S_return (None, p)
+    end
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      S_return (Some e, p)
+    end
+  end
+  else if is_kw st "break" then begin
+    advance st;
+    eat_punct st ";";
+    S_break p
+  end
+  else if is_kw st "continue" then begin
+    advance st;
+    eat_punct st ";";
+    S_continue p
+  end
+  else if is_kw st "super" then begin
+    advance st;
+    let args = parse_args st in
+    eat_punct st ";";
+    S_super (args, p)
+  end
+  else if looks_like_decl st then begin
+    let ty = parse_type st in
+    let name = eat_ident st in
+    let init =
+      if is_punct st "=" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    eat_punct st ";";
+    S_var (ty, name, init, p)
+  end
+  else begin
+    let e = parse_expr st in
+    eat_punct st ";";
+    S_expr e
+  end
+
+and parse_stmts st =
+  let rec go acc =
+    if is_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- declarations --- *)
+
+let parse_modifiers st =
+  let m = ref default_mods in
+  let continue_ = ref true in
+  while !continue_ do
+    match (cur st).tk with
+    | T_kw "public" ->
+        advance st;
+        m := { !m with m_vis = Jv_classfile.Access.Public }
+    | T_kw "private" ->
+        advance st;
+        m := { !m with m_vis = Jv_classfile.Access.Private }
+    | T_kw "protected" ->
+        advance st;
+        m := { !m with m_vis = Jv_classfile.Access.Protected }
+    | T_kw "static" ->
+        advance st;
+        m := { !m with m_static = true }
+    | T_kw "final" ->
+        advance st;
+        m := { !m with m_final = true }
+    | T_kw "native" ->
+        advance st;
+        m := { !m with m_native = true }
+    | _ -> continue_ := false
+  done;
+  !m
+
+let parse_params st =
+  eat_punct st "(";
+  if is_punct st ")" then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type st in
+      let name = eat_ident st in
+      if is_punct st "," then begin
+        advance st;
+        go ((ty, name) :: acc)
+      end
+      else begin
+        eat_punct st ")";
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_member st ~class_name : [ `Field of field_decl | `Meth of method_decl ]
+    =
+  let p = (cur st).tpos in
+  let mods = parse_modifiers st in
+  (* constructor: ClassName "(" with no leading return type *)
+  if
+    (match (cur st).tk with
+    | T_ident n -> String.equal n class_name
+    | _ -> false)
+    && (peek st 1).tk = T_punct "("
+  then begin
+    let _ = eat_ident st in
+    let params = parse_params st in
+    eat_punct st "{";
+    let body = parse_stmts st in
+    eat_punct st "}";
+    `Meth
+      {
+        md_mods = mods;
+        md_ret = St_void;
+        md_name = Jv_classfile.Cls.ctor_name;
+        md_params = params;
+        md_body = Some body;
+        md_is_ctor = true;
+        md_pos = p;
+      }
+  end
+  else begin
+    let ret =
+      if is_kw st "void" then (
+        advance st;
+        St_void)
+      else parse_type st
+    in
+    let name = eat_ident st in
+    if is_punct st "(" then begin
+      let params = parse_params st in
+      let body =
+        if is_punct st ";" then begin
+          advance st;
+          if not mods.m_native then
+            perr st "non-native method must have a body";
+          None
+        end
+        else begin
+          eat_punct st "{";
+          let b = parse_stmts st in
+          eat_punct st "}";
+          Some b
+        end
+      in
+      `Meth
+        {
+          md_mods = mods;
+          md_ret = ret;
+          md_name = name;
+          md_params = params;
+          md_body = body;
+          md_is_ctor = false;
+          md_pos = p;
+        }
+    end
+    else begin
+      if ret = St_void then perr st "field cannot have type void";
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      eat_punct st ";";
+      `Field
+        { f_mods = mods; f_ty = ret; f_name = name; f_init = init; f_pos = p }
+    end
+  end
+
+let parse_class st : class_decl =
+  let p = (cur st).tpos in
+  eat_kw st "class";
+  let name = eat_ident st in
+  let super =
+    if is_kw st "extends" then begin
+      advance st;
+      Some (eat_ident st)
+    end
+    else None
+  in
+  eat_punct st "{";
+  let fields = ref [] and methods = ref [] in
+  while not (is_punct st "}") do
+    match parse_member st ~class_name:name with
+    | `Field f -> fields := f :: !fields
+    | `Meth m -> methods := m :: !methods
+  done;
+  eat_punct st "}";
+  {
+    cd_name = name;
+    cd_super = super;
+    cd_fields = List.rev !fields;
+    cd_methods = List.rev !methods;
+    cd_pos = p;
+  }
+
+let parse_program (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let rec go acc =
+    if (cur st).tk = T_eof then List.rev acc else go (parse_class st :: acc)
+  in
+  go []

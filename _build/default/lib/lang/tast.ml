@@ -1,0 +1,96 @@
+(* Typed abstract syntax: the output of [Typecheck], input to [Codegen].
+   All names are resolved — field accesses carry full field references,
+   calls carry method references and dispatch kinds, locals are slots. *)
+
+module CF = Jv_classfile
+
+type ty = CF.Types.ty
+
+type call_kind = C_virtual | C_direct | C_static
+
+type tbin =
+  | B_arith of CF.Instr.binop
+  | B_icmp of CF.Instr.icmp
+  | B_acmp of bool (* true = ==, false = != *)
+  | B_concat
+  | B_and (* short-circuit *)
+  | B_or
+
+type texpr = { te : tkind; tty : ty }
+
+and tkind =
+  | T_int of int
+  | T_bool of bool
+  | T_str of string
+  | T_null
+  | T_this
+  | T_local of int
+  | T_get_field of texpr * CF.Instr.field_ref
+  | T_get_static of CF.Instr.field_ref
+  | T_array_len of texpr
+  | T_index of texpr * texpr
+  | T_call of call_kind * texpr option * CF.Instr.method_ref * texpr list
+  | T_new of CF.Instr.method_ref * texpr list (* ctor ref *)
+  | T_new_array of ty * texpr (* element type, length *)
+  | T_binop of tbin * texpr * texpr
+  | T_not of texpr
+  | T_neg of texpr
+  | T_int_to_string of texpr
+  | T_cast of ty * texpr
+  | T_instanceof of ty * texpr
+
+type tstmt =
+  | Ts_seq of tstmt list
+  | Ts_if of texpr * tstmt * tstmt option
+  | Ts_while of texpr * tstmt
+  | Ts_for of tstmt * texpr option * tstmt * tstmt (* init, cond, step, body *)
+  | Ts_return of texpr option
+  | Ts_break
+  | Ts_continue
+  | Ts_expr of texpr (* non-void results are popped *)
+  | Ts_set_local of int * texpr
+  | Ts_set_field of texpr * CF.Instr.field_ref * texpr
+  | Ts_set_static of CF.Instr.field_ref * texpr
+  | Ts_set_index of texpr * texpr * texpr * ty (* array, index, value, elem *)
+  | Ts_nop
+
+type tmethod = {
+  tm_name : string;
+  tm_sig : CF.Types.msig;
+  tm_access : CF.Access.t;
+  tm_body : tstmt list option; (* None = native *)
+  tm_max_locals : int;
+}
+
+type tclass = {
+  tc_name : string;
+  tc_super : string;
+  tc_fields : CF.Cls.field list;
+  tc_methods : tmethod list;
+}
+
+(* Does every control path through the statements end in a return?  Used by
+   the typechecker to guarantee verified code cannot fall off the end of a
+   non-void method. *)
+let rec returns_always (s : tstmt) : bool =
+  match s with
+  | Ts_return _ -> true
+  | Ts_seq ss -> List.exists returns_always ss
+  | Ts_if (_, a, Some b) -> returns_always a && returns_always b
+  | Ts_while ({ te = T_bool true; _ }, body) ->
+      (* while(true) without break never falls through *)
+      not (has_break body)
+  | _ -> false
+
+and has_break (s : tstmt) : bool =
+  match s with
+  | Ts_break -> true
+  | Ts_seq ss -> List.exists has_break ss
+  | Ts_if (_, a, b) ->
+      has_break a || (match b with Some b -> has_break b | None -> false)
+  | Ts_for (i, _, st, _) -> has_break i || has_break st
+  (* breaks inside nested loops bind to those loops *)
+  | Ts_while _ -> false
+  | _ -> false
+
+let body_returns (body : tstmt list) = List.exists returns_always body

@@ -1,0 +1,1069 @@
+(* The MiniJava typechecker: resolves names, checks types and access
+   rights, and produces the typed AST.
+
+   [mode = Transformer] implements the paper's JastAdd compiler extension
+   (§2.3): transformer classes may read/write private and protected members
+   of other classes and assign final fields.  Everything else is checked
+   normally. *)
+
+module CF = Jv_classfile
+open Ast
+open Tast
+
+type mode = Strict | Transformer
+
+exception Type_error of string * pos
+
+let terr pos fmt =
+  Printf.ksprintf (fun s -> raise (Type_error (s, pos))) fmt
+
+(* --- class table ----------------------------------------------------- *)
+
+type member_field = {
+  mf_name : string;
+  mf_ty : CF.Types.ty;
+  mf_access : CF.Access.t;
+  mf_decl : string; (* declaring class *)
+}
+
+type member_meth = {
+  mm_name : string;
+  mm_sig : CF.Types.msig;
+  mm_access : CF.Access.t;
+  mm_decl : string;
+}
+
+type class_info = {
+  ci_name : string;
+  ci_super : string option;
+  ci_fields : member_field list; (* declared only *)
+  ci_meths : member_meth list; (* declared only *)
+  ci_builtin : bool;
+}
+
+type table = (string, class_info) Hashtbl.t
+
+let class_info_of_cf ?(builtin = true) (c : CF.Cls.t) : class_info =
+  {
+    ci_name = c.CF.Cls.c_name;
+    ci_super =
+      (if String.equal c.CF.Cls.c_name CF.Types.object_class then None
+       else Some c.CF.Cls.c_super);
+    ci_fields =
+      List.map
+        (fun (f : CF.Cls.field) ->
+          {
+            mf_name = f.CF.Cls.fd_name;
+            mf_ty = f.CF.Cls.fd_ty;
+            mf_access = f.CF.Cls.fd_access;
+            mf_decl = c.CF.Cls.c_name;
+          })
+        c.CF.Cls.c_fields;
+    ci_meths =
+      List.map
+        (fun (m : CF.Cls.meth) ->
+          {
+            mm_name = m.CF.Cls.md_name;
+            mm_sig = m.CF.Cls.md_sig;
+            mm_access = m.CF.Cls.md_access;
+            mm_decl = c.CF.Cls.c_name;
+          })
+        c.CF.Cls.c_methods;
+    ci_builtin = builtin;
+  }
+
+let rec cf_ty (tbl : table) pos (t : sty) : CF.Types.ty =
+  match t with
+  | St_int -> CF.Types.TInt
+  | St_bool -> CF.Types.TBool
+  | St_void -> CF.Types.TVoid
+  | St_class c ->
+      if not (Hashtbl.mem tbl c) then terr pos "unknown class %s" c;
+      CF.Types.TRef c
+  | St_array t -> CF.Types.TArray (cf_ty tbl pos t)
+
+let access_of_mods (m : modifiers) =
+  CF.Access.make ~visibility:m.m_vis ~static:m.m_static ~final:m.m_final
+    ~native:m.m_native ()
+
+(* First pass: collect all class signatures (fields and method headers). *)
+let build_table ?(extra = []) (prog : program) : table =
+  let tbl : table = Hashtbl.create 64 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl c.CF.Cls.c_name (class_info_of_cf c))
+    CF.Builtins.all;
+  (* pre-compiled classes supplied alongside the source (the new program
+     and old-class stubs during transformer compilation) are ordinary
+     classes, not builtins *)
+  List.iter
+    (fun c ->
+      Hashtbl.replace tbl c.CF.Cls.c_name (class_info_of_cf ~builtin:false c))
+    extra;
+  (* install names first so types can refer to any program class *)
+  List.iter
+    (fun (c : class_decl) ->
+      if Hashtbl.mem tbl c.cd_name then
+        terr c.cd_pos "duplicate class %s" c.cd_name;
+      Hashtbl.replace tbl c.cd_name
+        {
+          ci_name = c.cd_name;
+          ci_super = None;
+          ci_fields = [];
+          ci_meths = [];
+          ci_builtin = false;
+        })
+    prog;
+  List.iter
+    (fun (c : class_decl) ->
+      let super =
+        match c.cd_super with
+        | None -> CF.Types.object_class
+        | Some s ->
+            (match Hashtbl.find_opt tbl s with
+            | None -> terr c.cd_pos "unknown superclass %s of %s" s c.cd_name
+            | Some si ->
+                if si.ci_builtin && not (String.equal s CF.Types.object_class)
+                then
+                  terr c.cd_pos "cannot extend builtin class %s" s);
+            s
+      in
+      let fields =
+        List.map
+          (fun (f : field_decl) ->
+            {
+              mf_name = f.f_name;
+              mf_ty = cf_ty tbl f.f_pos f.f_ty;
+              mf_access = access_of_mods f.f_mods;
+              mf_decl = c.cd_name;
+            })
+          c.cd_fields
+      in
+      let meths =
+        List.map
+          (fun (m : method_decl) ->
+            {
+              mm_name = m.md_name;
+              mm_sig =
+                {
+                  CF.Types.params =
+                    List.map (fun (t, _) -> cf_ty tbl m.md_pos t) m.md_params;
+                  ret = cf_ty tbl m.md_pos m.md_ret;
+                };
+              mm_access = access_of_mods m.md_mods;
+              mm_decl = c.cd_name;
+            })
+          c.cd_methods
+      in
+      (* classes without a declared constructor get the synthesized public
+         no-argument one (see [check_class]) *)
+      let meths =
+        if List.exists (fun m -> m.mm_name = CF.Cls.ctor_name) meths then
+          meths
+        else
+          {
+            mm_name = CF.Cls.ctor_name;
+            mm_sig = { CF.Types.params = []; ret = CF.Types.TVoid };
+            mm_access = CF.Access.make ();
+            mm_decl = c.cd_name;
+          }
+          :: meths
+      in
+      Hashtbl.replace tbl c.cd_name
+        {
+          ci_name = c.cd_name;
+          ci_super = Some super;
+          ci_fields = fields;
+          ci_meths = meths;
+          ci_builtin = false;
+        })
+    prog;
+  (* cycle check *)
+  List.iter
+    (fun (c : class_decl) ->
+      let rec walk seen name =
+        if List.mem name seen then
+          terr c.cd_pos "cyclic inheritance involving %s" c.cd_name
+        else
+          match (Hashtbl.find tbl name).ci_super with
+          | None -> ()
+          | Some s -> walk (name :: seen) s
+      in
+      walk [] c.cd_name)
+    prog;
+  tbl
+
+(* --- subtyping -------------------------------------------------------- *)
+
+let rec is_subclass tbl ~sub ~super =
+  String.equal sub super
+  ||
+  match Hashtbl.find_opt tbl sub with
+  | None -> false
+  | Some ci -> (
+      match ci.ci_super with
+      | None -> false
+      | Some s -> is_subclass tbl ~sub:s ~super)
+
+(* [xty] extends class-file types with the type of the null literal. *)
+type xty = X_null | X of CF.Types.ty
+
+let xty_to_string = function
+  | X_null -> "null"
+  | X t -> CF.Types.to_string t
+
+let assignable tbl ~(from : xty) ~(into : CF.Types.ty) =
+  match (from, into) with
+  | X_null, (CF.Types.TRef _ | CF.Types.TArray _) -> true
+  | X CF.Types.TInt, CF.Types.TInt -> true
+  | X CF.Types.TBool, CF.Types.TBool -> true
+  | X (CF.Types.TRef a), CF.Types.TRef b -> is_subclass tbl ~sub:a ~super:b
+  | X (CF.Types.TArray a), CF.Types.TArray b -> CF.Types.equal_ty a b
+  | X (CF.Types.TArray _), CF.Types.TRef o ->
+      String.equal o CF.Types.object_class
+  | _ -> false
+
+(* --- member lookup ---------------------------------------------------- *)
+
+let rec ancestry tbl name acc =
+  match Hashtbl.find_opt tbl name with
+  | None -> List.rev acc
+  | Some ci -> (
+      let acc = ci :: acc in
+      match ci.ci_super with
+      | None -> List.rev acc
+      | Some s -> ancestry tbl s acc)
+
+let lookup_field tbl cname fname : member_field option =
+  ancestry tbl cname []
+  |> List.find_map (fun ci ->
+         List.find_opt (fun f -> String.equal f.mf_name fname) ci.ci_fields)
+
+(* all methods named [m] visible from [cname], nearest declarations first,
+   overridden signatures deduplicated *)
+let lookup_methods tbl cname mname : member_meth list =
+  let seen = ref [] in
+  ancestry tbl cname []
+  |> List.concat_map (fun ci ->
+         List.filter
+           (fun m ->
+             String.equal m.mm_name mname
+             &&
+             let key = CF.Types.msig_descriptor m.mm_sig in
+             if List.mem key !seen then false
+             else begin
+               seen := key :: !seen;
+               true
+             end)
+           ci.ci_meths)
+
+(* --- checking context -------------------------------------------------- *)
+
+type ctx = {
+  tbl : table;
+  mode : mode;
+  cls : string; (* current class *)
+  cur_static : bool;
+  cur_ctor : bool;
+  ret : CF.Types.ty;
+  mutable scopes : (string * (int * CF.Types.ty)) list list;
+  mutable next_slot : int;
+  mutable max_slot : int;
+  mutable loop_depth : int;
+}
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with [] -> assert false | _ :: rest -> ctx.scopes <- rest
+
+let find_local ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some v -> Some v
+        | None -> go rest)
+  in
+  go ctx.scopes
+
+let declare_local ctx pos name ty =
+  if find_local ctx name <> None then
+    terr pos "duplicate local variable %s" name;
+  let slot = ctx.next_slot in
+  ctx.next_slot <- slot + 1;
+  if ctx.next_slot > ctx.max_slot then ctx.max_slot <- ctx.next_slot;
+  (match ctx.scopes with
+  | scope :: rest -> ctx.scopes <- ((name, (slot, ty)) :: scope) :: rest
+  | [] -> assert false);
+  slot
+
+let check_member_access ctx pos ~(vis : CF.Access.visibility) ~decl ~what =
+  match ctx.mode with
+  | Transformer -> ()
+  | Strict ->
+      let same_class = String.equal ctx.cls decl in
+      let same_hierarchy = is_subclass ctx.tbl ~sub:ctx.cls ~super:decl in
+      if not (CF.Access.accessible vis ~same_class ~same_hierarchy) then
+        terr pos "%s is not accessible from %s (declared %s in %s)" what
+          ctx.cls
+          (CF.Access.visibility_to_string vis)
+          decl
+
+let xty_of (e : texpr) : xty = match e.te with T_null -> X_null | _ -> X e.tty
+
+(* --- overload resolution ------------------------------------------------ *)
+
+let resolve_overload ctx pos ~recv_class ~mname ~(args : texpr list) :
+    member_meth =
+  let cands = lookup_methods ctx.tbl recv_class mname in
+  if cands = [] then
+    terr pos "no method %s in class %s" mname recv_class;
+  let applicable =
+    List.filter
+      (fun m ->
+        List.length m.mm_sig.CF.Types.params = List.length args
+        && List.for_all2
+             (fun p a -> assignable ctx.tbl ~from:(xty_of a) ~into:p)
+             m.mm_sig.CF.Types.params args)
+      cands
+  in
+  match applicable with
+  | [] ->
+      terr pos "no applicable overload of %s.%s for (%s)" recv_class mname
+        (String.concat ", "
+           (List.map (fun a -> xty_to_string (xty_of a)) args))
+  | [ m ] -> m
+  | ms -> (
+      (* most specific: every parameter assignable into all rivals' *)
+      let more_specific a b =
+        List.for_all2
+          (fun pa pb -> assignable ctx.tbl ~from:(X pa) ~into:pb)
+          a.mm_sig.CF.Types.params b.mm_sig.CF.Types.params
+      in
+      match
+        List.filter
+          (fun m -> List.for_all (fun o -> more_specific m o) ms)
+          ms
+      with
+      | [ m ] -> m
+      | _ -> terr pos "ambiguous call to %s.%s" recv_class mname)
+
+(* Is [name] a class name (and not shadowed by a local or field)? *)
+let is_class_ref ctx name =
+  find_local ctx name = None
+  && lookup_field ctx.tbl ctx.cls name = None
+  && Hashtbl.mem ctx.tbl name
+
+let field_ref (mf : member_field) : CF.Instr.field_ref =
+  {
+    CF.Instr.f_class = mf.mf_decl;
+    f_name = mf.mf_name;
+    f_ty = mf.mf_ty;
+  }
+
+let method_ref ~cls (mm : member_meth) : CF.Instr.method_ref =
+  (* resolve against the receiver's static class; the verifier and JIT both
+     walk the hierarchy from there *)
+  { CF.Instr.m_class = cls; m_name = mm.mm_name; m_sig = mm.mm_sig }
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec check_expr ctx (e : expr) : texpr =
+  let pos = e.epos in
+  match e.e with
+  | E_int i -> { te = T_int i; tty = CF.Types.TInt }
+  | E_bool b -> { te = T_bool b; tty = CF.Types.TBool }
+  | E_str s -> { te = T_str s; tty = CF.Types.t_string }
+  | E_null -> { te = T_null; tty = CF.Types.t_object }
+  | E_this ->
+      if ctx.cur_static then terr pos "this in static context";
+      { te = T_this; tty = CF.Types.TRef ctx.cls }
+  | E_name name -> (
+      match find_local ctx name with
+      | Some (slot, ty) -> { te = T_local slot; tty = ty }
+      | None -> (
+          match lookup_field ctx.tbl ctx.cls name with
+          | Some mf -> implicit_field_access ctx pos mf
+          | None ->
+              if Hashtbl.mem ctx.tbl name then
+                terr pos "class name %s used as a value" name
+              else terr pos "unknown identifier %s" name))
+  | E_field (recv, fname) -> (
+      match recv.e with
+      | E_name cname when is_class_ref ctx cname ->
+          (* static field access Class.f *)
+          static_field_access ctx pos cname fname
+      | _ -> (
+          let r = check_expr ctx recv in
+          match r.tty with
+          | CF.Types.TArray _ when String.equal fname "length" ->
+              { te = T_array_len r; tty = CF.Types.TInt }
+          | CF.Types.TRef cname -> (
+              match lookup_field ctx.tbl cname fname with
+              | None -> terr pos "class %s has no field %s" cname fname
+              | Some mf ->
+                  if mf.mf_access.CF.Access.is_static then
+                    terr pos "static field %s accessed via instance" fname;
+                  check_member_access ctx pos
+                    ~vis:mf.mf_access.CF.Access.visibility ~decl:mf.mf_decl
+                    ~what:("field " ^ fname);
+                  { te = T_get_field (r, field_ref mf); tty = mf.mf_ty })
+          | t ->
+              terr pos "field access on non-object type %s"
+                (CF.Types.to_string t)))
+  | E_call (recv, mname, args) -> check_call ctx pos recv mname args
+  | E_new (cname, args) -> (
+      match Hashtbl.find_opt ctx.tbl cname with
+      | None -> terr pos "unknown class %s" cname
+      | Some ci when ci.ci_builtin ->
+          terr pos "cannot instantiate builtin class %s" cname
+      | Some _ ->
+          let targs = List.map (check_expr ctx) args in
+          let ctor =
+            resolve_overload ctx pos ~recv_class:cname
+              ~mname:CF.Cls.ctor_name ~args:targs
+          in
+          if not (String.equal ctor.mm_decl cname) then
+            terr pos "class %s has no constructor of that shape" cname;
+          check_member_access ctx pos ~vis:ctor.mm_access.CF.Access.visibility
+            ~decl:ctor.mm_decl
+            ~what:("constructor of " ^ cname);
+          {
+            te = T_new (method_ref ~cls:cname ctor, targs);
+            tty = CF.Types.TRef cname;
+          })
+  | E_new_array (elem_sty, len) ->
+      let elem = cf_ty ctx.tbl pos elem_sty in
+      if CF.Types.equal_ty elem CF.Types.TVoid then
+        terr pos "array of void";
+      let tlen = check_expr ctx len in
+      expect ctx pos tlen CF.Types.TInt "array length";
+      { te = T_new_array (elem, tlen); tty = CF.Types.TArray elem }
+  | E_index (arr, idx) -> (
+      let tarr = check_expr ctx arr in
+      let tidx = check_expr ctx idx in
+      expect ctx pos tidx CF.Types.TInt "array index";
+      match tarr.tty with
+      | CF.Types.TArray elem -> { te = T_index (tarr, tidx); tty = elem }
+      | t -> terr pos "indexing non-array type %s" (CF.Types.to_string t))
+  | E_assign _ -> terr pos "assignment used as a value"
+  | E_binop (op, a, b) -> check_binop ctx pos op a b
+  | E_unop ("!", a) ->
+      let ta = check_expr ctx a in
+      expect ctx pos ta CF.Types.TBool "operand of !";
+      { te = T_not ta; tty = CF.Types.TBool }
+  | E_unop ("-", a) ->
+      let ta = check_expr ctx a in
+      expect ctx pos ta CF.Types.TInt "operand of unary -";
+      { te = T_neg ta; tty = CF.Types.TInt }
+  | E_unop (op, _) -> terr pos "unknown unary operator %s" op
+  | E_cast (cname, a) ->
+      if not (Hashtbl.mem ctx.tbl cname) then
+        terr pos "unknown class %s in cast" cname;
+      let ta = check_expr ctx a in
+      (match ta.tty with
+      | CF.Types.TRef _ | CF.Types.TArray _ -> ()
+      | t -> terr pos "cannot cast non-reference type %s" (CF.Types.to_string t));
+      let ty = CF.Types.TRef cname in
+      { te = T_cast (ty, ta); tty = ty }
+  | E_instanceof (a, cname) ->
+      if not (Hashtbl.mem ctx.tbl cname) then
+        terr pos "unknown class %s in instanceof" cname;
+      let ta = check_expr ctx a in
+      (match ta.tty with
+      | CF.Types.TRef _ | CF.Types.TArray _ -> ()
+      | t ->
+          terr pos "instanceof on non-reference type %s"
+            (CF.Types.to_string t));
+      { te = T_instanceof (CF.Types.TRef cname, ta); tty = CF.Types.TBool }
+
+and expect ctx pos (e : texpr) ty what =
+  if not (assignable ctx.tbl ~from:(xty_of e) ~into:ty) then
+    terr pos "%s has type %s, expected %s" what
+      (xty_to_string (xty_of e))
+      (CF.Types.to_string ty)
+
+and implicit_field_access ctx pos (mf : member_field) : texpr =
+  check_member_access ctx pos ~vis:mf.mf_access.CF.Access.visibility
+    ~decl:mf.mf_decl
+    ~what:("field " ^ mf.mf_name);
+  if mf.mf_access.CF.Access.is_static then
+    { te = T_get_static (field_ref mf); tty = mf.mf_ty }
+  else begin
+    if ctx.cur_static then
+      terr pos "instance field %s in static context" mf.mf_name;
+    {
+      te =
+        T_get_field ({ te = T_this; tty = CF.Types.TRef ctx.cls }, field_ref mf);
+      tty = mf.mf_ty;
+    }
+  end
+
+and static_field_access ctx pos cname fname : texpr =
+  match lookup_field ctx.tbl cname fname with
+  | None -> terr pos "class %s has no field %s" cname fname
+  | Some mf ->
+      if not mf.mf_access.CF.Access.is_static then
+        terr pos "instance field %s accessed via class name" fname;
+      check_member_access ctx pos ~vis:mf.mf_access.CF.Access.visibility
+        ~decl:mf.mf_decl
+        ~what:("field " ^ fname);
+      { te = T_get_static (field_ref mf); tty = mf.mf_ty }
+
+and check_call ctx pos recv mname args : texpr =
+  let targs = List.map (check_expr ctx) args in
+  let build ~kind ~recv_texpr ~recv_class (mm : member_meth) =
+    check_member_access ctx pos ~vis:mm.mm_access.CF.Access.visibility
+      ~decl:mm.mm_decl
+      ~what:(Printf.sprintf "method %s" mname);
+    {
+      te = T_call (kind, recv_texpr, method_ref ~cls:recv_class mm, targs);
+      tty = mm.mm_sig.CF.Types.ret;
+    }
+  in
+  match recv with
+  | Some { e = E_name cname; _ } when is_class_ref ctx cname ->
+      (* static call Class.m(...) *)
+      let mm = resolve_overload ctx pos ~recv_class:cname ~mname ~args:targs in
+      if not mm.mm_access.CF.Access.is_static then
+        terr pos "instance method %s called via class name %s" mname cname;
+      build ~kind:C_static ~recv_texpr:None ~recv_class:cname mm
+  | Some r -> (
+      let tr = check_expr ctx r in
+      match tr.tty with
+      | CF.Types.TRef cname ->
+          let mm =
+            resolve_overload ctx pos ~recv_class:cname ~mname ~args:targs
+          in
+          if mm.mm_access.CF.Access.is_static then
+            terr pos "static method %s called via instance" mname;
+          let kind =
+            if mm.mm_access.CF.Access.visibility = CF.Access.Private then
+              C_direct
+            else C_virtual
+          in
+          build ~kind ~recv_texpr:(Some tr) ~recv_class:cname mm
+      | t ->
+          terr pos "method call on non-object type %s" (CF.Types.to_string t))
+  | None ->
+      (* bare call: a method of the current class (or an ancestor) *)
+      let mm =
+        resolve_overload ctx pos ~recv_class:ctx.cls ~mname ~args:targs
+      in
+      if mm.mm_access.CF.Access.is_static then
+        build ~kind:C_static ~recv_texpr:None ~recv_class:ctx.cls mm
+      else begin
+        if ctx.cur_static then
+          terr pos "instance method %s called in static context" mname;
+        let this = { te = T_this; tty = CF.Types.TRef ctx.cls } in
+        let kind =
+          if mm.mm_access.CF.Access.visibility = CF.Access.Private then
+            C_direct
+          else C_virtual
+        in
+        build ~kind ~recv_texpr:(Some this) ~recv_class:ctx.cls mm
+      end
+
+and check_binop ctx pos op a b : texpr =
+  let ta = check_expr ctx a in
+  let tb = check_expr ctx b in
+  let is_string (t : texpr) = CF.Types.equal_ty t.tty CF.Types.t_string in
+  let as_string (t : texpr) =
+    if is_string t then t
+    else
+      match xty_of t with
+      | X CF.Types.TInt -> { te = T_int_to_string t; tty = CF.Types.t_string }
+      | X_null -> terr pos "cannot concatenate null (use a literal)"
+      | _ ->
+          terr pos "cannot concatenate %s with a String"
+            (xty_to_string (xty_of t))
+  in
+  let int_int mk =
+    expect ctx pos ta CF.Types.TInt "left operand";
+    expect ctx pos tb CF.Types.TInt "right operand";
+    mk
+  in
+  match op with
+  | "+" when is_string ta || is_string tb ->
+      {
+        te = T_binop (B_concat, as_string ta, as_string tb);
+        tty = CF.Types.t_string;
+      }
+  | "+" -> { te = int_int (T_binop (B_arith CF.Instr.Add, ta, tb)); tty = TInt }
+  | "-" -> { te = int_int (T_binop (B_arith CF.Instr.Sub, ta, tb)); tty = TInt }
+  | "*" -> { te = int_int (T_binop (B_arith CF.Instr.Mul, ta, tb)); tty = TInt }
+  | "/" -> { te = int_int (T_binop (B_arith CF.Instr.Div, ta, tb)); tty = TInt }
+  | "%" -> { te = int_int (T_binop (B_arith CF.Instr.Rem, ta, tb)); tty = TInt }
+  | "<" | "<=" | ">" | ">=" ->
+      let c =
+        match op with
+        | "<" -> CF.Instr.Lt
+        | "<=" -> CF.Instr.Le
+        | ">" -> CF.Instr.Gt
+        | _ -> CF.Instr.Ge
+      in
+      { te = int_int (T_binop (B_icmp c, ta, tb)); tty = CF.Types.TBool }
+  | "==" | "!=" -> (
+      let eq = String.equal op "==" in
+      match (xty_of ta, xty_of tb) with
+      | X CF.Types.TInt, X CF.Types.TInt ->
+          {
+            te =
+              T_binop
+                (B_icmp (if eq then CF.Instr.Eq else CF.Instr.Ne), ta, tb);
+            tty = CF.Types.TBool;
+          }
+      | (X (CF.Types.TRef _ | CF.Types.TArray _) | X_null), _
+        when (match xty_of tb with
+             | X (CF.Types.TRef _ | CF.Types.TArray _) | X_null -> true
+             | _ -> false) ->
+          { te = T_binop (B_acmp eq, ta, tb); tty = CF.Types.TBool }
+      | _ ->
+          terr pos "cannot compare %s with %s (boolean comparison: use logic)"
+            (xty_to_string (xty_of ta))
+            (xty_to_string (xty_of tb)))
+  | "&&" ->
+      expect ctx pos ta CF.Types.TBool "left operand of &&";
+      expect ctx pos tb CF.Types.TBool "right operand of &&";
+      { te = T_binop (B_and, ta, tb); tty = CF.Types.TBool }
+  | "||" ->
+      expect ctx pos ta CF.Types.TBool "left operand of ||";
+      expect ctx pos tb CF.Types.TBool "right operand of ||";
+      { te = T_binop (B_or, ta, tb); tty = CF.Types.TBool }
+  | _ -> terr pos "unknown operator %s" op
+
+(* --- assignment --------------------------------------------------------- *)
+
+let check_final_assign ctx pos (mf : member_field) =
+  if mf.mf_access.CF.Access.is_final && ctx.mode = Strict then begin
+    let ok =
+      String.equal ctx.cls mf.mf_decl
+      &&
+      if mf.mf_access.CF.Access.is_static then false
+        (* static finals are assigned via their initializer only *)
+      else ctx.cur_ctor
+    in
+    if not ok then terr pos "assignment to final field %s" mf.mf_name
+  end
+
+let check_assign ctx pos (lhs : expr) (rhs : expr) : tstmt =
+  let trhs = check_expr ctx rhs in
+  match lhs.e with
+  | E_name name -> (
+      match find_local ctx name with
+      | Some (slot, ty) ->
+          if not (assignable ctx.tbl ~from:(xty_of trhs) ~into:ty) then
+            terr pos "cannot assign %s to %s (%s)"
+              (xty_to_string (xty_of trhs))
+              name (CF.Types.to_string ty);
+          Ts_set_local (slot, trhs)
+      | None -> (
+          match lookup_field ctx.tbl ctx.cls name with
+          | Some mf ->
+              check_member_access ctx pos
+                ~vis:mf.mf_access.CF.Access.visibility ~decl:mf.mf_decl
+                ~what:("field " ^ name);
+              check_final_assign ctx pos mf;
+              if not (assignable ctx.tbl ~from:(xty_of trhs) ~into:mf.mf_ty)
+              then
+                terr pos "cannot assign %s to field %s (%s)"
+                  (xty_to_string (xty_of trhs))
+                  name
+                  (CF.Types.to_string mf.mf_ty);
+              if mf.mf_access.CF.Access.is_static then
+                Ts_set_static (field_ref mf, trhs)
+              else begin
+                if ctx.cur_static then
+                  terr pos "instance field %s in static context" name;
+                Ts_set_field
+                  ( { te = T_this; tty = CF.Types.TRef ctx.cls },
+                    field_ref mf,
+                    trhs )
+              end
+          | None -> terr pos "unknown identifier %s" name))
+  | E_field (recv, fname) -> (
+      match recv.e with
+      | E_name cname when is_class_ref ctx cname -> (
+          match lookup_field ctx.tbl cname fname with
+          | None -> terr pos "class %s has no field %s" cname fname
+          | Some mf ->
+              if not mf.mf_access.CF.Access.is_static then
+                terr pos "instance field %s assigned via class name" fname;
+              check_member_access ctx pos
+                ~vis:mf.mf_access.CF.Access.visibility ~decl:mf.mf_decl
+                ~what:("field " ^ fname);
+              check_final_assign ctx pos mf;
+              if not (assignable ctx.tbl ~from:(xty_of trhs) ~into:mf.mf_ty)
+              then terr pos "type mismatch assigning %s.%s" cname fname;
+              Ts_set_static (field_ref mf, trhs))
+      | _ -> (
+          let tr = check_expr ctx recv in
+          match tr.tty with
+          | CF.Types.TRef cname -> (
+              match lookup_field ctx.tbl cname fname with
+              | None -> terr pos "class %s has no field %s" cname fname
+              | Some mf ->
+                  if mf.mf_access.CF.Access.is_static then
+                    terr pos "static field %s assigned via instance" fname;
+                  check_member_access ctx pos
+                    ~vis:mf.mf_access.CF.Access.visibility ~decl:mf.mf_decl
+                    ~what:("field " ^ fname);
+                  check_final_assign ctx pos mf;
+                  if
+                    not
+                      (assignable ctx.tbl ~from:(xty_of trhs) ~into:mf.mf_ty)
+                  then terr pos "type mismatch assigning %s.%s" cname fname;
+                  Ts_set_field (tr, field_ref mf, trhs))
+          | t ->
+              terr pos "field assignment on non-object type %s"
+                (CF.Types.to_string t)))
+  | E_index (arr, idx) -> (
+      let tarr = check_expr ctx arr in
+      let tidx = check_expr ctx idx in
+      expect ctx pos tidx CF.Types.TInt "array index";
+      match tarr.tty with
+      | CF.Types.TArray elem ->
+          if not (assignable ctx.tbl ~from:(xty_of trhs) ~into:elem) then
+            terr pos "cannot store %s into %s[]"
+              (xty_to_string (xty_of trhs))
+              (CF.Types.to_string elem);
+          Ts_set_index (tarr, tidx, trhs, elem)
+      | t -> terr pos "indexing non-array type %s" (CF.Types.to_string t))
+  | _ -> terr pos "invalid assignment target"
+
+(* --- statements --------------------------------------------------------- *)
+
+let rec check_stmt ctx (s : stmt) : tstmt =
+  match s with
+  | S_block ss ->
+      push_scope ctx;
+      let out = List.map (check_stmt ctx) ss in
+      pop_scope ctx;
+      Ts_seq out
+  | S_if (c, a, b) ->
+      let tc = check_expr ctx c in
+      expect ctx (pos_of c) tc CF.Types.TBool "if condition";
+      Ts_if (tc, check_stmt ctx a, Option.map (check_stmt ctx) b)
+  | S_while (c, body) ->
+      let tc = check_expr ctx c in
+      expect ctx (pos_of c) tc CF.Types.TBool "while condition";
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let tb = check_stmt ctx body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      Ts_while (tc, tb)
+  | S_for (init, cond, step, body) ->
+      push_scope ctx;
+      let tinit =
+        match init with Some s -> check_stmt ctx s | None -> Ts_nop
+      in
+      let tcond =
+        Option.map
+          (fun c ->
+            let tc = check_expr ctx c in
+            expect ctx (pos_of c) tc CF.Types.TBool "for condition";
+            tc)
+          cond
+      in
+      let tstep =
+        match step with
+        | Some ({ e = E_assign (l, r); epos } as _e) ->
+            check_assign ctx epos l r
+        | Some e ->
+            let te = check_expr ctx e in
+            Ts_expr te
+        | None -> Ts_nop
+      in
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let tbody = check_stmt ctx body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      pop_scope ctx;
+      Ts_for (tinit, tcond, tstep, tbody)
+  | S_return (e, pos) -> (
+      match (e, ctx.ret) with
+      | None, CF.Types.TVoid -> Ts_return None
+      | None, t ->
+          terr pos "missing return value (expected %s)" (CF.Types.to_string t)
+      | Some _, CF.Types.TVoid -> terr pos "void method returns a value"
+      | Some e, t ->
+          let te = check_expr ctx e in
+          expect ctx pos te t "return value";
+          Ts_return (Some te))
+  | S_break pos ->
+      if ctx.loop_depth = 0 then terr pos "break outside loop";
+      Ts_break
+  | S_continue pos ->
+      if ctx.loop_depth = 0 then terr pos "continue outside loop";
+      Ts_continue
+  | S_var (sty, name, init, pos) ->
+      let ty = cf_ty ctx.tbl pos sty in
+      if CF.Types.equal_ty ty CF.Types.TVoid then
+        terr pos "variable of type void";
+      let tinit = Option.map (check_expr ctx) init in
+      (match tinit with
+      | Some te ->
+          if not (assignable ctx.tbl ~from:(xty_of te) ~into:ty) then
+            terr pos "cannot initialize %s (%s) with %s" name
+              (CF.Types.to_string ty)
+              (xty_to_string (xty_of te))
+      | None -> ());
+      let slot = declare_local ctx pos name ty in
+      (match tinit with
+      | Some te -> Ts_set_local (slot, te)
+      | None -> Ts_nop)
+  | S_expr { e = E_assign (l, r); epos } -> check_assign ctx epos l r
+  | S_expr e ->
+      let te = check_expr ctx e in
+      (match te.te with
+      | T_call _ | T_new _ -> ()
+      | _ -> terr (pos_of e) "expression statement has no effect");
+      Ts_expr te
+  | S_super (_, pos) ->
+      terr pos "super(...) is only allowed as the first statement of a \
+                constructor"
+
+and pos_of (e : expr) = e.epos
+
+(* --- classes ------------------------------------------------------------ *)
+
+let field_to_cf tbl (c : class_decl) (f : field_decl) : CF.Cls.field =
+  {
+    CF.Cls.fd_name = f.f_name;
+    fd_ty = cf_ty tbl f.f_pos f.f_ty;
+    fd_access = access_of_mods f.f_mods;
+  }
+  [@@warning "-27"]
+
+let make_ctx tbl mode cls ~static ~ctor ~ret ~params =
+  let ctx =
+    {
+      tbl;
+      mode;
+      cls;
+      cur_static = static;
+      cur_ctor = ctor;
+      ret;
+      scopes = [ [] ];
+      next_slot = (if static then 0 else 1);
+      max_slot = (if static then 0 else 1);
+      loop_depth = 0;
+    }
+  in
+  List.iter
+    (fun (ty, name) -> ignore (declare_local ctx no_pos name ty))
+    params;
+  ctx
+
+(* Field initializer statements for instance fields, used in ctors. *)
+let instance_field_inits tbl mode (c : class_decl) : tstmt list =
+  List.filter_map
+    (fun (f : field_decl) ->
+      if f.f_mods.m_static then None
+      else
+        Option.map
+          (fun init ->
+            let ctx =
+              make_ctx tbl mode c.cd_name ~static:false ~ctor:true
+                ~ret:CF.Types.TVoid ~params:[]
+            in
+            let te = check_expr ctx init in
+            let ty = cf_ty tbl f.f_pos f.f_ty in
+            if not (assignable tbl ~from:(xty_of te) ~into:ty) then
+              terr f.f_pos "bad initializer for field %s" f.f_name;
+            Tast.Ts_set_field
+              ( { te = T_this; tty = CF.Types.TRef c.cd_name },
+                {
+                  CF.Instr.f_class = c.cd_name;
+                  f_name = f.f_name;
+                  f_ty = ty;
+                },
+                te ))
+          f.f_init)
+    c.cd_fields
+
+let static_field_inits tbl mode (c : class_decl) : tstmt list =
+  List.filter_map
+    (fun (f : field_decl) ->
+      if not f.f_mods.m_static then None
+      else
+        Option.map
+          (fun init ->
+            let ctx =
+              make_ctx tbl Transformer c.cd_name ~static:true ~ctor:false
+                ~ret:CF.Types.TVoid ~params:[]
+              (* Transformer mode: <clinit> may assign final statics *)
+            in
+            ignore mode;
+            let te = check_expr ctx init in
+            let ty = cf_ty tbl f.f_pos f.f_ty in
+            if not (assignable tbl ~from:(xty_of te) ~into:ty) then
+              terr f.f_pos "bad initializer for static field %s" f.f_name;
+            Tast.Ts_set_static
+              ( { CF.Instr.f_class = c.cd_name; f_name = f.f_name; f_ty = ty },
+                te ))
+          f.f_init)
+    c.cd_fields
+
+(* Pick the implicit/explicit super-constructor call for a ctor body. *)
+let super_call ctx (c : class_decl) (body : stmt list) :
+    tstmt option * stmt list =
+  let super_name =
+    match c.cd_super with None -> CF.Types.object_class | Some s -> s
+  in
+  let make_super targs (mm : member_meth) =
+    Tast.Ts_expr
+      {
+        te =
+          T_call
+            ( C_direct,
+              Some { te = T_this; tty = CF.Types.TRef c.cd_name },
+              method_ref ~cls:super_name mm,
+              targs );
+        tty = CF.Types.TVoid;
+      }
+  in
+  match body with
+  | S_super (args, pos) :: rest ->
+      let targs = List.map (check_expr ctx) args in
+      let mm =
+        resolve_overload ctx pos ~recv_class:super_name
+          ~mname:CF.Cls.ctor_name ~args:targs
+      in
+      (Some (make_super targs mm), rest)
+  | _ ->
+      (* implicit super(): required only if the superclass declares ctors *)
+      let super_ctors = lookup_methods ctx.tbl super_name CF.Cls.ctor_name in
+      if super_ctors = [] then (None, body)
+      else begin
+        match
+          List.find_opt
+            (fun m -> m.mm_sig.CF.Types.params = [])
+            super_ctors
+        with
+        | Some mm -> (Some (make_super [] mm), body)
+        | None ->
+            terr c.cd_pos
+              "constructor of %s must call super(...): superclass %s has no \
+               no-argument constructor"
+              c.cd_name super_name
+      end
+
+let check_method tbl mode (c : class_decl) (m : method_decl) : tmethod =
+  let ret = cf_ty tbl m.md_pos m.md_ret in
+  let params =
+    List.map (fun (t, n) -> (cf_ty tbl m.md_pos t, n)) m.md_params
+  in
+  let msig = { CF.Types.params = List.map fst params; ret } in
+  let access = access_of_mods m.md_mods in
+  match m.md_body with
+  | None ->
+      {
+        tm_name = m.md_name;
+        tm_sig = msig;
+        tm_access = access;
+        tm_body = None;
+        tm_max_locals =
+          List.length params + if m.md_mods.m_static then 0 else 1;
+      }
+  | Some body ->
+      let ctx =
+        make_ctx tbl mode c.cd_name ~static:m.md_mods.m_static
+          ~ctor:m.md_is_ctor ~ret ~params
+      in
+      let prologue, body =
+        if m.md_is_ctor then begin
+          let sup, rest = super_call ctx c body in
+          let inits = instance_field_inits tbl mode c in
+          ((match sup with Some s -> s :: inits | None -> inits), rest)
+        end
+        else ([], body)
+      in
+      let tbody = prologue @ List.map (check_stmt ctx) body in
+      if
+        (not (CF.Types.equal_ty ret CF.Types.TVoid))
+        && not (Tast.body_returns tbody)
+      then
+        terr m.md_pos "method %s.%s: not all control paths return a value"
+          c.cd_name m.md_name;
+      {
+        tm_name = m.md_name;
+        tm_sig = msig;
+        tm_access = access;
+        tm_body = Some tbody;
+        tm_max_locals = ctx.max_slot;
+      }
+
+let check_class tbl mode (c : class_decl) : tclass =
+  (* duplicate member checks *)
+  let seen_f = Hashtbl.create 8 in
+  List.iter
+    (fun (f : field_decl) ->
+      if Hashtbl.mem seen_f f.f_name then
+        terr f.f_pos "duplicate field %s in %s" f.f_name c.cd_name;
+      Hashtbl.add seen_f f.f_name ())
+    c.cd_fields;
+  let seen_m = Hashtbl.create 8 in
+  List.iter
+    (fun (m : method_decl) ->
+      let key =
+        m.md_name
+        ^ String.concat ","
+            (List.map (fun (t, _) -> sty_to_string t) m.md_params)
+      in
+      if Hashtbl.mem seen_m key then
+        terr m.md_pos "duplicate method %s in %s" m.md_name c.cd_name;
+      Hashtbl.add seen_m key ())
+    c.cd_methods;
+  let methods = List.map (check_method tbl mode c) c.cd_methods in
+  (* synthesize a default constructor if none is declared *)
+  let methods =
+    if List.exists (fun m -> m.tm_name = CF.Cls.ctor_name) methods then
+      methods
+    else begin
+      let ctx =
+        make_ctx tbl mode c.cd_name ~static:false ~ctor:true
+          ~ret:CF.Types.TVoid ~params:[]
+      in
+      let sup, _ = super_call ctx c [] in
+      let inits = instance_field_inits tbl mode c in
+      let body = (match sup with Some s -> [ s ] | None -> []) @ inits in
+      {
+        tm_name = CF.Cls.ctor_name;
+        tm_sig = { CF.Types.params = []; ret = CF.Types.TVoid };
+        tm_access = CF.Access.make ();
+        tm_body = Some body;
+        tm_max_locals = 1;
+      }
+      :: methods
+    end
+  in
+  (* synthesize <clinit> from static field initializers *)
+  let clinit_body = static_field_inits tbl mode c in
+  let methods =
+    if clinit_body = [] then methods
+    else
+      methods
+      @ [
+          {
+            tm_name = CF.Cls.clinit_name;
+            tm_sig = { CF.Types.params = []; ret = CF.Types.TVoid };
+            tm_access = CF.Access.make ~static:true ();
+            tm_body = Some clinit_body;
+            tm_max_locals = 0;
+          };
+        ]
+  in
+  {
+    tc_name = c.cd_name;
+    tc_super =
+      (match c.cd_super with None -> CF.Types.object_class | Some s -> s);
+    tc_fields = List.map (field_to_cf tbl c) c.cd_fields;
+    tc_methods = methods;
+  }
+
+(* Check a whole program against builtins plus [extra] pre-compiled class
+   files (used when compiling transformer classes against a program that is
+   already in class-file form). *)
+let check_program ?(mode = Strict) ?(extra = []) (prog : program) :
+    tclass list =
+  let tbl = build_table ~extra prog in
+  List.map (check_class tbl mode) prog

@@ -1,0 +1,205 @@
+(* An in-memory network substrate.
+
+   The paper evaluates Jvolve on socket servers (Jetty, JavaEmailServer,
+   CrossFTP) driven by external clients (httperf).  This repository has no
+   real network, so servers running on the VM talk to benchmark-harness
+   clients through this module: line-oriented, bidirectional, in-memory
+   connections.  See DESIGN.md ("Substitutions").
+
+   The server side is used by the VM's [Net.*] native methods; the client
+   side by OCaml workload drivers.  Everything is single-threaded (the VM
+   scheduler interleaves server threads; harness code pumps clients between
+   scheduler rounds), so no locking is needed. *)
+
+type conn = {
+  conn_id : int;
+  mutable to_server : string list; (* queued lines, oldest first *)
+  mutable to_server_back : string list;
+  mutable to_client : string list;
+  mutable to_client_back : string list;
+  mutable closed_by_client : bool;
+  mutable closed_by_server : bool;
+}
+
+type listener = {
+  port : int;
+  mutable backlog : conn list; (* pending, oldest first *)
+  mutable backlog_back : conn list;
+  mutable open_ : bool;
+}
+
+type t = {
+  mutable listeners : (int * listener) list; (* port -> listener *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable next_listener : int;
+  listener_ids : (int, listener) Hashtbl.t;
+  mutable bytes_to_client : int; (* throughput accounting *)
+  mutable bytes_to_server : int;
+}
+
+let create () =
+  {
+    listeners = [];
+    conns = Hashtbl.create 64;
+    next_conn = 1;
+    next_listener = 1;
+    listener_ids = Hashtbl.create 8;
+    bytes_to_client = 0;
+    bytes_to_server = 0;
+  }
+
+(* --- queue helpers (two-list FIFO) --- *)
+
+let push_q front back v = (front, v :: back)
+
+let pop_q front back =
+  match front with
+  | v :: rest -> Some (v, rest, back)
+  | [] -> (
+      match List.rev back with
+      | [] -> None
+      | v :: rest -> Some (v, rest, []))
+
+(* --- server side (used by VM natives) --- *)
+
+exception Net_error of string
+
+let listen t ~port =
+  if List.mem_assoc port t.listeners then
+    raise (Net_error (Printf.sprintf "port %d already bound" port));
+  let l = { port; backlog = []; backlog_back = []; open_ = true } in
+  t.listeners <- (port, l) :: t.listeners;
+  let id = t.next_listener in
+  t.next_listener <- id + 1;
+  Hashtbl.replace t.listener_ids id l;
+  id
+
+let listener_by_id t id = Hashtbl.find_opt t.listener_ids id
+
+(* Non-blocking accept: [None] means the VM thread must block. *)
+let accept t ~listener_id =
+  match listener_by_id t listener_id with
+  | None -> raise (Net_error "accept on unknown listener")
+  | Some l -> (
+      match pop_q l.backlog l.backlog_back with
+      | None -> None
+      | Some (c, front, back) ->
+          l.backlog <- front;
+          l.backlog_back <- back;
+          Some c.conn_id)
+
+let has_pending t ~listener_id =
+  match listener_by_id t listener_id with
+  | None -> false
+  | Some l -> l.backlog <> [] || l.backlog_back <> []
+
+let conn t id =
+  match Hashtbl.find_opt t.conns id with
+  | None -> raise (Net_error (Printf.sprintf "unknown connection %d" id))
+  | Some c -> c
+
+(* Non-blocking receive of one line from the client.  [`Line s] for data,
+   [`Eof] when the client closed and the queue drained, [`Wait] when the VM
+   thread must block. *)
+let recv_line t ~conn_id =
+  let c = conn t conn_id in
+  match pop_q c.to_server c.to_server_back with
+  | Some (s, front, back) ->
+      c.to_server <- front;
+      c.to_server_back <- back;
+      `Line s
+  | None -> if c.closed_by_client then `Eof else `Wait
+
+let can_recv t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> true (* let the native re-run and fail loudly *)
+  | Some c ->
+      c.to_server <> [] || c.to_server_back <> [] || c.closed_by_client
+
+let send t ~conn_id line =
+  let c = conn t conn_id in
+  if not c.closed_by_server then begin
+    let front, back = push_q c.to_client c.to_client_back line in
+    c.to_client <- front;
+    c.to_client_back <- back;
+    t.bytes_to_client <- t.bytes_to_client + String.length line + 1
+  end
+
+let close_server t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> ()
+  | Some c -> c.closed_by_server <- true
+
+(* --- client side (used by workload drivers) --- *)
+
+(* Connect to a port; [None] if nothing is listening. *)
+let connect t ~port =
+  match List.assoc_opt port t.listeners with
+  | None -> None
+  | Some l when not l.open_ -> None
+  | Some l ->
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      let c =
+        {
+          conn_id = id;
+          to_server = [];
+          to_server_back = [];
+          to_client = [];
+          to_client_back = [];
+          closed_by_client = false;
+          closed_by_server = false;
+        }
+      in
+      Hashtbl.replace t.conns id c;
+      let front, back = push_q l.backlog l.backlog_back c in
+      l.backlog <- front;
+      l.backlog_back <- back;
+      Some id
+
+let client_send t ~conn_id line =
+  let c = conn t conn_id in
+  if not c.closed_by_client then begin
+    let front, back = push_q c.to_server c.to_server_back line in
+    c.to_server <- front;
+    c.to_server_back <- back;
+    t.bytes_to_server <- t.bytes_to_server + String.length line + 1
+  end
+
+let client_recv t ~conn_id =
+  let c = conn t conn_id in
+  match pop_q c.to_client c.to_client_back with
+  | Some (s, front, back) ->
+      c.to_client <- front;
+      c.to_client_back <- back;
+      `Line s
+  | None -> if c.closed_by_server then `Eof else `Wait
+
+let client_close t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> ()
+  | Some c -> c.closed_by_client <- true
+
+let client_can_recv t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> true (* let the native re-run and fail loudly *)
+  | Some c ->
+      c.to_client <> [] || c.to_client_back <> [] || c.closed_by_server
+
+let server_closed t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> true
+  | Some c -> c.closed_by_server
+
+(* Drop a fully-closed connection's storage. *)
+let reap t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | Some c when c.closed_by_client && c.closed_by_server ->
+      Hashtbl.remove t.conns conn_id
+  | _ -> ()
+
+let stats t = (t.bytes_to_server, t.bytes_to_client)
+let reset_stats t =
+  t.bytes_to_server <- 0;
+  t.bytes_to_client <- 0

@@ -1,0 +1,47 @@
+(** The in-memory network substrate standing in for the paper's real
+    sockets (see DESIGN.md, "Substitutions"): line-oriented bidirectional
+    connections between servers running on the VM (via the [Net.*]
+    natives) and workload drivers in the benchmark harness. *)
+
+type t
+
+val create : unit -> t
+
+exception Net_error of string
+
+(** {1 Server side (used by the VM natives)} *)
+
+val listen : t -> port:int -> int
+(** Bind a port; returns the listener id.  Raises {!Net_error} if the
+    port is taken. *)
+
+val accept : t -> listener_id:int -> int option
+(** Non-blocking: [None] means the VM thread must block. *)
+
+val has_pending : t -> listener_id:int -> bool
+
+val recv_line : t -> conn_id:int -> [ `Line of string | `Eof | `Wait ]
+val send : t -> conn_id:int -> string -> unit
+val close_server : t -> conn_id:int -> unit
+val can_recv : t -> conn_id:int -> bool
+
+(** {1 Client side (used by workload drivers)} *)
+
+val connect : t -> port:int -> int option
+(** [None] if nothing listens on [port]. *)
+
+val client_send : t -> conn_id:int -> string -> unit
+val client_recv : t -> conn_id:int -> [ `Line of string | `Eof | `Wait ]
+val client_close : t -> conn_id:int -> unit
+val client_can_recv : t -> conn_id:int -> bool
+val server_closed : t -> conn_id:int -> bool
+
+val reap : t -> conn_id:int -> unit
+(** Drop a fully-closed connection's storage. *)
+
+(** {1 Accounting (throughput figures)} *)
+
+val stats : t -> int * int
+(** (bytes to server, bytes to client), newline included per line. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/vm/classloader.ml: Array Hashtbl Interp Jit Jv_classfile List Natives Rt State String

@@ -1,0 +1,1 @@
+lib/vm/classloader.mli: Jv_classfile Rt State

@@ -1,0 +1,1 @@
+lib/vm/gc.ml: Array Buffer Hashtbl Heap List Rt State Unix Value

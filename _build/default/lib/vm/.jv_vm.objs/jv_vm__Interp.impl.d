@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Fun Hashtbl Heap Jit Jv_classfile List Machine Option Printf Rt State Value

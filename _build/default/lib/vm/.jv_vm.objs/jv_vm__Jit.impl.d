@@ -1,0 +1,1 @@
+lib/vm/jit.ml: Array Jv_classfile List Machine Option Printf Rt State Value

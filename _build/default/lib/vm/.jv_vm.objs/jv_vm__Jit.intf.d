@@ -1,0 +1,1 @@
+lib/vm/jit.mli: Machine Rt State

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Fmt Jv_classfile List Printf Queue Value

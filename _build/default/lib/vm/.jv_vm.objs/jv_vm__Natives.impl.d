@@ -1,0 +1,1 @@
+lib/vm/natives.ml: Array Buffer Char Hashtbl Heap Interp Jit Jv_simnet List Printf Rt State String Value

@@ -1,0 +1,1 @@
+lib/vm/natives.mli: State

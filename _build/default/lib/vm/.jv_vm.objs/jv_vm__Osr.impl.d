@@ -1,0 +1,1 @@
+lib/vm/osr.ml: Array Jit Machine Rt State

@@ -1,0 +1,1 @@
+lib/vm/osr.mli: State

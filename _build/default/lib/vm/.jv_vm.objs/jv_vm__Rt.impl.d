@@ -1,0 +1,1 @@
+lib/vm/rt.ml: Array Hashtbl Heap Jv_classfile List Machine Printf Seq String

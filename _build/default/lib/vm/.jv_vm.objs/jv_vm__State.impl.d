@@ -1,0 +1,1 @@
+lib/vm/state.ml: Array Buffer Hashtbl Heap Jv_classfile Jv_simnet List Machine Printf Rt Value

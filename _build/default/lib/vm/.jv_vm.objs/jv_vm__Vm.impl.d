@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Classloader Gc Heap Sched State

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Gc Jv_classfile Jv_simnet State

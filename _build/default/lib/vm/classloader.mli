@@ -1,0 +1,23 @@
+(** The class loader: verification + runtime-metadata installation. *)
+
+module CF = Jv_classfile
+
+exception Load_error of string list
+
+val topo_sort : CF.Cls.t list -> CF.Cls.t list
+(** Superclasses before subclasses. *)
+
+val install :
+  State.t -> ?replace:bool -> CF.Cls.t list -> Rt.rt_class list
+(** Install class files into the registry ([replace] permits rebinding a
+    name, used when installing updated versions).  No verification —
+    callers verify first. *)
+
+val run_clinit : State.t -> Rt.rt_class -> unit
+
+val boot : State.t -> CF.Cls.t list -> unit
+(** Inject builtins, verify the whole program, install everything,
+    register natives, run static initializers.  Raises {!Load_error}. *)
+
+val spawn_main : State.t -> main_class:string -> State.vthread
+(** Spawn the program's main thread ([static void main()]). *)

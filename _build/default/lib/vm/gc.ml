@@ -1,0 +1,174 @@
+(* The semi-space copying collector, with the Jvolve extension (paper §3.4).
+
+   A normal collection is a Cheney scan: forward the roots, then sweep a
+   scan pointer through to-space forwarding every reference field.
+
+   During an update the collector additionally receives a *transform plan*
+   mapping old class ids to new class ids.  When it first encounters an
+   object whose class is in the plan it:
+
+     1. allocates an object of the *new* class in to-space (zeroed fields,
+        new TIB/class id — possibly a different size),
+     2. allocates a verbatim *copy of the old object* in to-space,
+     3. installs the forwarding pointer to the NEW object (so every
+        surviving reference lands on the new version), and
+     4. appends the (old copy, new object) pair to the update log.
+
+   Both to-space allocations sit ahead of the scan pointer, so the old
+   copy's fields are forwarded by the normal sweep ("the collector
+   continues scanning the old copy") while the new object's zeroed fields
+   contribute nothing.  After the collection, [Jvolve_core.Updater] runs
+   the object transformers over the log; dropping the log then makes the
+   old copies unreachable, and the next collection reclaims them. *)
+
+type transform_plan = (int, int) Hashtbl.t (* old cid -> new cid *)
+
+type result = {
+  gc_ms : float;
+  copied_objects : int;
+  transformed_objects : int;
+  copied_words : int;
+  update_log : int array; (* flattened pairs: old-copy addr, new addr *)
+}
+
+let obj_size (vm : State.t) space addr =
+  let cid = space.(addr + Heap.off_class) in
+  let cls = Rt.class_by_id vm.State.reg cid in
+  if cls.Rt.is_array then
+    Heap.array_header_words + space.(addr + Heap.off_array_len)
+  else cls.Rt.size_words
+
+let collect ?plan (vm : State.t) : result =
+  let t0 = Unix.gettimeofday () in
+  let heap = vm.State.heap in
+  let from = Heap.flip heap in
+  let copied = ref 0 in
+  let transformed = ref 0 in
+  let log = Buffer.create 64 in
+  (* the log is built as ints in a resizable buffer-of-pairs *)
+  let log_old = ref [] in
+  ignore log;
+  let bump nwords =
+    match Heap.alloc_raw heap ~nwords with
+    | Some a -> a
+    | None ->
+        State.fatal
+          "to-space overflow during GC (%d words needed, %d free): updates \
+           temporarily duplicate transformed objects; grow the heap"
+          nwords (Heap.words_free heap)
+  in
+  let space () = heap.Heap.space in
+  let rec forward addr =
+    let gcw = from.(addr + Heap.off_gc) in
+    if gcw < 0 then -(gcw + 1) (* already forwarded *)
+    else begin
+      let cid = from.(addr + Heap.off_class) in
+      let cls = Rt.class_by_id vm.State.reg cid in
+      let size =
+        if cls.Rt.is_array then
+          Heap.array_header_words + from.(addr + Heap.off_array_len)
+        else cls.Rt.size_words
+      in
+      match
+        match plan with
+        | None -> None
+        | Some p -> Hashtbl.find_opt p cid
+      with
+      | Some new_cid ->
+          let new_cls = Rt.class_by_id vm.State.reg new_cid in
+          let new_addr = bump new_cls.Rt.size_words in
+          (space ()).(new_addr + Heap.off_class) <- new_cid;
+          (* fields stay zero until the transformer runs *)
+          let old_copy = bump size in
+          Array.blit from addr (space ()) old_copy size;
+          (space ()).(old_copy + Heap.off_gc) <- 0;
+          from.(addr + Heap.off_gc) <- -(new_addr + 1);
+          incr transformed;
+          incr copied;
+          log_old := (old_copy, new_addr) :: !log_old;
+          new_addr
+      | None ->
+          let new_addr = bump size in
+          Array.blit from addr (space ()) new_addr size;
+          (space ()).(new_addr + Heap.off_gc) <- 0;
+          from.(addr + Heap.off_gc) <- -(new_addr + 1);
+          incr copied;
+          new_addr
+    end
+  and forward_word w =
+    if Value.is_ref w then Value.of_ref (forward (Value.to_ref w)) else w
+  in
+  let forward_array (a : int array) lo hi =
+    for i = lo to hi - 1 do
+      a.(i) <- forward_word a.(i)
+    done
+  in
+  (* --- roots --- *)
+  forward_array vm.State.jtoc 0 vm.State.jtoc_n;
+  List.iter
+    (fun (t : State.vthread) ->
+      List.iter
+        (fun (fr : State.frame) ->
+          forward_array fr.State.locals 0 (Array.length fr.State.locals);
+          forward_array fr.State.ostack 0 fr.State.sp)
+        t.State.frames;
+      match t.State.pending with
+      | Some pn ->
+          forward_array pn.State.pn_args 0 (Array.length pn.State.pn_args)
+      | None -> ())
+    vm.State.threads;
+  List.iter (fun a -> forward_array a 0 (Array.length a)) vm.State.extra_roots;
+  (* the indirection baseline's handle table maps addresses to addresses *)
+  if Hashtbl.length vm.State.handle_table > 0 then begin
+    let pairs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) vm.State.handle_table []
+    in
+    Hashtbl.reset vm.State.handle_table;
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.replace vm.State.handle_table (forward k) (forward v))
+      pairs
+  end;
+  (* --- Cheney scan --- *)
+  let scan = ref 1 in
+  while !scan < heap.Heap.free do
+    let addr = !scan in
+    let size = obj_size vm (space ()) addr in
+    let cid = (space ()).(addr + Heap.off_class) in
+    let cls = Rt.class_by_id vm.State.reg cid in
+    let field_lo =
+      if cls.Rt.is_array then addr + Heap.array_header_words
+      else addr + Heap.header_words
+    in
+    for i = field_lo to addr + size - 1 do
+      (space ()).(i) <- forward_word (space ()).(i)
+    done;
+    scan := addr + size
+  done;
+  Heap.scrub_other heap;
+  let update_log =
+    (* pairs are stored as *encoded reference words* so the log can be
+       registered as an ordinary extra-roots array: transformer-phase
+       allocation may trigger a nested collection that must relocate
+       these (the old copies are reachable from nowhere else) *)
+    let pairs = List.rev !log_old in
+    let arr = Array.make (2 * List.length pairs) 0 in
+    List.iteri
+      (fun i (o, n) ->
+        arr.(2 * i) <- Value.of_ref o;
+        arr.((2 * i) + 1) <- Value.of_ref n)
+      pairs;
+    arr
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  vm.State.last_gc_ms <- ms;
+  {
+    gc_ms = ms;
+    copied_objects = !copied;
+    transformed_objects = !transformed;
+    copied_words = Heap.words_used heap;
+    update_log;
+  }
+
+(* Plain collection for allocation pressure. *)
+let () = State.gc_hook := fun vm -> ignore (collect vm)

@@ -1,0 +1,29 @@
+(** The semi-space copying collector with the Jvolve extension (paper
+    §3.4).
+
+    A normal collection is a Cheney scan.  Given a {e transform plan}
+    (old class id → new class id), each first-touched instance of an
+    updated class is replaced by a zeroed new-layout object, a verbatim
+    copy of the old object is kept, the forwarding pointer targets the
+    NEW object, and the (old copy, new object) pair is appended to the
+    update log.  Both land ahead of the scan pointer, so the old copy's
+    reference fields are forwarded to {e transformed} referents — the
+    invariant Jvolve's transformer model relies on. *)
+
+type transform_plan = (int, int) Hashtbl.t
+
+type result = {
+  gc_ms : float;
+  copied_objects : int;
+  transformed_objects : int;
+  copied_words : int;
+  update_log : int array;
+      (** flattened (old copy, new object) pairs as {e encoded reference
+          words}, so the log can be registered as an extra-roots array
+          while transformers run *)
+}
+
+val collect : ?plan:transform_plan -> State.t -> result
+(** Roots: the JTOC, every thread frame's locals and live operand stack,
+    pending native arguments, [State.extra_roots] arrays (rewritten in
+    place), and the indirection baseline's handle table. *)

@@ -1,0 +1,79 @@
+(* The semi-space heap.
+
+   Two equal-sized spaces of words; allocation bumps a free pointer in the
+   active space.  [Gc] flips the spaces and copies live objects (Cheney
+   scan).  Object layout, word-addressed:
+
+     scalar object:  [class id | gc word | field 0 | field 1 | ...]
+     array:          [class id | gc word | length  | elem 0  | ...]
+
+   The gc word is 0 in a live object; during collection the from-space
+   original's gc word holds [-(new_addr + 1)] once the object has been
+   forwarded.  Addresses start at 1 so that address 0 can never be handed
+   out (0 encodes null). *)
+
+let header_words = 2
+let array_header_words = 3 (* class id, gc word, length *)
+
+let off_class = 0
+let off_gc = 1
+let off_array_len = 2
+
+type t = {
+  mutable space : int array; (* active (to-)space *)
+  mutable other : int array; (* idle (from-)space after a flip *)
+  mutable free : int; (* next free word in [space] *)
+  size_words : int; (* per semi-space *)
+  mutable gc_count : int;
+  mutable allocations : int; (* objects allocated since creation *)
+}
+
+let create ~words =
+  if words < 64 then invalid_arg "Heap.create: heap too small";
+  {
+    space = Array.make words 0;
+    other = Array.make words 0;
+    free = 1 (* keep address 0 unused: 0 is null *);
+    size_words = words;
+    gc_count = 0;
+    allocations = 0;
+  }
+
+let words_free h = h.size_words - h.free
+let words_used h = h.free - 1
+
+(* Raw allocation: returns the base address or [None] when a collection is
+   needed.  Words are pre-zeroed (spaces start zeroed and the collector
+   re-zeroes the idle space on flip), giving default field values for
+   free. *)
+let alloc_raw h ~nwords =
+  if nwords <= 0 then invalid_arg "Heap.alloc_raw";
+  if h.free + nwords > h.size_words then None
+  else begin
+    let addr = h.free in
+    h.free <- h.free + nwords;
+    h.allocations <- h.allocations + 1;
+    Some addr
+  end
+
+let get h ~addr ~off = h.space.(addr + off)
+let set h ~addr ~off v = h.space.(addr + off) <- v
+
+let class_id h addr = h.space.(addr + off_class)
+let array_length h addr = h.space.(addr + off_array_len)
+
+(* Flip for GC: the current space becomes from-space, the idle one becomes
+   the (empty) to-space.  Returns the new from-space for the collector to
+   read evacuated objects from. *)
+let flip h =
+  let from = h.space in
+  h.space <- h.other;
+  h.other <- from;
+  h.free <- 1;
+  h.gc_count <- h.gc_count + 1;
+  from
+
+(* After a collection the old from-space contents are dead; zero it so the
+   next flip starts from a clean space (keeps default-initialization
+   guarantees). *)
+let scrub_other h = Array.fill h.other 0 (Array.length h.other) 0

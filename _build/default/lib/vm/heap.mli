@@ -1,0 +1,46 @@
+(** The semi-space heap: two equal word arrays, bump allocation, flipped
+    by the collector.
+
+    Object layout (word-addressed):
+    {v
+      scalar object:  [class id | gc word | field 0 | field 1 | ...]
+      array:          [class id | gc word | length  | elem 0  | ...]
+    v}
+    The gc word is 0 in a live object; during collection the from-space
+    original holds [-(new_addr + 1)] once forwarded.  Addresses start
+    at 1 (0 encodes null). *)
+
+val header_words : int
+val array_header_words : int
+val off_class : int
+val off_gc : int
+val off_array_len : int
+
+type t = {
+  mutable space : int array;  (** active (to-)space *)
+  mutable other : int array;  (** idle (from-)space after a flip *)
+  mutable free : int;  (** next free word in [space] *)
+  size_words : int;  (** per semi-space *)
+  mutable gc_count : int;
+  mutable allocations : int;
+}
+
+val create : words:int -> t
+val words_free : t -> int
+val words_used : t -> int
+
+val alloc_raw : t -> nwords:int -> int option
+(** Bump-allocate; [None] means a collection is needed.  Words are
+    pre-zeroed, giving default field values for free. *)
+
+val get : t -> addr:int -> off:int -> int
+val set : t -> addr:int -> off:int -> int -> unit
+val class_id : t -> int -> int
+val array_length : t -> int -> int
+
+val flip : t -> int array
+(** Swap spaces for a collection; returns the new from-space. *)
+
+val scrub_other : t -> unit
+(** Zero the idle space after a collection (keeps the pre-zeroed
+    allocation guarantee). *)

@@ -1,0 +1,432 @@
+(* The execution engine: runs machine code in time slices.
+
+   A slice ends only at VM safe points — yield points (method entry / loop
+   back edge), returns, or native-call blocking — so every parked thread is
+   always at a safe point, exactly the invariant Jikes RVM maintains for
+   GC, scheduling and (in Jvolve) dynamic updates.
+
+   Runtime faults (null dereference, division by zero, array bounds, failed
+   casts) trap: the offending thread dies and the fault is logged.  MiniJava
+   has no exception handling, so traps are terminal per-thread, never
+   per-VM. *)
+
+module CF = Jv_classfile
+open Machine
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type slice_end = S_parked | S_blocked | S_finished | S_trapped of string
+
+let max_frames = 4096
+
+(* Per-dereference indirection check (the JDrums/DVM baseline; paper §5).
+   Translates the reference *in place* on the operand stack so that it
+   remains a GC root while the lazy hook possibly allocates a replacement
+   object.  In normal (Jvolve) mode this code never runs: the whole point
+   of the paper's eager GC-based update is that steady-state execution
+   pays no per-dereference tax. *)
+let deref_check_slot vm (fr : State.frame) idx =
+  if vm.State.config.indirection_mode && idx >= 0 then begin
+    vm.State.deref_checks <- vm.State.deref_checks + 1;
+    let w = fr.State.ostack.(idx) in
+    if Value.is_ref w then
+      match vm.State.lazy_hook with
+      | Some hook -> hook vm fr idx
+      | None -> (
+          if Hashtbl.length vm.State.handle_table > 0 then
+            match Hashtbl.find_opt vm.State.handle_table (Value.to_ref w) with
+            | Some n -> fr.State.ostack.(idx) <- Value.of_ref n
+            | None -> ())
+  end
+
+let ref_addr what w =
+  if Value.is_null w then trap "null dereference in %s" what
+  else Value.to_ref w
+
+(* Complete a method return: pop the frame, deliver the result, advance the
+   caller, fire any installed return barrier. *)
+let do_return vm (t : State.vthread) ~(value : int option) =
+  match t.State.frames with
+  | [] -> assert false
+  | fr :: rest ->
+      let fired = fr.State.barrier in
+      t.State.frames <- rest;
+      (match rest with
+      | caller :: _ ->
+          (match value with
+          | Some v -> State.push_op caller v
+          | None -> ());
+          caller.State.pc <- caller.State.pc + 1
+      | [] ->
+          t.State.last_result <- Option.value value ~default:0;
+          t.State.tstate <- State.T_done);
+      if fired then vm.State.barrier_fired <- true;
+      fired
+
+let run_native vm (t : State.vthread) (m : Rt.rt_method) (args : int array) :
+    [ `Done | `Blocked ] =
+  let key = Option.get m.Rt.native_key in
+  let fn =
+    match Hashtbl.find_opt vm.State.natives key with
+    | Some f -> f
+    | None -> trap "unlinked native method %s" key
+  in
+  let has_ret = not (CF.Types.equal_ty m.Rt.m_sig.CF.Types.ret CF.Types.TVoid) in
+  match fn vm t args with
+  | State.N_val v ->
+      (match t.State.frames with
+      | fr :: _ ->
+          if has_ret then State.push_op fr v;
+          fr.State.pc <- fr.State.pc + 1
+      | [] -> ());
+      `Done
+  | State.N_void ->
+      (match t.State.frames with
+      | fr :: _ -> fr.State.pc <- fr.State.pc + 1
+      | [] -> ());
+      `Done
+  | State.N_block reason ->
+      t.State.pending <-
+        Some { State.pn_key = key; pn_args = args; pn_ret = has_ret };
+      t.State.tstate <- State.T_blocked reason;
+      `Blocked
+  | State.N_trap msg -> trap "%s" msg
+
+(* Invoke [m] with [argc] words popped from [fr]'s operand stack.  The
+   caller's pc is left pointing at the invoke instruction; [do_return]
+   advances it, which keeps parked caller frames relocatable by OSR. *)
+let do_call vm (t : State.vthread) (fr : State.frame) (m : Rt.rt_method) argc :
+    [ `Done | `Blocked ] =
+  if not m.Rt.m_valid then
+    trap "invocation of invalidated method %s" m.Rt.m_name;
+  let args = Array.make argc 0 in
+  for i = argc - 1 downto 0 do
+    args.(i) <- State.pop_op fr
+  done;
+  if m.Rt.native_key <> None then run_native vm t m args
+  else begin
+    if List.length t.State.frames >= max_frames then trap "stack overflow";
+    m.Rt.invocations <- m.Rt.invocations + 1;
+    (try Jit.maybe_opt vm m
+     with Jit.Compile_error e -> trap "opt compilation failed: %s" e);
+    let code =
+      try Jit.best_code vm m
+      with Jit.Compile_error e -> trap "compilation failed: %s" e
+    in
+    let callee = State.make_frame m code args in
+    t.State.frames <- callee :: t.State.frames;
+    `Done
+  end
+
+(* Execute one thread for up to [fuel] instructions, stopping only at safe
+   points.  Returns how the slice ended. *)
+let run_slice vm (t : State.vthread) ~fuel : slice_end =
+  let heap = vm.State.heap in
+  let reg = vm.State.reg in
+  let fuel = ref fuel in
+  let result = ref None in
+  (try
+     while !result = None do
+       match t.State.frames with
+       | [] ->
+           t.State.tstate <- State.T_done;
+           result := Some S_finished
+       | fr :: _ -> (
+           let code = fr.State.code.code in
+           if fr.State.pc < 0 || fr.State.pc >= Array.length code then
+             trap "pc %d out of range" fr.State.pc;
+           let ins = code.(fr.State.pc) in
+           vm.State.instr_count <- vm.State.instr_count + 1;
+           decr fuel;
+           let next () = fr.State.pc <- fr.State.pc + 1 in
+           match ins with
+           | M_const w ->
+               State.push_op fr w;
+               next ()
+           | M_str sid ->
+               let addr = State.alloc_string_sid vm sid in
+               State.push_op fr (Value.of_ref addr);
+               next ()
+           | M_load i ->
+               State.push_op fr fr.State.locals.(i);
+               next ()
+           | M_store i ->
+               fr.State.locals.(i) <- State.pop_op fr;
+               next ()
+           | M_dup ->
+               let v = State.pop_op fr in
+               State.push_op fr v;
+               State.push_op fr v;
+               next ()
+           | M_pop ->
+               ignore (State.pop_op fr);
+               next ()
+           | M_swap ->
+               let a = State.pop_op fr in
+               let b = State.pop_op fr in
+               State.push_op fr a;
+               State.push_op fr b;
+               next ()
+           | M_add | M_sub | M_mul | M_div | M_rem ->
+               let b = Value.to_int (State.pop_op fr) in
+               let a = Value.to_int (State.pop_op fr) in
+               let r =
+                 match ins with
+                 | M_add -> a + b
+                 | M_sub -> a - b
+                 | M_mul -> a * b
+                 | M_div ->
+                     if b = 0 then trap "division by zero" else a / b
+                 | M_rem -> if b = 0 then trap "division by zero" else a mod b
+                 | _ -> assert false
+               in
+               State.push_op fr (Value.of_int r);
+               next ()
+           | M_neg ->
+               let a = Value.to_int (State.pop_op fr) in
+               State.push_op fr (Value.of_int (-a));
+               next ()
+           | M_icmp c ->
+               let b = Value.to_int (State.pop_op fr) in
+               let a = Value.to_int (State.pop_op fr) in
+               let r =
+                 match c with
+                 | CF.Instr.Eq -> a = b
+                 | CF.Instr.Ne -> a <> b
+                 | CF.Instr.Lt -> a < b
+                 | CF.Instr.Le -> a <= b
+                 | CF.Instr.Gt -> a > b
+                 | CF.Instr.Ge -> a >= b
+               in
+               State.push_op fr (Value.of_bool r);
+               next ()
+           | M_bnot ->
+               let a = Value.to_bool (State.pop_op fr) in
+               State.push_op fr (Value.of_bool (not a));
+               next ()
+           | M_acmp eq ->
+               let b = State.pop_op fr in
+               let a = State.pop_op fr in
+               State.push_op fr (Value.of_bool (if eq then a = b else a <> b));
+               next ()
+           | M_if_true target ->
+               let c = Value.to_bool (State.pop_op fr) in
+               fr.State.pc <- (if c then target else fr.State.pc + 1)
+           | M_if_false target ->
+               let c = Value.to_bool (State.pop_op fr) in
+               fr.State.pc <- (if c then fr.State.pc + 1 else target)
+           | M_goto target -> fr.State.pc <- target
+           | M_getfield off ->
+               deref_check_slot vm fr (fr.State.sp - 1);
+               let addr = ref_addr "getfield" (State.pop_op fr) in
+               State.push_op fr (Heap.get heap ~addr ~off);
+               next ()
+           | M_putfield off ->
+               deref_check_slot vm fr (fr.State.sp - 2);
+               let v = State.pop_op fr in
+               let addr = ref_addr "putfield" (State.pop_op fr) in
+               Heap.set heap ~addr ~off v;
+               next ()
+           | M_getstatic slot ->
+               State.push_op fr (State.jtoc_get vm slot);
+               next ()
+           | M_putstatic slot ->
+               State.jtoc_set vm slot (State.pop_op fr);
+               next ()
+           | M_invokevirtual (slot, argc) ->
+               let recv_idx = fr.State.sp - argc in
+               if recv_idx < 0 then trap "operand stack underflow at call";
+               deref_check_slot vm fr recv_idx;
+               let addr = ref_addr "virtual call" fr.State.ostack.(recv_idx) in
+               let cls = Rt.class_by_id reg (Heap.class_id heap addr) in
+               if slot >= Array.length cls.Rt.tib then
+                 trap "no TIB slot %d in class %s" slot cls.Rt.name;
+               let m = Rt.method_by_uid reg cls.Rt.tib.(slot) in
+               if do_call vm t fr m argc = `Blocked then
+                 result := Some S_blocked
+           | M_invokestatic (uid, argc) ->
+               let m = Rt.method_by_uid reg uid in
+               if do_call vm t fr m argc = `Blocked then
+                 result := Some S_blocked
+           | M_invokedirect (uid, argc) ->
+               let recv_idx = fr.State.sp - argc in
+               if recv_idx < 0 then trap "operand stack underflow at call";
+               if Value.is_null fr.State.ostack.(recv_idx) then
+                 trap "null dereference in direct call";
+               let m = Rt.method_by_uid reg uid in
+               if do_call vm t fr m argc = `Blocked then
+                 result := Some S_blocked
+           | M_new cid ->
+               let cls = Rt.class_by_id reg cid in
+               if not cls.Rt.valid then
+                 trap "new of superseded class %s" cls.Rt.name;
+               let addr = State.alloc_object vm cls in
+               State.push_op fr (Value.of_ref addr);
+               next ()
+           | M_newarray _ ->
+               let len = Value.to_int (State.pop_op fr) in
+               if len < 0 then trap "negative array size %d" len;
+               let addr = State.alloc_array vm ~len in
+               State.push_op fr (Value.of_ref addr);
+               next ()
+           | M_aload ->
+               let idx = Value.to_int (State.pop_op fr) in
+               let addr = ref_addr "array load" (State.pop_op fr) in
+               let len = Heap.array_length heap addr in
+               if idx < 0 || idx >= len then
+                 trap "array index %d out of bounds (length %d)" idx len;
+               State.push_op fr
+                 (Heap.get heap ~addr ~off:(Heap.array_header_words + idx));
+               next ()
+           | M_astore ->
+               let v = State.pop_op fr in
+               let idx = Value.to_int (State.pop_op fr) in
+               let addr = ref_addr "array store" (State.pop_op fr) in
+               let len = Heap.array_length heap addr in
+               if idx < 0 || idx >= len then
+                 trap "array index %d out of bounds (length %d)" idx len;
+               Heap.set heap ~addr ~off:(Heap.array_header_words + idx) v;
+               next ()
+           | M_alen ->
+               let addr = ref_addr "arraylength" (State.pop_op fr) in
+               State.push_op fr (Value.of_int (Heap.array_length heap addr));
+               next ()
+           | M_checkcast cid ->
+               let w = State.pop_op fr in
+               if Value.is_null w then State.push_op fr w
+               else begin
+                 let ocid = Heap.class_id heap (Value.to_ref w) in
+                 if Rt.is_subclass_id reg ~sub:ocid ~super:cid then
+                   State.push_op fr w
+                 else
+                   trap "class cast: %s is not a %s"
+                     (Rt.class_by_id reg ocid).Rt.name
+                     (Rt.class_by_id reg cid).Rt.name
+               end;
+               next ()
+           | M_instanceof cid ->
+               let w = State.pop_op fr in
+               let r =
+                 (not (Value.is_null w))
+                 && Rt.is_subclass_id reg
+                      ~sub:(Heap.class_id heap (Value.to_ref w))
+                      ~super:cid
+               in
+               State.push_op fr (Value.of_bool r);
+               next ()
+           | M_return ->
+               let fired = do_return vm t ~value:None in
+               if t.State.tstate = State.T_done then
+                 result := Some S_finished
+               else if fired then begin
+                 (* the thread blocks at its safe point until the pending
+                    update resolves (paper §3.2) *)
+                 t.State.tstate <- State.T_blocked State.B_dsu;
+                 result := Some S_blocked
+               end
+               else if !fuel <= 0 then result := Some S_parked
+           | M_return_val ->
+               let v = State.pop_op fr in
+               let fired = do_return vm t ~value:(Some v) in
+               if t.State.tstate = State.T_done then
+                 result := Some S_finished
+               else if fired then begin
+                 t.State.tstate <- State.T_blocked State.B_dsu;
+                 result := Some S_blocked
+               end
+               else if !fuel <= 0 then result := Some S_parked
+           | M_yield _ ->
+               next ();
+               if !fuel <= 0 then result := Some S_parked)
+     done
+   with
+  | Trap msg ->
+      t.State.tstate <- State.T_trapped msg;
+      State.record_trap vm t msg;
+      result := Some (S_trapped msg)
+  | Jit.Compile_error msg ->
+      let msg = "jit: " ^ msg in
+      t.State.tstate <- State.T_trapped msg;
+      State.record_trap vm t msg;
+      result := Some (S_trapped msg));
+  match !result with
+  | Some r -> r
+  | None -> S_finished
+
+(* Re-run the native call a blocked thread is parked on.  Called by the
+   scheduler once the block reason looks ready. *)
+let retry_pending vm (t : State.vthread) =
+  try
+    match (t.State.pending, t.State.frames) with
+    | Some pn, fr :: _ -> (
+      let fn =
+        match Hashtbl.find_opt vm.State.natives pn.State.pn_key with
+        | Some f -> f
+        | None -> State.fatal "unlinked native %s on retry" pn.State.pn_key
+      in
+      match fn vm t pn.State.pn_args with
+      | State.N_val v ->
+          t.State.pending <- None;
+          if pn.State.pn_ret then State.push_op fr v;
+          fr.State.pc <- fr.State.pc + 1;
+          t.State.tstate <- State.T_runnable
+      | State.N_void ->
+          t.State.pending <- None;
+          fr.State.pc <- fr.State.pc + 1;
+          t.State.tstate <- State.T_runnable
+      | State.N_block reason -> t.State.tstate <- State.T_blocked reason
+        | State.N_trap msg ->
+            t.State.pending <- None;
+            t.State.tstate <- State.T_trapped msg;
+            State.record_trap vm t msg)
+    | _ -> ()
+  with Trap msg ->
+    t.State.pending <- None;
+    t.State.tstate <- State.T_trapped msg;
+    State.record_trap vm t msg
+
+(* Run a method synchronously to completion on a temporary thread.  Used
+   for <clinit> at boot and for Jvolve transformer functions during an
+   update (the paper executes transformers "normally, because they are
+   otherwise standard Java").  The temporary thread is registered so its
+   frames are GC roots. *)
+exception Sync_trap of string
+
+(* A carrier thread can be reused across many synchronous calls (the
+   updater makes one [jvolveObject] call per transformed object, so the
+   per-call thread set-up cost matters — Table 1's transformer column). *)
+let make_carrier vm : State.vthread = State.new_thread vm []
+
+let release_carrier vm (t : State.vthread) =
+  vm.State.threads <- List.filter (fun x -> x != t) vm.State.threads
+
+let call_on vm (t : State.vthread) (m : Rt.rt_method) (args : int array) : int
+    =
+  let code =
+    try Jit.best_code vm m
+    with Jit.Compile_error e -> raise (Sync_trap ("jit: " ^ e))
+  in
+  t.State.frames <- [ State.make_frame m code args ];
+  t.State.tstate <- State.T_runnable;
+  t.State.last_result <- 0;
+  let rec loop () =
+    match run_slice vm t ~fuel:max_int with
+    | S_finished -> t.State.last_result
+    | S_parked -> loop ()
+    | S_blocked ->
+        t.State.frames <- [];
+        t.State.tstate <- State.T_done;
+        raise (Sync_trap "synchronous VM call blocked on I/O")
+    | S_trapped msg ->
+        t.State.frames <- [];
+        raise (Sync_trap msg)
+  in
+  loop ()
+
+let call_sync vm (m : Rt.rt_method) (args : int array) : int =
+  let t = make_carrier vm in
+  Fun.protect
+    ~finally:(fun () -> release_carrier vm t)
+    (fun () -> call_on vm t m args)

@@ -1,0 +1,25 @@
+(** The JIT: verified bytecode → resolved machine code.
+
+    The {e base} compiler is an exactly-1:1 translation that burns current
+    class metadata into the code: field names become word offsets, statics
+    become JTOC slots, virtual calls become TIB slot indices.  (The 1:1
+    property makes base-compiled frames trivially relocatable by OSR.)
+    The {e opt} compiler additionally inlines small static/direct callees,
+    recording what it inlined and which machine-pc spans the inlined
+    bodies occupy.  Updates that change a class's layout make other
+    methods' compiled code stale — the paper's category-(2) phenomenon —
+    which is why compilation is resolution, not interpretation. *)
+
+exception Compile_error of string
+
+val compile : State.t -> Rt.rt_method -> Machine.level -> Machine.compiled
+
+val ensure_base : State.t -> Rt.rt_method -> Machine.compiled
+(** Compile-on-demand (caches in [rt_method.base_code]). *)
+
+val best_code : State.t -> Rt.rt_method -> Machine.compiled
+(** Opt code if present, else base. *)
+
+val maybe_opt : State.t -> Rt.rt_method -> unit
+(** Adaptive recompilation: opt-compile once the invocation counter
+    crosses [config.opt_threshold]. *)

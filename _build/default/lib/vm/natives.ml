@@ -1,0 +1,291 @@
+(* Native method implementations.
+
+   GC-safety rule for natives: decode every reference argument into OCaml
+   data *before* the first heap allocation, and when allocating several
+   objects, [State.ensure_free] the total size up front so later
+   allocations in the sequence cannot trigger a collection that moves the
+   earlier ones.  (Native frames are invisible to the collector, exactly as
+   in a real VM without handle support.) *)
+
+module Simnet = Jv_simnet.Simnet
+
+let str vm w =
+  if Value.is_null w then None
+  else Some (State.string_of_obj vm (Value.to_ref w))
+
+let str_exn vm w what =
+  match str vm w with
+  | Some s -> s
+  | None -> raise (Interp.Trap (Printf.sprintf "null string in %s" what))
+
+let ret_string vm s = State.N_val (Value.of_ref (State.alloc_string vm s))
+
+(* --- String ---------------------------------------------------------- *)
+
+let string_natives vm0 =
+  ignore vm0;
+  [
+    ( "String.length()I",
+      fun vm _t args ->
+        State.N_val (Value.of_int (String.length (str_exn vm args.(0) "length")))
+    );
+    ( "String.concat(LString;)LString;",
+      fun vm _t args ->
+        let a = str_exn vm args.(0) "concat" in
+        let b = str_exn vm args.(1) "concat" in
+        ret_string vm (a ^ b) );
+    ( "String.equals(LString;)Z",
+      fun vm _t args ->
+        let a = str_exn vm args.(0) "equals" in
+        match str vm args.(1) with
+        | None -> State.N_val Value.false_w
+        | Some b -> State.N_val (Value.of_bool (String.equal a b)) );
+    ( "String.substring(II)LString;",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "substring" in
+        let a = Value.to_int args.(1) and b = Value.to_int args.(2) in
+        if a < 0 || b > String.length s || a > b then
+          State.N_trap
+            (Printf.sprintf "substring(%d,%d) out of range (length %d)" a b
+               (String.length s))
+        else ret_string vm (String.sub s a (b - a)) );
+    ( "String.indexOf(LString;)I",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "indexOf" in
+        let p = str_exn vm args.(1) "indexOf" in
+        let n = String.length s and m = String.length p in
+        let rec go i =
+          if i + m > n then -1
+          else if String.sub s i m = p then i
+          else go (i + 1)
+        in
+        State.N_val (Value.of_int (go 0)) );
+    ( "String.charAt(I)I",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "charAt" in
+        let i = Value.to_int args.(1) in
+        if i < 0 || i >= String.length s then
+          State.N_trap (Printf.sprintf "charAt(%d) out of range" i)
+        else State.N_val (Value.of_int (Char.code s.[i])) );
+    ( "String.split(LString;I)[LString;",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "split" in
+        let sep = str_exn vm args.(1) "split" in
+        let limit = Value.to_int args.(2) in
+        let parts =
+          if String.length sep = 0 then [ s ]
+          else begin
+            let out = ref [] and start = ref 0 and count = ref 1 in
+            let n = String.length s and m = String.length sep in
+            let i = ref 0 in
+            let continue_ = ref true in
+            while !continue_ && !i + m <= n do
+              if (limit <= 0 || !count < limit) && String.sub s !i m = sep
+              then begin
+                out := String.sub s !start (!i - !start) :: !out;
+                incr count;
+                start := !i + m;
+                i := !i + m
+              end
+              else incr i;
+              if limit > 0 && !count >= limit then continue_ := false
+            done;
+            List.rev (String.sub s !start (n - !start) :: !out)
+          end
+        in
+        (* reserve everything up front: the array, then one String object
+           per part (see the GC-safety rule above) *)
+        let nparts = List.length parts in
+        let words =
+          Heap.array_header_words + nparts
+          + (nparts * (Heap.header_words + 1))
+        in
+        State.ensure_free vm words;
+        let arr = State.alloc_array vm ~len:nparts in
+        List.iteri
+          (fun i p ->
+            let sobj = State.alloc_string vm p in
+            Heap.set vm.State.heap ~addr:arr
+              ~off:(Heap.array_header_words + i)
+              (Value.of_ref sobj))
+          parts;
+        State.N_val (Value.of_ref arr) );
+    ( "String.startsWith(LString;)Z",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "startsWith" in
+        let p = str_exn vm args.(1) "startsWith" in
+        State.N_val
+          (Value.of_bool
+             (String.length p <= String.length s
+             && String.sub s 0 (String.length p) = p)) );
+    ( "String.endsWith(LString;)Z",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "endsWith" in
+        let p = str_exn vm args.(1) "endsWith" in
+        let n = String.length s and m = String.length p in
+        State.N_val (Value.of_bool (m <= n && String.sub s (n - m) m = p)) );
+    ( "String.trim()LString;",
+      fun vm _t args -> ret_string vm (String.trim (str_exn vm args.(0) "trim"))
+    );
+    ( "String.contains(LString;)Z",
+      fun vm _t args ->
+        let s = str_exn vm args.(0) "contains" in
+        let p = str_exn vm args.(1) "contains" in
+        let n = String.length s and m = String.length p in
+        let rec go i =
+          if i + m > n then false
+          else String.sub s i m = p || go (i + 1)
+        in
+        State.N_val (Value.of_bool (go 0)) );
+    ( "String.toInt()I",
+      fun vm _t args ->
+        let s = String.trim (str_exn vm args.(0) "toInt") in
+        match int_of_string_opt s with
+        | Some i -> State.N_val (Value.of_int i)
+        | None -> State.N_val (Value.of_int 0) );
+    ( "String.toLowerCase()LString;",
+      fun vm _t args ->
+        ret_string vm
+          (String.lowercase_ascii (str_exn vm args.(0) "toLowerCase")) );
+    ( "String.ofInt(I)LString;",
+      fun vm _t args -> ret_string vm (string_of_int (Value.to_int args.(0)))
+    );
+  ]
+
+(* --- Sys -------------------------------------------------------------- *)
+
+let sys_natives =
+  [
+    ( "Sys.print(LString;)V",
+      fun vm _t args ->
+        Buffer.add_string vm.State.out (str_exn vm args.(0) "print");
+        State.N_void );
+    ( "Sys.println(LString;)V",
+      fun vm _t args ->
+        Buffer.add_string vm.State.out (str_exn vm args.(0) "println");
+        Buffer.add_char vm.State.out '\n';
+        State.N_void );
+    ("Sys.time()I", fun vm _t _args -> State.N_val (Value.of_int vm.State.ticks));
+    ( "Sys.fail(LString;)V",
+      fun vm _t args -> State.N_trap ("Sys.fail: " ^ str_exn vm args.(0) "fail")
+    );
+    ( "Sys.random(I)I",
+      fun vm _t args ->
+        State.N_val (Value.of_int (State.next_random vm (Value.to_int args.(0))))
+    );
+  ]
+
+(* --- Net -------------------------------------------------------------- *)
+
+(* Connection handles: positive = the server side of a connection (from
+   [Net.accept]); negative = the client side (from [Net.connectLoopback],
+   an in-VM client talking to another service in the same VM). *)
+let net_natives =
+  [
+    ( "Net.listen(I)I",
+      fun vm _t args ->
+        match Simnet.listen vm.State.net ~port:(Value.to_int args.(0)) with
+        | id -> State.N_val (Value.of_int id)
+        | exception Simnet.Net_error e -> State.N_trap e );
+    ( "Net.accept(I)I",
+      fun vm _t args ->
+        let lid = Value.to_int args.(0) in
+        match Simnet.accept vm.State.net ~listener_id:lid with
+        | Some conn -> State.N_val (Value.of_int conn)
+        | None -> State.N_block (State.B_accept lid)
+        | exception Simnet.Net_error e -> State.N_trap e );
+    ( "Net.connectLoopback(I)I",
+      fun vm _t args ->
+        match Simnet.connect vm.State.net ~port:(Value.to_int args.(0)) with
+        | Some cid -> State.N_val (Value.of_int (-cid))
+        | None -> State.N_val (Value.of_int 0) );
+    ( "Net.recvLine(I)LString;",
+      fun vm _t args ->
+        let cid = Value.to_int args.(0) in
+        let r =
+          if cid < 0 then Simnet.client_recv vm.State.net ~conn_id:(-cid)
+          else Simnet.recv_line vm.State.net ~conn_id:cid
+        in
+        match r with
+        | `Line s -> ret_string vm s
+        | `Eof -> State.N_val Value.null
+        | `Wait -> State.N_block (State.B_recv cid)
+        | exception Simnet.Net_error e -> State.N_trap e );
+    ( "Net.send(ILString;)V",
+      fun vm _t args ->
+        let cid = Value.to_int args.(0) in
+        let s = str_exn vm args.(1) "Net.send" in
+        (try
+           if cid < 0 then Simnet.client_send vm.State.net ~conn_id:(-cid) s
+           else Simnet.send vm.State.net ~conn_id:cid s
+         with Simnet.Net_error _ -> ());
+        State.N_void );
+    ( "Net.close(I)V",
+      fun vm _t args ->
+        let cid = Value.to_int args.(0) in
+        if cid < 0 then Simnet.client_close vm.State.net ~conn_id:(-cid)
+        else Simnet.close_server vm.State.net ~conn_id:cid;
+        State.N_void );
+  ]
+
+(* --- Thread ------------------------------------------------------------ *)
+
+let thread_natives =
+  [
+    ( "Thread.spawn(LObject;)V",
+      fun vm _t args ->
+        if Value.is_null args.(0) then State.N_trap "Thread.spawn(null)"
+        else begin
+          let addr = Value.to_ref args.(0) in
+          let cls =
+            Rt.class_by_id vm.State.reg (Heap.class_id vm.State.heap addr)
+          in
+          match Rt.find_vslot cls "run()V" with
+          | None ->
+              State.N_trap
+                (Printf.sprintf "Thread.spawn: %s has no run() method"
+                   cls.Rt.name)
+          | Some slot ->
+              let m = Rt.method_by_uid vm.State.reg cls.Rt.tib.(slot) in
+              let code =
+                try Jit.best_code vm m
+                with Jit.Compile_error e ->
+                  raise (Interp.Trap ("jit: " ^ e))
+              in
+              m.Rt.invocations <- m.Rt.invocations + 1;
+              let fr = State.make_frame m code [| args.(0) |] in
+              ignore (State.new_thread vm [ fr ]);
+              State.N_void
+        end );
+    ( "Thread.yieldNow()V",
+      fun vm t _args ->
+        (* yield = sleep until the next scheduler round; on retry
+           ([pending] set) the call completes *)
+        if t.State.pending <> None then State.N_void
+        else State.N_block (State.B_sleep (vm.State.ticks + 1)) );
+    ( "Thread.sleep(I)V",
+      fun vm t args ->
+        if t.State.pending <> None then State.N_void
+        else
+          State.N_block
+            (State.B_sleep (vm.State.ticks + max 1 (Value.to_int args.(0)))) );
+  ]
+
+(* --- Jvolve ------------------------------------------------------------- *)
+
+let jvolve_natives =
+  [
+    ( "Jvolve.transform(LObject;)V",
+      fun vm _t args ->
+        (if not (Value.is_null args.(0)) then
+           match vm.State.force_transform with
+           | Some f -> f vm (Value.to_ref args.(0))
+           | None -> ());
+        State.N_void );
+  ]
+
+let install vm =
+  List.iter
+    (fun (k, f) -> Hashtbl.replace vm.State.natives k f)
+    (string_natives vm @ sys_natives @ net_natives @ thread_natives
+   @ jvolve_natives)

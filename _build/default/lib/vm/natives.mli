@@ -1,0 +1,10 @@
+(** Native method implementations for the builtin classes (String, Sys,
+    Net, Thread, Jvolve).
+
+    GC-safety rule for natives: decode every reference argument into
+    OCaml data {e before} the first heap allocation, and reserve total
+    space up front ([State.ensure_free]) when allocating several objects
+    — native frames are invisible to the collector. *)
+
+val install : State.t -> unit
+(** Register all builtin natives in [vm.natives]. *)

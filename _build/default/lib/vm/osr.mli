@@ -1,0 +1,15 @@
+(** On-stack replacement (paper §3.2, "Lifting category (2)
+    restrictions"): recompile an active method against current class
+    metadata and re-locate its frame in the fresh code via the bc_map. *)
+
+exception Osr_failed of string
+
+val eligible : State.t -> State.frame -> bool
+(** Base-compiled frames always; opt-compiled frames only with the
+    [config.opt_osr] extension and only when parked outside every inlined
+    region (there the locals/stack layout coincides with base code). *)
+
+val replace_frame : State.t -> State.frame -> unit
+(** Must run after the updated classes are installed (paper: "the exact
+    timing of OSR for DSU requires the VM to first load modified
+    classes").  Raises {!Osr_failed} on ineligible frames. *)

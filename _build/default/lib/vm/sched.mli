@@ -1,0 +1,18 @@
+(** The green-thread scheduler.  One [round] = one logical tick: harness
+    pollers run, ready blocked threads resume, every runnable thread gets
+    one quantum.  Threads park only at VM safe points, so between slices
+    the world is stopped — which is when the DSU attempt hook runs (and
+    immediately after any return barrier fires). *)
+
+val block_ready : State.t -> State.block_reason -> bool
+val wake_blocked : State.t -> unit
+val reap : State.t -> unit
+val round : State.t -> unit
+val run_rounds : State.t -> int -> unit
+
+val progress_possible : State.t -> bool
+(** Can any thread still advance without outside help?  (A pending DSU
+    attempt counts: it will resolve or time out.) *)
+
+val run_to_quiescence :
+  ?max_rounds:int -> State.t -> [ `All_done | `Deadlocked | `Max_rounds ]

@@ -1,0 +1,348 @@
+(* The VM: central state shared by the class loader, JIT, interpreter,
+   scheduler, garbage collector and the DSU machinery.
+
+   One [t] value is one virtual machine.  Green threads are interleaved by
+   [Sched]; all state is single-OS-thread. *)
+
+module CF = Jv_classfile
+module Simnet = Jv_simnet.Simnet
+
+type config = {
+  heap_words : int; (* words per semi-space *)
+  opt_threshold : int; (* invocations before opt recompilation *)
+  quantum : int; (* machine instructions per scheduler slice *)
+  indirection_mode : bool; (* baseline: per-dereference handle checks *)
+  inline_max_code : int; (* max callee bytecode length to inline *)
+  inline_depth : int; (* max nesting of inlined bodies *)
+  opt_osr : bool;
+      (* extension (paper future work §3.2/§5, cf. UpStare): allow OSR of
+         opt-compiled category-(2) frames when they are parked outside any
+         inlined region.  Off by default: the paper's Jvolve only OSRs
+         base-compiled frames *)
+  trace : bool;
+}
+
+let default_config =
+  {
+    heap_words = 1 lsl 20;
+    opt_threshold = 50;
+    quantum = 2000;
+    indirection_mode = false;
+    inline_max_code = 24;
+    inline_depth = 3;
+    opt_osr = false;
+    trace = false;
+  }
+
+(* --- threads --- *)
+
+type block_reason =
+  | B_accept of int (* listener id *)
+  | B_recv of int (* connection id *)
+  | B_sleep of int (* wake at tick *)
+  | B_dsu
+      (* parked by a fired DSU return barrier: the thread stays stopped at
+         its safe point until the pending update is applied or aborted
+         (paper §3.2: "when a restricted method returns, the thread will
+         block and Jvolve will restart the update process") *)
+
+type thread_state =
+  | T_runnable
+  | T_blocked of block_reason
+  | T_done
+  | T_trapped of string
+
+type frame = {
+  f_method : int; (* uid *)
+  mutable code : Machine.compiled;
+  mutable pc : int;
+  mutable locals : int array; (* encoded words *)
+  mutable ostack : int array;
+  mutable sp : int;
+  mutable barrier : bool; (* a DSU return barrier is installed here *)
+}
+
+(* A blocked native call: dispatch key + already-popped argument words,
+   re-executed when the block reason clears.  [pn_ret] records whether the
+   call pushes a result on completion. *)
+type pending_native = { pn_key : string; pn_args : int array; pn_ret : bool }
+
+type vthread = {
+  tid : int;
+  mutable frames : frame list; (* top of stack first *)
+  mutable tstate : thread_state;
+  mutable pending : pending_native option;
+  mutable last_result : int; (* bottom-frame return value, for sync calls *)
+}
+
+type native_result =
+  | N_val of int
+  | N_void
+  | N_block of block_reason
+  | N_trap of string
+
+type t = {
+  config : config;
+  reg : Rt.registry;
+  heap : Heap.t;
+  (* JTOC: the statics area (Jikes RVM's Java Table of Contents) *)
+  mutable jtoc : int array;
+  mutable jtoc_n : int;
+  (* interned string table *)
+  mutable strings : string array;
+  mutable n_strings : int;
+  string_ids : (string, int) Hashtbl.t;
+  natives : (string, native_fn) Hashtbl.t;
+  net : Simnet.t;
+  mutable threads : vthread list; (* spawn order *)
+  mutable next_tid : int;
+  mutable ticks : int; (* logical clock: one tick per scheduler round *)
+  mutable rng : int; (* Sys.random state (deterministic) *)
+  (* cached well-known class ids, set at boot *)
+  mutable object_cid : int;
+  mutable string_cid : int;
+  mutable array_cid : int;
+  (* --- DSU coordination ------------------------------------------- *)
+  (* installed by Jvolve_core: called by the scheduler at safe points
+     while an update is pending *)
+  mutable dsu_attempt : (t -> unit) option;
+  mutable barrier_fired : bool;
+  (* installed during the transformer phase so the [Jvolve.transform]
+     native can force an object's transformer to run *)
+  mutable force_transform : (t -> int -> unit) option;
+  (* lazy-update baseline (JDrums-style): consulted on every dereference
+     when [indirection_mode] is set.  Receives the frame and operand-stack
+     slot index holding the reference and rewrites the slot to the
+     up-to-date reference, transforming the object on first touch.  Slot-
+     based so the reference stays a GC root while the hook allocates. *)
+  mutable lazy_hook : (t -> frame -> int -> unit) option;
+  (* word arrays that the GC must treat as extra roots and rewrite
+     (e.g. the update log while transformers run) *)
+  mutable extra_roots : int array list;
+  (* --- statistics --------------------------------------------------- *)
+  mutable compile_count : int;
+  mutable opt_compile_count : int;
+  mutable osr_count : int;
+  mutable instr_count : int;
+  mutable deref_checks : int; (* indirection-baseline trap count *)
+  handle_table : (int, int) Hashtbl.t; (* indirection-baseline redirects *)
+  mutable trap_log : (int * string) list;
+  out : Buffer.t; (* program output (Sys.print) *)
+  mutable last_gc_ms : float;
+  (* harness hooks run at the start of every scheduler round (workload
+     drivers pumping the simulated network) *)
+  mutable pollers : (t -> unit) list;
+}
+
+and native_fn = t -> vthread -> int array -> native_result
+
+exception Vm_fatal of string
+
+let fatal fmt = Printf.ksprintf (fun s -> raise (Vm_fatal s)) fmt
+
+(* Set by [Gc] at link time: collect with no transform plan.  Breaking the
+   recursion between allocation (here) and the collector module. *)
+let gc_hook : (t -> unit) ref =
+  ref (fun _ -> failwith "Gc not linked")
+
+let create ?(config = default_config) () =
+  {
+    config;
+    reg = Rt.create_registry ();
+    heap = Heap.create ~words:config.heap_words;
+    jtoc = Array.make 256 0;
+    jtoc_n = 0;
+    strings = Array.make 256 "";
+    n_strings = 0;
+    string_ids = Hashtbl.create 256;
+    natives = Hashtbl.create 64;
+    net = Simnet.create ();
+    threads = [];
+    next_tid = 1;
+    ticks = 0;
+    rng = 123456789;
+    object_cid = -1;
+    string_cid = -1;
+    array_cid = -1;
+    dsu_attempt = None;
+    barrier_fired = false;
+    force_transform = None;
+    lazy_hook = None;
+    extra_roots = [];
+    compile_count = 0;
+    opt_compile_count = 0;
+    osr_count = 0;
+    instr_count = 0;
+    deref_checks = 0;
+    handle_table = Hashtbl.create 64;
+    trap_log = [];
+    out = Buffer.create 1024;
+    last_gc_ms = 0.0;
+    pollers = [];
+  }
+
+(* --- JTOC ---------------------------------------------------------- *)
+
+let alloc_jtoc_slot vm =
+  if vm.jtoc_n >= Array.length vm.jtoc then begin
+    let a = Array.make (2 * Array.length vm.jtoc) 0 in
+    Array.blit vm.jtoc 0 a 0 vm.jtoc_n;
+    vm.jtoc <- a
+  end;
+  let slot = vm.jtoc_n in
+  vm.jtoc_n <- slot + 1;
+  slot
+
+let jtoc_get vm slot = vm.jtoc.(slot)
+let jtoc_set vm slot v = vm.jtoc.(slot) <- v
+
+(* --- string table -------------------------------------------------- *)
+
+let intern_string vm s =
+  match Hashtbl.find_opt vm.string_ids s with
+  | Some sid -> sid
+  | None ->
+      if vm.n_strings >= Array.length vm.strings then begin
+        let a = Array.make (2 * Array.length vm.strings) "" in
+        Array.blit vm.strings 0 a 0 vm.n_strings;
+        vm.strings <- a
+      end;
+      let sid = vm.n_strings in
+      vm.strings.(sid) <- s;
+      vm.n_strings <- sid + 1;
+      Hashtbl.replace vm.string_ids s sid;
+      sid
+
+let string_of_sid vm sid =
+  if sid < 0 || sid >= vm.n_strings then fatal "bad string id %d" sid;
+  vm.strings.(sid)
+
+(* --- allocation ----------------------------------------------------- *)
+
+(* Guarantee [words] of free space, collecting if necessary. *)
+let ensure_free vm words =
+  if Heap.words_free vm.heap < words then begin
+    !gc_hook vm;
+    if Heap.words_free vm.heap < words then
+      fatal "out of memory: need %d words, %d free after GC" words
+        (Heap.words_free vm.heap)
+  end
+
+let alloc_object vm (cls : Rt.rt_class) =
+  let n = cls.Rt.size_words in
+  let addr =
+    match Heap.alloc_raw vm.heap ~nwords:n with
+    | Some a -> a
+    | None ->
+        ensure_free vm n;
+        (match Heap.alloc_raw vm.heap ~nwords:n with
+        | Some a -> a
+        | None -> fatal "allocation failed after GC")
+  in
+  Heap.set vm.heap ~addr ~off:Heap.off_class cls.Rt.cid;
+  (* remaining words are pre-zeroed: gc word 0, fields default *)
+  addr
+
+let alloc_array vm ~len =
+  if len < 0 then fatal "negative array size %d" len;
+  let n = Heap.array_header_words + len in
+  let addr =
+    match Heap.alloc_raw vm.heap ~nwords:n with
+    | Some a -> a
+    | None ->
+        ensure_free vm n;
+        (match Heap.alloc_raw vm.heap ~nwords:n with
+        | Some a -> a
+        | None -> fatal "allocation failed after GC")
+  in
+  Heap.set vm.heap ~addr ~off:Heap.off_class vm.array_cid;
+  Heap.set vm.heap ~addr ~off:Heap.off_array_len len;
+  addr
+
+(* Strings are ordinary heap objects of class String with one int field:
+   the string-table index. *)
+let alloc_string_sid vm sid =
+  let cls = Rt.class_by_id vm.reg vm.string_cid in
+  let addr = alloc_object vm cls in
+  Heap.set vm.heap ~addr ~off:Heap.header_words (Value.of_int sid);
+  addr
+
+let alloc_string vm s = alloc_string_sid vm (intern_string vm s)
+
+let string_of_obj vm addr =
+  let sid = Value.to_int (Heap.get vm.heap ~addr ~off:Heap.header_words) in
+  string_of_sid vm sid
+
+(* --- threads -------------------------------------------------------- *)
+
+let new_thread vm frames =
+  let t =
+    {
+      tid = vm.next_tid;
+      frames;
+      tstate = T_runnable;
+      pending = None;
+      last_result = 0;
+    }
+  in
+  vm.next_tid <- vm.next_tid + 1;
+  vm.threads <- vm.threads @ [ t ];
+  t
+
+let live_threads vm =
+  List.filter
+    (fun t -> match t.tstate with T_runnable | T_blocked _ -> true | _ -> false)
+    vm.threads
+
+let runnable_threads vm =
+  List.filter (fun t -> t.tstate = T_runnable) vm.threads
+
+(* --- frames --------------------------------------------------------- *)
+
+let make_frame (m : Rt.rt_method) (code : Machine.compiled) args =
+  let locals =
+    Array.make
+      (max 1 (max code.Machine.frame_locals (Array.length args)))
+      0
+  in
+  Array.blit args 0 locals 0 (Array.length args);
+  {
+    f_method = m.Rt.uid;
+    code;
+    pc = 0;
+    locals;
+    ostack = Array.make (max code.Machine.max_stack 4) 0;
+    sp = 0;
+    barrier = false;
+  }
+
+let push_op fr v =
+  if fr.sp >= Array.length fr.ostack then begin
+    (* operand stacks are sized by the JIT; growth indicates invoke-result
+       slack, so double rather than fail *)
+    let a = Array.make (2 * Array.length fr.ostack) 0 in
+    Array.blit fr.ostack 0 a 0 fr.sp;
+    fr.ostack <- a
+  end;
+  fr.ostack.(fr.sp) <- v;
+  fr.sp <- fr.sp + 1
+
+let pop_op fr =
+  if fr.sp <= 0 then fatal "operand stack underflow";
+  fr.sp <- fr.sp - 1;
+  fr.ostack.(fr.sp)
+
+(* --- misc ----------------------------------------------------------- *)
+
+let next_random vm bound =
+  (* xorshift; deterministic across runs for reproducible benchmarks *)
+  let x = vm.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  vm.rng <- x land max_int;
+  if bound <= 0 then 0 else vm.rng mod bound
+
+let output vm = Buffer.contents vm.out
+
+let record_trap vm t msg = vm.trap_log <- (t.tid, msg) :: vm.trap_log

@@ -1,0 +1,45 @@
+(* Word-level value encoding.
+
+   The heap, the JTOC (statics area), local variables and operand stacks all
+   hold plain OCaml [int] words using a one-bit tag scheme, exactly like a
+   real VM's pointer tagging:
+
+     word = 0                      -> null
+     word with low bit 1           -> boxed-free integer (value = word asr 1)
+     word nonzero, low bit 0       -> heap reference (address = word lsr 1)
+
+   The tag makes every slot self-describing, which gives the collector an
+   exact root/field map without separate stack-map metadata.  (Jikes RVM
+   derives the same information from compiler-generated stack maps; the
+   encoding here is the moral equivalent and keeps the collector exact.)
+
+   Booleans are integers 0/1.  Heap addresses are strictly positive so a
+   reference word can never collide with null. *)
+
+let null = 0
+
+let of_int i = (i lsl 1) lor 1
+let to_int w = w asr 1
+
+let of_bool b = of_int (if b then 1 else 0)
+let to_bool w = to_int w <> 0
+
+let of_ref addr =
+  if addr <= 0 then invalid_arg "Value.of_ref: non-positive address";
+  addr lsl 1
+
+let to_ref w = w lsr 1
+
+let is_null w = w = 0
+let is_int w = w land 1 = 1
+let is_ref w = w <> 0 && w land 1 = 0
+
+let true_w = of_bool true
+let false_w = of_bool false
+
+let to_string w =
+  if is_null w then "null"
+  else if is_int w then string_of_int (to_int w)
+  else Printf.sprintf "@%d" (to_ref w)
+
+let pp ppf w = Fmt.string ppf (to_string w)

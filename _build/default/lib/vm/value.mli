@@ -1,0 +1,29 @@
+(** Word-level value encoding: one-bit pointer tagging.
+
+    [0] is null; odd words are integers ([value = word asr 1]); even
+    nonzero words are heap references ([address = word lsr 1]).  The tag
+    makes every slot self-describing, giving the collector an exact
+    root/field map with no separate stack-map metadata — the moral
+    equivalent of Jikes RVM's compiler-generated stack maps. *)
+
+val null : int
+
+val of_int : int -> int
+val to_int : int -> int
+val of_bool : bool -> int
+val to_bool : int -> bool
+
+val of_ref : int -> int
+(** Raises [Invalid_argument] on non-positive addresses. *)
+
+val to_ref : int -> int
+
+val is_null : int -> bool
+val is_int : int -> bool
+val is_ref : int -> bool
+
+val true_w : int
+val false_w : int
+
+val to_string : int -> string
+val pp : Format.formatter -> int -> unit

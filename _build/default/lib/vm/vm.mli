@@ -1,0 +1,51 @@
+(** Public facade over the VM substrate.
+
+    {[
+      let vm = Vm.create () in
+      Vm.boot vm classes;
+      ignore (Vm.spawn_main vm ~main_class:"Main");
+      Vm.run vm ~rounds:100;
+      print_string (Vm.output vm)
+    ]} *)
+
+type t = State.t
+
+val create : ?config:State.config -> unit -> t
+
+val boot : t -> Jv_classfile.Cls.t list -> unit
+(** Verify and load a program (builtins injected); raises
+    {!Classloader.Load_error}. *)
+
+val spawn_main : t -> main_class:string -> State.vthread
+val run : t -> rounds:int -> unit
+
+val run_to_quiescence :
+  ?max_rounds:int -> t -> [ `All_done | `Deadlocked | `Max_rounds ]
+
+val output : t -> string
+(** Everything the program printed via [Sys.print]/[Sys.println]. *)
+
+val ticks : t -> int
+val net : t -> Jv_simnet.Simnet.t
+val gc : t -> Gc.result
+(** Force a plain full collection. *)
+
+val add_poller : t -> (State.t -> unit) -> unit
+(** Register a harness hook run at the start of every scheduler round
+    (workload drivers pumping the simulated network). *)
+
+val clear_pollers : t -> unit
+val live_threads : t -> State.vthread list
+
+type stats = {
+  instr_count : int;
+  compile_count : int;
+  opt_compile_count : int;
+  osr_count : int;
+  gc_count : int;
+  deref_checks : int;
+  heap_used_words : int;
+  traps : (int * string) list;  (** (thread id, message) *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Jv_classfile Jv_lang Jv_vm String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Helpers Jv_apps Jv_lang Jv_vm Jvolve_core List

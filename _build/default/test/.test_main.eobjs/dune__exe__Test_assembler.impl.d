@@ -1,0 +1,1 @@
+test/test_assembler.ml: Alcotest Helpers Jv_apps Jv_classfile Jv_lang Jv_vm List QCheck QCheck_alcotest String

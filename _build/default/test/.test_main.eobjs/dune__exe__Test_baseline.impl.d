@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Helpers Jv_baseline Jv_classfile Jv_lang Jv_vm Jvolve_core Printf

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Helpers Jv_lang Jvolve_core List

@@ -1,0 +1,1 @@
+test/test_dsu.ml: Alcotest Helpers Jv_classfile Jv_lang Jv_vm Jvolve_core List Printf String

@@ -1,0 +1,1 @@
+test/test_heap_gc.ml: Alcotest Array Buffer Hashtbl Helpers Jv_classfile Jv_lang Jv_vm Printf QCheck QCheck_alcotest String

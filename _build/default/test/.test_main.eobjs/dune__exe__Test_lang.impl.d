@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Helpers Jv_lang Lexer List Parser Printf String

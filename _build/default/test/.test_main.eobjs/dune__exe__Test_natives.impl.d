@@ -1,0 +1,1 @@
+test/test_natives.ml: Alcotest Helpers Jv_vm

@@ -1,0 +1,1 @@
+test/test_opt_osr.ml: Alcotest Helpers Jv_apps Jv_classfile Jv_lang Jv_vm Jvolve_core List String

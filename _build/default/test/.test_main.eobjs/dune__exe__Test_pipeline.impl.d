@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Helpers Jv_vm List

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Gen Helpers Jv_lang Jv_vm Jvolve_core List Printf QCheck QCheck_alcotest String

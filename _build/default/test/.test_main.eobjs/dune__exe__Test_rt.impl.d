@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Array Hashtbl Helpers Jv_classfile Jv_lang Jv_vm Option

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Jv_simnet List Option

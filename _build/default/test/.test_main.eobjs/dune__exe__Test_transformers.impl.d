@@ -1,0 +1,1 @@
+test/test_transformers.ml: Alcotest Helpers Jv_classfile Jv_lang Jvolve_core List

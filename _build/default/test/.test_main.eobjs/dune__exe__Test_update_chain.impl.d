@@ -1,0 +1,1 @@
+test/test_update_chain.ml: Alcotest Helpers Jv_apps Jv_lang Jv_vm Jvolve_core List Printf String

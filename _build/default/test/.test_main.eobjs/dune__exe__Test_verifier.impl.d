@@ -1,0 +1,1 @@
+test/test_verifier.ml: Access Alcotest Array Builtins Cls Helpers Instr Jv_apps Jv_classfile Jv_lang List String Types Verifier

@@ -1,0 +1,1 @@
+test/test_vm_exec.ml: Alcotest Array Helpers Jv_classfile Jv_lang Jv_vm List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Helpers Jv_apps Jv_lang Jv_vm List

@@ -1,0 +1,197 @@
+(* Baseline DSU systems: the method-body-only (HotSwap/E&C) updater and the
+   lazy indirection-based (JDrums/DVM-style) updater. *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+module B = Jv_baseline
+
+let compile = Jv_lang.Compile.compile_program
+
+let boot ?(config = Helpers.test_config) src =
+  let classes = compile src in
+  let vm = VM.Vm.create ~config () in
+  VM.Vm.boot vm classes;
+  ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+  vm
+
+let greeter v =
+  Printf.sprintf
+    {|
+class Greeter { String greet() { return "%s"; } }
+class Main {
+  static void main() {
+    Greeter g = new Greeter();
+    for (int i = 0; i < 30; i = i + 1) { Sys.println(g.greet()); Thread.yieldNow(); }
+  }
+}
+|}
+    v
+
+(* --- hotswap ------------------------------------------------------------- *)
+
+let hotswap_applies_body_changes () =
+  let vm = boot (greeter "v1") in
+  VM.Vm.run vm ~rounds:5;
+  let spec =
+    J.Spec.make ~version_tag:"1"
+      ~old_program:(compile (greeter "v1"))
+      ~new_program:(compile (greeter "v2"))
+      ()
+  in
+  (match B.Hotswap.apply vm spec with
+  | B.Hotswap.Applied n -> Alcotest.(check int) "one body" 1 n
+  | B.Hotswap.Unsupported e -> Alcotest.failf "unsupported: %s" e);
+  ignore (VM.Vm.run_to_quiescence vm);
+  let out = VM.Vm.output vm in
+  Alcotest.(check bool) "old ran" true (Helpers.contains out "v1\n");
+  Alcotest.(check bool) "new ran" true (Helpers.contains out "v2\n")
+
+let hotswap_rejects_class_updates () =
+  let v1 = {|class A { int x; } class Main { static void main() {} }|} in
+  let v2 = {|class A { int x; int y; } class Main { static void main() {} }|} in
+  let vm = boot v1 in
+  let spec =
+    J.Spec.make ~version_tag:"1" ~old_program:(compile v1)
+      ~new_program:(compile v2) ()
+  in
+  match B.Hotswap.apply vm spec with
+  | B.Hotswap.Unsupported e ->
+      if not (Helpers.contains e "class signature changes") then
+        Alcotest.failf "wrong reason: %s" e
+  | B.Hotswap.Applied _ -> Alcotest.fail "must be unsupported"
+
+let hotswap_rejects_added_classes () =
+  let v1 = {|class Main { static void main() {} }|} in
+  let v2 = {|class New {} class Main { static void main() {} }|} in
+  let vm = boot v1 in
+  let spec =
+    J.Spec.make ~version_tag:"1" ~old_program:(compile v1)
+      ~new_program:(compile v2) ()
+  in
+  match B.Hotswap.apply vm spec with
+  | B.Hotswap.Unsupported e ->
+      if not (Helpers.contains e "added classes") then
+        Alcotest.failf "wrong reason: %s" e
+  | B.Hotswap.Applied _ -> Alcotest.fail "must be unsupported"
+
+(* --- lazy indirection ------------------------------------------------------ *)
+
+let lazy_src_v1 =
+  {|
+class Box { int a; int b; }
+class Store { static Box one; static Box two; }
+class Reader {
+  static int readOne() { return Store.one.a * 10 + Store.one.b; }
+  static int readTwo() { return Store.two.a * 10 + Store.two.b; }
+}
+class Main {
+  static void main() {
+    Store.one = new Box();
+    Store.one.a = 1; Store.one.b = 2;
+    Store.two = new Box();
+    Store.two.a = 3; Store.two.b = 4;
+    for (int i = 0; i < 200; i = i + 1) { Thread.yieldNow(); }
+  }
+}
+|}
+
+let lazy_src_v2 =
+  {|
+class Box { int a; int b; int c; }
+class Store { static Box one; static Box two; }
+class Reader {
+  static int readOne() { return Store.one.a * 10 + Store.one.b; }
+  static int readTwo() { return Store.two.a * 10 + Store.two.b; }
+}
+class Main {
+  static void main() {
+    Store.one = new Box();
+    Store.one.a = 1; Store.one.b = 2;
+    Store.two = new Box();
+    Store.two.a = 3; Store.two.b = 4;
+    for (int i = 0; i < 200; i = i + 1) { Thread.yieldNow(); }
+  }
+}
+|}
+
+let indirection_config =
+  { Helpers.test_config with VM.State.indirection_mode = true }
+
+let call_reader vm name =
+  let cls = VM.Rt.require_class vm.VM.State.reg "Reader" in
+  match
+    VM.Rt.resolve_method vm.VM.State.reg cls name
+      { Jv_classfile.Types.params = []; ret = Jv_classfile.Types.TInt }
+  with
+  | Some m -> VM.Value.to_int (VM.Interp.call_sync vm m [||])
+  | None -> Alcotest.fail ("no " ^ name)
+
+let lazy_migrates_on_touch () =
+  let vm = boot ~config:indirection_config lazy_src_v1 in
+  VM.Vm.run vm ~rounds:5;
+  let spec =
+    J.Spec.make ~version_tag:"1" ~old_program:(compile lazy_src_v1)
+      ~new_program:(compile lazy_src_v2) ()
+  in
+  let prepared = J.Transformers.prepare spec in
+  let st =
+    match B.Indirection.apply vm prepared with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "lazy apply failed: %s" e
+  in
+  Alcotest.(check int) "nothing migrated yet" 0 st.B.Indirection.transformed;
+  (* touching Box one migrates it (field values preserved) but not two *)
+  Alcotest.(check int) "readOne" 12 (call_reader vm "readOne");
+  Alcotest.(check int) "one migrated" 1 st.B.Indirection.transformed;
+  Alcotest.(check int) "readTwo" 34 (call_reader vm "readTwo");
+  Alcotest.(check int) "both migrated" 2 st.B.Indirection.transformed;
+  (* subsequent touches hit the handle table, no re-migration *)
+  Alcotest.(check int) "readOne again" 12 (call_reader vm "readOne");
+  Alcotest.(check int) "still two" 2 st.B.Indirection.transformed;
+  (* the tax is real: dereference checks accumulated *)
+  Alcotest.(check bool) "deref checks counted" true
+    (B.Indirection.deref_checks vm > 0)
+
+let lazy_requires_indirection_mode () =
+  let vm = boot lazy_src_v1 in
+  VM.Vm.run vm ~rounds:5;
+  let spec =
+    J.Spec.make ~version_tag:"1" ~old_program:(compile lazy_src_v1)
+      ~new_program:(compile lazy_src_v2) ()
+  in
+  match B.Indirection.apply vm (J.Transformers.prepare spec) with
+  | Error e ->
+      if not (Helpers.contains e "indirection_mode") then
+        Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "must require indirection mode"
+
+let lazy_survives_gc () =
+  let vm = boot ~config:indirection_config lazy_src_v1 in
+  VM.Vm.run vm ~rounds:5;
+  let spec =
+    J.Spec.make ~version_tag:"1" ~old_program:(compile lazy_src_v1)
+      ~new_program:(compile lazy_src_v2) ()
+  in
+  (match B.Indirection.apply vm (J.Transformers.prepare spec) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "apply: %s" e);
+  Alcotest.(check int) "readOne" 12 (call_reader vm "readOne");
+  (* a collection moves both the old object and its migrated copy; the
+     handle table must be rewritten *)
+  ignore (VM.Vm.gc vm);
+  Alcotest.(check int) "readOne after GC" 12 (call_reader vm "readOne");
+  Alcotest.(check int) "readTwo after GC" 34 (call_reader vm "readTwo")
+
+let suite =
+  [
+    Alcotest.test_case "hotswap applies body changes" `Quick
+      hotswap_applies_body_changes;
+    Alcotest.test_case "hotswap rejects class updates" `Quick
+      hotswap_rejects_class_updates;
+    Alcotest.test_case "hotswap rejects added classes" `Quick
+      hotswap_rejects_added_classes;
+    Alcotest.test_case "lazy migrates on touch" `Quick lazy_migrates_on_touch;
+    Alcotest.test_case "lazy requires indirection mode" `Quick
+      lazy_requires_indirection_mode;
+    Alcotest.test_case "lazy survives GC" `Quick lazy_survives_gc;
+  ]

@@ -1,0 +1,184 @@
+(* UPT diff-engine tests: change classification (paper §3.1), closure over
+   subclasses, indirect-method computation, and statistics. *)
+
+module J = Jvolve_core
+
+let compile = Jv_lang.Compile.compile_program
+
+let diff a b = J.Diff.compute ~old_program:(compile a) ~new_program:(compile b)
+
+let field_add_is_class_update () =
+  let d =
+    diff {|class A { int x; }|} {|class A { int x; int y; }|}
+  in
+  Alcotest.(check (list string)) "class update" [ "A" ] d.J.Diff.class_updates;
+  Alcotest.(check int) "fields added" 1 d.J.Diff.stats.J.Diff.s_fields_added;
+  Alcotest.(check bool) "not body-only" false
+    (J.Diff.method_body_only_supported d)
+
+let field_type_change_counts_both () =
+  let d = diff {|class A { int x; }|} {|class A { boolean x; }|} in
+  Alcotest.(check int) "added" 1 d.J.Diff.stats.J.Diff.s_fields_added;
+  Alcotest.(check int) "deleted" 1 d.J.Diff.stats.J.Diff.s_fields_deleted;
+  Alcotest.(check (list string)) "class update" [ "A" ] d.J.Diff.class_updates
+
+let body_change_only () =
+  let d =
+    diff {|class A { int f() { return 1; } }|}
+      {|class A { int f() { return 2; } }|}
+  in
+  Alcotest.(check (list string)) "no class updates" [] d.J.Diff.class_updates;
+  Alcotest.(check int) "one body change" 1
+    d.J.Diff.stats.J.Diff.s_methods_changed_body;
+  Alcotest.(check bool) "body-only supported" true
+    (J.Diff.method_body_only_supported d);
+  match d.J.Diff.body_updates with
+  | [ r ] ->
+      Alcotest.(check string) "ref" "A.f()I" (J.Diff.mref_to_string r)
+  | _ -> Alcotest.fail "expected one body update"
+
+let signature_change_pairs_add_delete () =
+  let d =
+    diff {|class A { int f(int x) { return x; } }|}
+      {|class A { int f(int x, int y) { return x + y; } }|}
+  in
+  Alcotest.(check int) "sig changes" 1
+    d.J.Diff.stats.J.Diff.s_methods_changed_sig;
+  Alcotest.(check int) "no plain adds" 0 d.J.Diff.stats.J.Diff.s_methods_added;
+  Alcotest.(check int) "no plain deletes" 0
+    d.J.Diff.stats.J.Diff.s_methods_deleted
+
+let visibility_change_is_signature_change () =
+  let d =
+    diff {|class A { int f() { return 1; } }|}
+      {|class A { private int f() { return 1; } }|}
+  in
+  Alcotest.(check (list string)) "class update" [ "A" ] d.J.Diff.class_updates
+
+let super_change_flagged () =
+  let d =
+    diff {|class B {} class C {} class A extends B {}|}
+      {|class B {} class C {} class A extends C {}|}
+  in
+  Alcotest.(check (list string)) "super change" [ "A" ] d.J.Diff.super_changes;
+  let spec =
+    J.Spec.make ~version_tag:"1"
+      ~old_program:(compile {|class B {} class C {} class A extends B {}|})
+      ~new_program:(compile {|class B {} class C {} class A extends C {}|})
+      ()
+  in
+  match J.Spec.unsupported_reason spec with
+  | Some r ->
+      if not (Helpers.contains r "superclass") then
+        Alcotest.failf "reason %s" r
+  | None -> Alcotest.fail "super change must be unsupported"
+
+let closure_includes_subclasses () =
+  (* adding a field to a superclass changes every subclass's layout *)
+  let d =
+    diff
+      {|class P { int a; } class C1 extends P {} class C2 extends C1 {}
+        class Other {}|}
+      {|class P { int a; int b; } class C1 extends P {} class C2 extends C1 {}
+        class Other {}|}
+  in
+  Alcotest.(check (list string)) "direct" [ "P" ] d.J.Diff.class_updates;
+  Alcotest.(check (list string)) "closure" [ "C1"; "C2"; "P" ]
+    d.J.Diff.class_updates_closure
+
+let indirect_methods_found () =
+  (* Unchanged.use references the updated class A: its compiled code has
+     stale offsets even though its bytecode is identical *)
+  let v1 =
+    {|class A { int x; }
+      class Unchanged { static int use(A a) { return a.x; } }
+      class Unrelated { static int f() { return 3; } }|}
+  in
+  let v2 =
+    {|class A { int pad; int x; }
+      class Unchanged { static int use(A a) { return a.x; } }
+      class Unrelated { static int f() { return 3; } }|}
+  in
+  let d = diff v1 v2 in
+  let names = List.map J.Diff.mref_to_string d.J.Diff.indirect_methods in
+  Alcotest.(check bool) "use is indirect" true
+    (List.exists (fun n -> Helpers.contains n "Unchanged.use") names);
+  Alcotest.(check bool) "unrelated is not" false
+    (List.exists (fun n -> Helpers.contains n "Unrelated") names)
+
+let indirect_via_call_signatures () =
+  (* [Maker.pass]'s body never touches A's members, so its compiled code
+     has no stale offsets and it is NOT indirect; but a *caller* of pass
+     mentions A through the call's signature and IS *)
+  let v1 =
+    {|class A { int x; }
+      class Maker { static A pass(A a) { return a; } }
+      class Caller { static void go() { Maker.pass(null); } }|}
+  in
+  let v2 =
+    {|class A { int pad; int x; }
+      class Maker { static A pass(A a) { return a; } }
+      class Caller { static void go() { Maker.pass(null); } }|}
+  in
+  let d = diff v1 v2 in
+  let names = List.map J.Diff.mref_to_string d.J.Diff.indirect_methods in
+  Alcotest.(check bool) "pass itself not stale" false
+    (List.exists (fun n -> Helpers.contains n "Maker.pass") names);
+  Alcotest.(check bool) "caller is stale" true
+    (List.exists (fun n -> Helpers.contains n "Caller.go") names)
+
+let changed_methods_not_indirect () =
+  let v1 =
+    {|class A { int x; }
+      class B { static int f(A a) { return a.x; } }|}
+  in
+  let v2 =
+    {|class A { int pad; int x; }
+      class B { static int f(A a) { return a.x + 1; } }|}
+  in
+  let d = diff v1 v2 in
+  (* B.f changed body AND references A: classified as a body update, not
+     indirect *)
+  Alcotest.(check int) "body updates" 1 (List.length d.J.Diff.body_updates);
+  Alcotest.(check bool) "not also indirect" false
+    (List.exists
+       (fun r -> Helpers.contains (J.Diff.mref_to_string r) "B.f")
+       d.J.Diff.indirect_methods)
+
+let add_delete_classes () =
+  let d = diff {|class A {} class B {}|} {|class A {} class C {}|} in
+  Alcotest.(check (list string)) "added" [ "C" ] d.J.Diff.added_classes;
+  Alcotest.(check (list string)) "deleted" [ "B" ] d.J.Diff.deleted_classes
+
+let no_change_is_empty () =
+  let src = {|class A { int f() { return 1; } int x; }|} in
+  let d = diff src src in
+  Alcotest.(check bool) "nothing" false
+    (J.Spec.changed_anything
+       (J.Spec.make ~version_tag:"1" ~old_program:(compile src)
+          ~new_program:(compile src) ()));
+  Alcotest.(check int) "no changed classes" 0
+    d.J.Diff.stats.J.Diff.s_classes_changed
+
+let suite =
+  [
+    Alcotest.test_case "field add = class update" `Quick
+      field_add_is_class_update;
+    Alcotest.test_case "field type change" `Quick
+      field_type_change_counts_both;
+    Alcotest.test_case "body change only" `Quick body_change_only;
+    Alcotest.test_case "signature change pairing" `Quick
+      signature_change_pairs_add_delete;
+    Alcotest.test_case "visibility change" `Quick
+      visibility_change_is_signature_change;
+    Alcotest.test_case "super change flagged" `Quick super_change_flagged;
+    Alcotest.test_case "closure includes subclasses" `Quick
+      closure_includes_subclasses;
+    Alcotest.test_case "indirect methods found" `Quick indirect_methods_found;
+    Alcotest.test_case "indirect via call signatures" `Quick
+      indirect_via_call_signatures;
+    Alcotest.test_case "changed methods not indirect" `Quick
+      changed_methods_not_indirect;
+    Alcotest.test_case "class add/delete" `Quick add_delete_classes;
+    Alcotest.test_case "no change" `Quick no_change_is_empty;
+  ]

@@ -1,0 +1,688 @@
+(* End-to-end dynamic software updating tests: the heart of the repo.
+   Each test boots version 1 of a program, runs it, applies an update to
+   version 2 through the full Jvolve pipeline (UPT diff -> transformer
+   generation -> safe point -> GC transform), and checks behaviour. *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+
+let compile src = Jv_lang.Compile.compile_program src
+
+(* Boot v1, run [warmup] rounds, request the update, drive to resolution,
+   then run [cooldown] more rounds.  Returns (vm, handle). *)
+let run_update ?(config = Helpers.test_config) ?(warmup = 10)
+    ?(cooldown = 200) ?(timeout_rounds = 300) ?object_overrides
+    ?class_overrides ?blacklist ?transformer_src ~tag ~v1 ~v2 () =
+  let old_program = compile v1 in
+  let new_program = compile v2 in
+  let vm = VM.Vm.create ~config () in
+  VM.Vm.boot vm old_program;
+  ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+  VM.Vm.run vm ~rounds:warmup;
+  let spec =
+    J.Spec.make ?object_overrides ?class_overrides ?blacklist
+      ~transformer_src ~version_tag:tag ~old_program ~new_program ()
+  in
+  let h = J.Jvolve.update_now ~timeout_rounds vm spec in
+  ignore (VM.Vm.run_to_quiescence ~max_rounds:cooldown vm);
+  (vm, h)
+
+let check_applied (h : J.Jvolve.handle) =
+  match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Applied t -> t
+  | o -> Alcotest.failf "update did not apply: %s" (J.Jvolve.outcome_to_string o)
+
+let check_aborted (h : J.Jvolve.handle) ~substr =
+  match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Aborted e ->
+      if not (Helpers.contains e substr) then
+        Alcotest.failf "abort reason %S does not mention %S" e substr
+  | o -> Alcotest.failf "expected abort, got %s" (J.Jvolve.outcome_to_string o)
+
+(* --- 1. method body update ----------------------------------------------- *)
+
+let greeter v =
+  Printf.sprintf
+    {|
+class Greeter { String greet() { return "%s"; } }
+class Main {
+  static void main() {
+    Greeter g = new Greeter();
+    for (int i = 0; i < 40; i = i + 1) {
+      Sys.println(g.greet());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+    v
+
+let body_update () =
+  let vm, h = run_update ~tag:"1" ~v1:(greeter "v1") ~v2:(greeter "v2") () in
+  ignore (check_applied h);
+  let out = VM.Vm.output vm in
+  if not (Helpers.contains out "v1\n") then Alcotest.fail "no v1 output";
+  if not (Helpers.contains out "v2\n") then Alcotest.fail "no v2 output";
+  (* after the update no v1 line may follow a v2 line *)
+  let last_v1 = ref (-1) and first_v2 = ref max_int in
+  String.split_on_char '\n' out
+  |> List.iteri (fun i line ->
+         if line = "v1" then last_v1 := i
+         else if line = "v2" && i < !first_v2 then first_v2 := i);
+  if !last_v1 > !first_v2 then
+    Alcotest.fail "old code ran after the update"
+
+(* --- 2. field addition with default transformer -------------------------- *)
+
+let box_v1 =
+  {|
+class Box {
+  int a; int b;
+  int sum() { return a + b; }
+}
+class Keeper {
+  static Box box;
+}
+class Main {
+  static void main() {
+    Keeper.box = new Box();
+    Keeper.box.a = 7;
+    Keeper.box.b = 9;
+    for (int i = 0; i < 60; i = i + 1) {
+      Sys.println("sum=" + Keeper.box.sum());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let box_v2 =
+  {|
+class Box {
+  int a; int b; int c;
+  int sum() { return a + b + c + 100; }
+}
+class Keeper {
+  static Box box;
+}
+class Main {
+  static void main() {
+    Keeper.box = new Box();
+    Keeper.box.a = 7;
+    Keeper.box.b = 9;
+    for (int i = 0; i < 60; i = i + 1) {
+      Sys.println("sum=" + Keeper.box.sum());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let field_addition () =
+  let vm, h = run_update ~tag:"2" ~v1:box_v1 ~v2:box_v2 () in
+  let t = check_applied h in
+  (* the one Box instance must have been transformed *)
+  if t.J.Updater.u_transformed_objects < 1 then
+    Alcotest.fail "no objects transformed";
+  let out = VM.Vm.output vm in
+  (* old fields preserved (7 + 9), new field defaults to 0, new body: +100 *)
+  if not (Helpers.contains out "sum=16\n") then
+    Alcotest.fail "old behaviour missing before update";
+  if not (Helpers.contains out "sum=116\n") then
+    Alcotest.failf "new behaviour missing after update: %s" out
+
+(* --- 3. the paper's running example (Figures 2 and 3) --------------------- *)
+
+(* Main.main is identical in both versions (it only mentions stable
+   classes), so the running loop never blocks the update; all changes live
+   in User / ConfigurationManager / Printer, exactly like the paper's
+   example where the server loop survives while User instances change. *)
+let mail_main =
+  {|
+class Registry { static User current; }
+class Main {
+  static void main() {
+    Registry.current = ConfigurationManager.loadUser();
+    for (int i = 0; i < 60; i = i + 1) {
+      Sys.println(Printer.describe());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let mail_v1 =
+  {|
+class User {
+  String username; String domain; String password;
+  String[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new String[0];
+  }
+  String[] getForwardedAddresses() { return forwardAddresses; }
+  void setForwardedAddresses(String[] f) { forwardAddresses = f; }
+}
+class ConfigurationManager {
+  static User loadUser() {
+    User user = new User("alice", "example.com", "pw");
+    String[] f = new String[2];
+    f[0] = "bob@dest.org";
+    f[1] = "carol@other.net";
+    user.setForwardedAddresses(f);
+    return user;
+  }
+}
+class Printer {
+  static String describe() {
+    User u = Registry.current;
+    return u.username + " fwd:" + u.getForwardedAddresses().length;
+  }
+}
+|}
+  ^ mail_main
+
+let mail_v2 =
+  {|
+class EmailAddress {
+  String user; String host;
+  EmailAddress(String u, String h) { user = u; host = h; }
+  String render() { return user + "@" + host; }
+}
+class User {
+  String username; String domain; String password;
+  EmailAddress[] forwardAddresses;
+  User(String u, String d, String p) {
+    username = u; domain = d; password = p;
+    forwardAddresses = new EmailAddress[0];
+  }
+  EmailAddress[] getForwardedAddresses() { return forwardAddresses; }
+  void setForwardedAddresses(EmailAddress[] f) { forwardAddresses = f; }
+}
+class ConfigurationManager {
+  static User loadUser() {
+    User user = new User("alice", "example.com", "pw");
+    EmailAddress[] f = new EmailAddress[2];
+    f[0] = new EmailAddress("bob", "dest.org");
+    f[1] = new EmailAddress("carol", "other.net");
+    user.setForwardedAddresses(f);
+    return user;
+  }
+}
+class Printer {
+  static String describe() {
+    User u = Registry.current;
+    EmailAddress[] f = u.getForwardedAddresses();
+    String line = u.username + " fwd:" + f.length;
+    for (int j = 0; j < f.length; j = j + 1) { line = line + " " + f[j].render(); }
+    return line;
+  }
+}
+|}
+  ^ mail_main
+
+(* the customized transformer from the paper's Figure 3 *)
+let user_transformer_body =
+  {|
+    to.username = from.username;
+    to.domain = from.domain;
+    to.password = from.password;
+    int len = from.forwardAddresses.length;
+    to.forwardAddresses = new EmailAddress[len];
+    for (int i = 0; i < len; i = i + 1) {
+      String[] parts = from.forwardAddresses[i].split("@", 2);
+      to.forwardAddresses[i] = new EmailAddress(parts[0], parts[1]);
+    }
+|}
+
+let paper_example () =
+  let vm, h =
+    run_update ~tag:"131"
+      ~object_overrides:[ ("User", user_transformer_body) ]
+      ~v1:mail_v1 ~v2:mail_v2 ()
+  in
+  let t = check_applied h in
+  if t.J.Updater.u_transformed_objects < 1 then
+    Alcotest.fail "User object not transformed";
+  let out = VM.Vm.output vm in
+  if not (Helpers.contains out "alice fwd:2\n") then
+    Alcotest.failf "v1 behaviour missing: %s" out;
+  (* after the update, the forwarded addresses must have been rebuilt as
+     EmailAddress objects from the old strings *)
+  if not (Helpers.contains out "alice fwd:2 bob@dest.org carol@other.net") then
+    Alcotest.failf "custom transformer output missing: %s" out
+
+(* with the *default* transformer the changed-type field resets to null,
+   exactly like the paper's default (to.forwardAddresses = null) *)
+let paper_example_default_transformer () =
+  let vm, h = run_update ~tag:"131" ~v1:mail_v1 ~v2:mail_v2 () in
+  ignore (check_applied h);
+  (* the loop dereferences f.length on the null array -> the thread traps *)
+  let stats = VM.Vm.stats vm in
+  match stats.VM.Vm.traps with
+  | [] ->
+      (* main may also have finished its loop before dereferencing *)
+      let out = VM.Vm.output vm in
+      if Helpers.contains out "bob@dest.org" then
+        Alcotest.fail "default transformer should not rebuild addresses"
+  | (_, msg) :: _ ->
+      if not (Helpers.contains msg "null dereference") then
+        Alcotest.failf "unexpected trap: %s" msg
+
+(* --- 4. infinite loop blocks the update (paper §4.2, Jetty 5.1.3) --------- *)
+
+let spinner_v1 =
+  {|
+class Worker {
+  int n;
+  void run() {
+    while (true) { n = n + 1; Thread.yieldNow(); }
+  }
+}
+class Main {
+  static void main() { Thread.spawn(new Worker()); }
+}
+|}
+
+let spinner_v2 =
+  {|
+class Worker {
+  int n;
+  void run() {
+    while (true) { n = n + 2; Thread.yieldNow(); }
+  }
+}
+class Main {
+  static void main() { Thread.spawn(new Worker()); }
+}
+|}
+
+let infinite_loop_blocks () =
+  let _vm, h =
+    run_update ~tag:"3" ~timeout_rounds:50 ~cooldown:10 ~v1:spinner_v1
+      ~v2:spinner_v2 ()
+  in
+  check_aborted h ~substr:"Worker.run";
+  (* a return barrier was installed on the stuck frame *)
+  if h.J.Jvolve.h_barriers_installed < 1 then
+    Alcotest.fail "expected a return barrier installation"
+
+(* --- 5. return barrier lets the update through ----------------------------- *)
+
+let barrier_v1 =
+  {|
+class Task {
+  int work() {
+    int acc = 0;
+    for (int i = 0; i < 200; i = i + 1) { acc = acc + i; Thread.yieldNow(); }
+    return acc;
+  }
+}
+class Main {
+  static void main() {
+    Task t = new Task();
+    Sys.println("a=" + t.work());
+    Sys.println("b=" + t.work());
+  }
+}
+|}
+
+let barrier_v2 =
+  {|
+class Task {
+  int work() {
+    int acc = 1000000;
+    for (int i = 0; i < 200; i = i + 1) { acc = acc + i; Thread.yieldNow(); }
+    return acc;
+  }
+}
+class Main {
+  static void main() {
+    Task t = new Task();
+    Sys.println("a=" + t.work());
+    Sys.println("b=" + t.work());
+  }
+}
+|}
+
+let return_barrier_applies () =
+  (* request while work() (a changed method) is on stack: Jvolve must
+     install a return barrier and apply the update when work() returns *)
+  let vm, h =
+    run_update ~tag:"4" ~warmup:20 ~cooldown:600 ~timeout_rounds:500
+      ~v1:barrier_v1 ~v2:barrier_v2 ()
+  in
+  ignore (check_applied h);
+  if h.J.Jvolve.h_barriers_installed < 1 then
+    Alcotest.fail "expected a return barrier";
+  let out = VM.Vm.output vm in
+  (* first call ran old code, second ran new code *)
+  if not (Helpers.contains out "a=19900\n") then
+    Alcotest.failf "old result missing: %s" out;
+  if not (Helpers.contains out "b=1019900\n") then
+    Alcotest.failf "new result missing: %s" out
+
+(* --- 6. OSR lifts category-(2) restrictions -------------------------------- *)
+
+let osr_v1 =
+  {|
+class Data { int x; }
+class Registry { static Data d; }
+class Main {
+  static void main() {
+    Registry.d = new Data();
+    Registry.d.x = 5;
+    for (int i = 0; i < 80; i = i + 1) {
+      Sys.println("x=" + Registry.d.x);
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+(* Data gains a field before x, shifting x's offset: Main.main is an
+   indirect (category-2) method that is permanently on stack -> only OSR
+   can make this update applicable *)
+let osr_v2 =
+  {|
+class Data { int pad0; int pad1; int x; }
+class Registry { static Data d; }
+class Main {
+  static void main() {
+    Registry.d = new Data();
+    Registry.d.x = 5;
+    for (int i = 0; i < 80; i = i + 1) {
+      Sys.println("x=" + Registry.d.x);
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let osr_lifts_category2 () =
+  let vm, h = run_update ~tag:"5" ~v1:osr_v1 ~v2:osr_v2 () in
+  let t = check_applied h in
+  if t.J.Updater.u_osr < 1 then Alcotest.fail "expected an OSR replacement";
+  let out = VM.Vm.output vm in
+  (* x keeps its value 5 across the layout change: printed before and after *)
+  String.split_on_char '\n' out
+  |> List.iter (fun l -> if l <> "" && l <> "x=5" then
+                  Alcotest.failf "wrong line %S (offset bug?)" l)
+
+(* --- 7. class addition and deletion ---------------------------------------- *)
+
+(* Main calls through the stable dispatcher Calc; the v2 Calc delegates to
+   a brand-new class while the old Helper disappears. *)
+let adddel_main =
+  {|
+class Main {
+  static void main() {
+    for (int i = 0; i < 40; i = i + 1) {
+      Sys.println("r=" + Calc.apply(i));
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let adddel_v1 =
+  {|
+class Helper { static int calc(int n) { return n * 2; } }
+class Calc { static int apply(int n) { return Helper.calc(n); } }
+|}
+  ^ adddel_main
+
+let adddel_v2 =
+  {|
+class NewMath { static int triple(int n) { return n * 3; } }
+class Calc { static int apply(int n) { return NewMath.triple(n); } }
+|}
+  ^ adddel_main
+
+let class_add_delete () =
+  let vm, h = run_update ~tag:"6" ~v1:adddel_v1 ~v2:adddel_v2 () in
+  ignore (check_applied h);
+  let d = h.J.Jvolve.h_prepared.J.Transformers.p_spec.J.Spec.diff in
+  Alcotest.(check (list string)) "added" [ "NewMath" ] d.J.Diff.added_classes;
+  Alcotest.(check (list string)) "deleted" [ "Helper" ] d.J.Diff.deleted_classes;
+  let out = VM.Vm.output vm in
+  if not (Helpers.contains out "r=2\n") then Alcotest.fail "v1 output missing";
+  (* after update, values triple: r=3i for some i not a multiple pattern of
+     doubling; look for an odd triple like r=33 (i=11) or r=39 *)
+  let has_triple =
+    List.exists
+      (fun i -> Helpers.contains out (Printf.sprintf "r=%d\n" (3 * i)))
+      [ 11; 13; 17; 19; 21; 23; 25 ]
+  in
+  if not has_triple then Alcotest.failf "v2 output missing: %s" out
+
+(* --- 8. static field carry-over -------------------------------------------- *)
+
+(* Stats is a class update (new static field); Main.main is identical in
+   both versions but references Stats, making it a category-(2) method that
+   gets OSR'd. *)
+let statics_main =
+  {|
+class Main {
+  static void main() {
+    for (int i = 0; i < 60; i = i + 1) {
+      Stats.bump();
+      Sys.println(Report.line());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+
+let statics_v1 =
+  {|
+class Stats {
+  static int served = 0;
+  static String motd = "hello";
+  static void bump() { served = served + 1; }
+}
+class Report {
+  static String line() { return "served=" + Stats.served + " motd=" + Stats.motd; }
+}
+|}
+  ^ statics_main
+
+let statics_v2 =
+  {|
+class Stats {
+  static int served = 0;
+  static String motd = "hello";
+  static int errors = 0;
+  static void bump() { served = served + 1; }
+}
+class Report {
+  static String line() {
+    return "served=" + Stats.served + " motd=" + Stats.motd
+      + " errors=" + Stats.errors;
+  }
+}
+|}
+  ^ statics_main
+
+let statics_carry_over () =
+  let vm, h = run_update ~tag:"7" ~v1:statics_v1 ~v2:statics_v2 () in
+  ignore (check_applied h);
+  let out = VM.Vm.output vm in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  (* counters must be strictly increasing across the update: no reset *)
+  let values =
+    List.map
+      (fun l ->
+        match String.index_opt l ' ' with
+        | Some sp -> int_of_string (String.sub l 7 (sp - 7))
+        | None -> -1)
+      lines
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  if not (monotone values) then
+    Alcotest.failf "served counter reset across update: %s" out;
+  if not (Helpers.contains out "errors=0") then
+    Alcotest.fail "new static missing"
+
+(* --- 9. blacklisted methods (category 3) ----------------------------------- *)
+
+let forever_greeter v =
+  Printf.sprintf
+    {|
+class Greeter { String greet() { return "%s"; } }
+class Main {
+  static void main() {
+    Greeter g = new Greeter();
+    while (true) { Sys.print(g.greet()); Thread.yieldNow(); }
+  }
+}
+|}
+    v
+
+let blacklist_blocks () =
+  (* Main.main is NOT restricted by the diff (only Greeter.greet changed),
+     so the update applies even though main never exits... *)
+  let _vm, h0 =
+    run_update ~tag:"8a" ~timeout_rounds:40 ~cooldown:10
+      ~v1:(forever_greeter "v1") ~v2:(forever_greeter "v2") ()
+  in
+  ignore (check_applied h0);
+  (* ...but blacklisting main (category 3, version consistency) makes the
+     very same update time out *)
+  let _vm, h =
+    run_update ~tag:"8b" ~timeout_rounds:40 ~cooldown:10
+      ~blacklist:
+        [
+          {
+            J.Diff.r_class = "Main";
+            r_name = "main";
+            r_sig =
+              { Jv_classfile.Types.params = []; ret = Jv_classfile.Types.TVoid };
+          };
+        ]
+      ~v1:(forever_greeter "v1") ~v2:(forever_greeter "v2") ()
+  in
+  check_aborted h ~substr:"Main.main"
+
+(* --- 10. transformer cycle detection ---------------------------------------- *)
+
+(* [wiring] controls the peer graph: symmetric for the cycle test,
+   acyclic for the well-founded forced-transform test. *)
+let node_prog ~extra_field ~wiring =
+  Printf.sprintf
+    {|
+class Node {
+  int tag;%s
+  Node peer;
+}
+class Registry { static Node a; }
+class Main {
+  static void main() {
+    Node a = new Node(); Node b = new Node();
+    a.tag = 1; b.tag = 2;
+    a.peer = b;
+    %s
+    Registry.a = a;
+    for (int i = 0; i < 60; i = i + 1) { Thread.yieldNow(); }
+  }
+}
+|}
+    (if extra_field then " int extra;" else "")
+    wiring
+
+(* an ill-defined transformer that force-transforms its peer, which in turn
+   force-transforms it back: must be detected and abort the update *)
+let cyclic_transformer_body =
+  {|
+    if (from.peer != null) { Jvolve.transform(from.peer); }
+    to.tag = from.tag;
+    to.peer = from.peer;
+    to.extra = 0;
+|}
+
+let cycle_detection () =
+  let _vm, h =
+    run_update ~tag:"9" ~cooldown:10
+      ~object_overrides:[ ("Node", cyclic_transformer_body) ]
+      ~v1:(node_prog ~extra_field:false ~wiring:"b.peer = a;")
+      ~v2:(node_prog ~extra_field:true ~wiring:"b.peer = a;")
+      ()
+  in
+  check_aborted h ~substr:"cyclic"
+
+(* a well-founded use of Jvolve.transform (paper §3.4): force the referent's
+   transformer, then read the *transformed* referent's new field *)
+let forced_transform_ok () =
+  let order_body =
+    {|
+    to.tag = from.tag;
+    to.peer = from.peer;
+    if (from.peer != null) {
+      Jvolve.transform(from.peer);
+      to.extra = from.peer.extra * 100 + from.tag * 10;
+    } else {
+      to.extra = from.tag * 10;
+    }
+|}
+  in
+  let vm, h =
+    run_update ~tag:"10"
+      ~object_overrides:[ ("Node", order_body) ]
+      ~v1:(node_prog ~extra_field:false ~wiring:"")
+      ~v2:(node_prog ~extra_field:true ~wiring:"")
+      ()
+  in
+  let t = check_applied h in
+  Alcotest.(check bool) "transformed both nodes" true
+    (t.J.Updater.u_transformed_objects >= 2);
+  ignore vm
+
+(* --- 11. diff statistics ----------------------------------------------------- *)
+
+let diff_stats () =
+  let old_program = compile mail_v1 in
+  let new_program = compile mail_v2 in
+  let d = J.Diff.compute ~old_program ~new_program in
+  Alcotest.(check (list string)) "added" [ "EmailAddress" ] d.J.Diff.added_classes;
+  Alcotest.(check (list string)) "deleted" [] d.J.Diff.deleted_classes;
+  (* User's field and method types changed -> class update;
+     ConfigurationManager.loadUser only changed its body -> but it
+     references User (class update), so it is indirect; actually its
+     bytecode changed too (new EmailAddress[...]) -> body update *)
+  Alcotest.(check bool) "User is a class update" true
+    (List.mem "User" d.J.Diff.class_updates);
+  Alcotest.(check bool) "no method-body-only support" false
+    (J.Diff.method_body_only_supported d);
+  let d2 =
+    J.Diff.compute ~old_program:(compile (greeter "v1"))
+      ~new_program:(compile (greeter "v2"))
+  in
+  Alcotest.(check bool) "greeter is body-only" true
+    (J.Diff.method_body_only_supported d2)
+
+let suite =
+  [
+    Alcotest.test_case "method body update" `Quick body_update;
+    Alcotest.test_case "field addition (default transformer)" `Quick
+      field_addition;
+    Alcotest.test_case "paper example (custom transformer)" `Quick
+      paper_example;
+    Alcotest.test_case "paper example (default transformer)" `Quick
+      paper_example_default_transformer;
+    Alcotest.test_case "infinite loop blocks update" `Quick
+      infinite_loop_blocks;
+    Alcotest.test_case "return barrier applies update" `Quick
+      return_barrier_applies;
+    Alcotest.test_case "OSR lifts category 2" `Quick osr_lifts_category2;
+    Alcotest.test_case "class add and delete" `Quick class_add_delete;
+    Alcotest.test_case "statics carry over" `Quick statics_carry_over;
+    Alcotest.test_case "blacklist (category 3)" `Quick blacklist_blocks;
+    Alcotest.test_case "transformer cycle detection" `Quick cycle_detection;
+    Alcotest.test_case "forced transform ok" `Quick forced_transform_ok;
+    Alcotest.test_case "diff statistics" `Quick diff_stats;
+  ]

@@ -1,0 +1,320 @@
+(* Unit tests for the MiniJava frontend: lexer, parser, and typechecker
+   error behaviour. *)
+
+open Jv_lang
+
+let lex src =
+  Lexer.tokenize src |> List.map Lexer.token_to_string |> String.concat " "
+
+let check_lex ~expected src =
+  Alcotest.(check string) "tokens" expected (lex src)
+
+let lex_error ~substr src =
+  match Lexer.tokenize src with
+  | _ -> Alcotest.failf "expected lex error for %S" src
+  | exception Lexer.Lex_error (m, _) ->
+      if not (Helpers.contains m substr) then
+        Alcotest.failf "lex error %S does not mention %S" m substr
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let lex_basics () =
+  check_lex ~expected:{|class Foo { int x ; } <eof>|} "class Foo { int x; }";
+  check_lex ~expected:{|a == b != c <= d >= e && f || g <eof>|}
+    "a == b != c <= d >= e && f || g";
+  check_lex ~expected:{|x = - 12 + 3 <eof>|} "x = -12 + 3"
+
+let lex_strings () =
+  check_lex ~expected:{|"hi" <eof>|} {|"hi"|};
+  check_lex ~expected:"\"a\\nb\" <eof>" {|"a\nb"|};
+  check_lex ~expected:{|"quote \" done" <eof>|} {|"quote \" done"|};
+  check_lex ~expected:"\"tab\\tx\" <eof>" {|"tab\tx"|}
+
+let lex_comments () =
+  check_lex ~expected:{|a b <eof>|} "a // comment here\nb";
+  check_lex ~expected:{|a b <eof>|} "a /* multi\nline */ b";
+  check_lex ~expected:{|a <eof>|} "a /* nested // line */"
+
+let lex_errors () =
+  lex_error ~substr:"unterminated string" {|"abc|};
+  lex_error ~substr:"unterminated comment" "/* foo";
+  lex_error ~substr:"unexpected character" "int x = #;";
+  lex_error ~substr:"bad escape" {|"a\q"|};
+  lex_error ~substr:"newline in string" "\"ab\ncd\""
+
+let lex_positions () =
+  let toks = Lexer.tokenize "class\n  Foo" in
+  match toks with
+  | [ { tpos = p1; _ }; { tpos = p2; _ }; _ ] ->
+      Alcotest.(check int) "line 1" 1 p1.Ast.line;
+      Alcotest.(check int) "line 2" 2 p2.Ast.line;
+      Alcotest.(check int) "col 3" 3 p2.Ast.col
+  | _ -> Alcotest.fail "expected 3 tokens"
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let parse src = Parser.parse_program src
+
+let parse_error ~substr src =
+  match parse src with
+  | _ -> Alcotest.failf "expected parse error for %S" src
+  | exception Parser.Parse_error (m, _) ->
+      if not (Helpers.contains m substr) then
+        Alcotest.failf "parse error %S does not mention %S" m substr
+
+let parser_classes () =
+  match parse "class A {} class B extends A { int x; }" with
+  | [ a; b ] ->
+      Alcotest.(check string) "a" "A" a.Ast.cd_name;
+      Alcotest.(check (option string)) "a super" None a.Ast.cd_super;
+      Alcotest.(check (option string)) "b super" (Some "A") b.Ast.cd_super;
+      Alcotest.(check int) "b fields" 1 (List.length b.Ast.cd_fields)
+  | _ -> Alcotest.fail "expected two classes"
+
+(* precedence: 1 + 2 * 3 parses as 1 + (2 * 3) *)
+let parser_precedence () =
+  let prog =
+    parse "class A { int f() { return 1 + 2 * 3; } }"
+  in
+  match prog with
+  | [ { Ast.cd_methods = [ { Ast.md_body = Some [ Ast.S_return (Some e, _) ]; _ } ]; _ } ]
+    -> (
+      match e.Ast.e with
+      | Ast.E_binop ("+", { e = Ast.E_int 1; _ }, { e = Ast.E_binop ("*", _, _); _ })
+        -> ()
+      | _ -> Alcotest.fail "wrong precedence shape")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+(* a cast looks like a parenthesized name; the parser must distinguish
+   [(Foo) x] from [(foo) + 1] *)
+let parser_cast_disambiguation () =
+  let body src =
+    match parse (Printf.sprintf "class A { int f(int y) { %s } }" src) with
+    | [ { Ast.cd_methods = [ { Ast.md_body = Some [ s ]; _ } ]; _ } ] -> s
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  (match body "return (y) + 1;" with
+  | Ast.S_return (Some { e = Ast.E_binop ("+", _, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "(y) + 1 must parse as addition");
+  match
+    parse "class B {} class A { B f(Object o) { return (B) o; } }"
+  with
+  | [ _; { Ast.cd_methods = [ { Ast.md_body = Some [ Ast.S_return (Some e, _) ]; _ } ]; _ } ]
+    -> (
+      match e.Ast.e with
+      | Ast.E_cast ("B", _) -> ()
+      | _ -> Alcotest.fail "(B) o must parse as a cast")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let parser_decl_vs_expr () =
+  let stmts src =
+    match parse (Printf.sprintf "class F {} class A { void f(F x) { %s } }" src)
+    with
+    | [ _; { Ast.cd_methods = [ { Ast.md_body = Some ss; _ } ]; _ } ] -> ss
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  (match stmts "F y = x;" with
+  | [ Ast.S_var (Ast.St_class "F", "y", Some _, _) ] -> ()
+  | _ -> Alcotest.fail "expected declaration");
+  (match stmts "F[] ys = null;" with
+  | [ Ast.S_var (Ast.St_array (Ast.St_class "F"), "ys", Some _, _) ] -> ()
+  | _ -> Alcotest.fail "expected array declaration");
+  match stmts "x = null;" with
+  | [ Ast.S_expr { e = Ast.E_assign _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected assignment statement"
+
+let parser_for_variants () =
+  ignore (parse "class A { void f() { for (;;) { break; } } }");
+  ignore (parse "class A { void f() { for (int i = 0; i < 3; i = i + 1) {} } }");
+  ignore (parse "class A { int g; void f() { for (g = 0; g < 3; g = g + 1) {} } }")
+
+let parser_ctor_vs_method () =
+  match parse "class A { A() {} A makeA() { return new A(); } }" with
+  | [ { Ast.cd_methods = [ ctor; meth ]; _ } ] ->
+      Alcotest.(check bool) "ctor" true ctor.Ast.md_is_ctor;
+      Alcotest.(check bool) "meth" false meth.Ast.md_is_ctor;
+      Alcotest.(check string) "meth name" "makeA" meth.Ast.md_name
+  | _ -> Alcotest.fail "unexpected shape"
+
+let parser_modifiers () =
+  match parse "class A { private static final int x = 1; protected native void f(); }"
+  with
+  | [ { Ast.cd_fields = [ f ]; cd_methods = [ m ]; _ } ] ->
+      Alcotest.(check bool) "static" true f.Ast.f_mods.Ast.m_static;
+      Alcotest.(check bool) "final" true f.Ast.f_mods.Ast.m_final;
+      Alcotest.(check bool) "native" true m.Ast.md_mods.Ast.m_native;
+      Alcotest.(check bool) "no body" true (m.Ast.md_body = None)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let parser_errors () =
+  parse_error ~substr:"expected" "class A { int f( { } }";
+  parse_error ~substr:"expected expression" "class A { void f() { return +; } }";
+  parse_error ~substr:"expected keyword" "klass A {}";
+  parse_error ~substr:"non-native method must have a body"
+    "class A { void f(); }";
+  parse_error ~substr:"field cannot have type void" "class A { void x; }";
+  parse_error ~substr:"cannot construct a primitive"
+    "class A { void f() { int x = new int(3); } }"
+
+(* --- typechecker error cases ------------------------------------------------ *)
+
+let terr ~substr src = Helpers.check_compile_error ~substr src
+
+let ty_mismatches () =
+  terr ~substr:"expected int" {|class A { int f() { return true; } }|};
+  terr ~substr:"left operand" {|class A { int f() { return true + 1; } }|};
+  terr ~substr:"cannot initialize"
+    {|class A { void f() { int x = "s"; } }|};
+  terr ~substr:"if condition" {|class A { void f() { if (1) {} } }|};
+  terr ~substr:"while condition" {|class A { void f() { while (0) {} } }|};
+  terr ~substr:"array index"
+    {|class A { void f(int[] a) { int x = a[true]; } }|};
+  terr ~substr:"cannot compare"
+    {|class A { boolean f() { return true == false; } }|}
+
+let ty_names () =
+  terr ~substr:"unknown identifier" {|class A { int f() { return zork; } }|};
+  terr ~substr:"unknown class" {|class A { Zork z; }|};
+  terr ~substr:"unknown superclass" {|class A extends Zork {}|};
+  terr ~substr:"duplicate local"
+    {|class A { void f() { int x = 1; int x = 2; } }|};
+  terr ~substr:"duplicate field" {|class A { int x; int x; }|};
+  terr ~substr:"duplicate method" {|class A { void f() {} void f() {} }|};
+  terr ~substr:"duplicate class" {|class A {} class A {}|};
+  terr ~substr:"cyclic inheritance" {|class A extends B {} class B extends A {}|};
+  terr ~substr:"cannot extend builtin" {|class A extends String {}|}
+
+let ty_members () =
+  terr ~substr:"no field" {|class B {} class A { int f(B b) { return b.x; } }|};
+  terr ~substr:"no method"
+    {|class B {} class A { void f(B b) { b.zap(); } }|};
+  terr ~substr:"no applicable overload"
+    {|class A { void g(int x) {} void f() { g(true); } }|};
+  terr ~substr:"accessed via instance"
+    {|class B { static int s; } class A { int f(B b) { return b.s; } }|};
+  terr ~substr:"via class name"
+    {|class B { int i; } class A { int f() { return B.i; } }|};
+  terr ~substr:"instance method"
+    {|class B { void m() {} } class A { void f() { B.m(); } }|}
+
+let ty_access_control () =
+  terr ~substr:"not accessible"
+    {|class B { private int x; } class A { int f(B b) { return b.x; } }|};
+  terr ~substr:"not accessible"
+    {|class B { private void m() {} } class A { void f(B b) { b.m(); } }|};
+  terr ~substr:"not accessible"
+    {|class B { protected int x; } class A { int f(B b) { return b.x; } }|};
+  (* protected IS accessible from a subclass *)
+  ignore
+    (Jv_lang.Compile.compile_program
+       {|class B { protected int x; } class A extends B { int f() { return x; } }|});
+  (* and private IS accessible in transformer mode (the JastAdd hack) *)
+  ignore
+    (Jv_lang.Compile.compile
+       ~mode:Jv_lang.Compile.Transformer
+       ~extra:
+         (Jv_lang.Compile.compile_program {|class B { private int x; }|})
+       {|class T { static int peek(B b) { return b.x; } }|})
+
+let ty_final () =
+  terr ~substr:"final"
+    {|class A { final int x; void f() { x = 3; } }|};
+  (* final fields may be assigned in the declaring class's constructor *)
+  ignore
+    (Jv_lang.Compile.compile_program
+       {|class A { final int x; A() { x = 3; } }|});
+  (* transformer mode may assign final fields anywhere *)
+  ignore
+    (Jv_lang.Compile.compile ~mode:Jv_lang.Compile.Transformer
+       ~extra:(Jv_lang.Compile.compile_program {|class B { final int x; B() { x = 1; } }|})
+       {|class T { static void set(B b) { b.x = 9; } }|})
+
+let ty_control () =
+  terr ~substr:"break outside loop" {|class A { void f() { break; } }|};
+  terr ~substr:"continue outside loop" {|class A { void f() { continue; } }|};
+  terr ~substr:"not all control paths return"
+    {|class A { int f(boolean b) { if (b) { return 1; } } }|};
+  terr ~substr:"void method returns a value"
+    {|class A { void f() { return 3; } }|};
+  terr ~substr:"missing return value" {|class A { int f() { return; } }|};
+  terr ~substr:"this in static context"
+    {|class A { static A f() { return this; } }|};
+  terr ~substr:"instance field"
+    {|class A { int x; static int f() { return x; } }|};
+  terr ~substr:"no effect" {|class A { void f() { 1 + 2; } }|};
+  terr ~substr:"assignment used as a value"
+    {|class A { void f() { int x = 0; int y = x = 3; } }|}
+
+let ty_ctors () =
+  terr ~substr:"must call super"
+    {|class B { B(int x) {} } class A extends B { A() {} }|};
+  (* explicit super() selects the right ctor *)
+  ignore
+    (Jv_lang.Compile.compile_program
+       {|class B { int v; B(int x) { v = x; } }
+         class A extends B { A() { super(7); } }|});
+  terr ~substr:"only allowed as the first statement"
+    {|class A { void f() { super(); } }|};
+  terr ~substr:"no applicable overload"
+    {|class B { B(int x) {} } class A { void f() { B b = new B(); } }|}
+
+let ty_overloads () =
+  (* exact-type overloads resolve by argument types *)
+  Helpers.check_output ~expected:"int:5 str:hi\n"
+    {|
+class A {
+  static String f(int x) { return "int:" + x; }
+  static String f(String s) { return "str:" + s; }
+}
+class Main {
+  static void main() { Sys.println(A.f(5) + " " + A.f("hi")); }
+}
+|};
+  (* most-specific wins *)
+  Helpers.check_output ~expected:"dog\n"
+    {|
+class Animal {}
+class Dog extends Animal {}
+class A {
+  static String f(Animal a) { return "animal"; }
+  static String f(Dog d) { return "dog"; }
+}
+class Main {
+  static void main() { Sys.println(A.f(new Dog())); }
+}
+|};
+  (* ambiguity is rejected *)
+  terr ~substr:"ambiguous"
+    {|
+class A {
+  static void f(Object a, String b) {}
+  static void f(String a, Object b) {}
+  static void g() { f(null, null); }
+}
+|}
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick lex_basics;
+    Alcotest.test_case "lexer strings" `Quick lex_strings;
+    Alcotest.test_case "lexer comments" `Quick lex_comments;
+    Alcotest.test_case "lexer errors" `Quick lex_errors;
+    Alcotest.test_case "lexer positions" `Quick lex_positions;
+    Alcotest.test_case "parser classes" `Quick parser_classes;
+    Alcotest.test_case "parser precedence" `Quick parser_precedence;
+    Alcotest.test_case "parser cast disambiguation" `Quick
+      parser_cast_disambiguation;
+    Alcotest.test_case "parser decl vs expr" `Quick parser_decl_vs_expr;
+    Alcotest.test_case "parser for variants" `Quick parser_for_variants;
+    Alcotest.test_case "parser ctor vs method" `Quick parser_ctor_vs_method;
+    Alcotest.test_case "parser modifiers" `Quick parser_modifiers;
+    Alcotest.test_case "parser errors" `Quick parser_errors;
+    Alcotest.test_case "type mismatches" `Quick ty_mismatches;
+    Alcotest.test_case "name errors" `Quick ty_names;
+    Alcotest.test_case "member errors" `Quick ty_members;
+    Alcotest.test_case "access control" `Quick ty_access_control;
+    Alcotest.test_case "final fields" `Quick ty_final;
+    Alcotest.test_case "control flow checks" `Quick ty_control;
+    Alcotest.test_case "constructors" `Quick ty_ctors;
+    Alcotest.test_case "overload resolution" `Quick ty_overloads;
+  ]

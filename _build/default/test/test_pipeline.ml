@@ -1,0 +1,278 @@
+(* End-to-end smoke tests: MiniJava source -> compiler -> verifier -> VM. *)
+
+let hello () =
+  Helpers.check_output ~expected:"hello world\n"
+    {| class Main { static void main() { Sys.println("hello world"); } } |}
+
+let arithmetic () =
+  Helpers.check_output ~expected:"42 -7 30 3 1\n"
+    {|
+class Main {
+  static void main() {
+    int a = 6 * 7;
+    int b = 3 - 10;
+    int c = (a + b) - 5;
+    int d = a / 12;
+    int e = a % 41;
+    Sys.println("" + a + " " + b + " " + c + " " + d + " " + e);
+  }
+}
+|}
+
+let control_flow () =
+  Helpers.check_output ~expected:"0 1 2 3 4\nsum=10\nevens: 0 2 4 6 8\n"
+    {|
+class Main {
+  static void main() {
+    String line = "";
+    int i = 0;
+    while (i < 5) {
+      if (i > 0) { line = line + " "; }
+      line = line + i;
+      i = i + 1;
+    }
+    Sys.println(line);
+    int sum = 0;
+    for (int j = 0; j < 5; j = j + 1) { sum = sum + j; }
+    Sys.println("sum=" + sum);
+    String evens = "evens:";
+    for (int k = 0; k < 10; k = k + 1) {
+      if (k % 2 != 0) { continue; }
+      evens = evens + " " + k;
+    }
+    Sys.println(evens);
+  }
+}
+|}
+
+let objects_and_fields () =
+  Helpers.check_output ~expected:"p=(3,4) moved=(13,24) dist2=25\n"
+    {|
+class Point {
+  private int x; private int y;
+  Point(int x0, int y0) { x = x0; y = y0; }
+  int getX() { return x; }
+  int getY() { return y; }
+  void move(int dx, int dy) { x = x + dx; y = y + dy; }
+  int dist2() { return x * x + y * y; }
+}
+class Main {
+  static void main() {
+    Point p = new Point(3, 4);
+    int d = p.dist2();
+    String before = "p=(" + p.getX() + "," + p.getY() + ")";
+    p.move(10, 20);
+    Sys.println(before + " moved=(" + p.getX() + "," + p.getY() + ") dist2=" + d);
+  }
+}
+|}
+
+let inheritance_and_dispatch () =
+  Helpers.check_output ~expected:"woof meow woof generic\n"
+    {|
+class Animal {
+  String speak() { return "generic"; }
+}
+class Dog extends Animal {
+  String speak() { return "woof"; }
+}
+class Cat extends Animal {
+  String speak() { return "meow"; }
+}
+class Main {
+  static void main() {
+    Animal[] zoo = new Animal[4];
+    zoo[0] = new Dog();
+    zoo[1] = new Cat();
+    zoo[2] = new Dog();
+    zoo[3] = new Animal();
+    String out = "";
+    for (int i = 0; i < zoo.length; i = i + 1) {
+      if (i > 0) { out = out + " "; }
+      out = out + zoo[i].speak();
+    }
+    Sys.println(out);
+  }
+}
+|}
+
+let static_members () =
+  Helpers.check_output ~expected:"count=3 base=100\n"
+    {|
+class Counter {
+  static int count = 0;
+  static int base = 100;
+  static void bump() { count = count + 1; }
+}
+class Main {
+  static void main() {
+    Counter.bump(); Counter.bump(); Counter.bump();
+    Sys.println("count=" + Counter.count + " base=" + Counter.base);
+  }
+}
+|}
+
+let strings () =
+  Helpers.check_output
+    ~expected:"len=11 sub=world idx=6 up?=false parts=3 [a|b|c] 17\n"
+    {|
+class Main {
+  static void main() {
+    String s = "hello world";
+    String sub = s.substring(6, 11);
+    int idx = s.indexOf("world");
+    boolean st = s.startsWith("world");
+    String[] parts = "a,b,c".split(",", 0);
+    String joined = "[" + parts[0] + "|" + parts[1] + "|" + parts[2] + "]";
+    int n = "17".toInt();
+    Sys.println("len=" + s.length() + " sub=" + sub + " idx=" + idx
+      + " up?=" + boolStr(st) + " parts=" + parts.length + " " + joined + " " + n);
+  }
+  static String boolStr(boolean b) { if (b) { return "true"; } return "false"; }
+}
+|}
+
+let constructors_and_super () =
+  Helpers.check_output ~expected:"B(7):A(7) v=14\n"
+    {|
+class A {
+  int v;
+  String tag;
+  A(int x) { v = x; tag = "A(" + x + ")"; }
+}
+class B extends A {
+  String btag;
+  B(int x) { super(x); btag = "B(" + x + "):" + tag; v = v * 2; }
+}
+class Main {
+  static void main() {
+    B b = new B(7);
+    Sys.println(b.btag + " v=" + b.v);
+  }
+}
+|}
+
+let casts_and_instanceof () =
+  Helpers.check_output ~expected:"dog cat:true animal:false\n"
+    {|
+class Animal { String name() { return "animal"; } }
+class Dog extends Animal { String name() { return "dog"; } String trick() { return "sit"; } }
+class Cat extends Animal { String name() { return "cat"; } }
+class Main {
+  static void main() {
+    Animal a = new Dog();
+    Dog d = (Dog) a;
+    Animal c = new Cat();
+    boolean isCat = c instanceof Cat;
+    boolean dogIsCat = a instanceof Cat;
+    Sys.println(d.name() + " cat:" + bs(isCat) + " animal:" + bs(dogIsCat));
+  }
+  static String bs(boolean b) { if (b) { return "true"; } return "false"; }
+}
+|}
+
+let recursion () =
+  Helpers.check_output ~expected:"fib(20)=6765 fact(10)=3628800\n"
+    {|
+class Main {
+  static int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+  static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n-1); }
+  static void main() {
+    Sys.println("fib(20)=" + fib(20) + " fact(10)=" + fact(10));
+  }
+}
+|}
+
+let threads () =
+  let out =
+    Helpers.output_of
+      {|
+class Worker {
+  int id;
+  Worker(int i) { id = i; }
+  void run() {
+    for (int i = 0; i < 3; i = i + 1) {
+      Sys.println("w" + id + ":" + i);
+      Thread.yieldNow();
+    }
+  }
+}
+class Main {
+  static void main() {
+    Thread.spawn(new Worker(1));
+    Thread.spawn(new Worker(2));
+  }
+}
+|}
+  in
+  (* both workers must complete all iterations, interleaved by the
+     scheduler *)
+  List.iter
+    (fun line ->
+      if not (Helpers.contains out line) then
+        Alcotest.failf "missing %S in output %S" line out)
+    [ "w1:0"; "w1:1"; "w1:2"; "w2:0"; "w2:1"; "w2:2" ]
+
+let traps_kill_thread_only () =
+  let vm =
+    Helpers.run_source
+      {|
+class Crasher {
+  void run() { int[] a = new int[2]; Sys.println("x" + a[5]); }
+}
+class Main {
+  static void main() {
+    Thread.spawn(new Crasher());
+    Sys.println("main done");
+  }
+}
+|}
+  in
+  let stats = Jv_vm.Vm.stats vm in
+  Alcotest.(check int) "one trap" 1 (List.length stats.Jv_vm.Vm.traps);
+  if not (Helpers.contains (Jv_vm.Vm.output vm) "main done") then
+    Alcotest.fail "main thread should complete"
+
+let division_by_zero_traps () =
+  let vm =
+    Helpers.run_source
+      {| class Main { static void main() { int x = 0; Sys.println("" + (1 / x)); } } |}
+  in
+  match (Jv_vm.Vm.stats vm).Jv_vm.Vm.traps with
+  | [ (_, msg) ] ->
+      if not (Helpers.contains msg "division by zero") then
+        Alcotest.failf "unexpected trap %s" msg
+  | l -> Alcotest.failf "expected 1 trap, got %d" (List.length l)
+
+let null_deref_traps () =
+  let vm =
+    Helpers.run_source
+      {|
+class Box { int v; }
+class Main { static void main() { Box b = null; Sys.println("" + b.v); } }
+|}
+  in
+  match (Jv_vm.Vm.stats vm).Jv_vm.Vm.traps with
+  | [ (_, msg) ] ->
+      if not (Helpers.contains msg "null dereference") then
+        Alcotest.failf "unexpected trap %s" msg
+  | l -> Alcotest.failf "expected 1 trap, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "hello world" `Quick hello;
+    Alcotest.test_case "arithmetic" `Quick arithmetic;
+    Alcotest.test_case "control flow" `Quick control_flow;
+    Alcotest.test_case "objects and fields" `Quick objects_and_fields;
+    Alcotest.test_case "inheritance and dispatch" `Quick
+      inheritance_and_dispatch;
+    Alcotest.test_case "static members" `Quick static_members;
+    Alcotest.test_case "strings" `Quick strings;
+    Alcotest.test_case "constructors and super" `Quick constructors_and_super;
+    Alcotest.test_case "casts and instanceof" `Quick casts_and_instanceof;
+    Alcotest.test_case "recursion" `Quick recursion;
+    Alcotest.test_case "threads" `Quick threads;
+    Alcotest.test_case "traps kill thread only" `Quick traps_kill_thread_only;
+    Alcotest.test_case "division by zero" `Quick division_by_zero_traps;
+    Alcotest.test_case "null dereference" `Quick null_deref_traps;
+  ]

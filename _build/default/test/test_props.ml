@@ -1,0 +1,320 @@
+(* Property-based tests (QCheck):
+
+   - compiled arithmetic/boolean expressions agree with a reference
+     evaluator (compiler + JIT + interpreter correctness);
+   - dynamic updates with default transformers preserve exactly the
+     same-name same-type fields, over randomized class shapes;
+   - UPT classification matches randomly chosen edit kinds. *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+
+(* --- random integer expressions --------------------------------------------- *)
+
+type iexpr =
+  | I_const of int
+  | I_var of int (* one of 3 variables *)
+  | I_add of iexpr * iexpr
+  | I_sub of iexpr * iexpr
+  | I_mul of iexpr * iexpr
+  | I_neg of iexpr
+
+let rec gen_iexpr depth st =
+  if depth = 0 then
+    if QCheck.Gen.bool st then I_const (QCheck.Gen.int_range (-100) 100 st)
+    else I_var (QCheck.Gen.int_range 0 2 st)
+  else
+    match QCheck.Gen.int_range 0 5 st with
+    | 0 -> I_const (QCheck.Gen.int_range (-100) 100 st)
+    | 1 -> I_var (QCheck.Gen.int_range 0 2 st)
+    | 2 -> I_add (gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+    | 3 -> I_sub (gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+    | 4 -> I_mul (gen_iexpr (depth - 1) st, gen_iexpr (depth - 1) st)
+    | _ -> I_neg (gen_iexpr (depth - 1) st)
+
+let rec eval_iexpr env = function
+  | I_const k -> k
+  | I_var i -> env.(i)
+  | I_add (a, b) -> eval_iexpr env a + eval_iexpr env b
+  | I_sub (a, b) -> eval_iexpr env a - eval_iexpr env b
+  | I_mul (a, b) -> eval_iexpr env a * eval_iexpr env b
+  | I_neg a -> -eval_iexpr env a
+
+let rec print_iexpr = function
+  | I_const k -> if k < 0 then Printf.sprintf "(0 - %d)" (-k) else string_of_int k
+  | I_var i -> Printf.sprintf "v%d" i
+  | I_add (a, b) -> Printf.sprintf "(%s + %s)" (print_iexpr a) (print_iexpr b)
+  | I_sub (a, b) -> Printf.sprintf "(%s - %s)" (print_iexpr a) (print_iexpr b)
+  | I_mul (a, b) -> Printf.sprintf "(%s * %s)" (print_iexpr a) (print_iexpr b)
+  | I_neg a -> Printf.sprintf "(-%s)" (print_iexpr a)
+
+let arith_agrees =
+  QCheck.Test.make ~name:"compiled arithmetic agrees with reference"
+    ~count:40
+    QCheck.(
+      make
+        Gen.(
+          tup4 (gen_iexpr 4)
+            (int_range (-50) 50)
+            (int_range (-50) 50)
+            (int_range (-50) 50)))
+    (fun (e, v0, v1, v2) ->
+      let env = [| v0; v1; v2 |] in
+      let expected = eval_iexpr env e in
+      let src =
+        Printf.sprintf
+          {|
+class Main {
+  static int f(int v0, int v1, int v2) { return %s; }
+  static void main() { Sys.println("" + f(%d, %d, %d)); }
+}
+|}
+          (print_iexpr e) v0 v1 v2
+      in
+      String.equal
+        (Printf.sprintf "%d\n" expected)
+        (Helpers.output_of src))
+
+(* --- random boolean expressions ------------------------------------------------ *)
+
+type bexpr =
+  | B_cmp of string * iexpr * iexpr
+  | B_and of bexpr * bexpr
+  | B_or of bexpr * bexpr
+  | B_not of bexpr
+
+let rec gen_bexpr depth st =
+  if depth = 0 then
+    B_cmp
+      ( List.nth [ "<"; "<="; ">"; ">="; "=="; "!=" ] (QCheck.Gen.int_range 0 5 st),
+        gen_iexpr 2 st,
+        gen_iexpr 2 st )
+  else
+    match QCheck.Gen.int_range 0 3 st with
+    | 0 ->
+        B_cmp
+          ( List.nth [ "<"; "<="; ">"; ">="; "=="; "!=" ]
+              (QCheck.Gen.int_range 0 5 st),
+            gen_iexpr 2 st,
+            gen_iexpr 2 st )
+    | 1 -> B_and (gen_bexpr (depth - 1) st, gen_bexpr (depth - 1) st)
+    | 2 -> B_or (gen_bexpr (depth - 1) st, gen_bexpr (depth - 1) st)
+    | _ -> B_not (gen_bexpr (depth - 1) st)
+
+let rec eval_bexpr env = function
+  | B_cmp (op, a, b) -> (
+      let x = eval_iexpr env a and y = eval_iexpr env b in
+      match op with
+      | "<" -> x < y
+      | "<=" -> x <= y
+      | ">" -> x > y
+      | ">=" -> x >= y
+      | "==" -> x = y
+      | _ -> x <> y)
+  | B_and (a, b) -> eval_bexpr env a && eval_bexpr env b
+  | B_or (a, b) -> eval_bexpr env a || eval_bexpr env b
+  | B_not a -> not (eval_bexpr env a)
+
+let rec print_bexpr = function
+  | B_cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (print_iexpr a) op (print_iexpr b)
+  | B_and (a, b) -> Printf.sprintf "(%s && %s)" (print_bexpr a) (print_bexpr b)
+  | B_or (a, b) -> Printf.sprintf "(%s || %s)" (print_bexpr a) (print_bexpr b)
+  | B_not a -> Printf.sprintf "(!%s)" (print_bexpr a)
+
+let bool_agrees =
+  QCheck.Test.make ~name:"compiled booleans agree with reference" ~count:40
+    QCheck.(
+      make Gen.(tup3 (gen_bexpr 3) (int_range (-20) 20) (int_range (-20) 20)))
+    (fun (e, v0, v1) ->
+      let env = [| v0; v1; 0 |] in
+      let expected = if eval_bexpr env e then "T" else "F" in
+      let src =
+        Printf.sprintf
+          {|
+class Main {
+  static void main() {
+    int v0 = %d; int v1 = %d; int v2 = 0;
+    if (%s) { Sys.println("T"); } else { Sys.println("F"); }
+  }
+}
+|}
+          v0 v1 (print_bexpr e)
+      in
+      String.equal (expected ^ "\n") (Helpers.output_of src))
+
+(* --- randomized update preservation ---------------------------------------------- *)
+
+(* Field universe: names f0..f5, each int or String.  v1 and v2 draw random
+   subsets with random types; the default transformer must preserve
+   exactly the same-name same-type intersection. *)
+
+let field_names = [| "f0"; "f1"; "f2"; "f3"; "f4"; "f5" |]
+
+type fspec = (int * bool) list (* (field index, is_int) *)
+
+let gen_fspec : fspec QCheck.Gen.t =
+  QCheck.Gen.(
+    List.init 6 (fun i -> i) |> fun idxs st ->
+    List.filter_map
+      (fun i -> if bool st then Some (i, bool st) else None)
+      idxs)
+
+let class_src name (fs : fspec) =
+  Printf.sprintf "class %s {\n%s}\n" name
+    (String.concat ""
+       (List.map
+          (fun (i, is_int) ->
+            Printf.sprintf "  %s %s;\n"
+              (if is_int then "int" else "String")
+              field_names.(i))
+          fs))
+
+let setter_src (fs : fspec) =
+  String.concat ""
+    (List.map
+       (fun (i, is_int) ->
+         if is_int then
+           Printf.sprintf "    Keeper.it.%s = %d;\n" field_names.(i)
+             (100 + i)
+         else
+           Printf.sprintf "    Keeper.it.%s = \"s%d\";\n" field_names.(i) i)
+       fs)
+
+let printer_src (fs : fspec) =
+  let parts =
+    List.map
+      (fun (i, is_int) ->
+        if is_int then
+          Printf.sprintf "\" %s=\" + Keeper.it.%s" field_names.(i)
+            field_names.(i)
+        else
+          Printf.sprintf "\" %s=\" + ns(Keeper.it.%s)" field_names.(i)
+            field_names.(i))
+      fs
+  in
+  match parts with [] -> "\"empty\"" | _ -> String.concat " + " parts
+
+let program_src (fs : fspec) ~set =
+  class_src "Payload" fs
+  ^ Printf.sprintf
+      {|
+class Keeper { static Payload it; }
+class Probe {
+  static String ns(String s) { if (s == null) { return "-"; } return s; }
+  static String describe() { return %s; }
+  static void init() {
+    Keeper.it = new Payload();
+%s  }
+}
+class Main {
+  static void main() {
+    Probe.init();
+    for (int i = 0; i < 40; i = i + 1) {
+      Sys.println(Probe.describe());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+      (printer_src fs) (if set then setter_src fs else "")
+
+let expected_line (v1 : fspec) (v2 : fspec) =
+  (* after the update, v2's describe prints: common same-type fields keep
+     v1's values, everything else is default *)
+  let parts =
+    List.map
+      (fun (i, is_int) ->
+        let preserved = List.mem (i, is_int) v1 in
+        if is_int then
+          Printf.sprintf " %s=%d" field_names.(i)
+            (if preserved then 100 + i else 0)
+        else
+          Printf.sprintf " %s=%s" field_names.(i)
+            (if preserved then Printf.sprintf "s%d" i else "-"))
+      v2
+  in
+  match parts with [] -> "empty" | _ -> String.concat "" parts
+
+let default_transformer_preserves =
+  QCheck.Test.make
+    ~name:"default transformer preserves same-name same-type fields"
+    ~count:15
+    QCheck.(make Gen.(tup2 gen_fspec gen_fspec))
+    (fun (v1, v2) ->
+      QCheck.assume (v1 <> v2);
+      let old_src = program_src v1 ~set:true in
+      let new_src = program_src v2 ~set:true in
+      let old_program = Jv_lang.Compile.compile_program old_src in
+      let new_program = Jv_lang.Compile.compile_program new_src in
+      let vm = VM.Vm.create ~config:Helpers.test_config () in
+      VM.Vm.boot vm old_program;
+      ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+      VM.Vm.run vm ~rounds:5;
+      let spec =
+        J.Spec.make ~version_tag:"7" ~old_program ~new_program ()
+      in
+      let h = J.Jvolve.update_now vm spec in
+      (match h.J.Jvolve.h_outcome with
+      | J.Jvolve.Applied _ -> ()
+      | o -> QCheck.Test.fail_reportf "update: %s" (J.Jvolve.outcome_to_string o));
+      ignore (VM.Vm.run_to_quiescence ~max_rounds:100 vm);
+      let out = VM.Vm.output vm in
+      let want = expected_line v1 v2 ^ "\n" in
+      if Helpers.contains out want then true
+      else
+        QCheck.Test.fail_reportf "expected %S in output %S (v1=%s v2=%s)"
+          want out
+          (String.concat ","
+             (List.map (fun (i, b) -> Printf.sprintf "%d%c" i (if b then 'i' else 's')) v1))
+          (String.concat ","
+             (List.map (fun (i, b) -> Printf.sprintf "%d%c" i (if b then 'i' else 's')) v2)))
+
+(* --- randomized UPT classification ------------------------------------------------- *)
+
+type edit = E_add_field | E_del_field | E_chg_body | E_add_method
+
+let edit_gen = QCheck.Gen.oneofl [ E_add_field; E_del_field; E_chg_body; E_add_method ]
+
+let classification_matches =
+  QCheck.Test.make ~name:"UPT classifies random edits correctly" ~count:20
+    (QCheck.make edit_gen)
+    (fun edit ->
+      let v1 =
+        {|class A { int kept; int doomed; int f() { return kept; } }|}
+      in
+      let v2 =
+        match edit with
+        | E_add_field ->
+            {|class A { int kept; int doomed; int added; int f() { return kept; } }|}
+        | E_del_field -> {|class A { int kept; int f() { return kept; } }|}
+        | E_chg_body ->
+            {|class A { int kept; int doomed; int f() { return kept + 1; } }|}
+        | E_add_method ->
+            {|class A { int kept; int doomed; int f() { return kept; } int g() { return 0; } }|}
+      in
+      let d =
+        J.Diff.compute
+          ~old_program:(Jv_lang.Compile.compile_program v1)
+          ~new_program:(Jv_lang.Compile.compile_program v2)
+      in
+      match edit with
+      | E_chg_body ->
+          d.J.Diff.class_updates = [] && List.length d.J.Diff.body_updates = 1
+      | E_add_field ->
+          d.J.Diff.class_updates = [ "A" ]
+          && d.J.Diff.stats.J.Diff.s_fields_added = 1
+      | E_del_field ->
+          d.J.Diff.class_updates = [ "A" ]
+          && d.J.Diff.stats.J.Diff.s_fields_deleted = 1
+      | E_add_method ->
+          d.J.Diff.class_updates = [ "A" ]
+          && d.J.Diff.stats.J.Diff.s_methods_added = 1)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest arith_agrees;
+    QCheck_alcotest.to_alcotest bool_agrees;
+    QCheck_alcotest.to_alcotest default_transformer_preserves;
+    QCheck_alcotest.to_alcotest classification_matches;
+  ]

@@ -1,0 +1,188 @@
+(* UPT transformer-generation tests (paper §2.3): old-class stubs, default
+   transformer source, override splicing, and prepare-time failures. *)
+
+module J = Jvolve_core
+module CF = Jv_classfile
+
+let compile = Jv_lang.Compile.compile_program
+
+let spec ?object_overrides ?class_overrides ?transformer_src ~tag v1 v2 =
+  J.Spec.make ?object_overrides ?class_overrides
+    ~transformer_src ~version_tag:tag ~old_program:(compile v1)
+    ~new_program:(compile v2) ()
+
+let v1 =
+  {|
+class Parent { int p; }
+class User extends Parent {
+  String name;
+  int age;
+  Gone buddy;
+  Kept friend;
+}
+class Gone { int g; }
+class Kept { int k; }
+class Main { static void main() { } }
+|}
+
+(* Gone is deleted, User changes (age -> years), Kept survives unchanged *)
+let v2 =
+  {|
+class Parent { int p; }
+class User extends Parent {
+  String name;
+  int years;
+  Kept friend;
+}
+class Kept { int k; }
+class Main { static void main() { } }
+|}
+
+let stub_generation () =
+  let s = spec ~tag:"9" v1 v2 in
+  let stubs = J.Transformers.stubs_for s in
+  let names = List.map (fun c -> c.CF.Cls.c_name) stubs in
+  Alcotest.(check bool) "user stub" true (List.mem "v9_User" names);
+  Alcotest.(check bool) "gone stub" true (List.mem "v9_Gone" names);
+  let user = List.find (fun c -> c.CF.Cls.c_name = "v9_User") stubs in
+  (* flattened layout: inherited Parent.p first, then declared fields *)
+  Alcotest.(check (list string)) "flattened field order"
+    [ "p"; "name"; "age"; "buddy"; "friend" ]
+    (List.map (fun f -> f.CF.Cls.fd_name) user.CF.Cls.c_fields);
+  (* methods are stripped: "the updated program may not call them" *)
+  Alcotest.(check int) "no methods" 0 (List.length user.CF.Cls.c_methods);
+  (* type mapping: deleted classes are renamed, surviving ones keep their
+     (new) names *)
+  let ty name =
+    CF.Types.to_string
+      (List.find (fun f -> f.CF.Cls.fd_name = name) user.CF.Cls.c_fields)
+        .CF.Cls.fd_ty
+  in
+  Alcotest.(check string) "deleted class renamed" "v9_Gone" (ty "buddy");
+  Alcotest.(check string) "kept class unrenamed" "Kept" (ty "friend");
+  Alcotest.(check string) "string unrenamed" "String" (ty "name")
+
+let default_source () =
+  let s = spec ~tag:"9" v1 v2 in
+  let src = J.Transformers.generate_source s in
+  (* same-name same-type fields are copied; the changed one is not *)
+  Alcotest.(check bool) "copies name" true
+    (Helpers.contains src "to.name = from.name;");
+  Alcotest.(check bool) "copies inherited p" true
+    (Helpers.contains src "to.p = from.p;");
+  Alcotest.(check bool) "copies friend" true
+    (Helpers.contains src "to.friend = from.friend;");
+  Alcotest.(check bool) "does not invent years" false
+    (Helpers.contains src "to.years");
+  Alcotest.(check bool) "has class transformer" true
+    (Helpers.contains src "jvolveClass(User unused)");
+  Alcotest.(check bool) "signature matches paper" true
+    (Helpers.contains src "jvolveObject(User to, v9_User from)")
+
+let default_compiles () =
+  let s = spec ~tag:"9" v1 v2 in
+  let p = J.Transformers.prepare s in
+  Alcotest.(check string) "class name" "JvolveTransformers"
+    p.J.Transformers.p_transformer.CF.Cls.c_name
+
+let overrides_spliced () =
+  let s =
+    spec
+      ~object_overrides:[ ("User", "    to.years = from.age;") ]
+      ~class_overrides:[ ("User", "    Sys.println(\"migrating\");") ]
+      ~tag:"9" v1 v2
+  in
+  let src = J.Transformers.generate_source s in
+  Alcotest.(check bool) "object override used" true
+    (Helpers.contains src "to.years = from.age;");
+  Alcotest.(check bool) "default body replaced" false
+    (Helpers.contains src "to.name = from.name;");
+  Alcotest.(check bool) "class override used" true
+    (Helpers.contains src "migrating");
+  (* and the override must still compile *)
+  ignore (J.Transformers.prepare s)
+
+let custom_source_replaces_everything () =
+  let src =
+    {|
+class JvolveTransformers {
+  static void jvolveClass(User unused) { }
+  static void jvolveObject(User to, v9_User from) {
+    to.p = from.p;
+    to.name = "renamed";
+    to.years = from.age * 2;
+  }
+}
+|}
+  in
+  let s = spec ~transformer_src:src ~tag:"9" v1 v2 in
+  let p = J.Transformers.prepare s in
+  Alcotest.(check string) "used verbatim" src p.J.Transformers.p_source
+
+let prepare_failures () =
+  (* missing transformer class *)
+  (match
+     J.Transformers.prepare
+       (spec ~transformer_src:{|class NotTheRightName { }|} ~tag:"9" v1 v2)
+   with
+  | exception J.Transformers.Prepare_error e ->
+      if not (Helpers.contains e "does not define") then
+        Alcotest.failf "wrong error: %s" e
+  | _ -> Alcotest.fail "expected prepare error");
+  (* type errors in a custom transformer *)
+  (match
+     J.Transformers.prepare
+       (spec
+          ~transformer_src:
+            {|class JvolveTransformers {
+               static void jvolveObject(User to, v9_User from) {
+                 to.nonexistent = 3;
+               }
+             }|}
+          ~tag:"9" v1 v2)
+   with
+  | exception J.Transformers.Prepare_error e ->
+      if not (Helpers.contains e "no field nonexistent") then
+        Alcotest.failf "wrong error: %s" e
+  | _ -> Alcotest.fail "expected prepare error");
+  (* hierarchy permutation is rejected up front *)
+  match
+    J.Transformers.prepare
+      (spec ~tag:"9" {|class A {} class B extends A {} class M { }|}
+         {|class B {} class A extends B {} class M { }|})
+  with
+  | exception J.Transformers.Prepare_error e ->
+      if not (Helpers.contains e "superclass") then
+        Alcotest.failf "wrong error: %s" e
+  | _ -> Alcotest.fail "expected prepare error"
+
+(* transformer-mode compilation may read private fields of both versions *)
+let transformer_accesses_private () =
+  let v1p =
+    {|class Secret { private int code; } class Main { static void main() {} }|}
+  in
+  let v2p =
+    {|class Secret { private int code; private int extra; }
+      class Main { static void main() {} }|}
+  in
+  let s =
+    J.Spec.make
+      ~object_overrides:
+        [ ("Secret", "    to.code = from.code;\n    to.extra = from.code;") ]
+      ~version_tag:"3" ~old_program:(compile v1p) ~new_program:(compile v2p)
+      ()
+  in
+  ignore (J.Transformers.prepare s)
+
+let suite =
+  [
+    Alcotest.test_case "stub generation" `Quick stub_generation;
+    Alcotest.test_case "default source" `Quick default_source;
+    Alcotest.test_case "default compiles" `Quick default_compiles;
+    Alcotest.test_case "overrides spliced" `Quick overrides_spliced;
+    Alcotest.test_case "custom source verbatim" `Quick
+      custom_source_replaces_everything;
+    Alcotest.test_case "prepare failures" `Quick prepare_failures;
+    Alcotest.test_case "transformer reads privates" `Quick
+      transformer_accesses_private;
+  ]
