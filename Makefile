@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all check test bench bench-smoke clean
+
+all:
+	dune build @all
+
+check:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# A fast end-to-end probe: boot a tiny fleet, roll an update across it.
+bench-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe fleet
+
+clean:
+	dune clean

@@ -1,0 +1,152 @@
+(* Fleet orchestration benchmarks: DSU rollouts across a load-balanced
+   multi-VM cluster (lib/fleet).
+
+   Four scenarios:
+   - rolling update vs. fleet size (2..16): rollout latency, dropped
+     in-flight connections, mixed-version window
+   - canary deployment: update K instances, observe against the stable
+     pool, promote
+   - automatic halt: the always-on-stack 5.1.3 update (paper §5.1.3
+     analogue) aborts on every instance — rollout halts, fleet stays on
+     the old version
+   - automatic rollback: a mid-rollout abort (injected via a safe-point
+     blacklist on one instance) reverts the already-updated instances
+     with inverse specs *)
+
+module F = Jv_fleet
+module J = Jvolve_core
+
+let sizes = if Support.quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]
+
+let rolling_params =
+  {
+    (F.Orchestrator.default_params (F.Orchestrator.Rolling { batch_size = 1 })) with
+    F.Orchestrator.probes_required = 2;
+  }
+
+let canary_params ~observe_rounds =
+  F.Orchestrator.default_params
+    (F.Orchestrator.Canary { canaries = 2; observe_rounds; promote_batch = 1 })
+
+(* Boot the fleet, let every server reach its accept loop, then put it
+   under steady scripted load before any rollout starts. *)
+let boot_under_load ~profile ~version ~size =
+  let fleet = F.Fleet.create ~policy:F.Lb.Round_robin ~profile ~version ~size () in
+  F.Fleet.run fleet ~rounds:30;
+  let _driver = F.Fleet.attach_load ~concurrency:(2 * size) fleet in
+  F.Fleet.run fleet ~rounds:120;
+  fleet
+
+let show_result fleet (r : F.Orchestrator.result) ~req0 =
+  Printf.printf
+    "    %-44s %s\n    %-44s %d rounds (mixed-version window %d)\n\
+    \    %-44s %d dropped, %d rejected, %d served during rollout\n"
+    "outcome:"
+    (Fmt.str "%a" F.Orchestrator.pp_result r)
+    "latency:" r.F.Orchestrator.r_rounds r.F.Orchestrator.r_mixed_window
+    "connections:"
+    (F.Fleet.dropped_in_flight fleet)
+    (F.Lb.rejected (F.Fleet.lb fleet))
+    (F.Fleet.total_requests fleet - req0)
+
+let rolling () =
+  Support.section
+    "FLEET: rolling update (miniweb 5.1.1 -> 5.1.2, batch = 1) vs fleet size";
+  List.iter
+    (fun size ->
+      let fleet =
+        boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size
+      in
+      let req0 = F.Fleet.total_requests fleet in
+      let r =
+        F.Orchestrator.run ~params:rolling_params ~fleet ~to_version:"5.1.2" ()
+      in
+      F.Fleet.run fleet ~rounds:50;
+      Printf.printf "  size %2d:\n" size;
+      show_result fleet r ~req0;
+      F.Fleet.detach_loads fleet)
+    sizes
+
+let canary () =
+  Support.section
+    "FLEET: canary deployment (miniweb 5.1.4 -> 5.1.5, 2 canaries)";
+  let size = if Support.quick then 4 else 6 in
+  let observe_rounds = if Support.quick then 150 else 300 in
+  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.4" ~size in
+  let req0 = F.Fleet.total_requests fleet in
+  let r =
+    F.Orchestrator.run
+      ~params:(canary_params ~observe_rounds)
+      ~fleet ~to_version:"5.1.5" ()
+  in
+  F.Fleet.run fleet ~rounds:50;
+  Printf.printf "  size %d, observe %d rounds:\n" size observe_rounds;
+  show_result fleet r ~req0;
+  F.Fleet.detach_loads fleet
+
+let halt_on_abort () =
+  Support.section
+    "FLEET: automatic halt (miniweb 5.1.2 -> 5.1.3, always-on-stack update)";
+  let size = 4 in
+  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.2" ~size in
+  let req0 = F.Fleet.total_requests fleet in
+  let params =
+    { rolling_params with F.Orchestrator.update_timeout = 150 }
+  in
+  let r = F.Orchestrator.run ~params ~fleet ~to_version:"5.1.3" () in
+  F.Fleet.run fleet ~rounds:50;
+  Printf.printf "  size %d:\n" size;
+  show_result fleet r ~req0;
+  Printf.printf "    %-44s %s\n" "fleet version:"
+    (match F.Fleet.uniform_version fleet with
+    | Some v -> v ^ " (uniform)"
+    | None -> "MIXED");
+  F.Fleet.detach_loads fleet
+
+let rollback_mid_rollout () =
+  Support.section
+    "FLEET: automatic rollback (abort injected on instance 2 mid-rollout)";
+  let size = 4 in
+  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size in
+  let req0 = F.Fleet.total_requests fleet in
+  (* instance 2's safe-point check is poisoned with a blacklist on
+     ThreadedServer.run (the accept loop — always on stack), so
+     instances 0 and 1 update first, then 2 aborts and the orchestrator
+     reverts 0 and 1 with inverse specs *)
+  let mutate_spec id spec =
+    if id <> 2 then spec
+    else
+      {
+        spec with
+        J.Spec.blacklist =
+          [
+            {
+              J.Diff.r_class = "ThreadedServer";
+              r_name = "run";
+              r_sig =
+                {
+                  Jv_classfile.Types.params = [];
+                  ret = Jv_classfile.Types.TVoid;
+                };
+            };
+          ];
+      }
+  in
+  let params = { rolling_params with F.Orchestrator.update_timeout = 150 } in
+  let r =
+    F.Orchestrator.run ~mutate_spec ~params ~fleet ~to_version:"5.1.2" ()
+  in
+  F.Fleet.run fleet ~rounds:50;
+  Printf.printf "  size %d:\n" size;
+  show_result fleet r ~req0;
+  Printf.printf "    %-44s %s\n" "fleet version:"
+    (match F.Fleet.uniform_version fleet with
+    | Some v -> v ^ " (uniform)"
+    | None -> "MIXED");
+  F.Fleet.detach_loads fleet
+
+let run () =
+  rolling ();
+  canary ();
+  halt_on_abort ();
+  rollback_mid_rollout ()

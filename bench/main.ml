@@ -9,13 +9,14 @@
      dune exec bench/main.exe overhead     # steady-state / baseline costs
      dune exec bench/main.exe ablation     # design-choice ablations
      dune exec bench/main.exe micro        # Bechamel kernels
+     dune exec bench/main.exe fleet        # multi-VM rollout orchestration
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|all]";
+     ablation|micro|fleet|all]";
   exit 1
 
 let run_one = function
@@ -25,6 +26,7 @@ let run_one = function
   | "overhead" -> Overhead.run ()
   | "ablation" -> Ablation.run ()
   | "micro" -> Micro.run ()
+  | "fleet" -> Fleet.run ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)
@@ -33,7 +35,8 @@ let run_one = function
       Fig5.run ();
       Overhead.run ();
       Ablation.run ();
-      Micro.run ()
+      Micro.run ();
+      Fleet.run ()
   | _ -> usage ()
 
 let () =

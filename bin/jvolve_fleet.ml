@@ -1,0 +1,209 @@
+(* jvolve_fleet: orchestrate a DSU rollout across a load-balanced fleet
+   of VM instances running one of the benchmark server apps.
+
+     dune exec bin/jvolve_fleet.exe -- miniweb --from 5.1.1 --to 5.1.2 \
+       --size 4
+     dune exec bin/jvolve_fleet.exe -- miniweb --from 5.1.4 --to 5.1.5 \
+       --size 6 --mode canary --canaries 2 --observe 300
+     dune exec bin/jvolve_fleet.exe -- miniweb --from 5.1.2 --to 5.1.3 \
+       --size 4 --timeout-rounds 150        # always-on-stack: halts *)
+
+module F = Jv_fleet
+module J = Jvolve_core
+
+let run app_name from_v to_v size mode batch canaries observe drain_timeout
+    timeout_rounds probes concurrency policy verbose =
+  match F.Profile.by_name app_name with
+  | None ->
+      Printf.eprintf "unknown app %S (try: %s)\n" app_name
+        (String.concat ", "
+           (List.map (fun p -> p.F.Profile.pr_name) F.Profile.all));
+      1
+  | Some profile -> (
+      let check_version v =
+        if not (List.mem v (F.Profile.versions profile)) then begin
+          Printf.eprintf "unknown %s version %S (have: %s)\n" app_name v
+            (String.concat ", " (F.Profile.versions profile));
+          exit 1
+        end
+      in
+      check_version from_v;
+      check_version to_v;
+      let check_positive name v =
+        if v < 1 then begin
+          Printf.eprintf "--%s must be >= 1 (got %d)\n" name v;
+          exit 1
+        end
+      in
+      check_positive "size" size;
+      check_positive "batch" batch;
+      check_positive "canaries" canaries;
+      check_positive "concurrency" concurrency;
+      let mode =
+        match mode with
+        | "rolling" -> F.Orchestrator.Rolling { batch_size = batch }
+        | "canary" ->
+            F.Orchestrator.Canary
+              { canaries; observe_rounds = observe; promote_batch = batch }
+        | m ->
+            Printf.eprintf "unknown mode %S (rolling|canary)\n" m;
+            exit 1
+      in
+      let params =
+        {
+          (F.Orchestrator.default_params mode) with
+          F.Orchestrator.drain_timeout;
+          update_timeout = timeout_rounds;
+          probes_required = probes;
+        }
+      in
+      let policy =
+        match policy with
+        | "rr" -> F.Lb.Round_robin
+        | "lc" -> F.Lb.Least_conns
+        | p ->
+            Printf.eprintf "unknown policy %S (rr|lc)\n" p;
+            exit 1
+      in
+      try
+        Printf.printf "booting %d %s instance(s) on %s...\n%!" size app_name
+          from_v;
+        let fleet =
+          F.Fleet.create ~policy ~profile ~version:from_v ~size ()
+        in
+        F.Fleet.run fleet ~rounds:30;
+        ignore (F.Fleet.attach_load ~concurrency fleet);
+        F.Fleet.run fleet ~rounds:120;
+        let req0 = F.Fleet.total_requests fleet in
+        Printf.printf "rolling out %s -> %s...\n%!" from_v to_v;
+        let orch =
+          F.Orchestrator.create ~params ~fleet ~to_version:to_v ()
+        in
+        let last = ref "" in
+        let rec drive () =
+          match F.Orchestrator.result orch with
+          | Some r -> r
+          | None ->
+              F.Fleet.round fleet;
+              F.Orchestrator.step orch;
+              (if verbose then
+                 let d = F.Orchestrator.describe orch in
+                 if d <> !last then begin
+                   last := d;
+                   Printf.printf "  [%6d] %s\n%!" (F.Fleet.ticks fleet) d
+                 end);
+              drive ()
+        in
+        let r = drive () in
+        F.Fleet.run fleet ~rounds:50;
+        let served = F.Fleet.total_requests fleet - req0 in
+        let dropped = F.Fleet.dropped_in_flight fleet in
+        F.Fleet.detach_loads fleet;
+        Printf.printf "%s\n" (Fmt.str "%a" F.Orchestrator.pp_result r);
+        Printf.printf
+          "connections: %d dropped in flight, %d rejected at the door, %d \
+           requests served during the rollout\n"
+          dropped
+          (F.Lb.rejected (F.Fleet.lb fleet))
+          served;
+        Printf.printf "fleet versions: %s\n"
+          (String.concat " "
+             (List.map
+                (fun (i : F.Instance.t) ->
+                  Printf.sprintf "%d:%s%s" i.F.Instance.i_id
+                    i.F.Instance.i_version
+                    (match i.F.Instance.i_status with
+                    | F.Instance.Out_of_service -> "(out)"
+                    | _ -> ""))
+                (F.Fleet.instances fleet)));
+        if verbose then
+          List.iter
+            (fun (id, (ar : J.Jvolve.attempt_report)) ->
+              Printf.printf
+                "  instance %d: %s after %d attempt(s), %d rounds waited%s\n"
+                id
+                (J.Jvolve.outcome_to_string ar.J.Jvolve.ar_outcome)
+                ar.J.Jvolve.ar_attempts ar.J.Jvolve.ar_waited_rounds
+                (if ar.J.Jvolve.ar_blockers = "" then ""
+                 else " (blockers: " ^ ar.J.Jvolve.ar_blockers ^ ")"))
+            r.F.Orchestrator.r_reports;
+        if r.F.Orchestrator.r_ok then 0 else 2
+      with
+      | Jv_lang.Compile.Error e ->
+          Printf.eprintf "compile error: %s\n" e;
+          1
+      | J.Transformers.Prepare_error e ->
+          Printf.eprintf "prepare error: %s\n" e;
+          1)
+
+open Cmdliner
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
+         ~doc:"Server app to run: miniweb, minimail or miniftp.")
+
+let from_v =
+  Arg.(required & opt (some string) None & info [ "from" ] ~docv:"VERSION"
+         ~doc:"Version the fleet starts on.")
+
+let to_v =
+  Arg.(required & opt (some string) None & info [ "to" ] ~docv:"VERSION"
+         ~doc:"Version to roll out.")
+
+let size =
+  Arg.(value & opt int 4 & info [ "size" ] ~docv:"N"
+         ~doc:"Number of VM instances.")
+
+let mode =
+  Arg.(value & opt string "rolling" & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Rollout mode: rolling or canary.")
+
+let batch =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N"
+         ~doc:"Instances updated per wave (rolling; canary promotion).")
+
+let canaries =
+  Arg.(value & opt int 1 & info [ "canaries" ] ~docv:"N"
+         ~doc:"Canary instances updated first (canary mode).")
+
+let observe =
+  Arg.(value & opt int 300 & info [ "observe" ] ~docv:"ROUNDS"
+         ~doc:"Canary observation window in fleet rounds.")
+
+let drain_timeout =
+  Arg.(value & opt int 300 & info [ "drain-timeout" ] ~docv:"ROUNDS"
+         ~doc:"Rounds to wait for in-flight connections before updating \
+               anyway.")
+
+let timeout_rounds =
+  Arg.(value & opt int 400 & info [ "timeout-rounds" ] ~docv:"N"
+         ~doc:"Per-instance update abort budget in scheduler rounds (the \
+               paper's 15s abort timeout).")
+
+let probes =
+  Arg.(value & opt int 2 & info [ "probes" ] ~docv:"N"
+         ~doc:"Consecutive healthy probes required before readmission.")
+
+let concurrency =
+  Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"N"
+         ~doc:"Concurrent scripted client sessions against the balancer.")
+
+let policy =
+  Arg.(value & opt string "rr" & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Load-balancing policy: rr (round-robin) or lc \
+               (least-connections).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+         ~doc:"Trace rollout phases and per-instance attempt reports.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jvolve_fleet"
+       ~doc:"Rolling and canary DSU rollouts across a multi-VM fleet")
+    Term.(
+      const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
+      $ observe $ drain_timeout $ timeout_rounds $ probes $ concurrency
+      $ policy $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -14,7 +14,8 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run path main_class rounds update_path at tag transformers_path verbose =
+let run path main_class rounds update_path at tag transformers_path
+    timeout_rounds verbose =
   try
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let vm = VM.Vm.create () in
@@ -30,7 +31,7 @@ let run path main_class rounds update_path at tag transformers_path verbose =
           J.Spec.make ~transformer_src ~version_tag:tag ~old_program
             ~new_program ()
         in
-        let h = J.Jvolve.update_now vm spec in
+        let h = J.Jvolve.update_now ~timeout_rounds vm spec in
         Printf.eprintf "[jvolve] update at round %d: %s\n" at
           (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
         ignore (VM.Vm.run_to_quiescence ~max_rounds:(max 0 (rounds - at)) vm));
@@ -88,6 +89,12 @@ let transformers_path =
   Arg.(value & opt (some file) None & info [ "transformers" ] ~docv:"FILE"
          ~doc:"Customized JvolveTransformers source (default: generated).")
 
+let timeout_rounds =
+  Arg.(value & opt int Jvolve_core.Jvolve.default_timeout_rounds
+         & info [ "timeout-rounds" ] ~docv:"N"
+             ~doc:"Abort the update if no safe point is reached within $(docv) \
+                   scheduler rounds (the paper's 15s abort timeout).")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print VM statistics.")
 
@@ -96,6 +103,6 @@ let cmd =
     (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
     Term.(
       const run $ path $ main_class $ rounds $ update_path $ at $ tag
-      $ transformers_path $ verbose)
+      $ transformers_path $ timeout_rounds $ verbose)
 
 let () = exit (Cmd.eval' cmd)

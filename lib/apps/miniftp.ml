@@ -189,8 +189,11 @@ class RequestHandler {
       else { verb = line.substring(0, sp); arg = line.substring(sp + 1, line.length()); }
       Command c = CommandRegistry.find(verb);
       String resp;
-      if (c == null) { resp = "502 unknown command"; }
-      else { resp = c.execute(session, arg); }
+      if (verb.equals("HLTH")) { resp = "200 healthy"; }
+      else {
+        if (c == null) { resp = "502 unknown command"; }
+        else { resp = c.execute(session, arg); }
+      }
       Net.send(session.conn, resp);
       if (resp.startsWith("221")) { Net.close(session.conn); return; }
     }
@@ -423,3 +426,9 @@ let app : Patching.versioned =
 
 (* The update that only applies when the server is idle. *)
 let busy_update = "1.08"
+
+(* Health probe (fleet orchestration).  The probing client may see the
+   "220" greeting banner first; the prober accepts any line passing
+   [health_ok], so only the "200 healthy" reply satisfies it. *)
+let health_probe = "HLTH"
+let health_ok resp = String.length resp >= 3 && String.sub resp 0 3 = "200"

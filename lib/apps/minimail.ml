@@ -149,6 +149,7 @@ class DeliveryQueue {
 }
 class SMTPCommands {
   static String execute(SMTPSession s, String line) {
+    if (line.startsWith("HLTH")) { return "250 healthy"; }
     if (line.startsWith("HELO")) { return "250 hello"; }
     if (line.startsWith("MAIL ")) {
       s.sender = line.substring(5, line.length());
@@ -222,6 +223,7 @@ class SMTPSender {
 }
 class Pop3Commands {
   static String execute(Pop3Session s, String line) {
+    if (line.startsWith("HLTH")) { return "+OK healthy"; }
     if (line.startsWith("USER ")) {
       s.username = line.substring(5, line.length());
       return "+OK user accepted";
@@ -765,6 +767,11 @@ let app : Patching.versioned =
   Patching.build ~app_name:"minimail" ~base_version ~base_src ~releases
 
 let failing_update = "1.3"
+
+(* Health probe (fleet orchestration), on the SMTP side: present in every
+   version, never touched by release patches. *)
+let health_probe = "HLTH"
+let health_ok resp = String.length resp >= 3 && String.sub resp 0 3 = "250"
 
 (* The customized object transformer for the 1.3.1 -> 1.3.2 update: the
    paper's Figure 3, rebuilding EmailAddress values from the old forwarding

@@ -163,6 +163,12 @@ class ErrorPages {
   }
   static String badRequest() { return "malformed request line"; }
 }
+class HealthHandler extends Handler {
+  boolean matches(HttpRequest r) { return r.path.equals("/healthz"); }
+  HttpResponse handle(HttpRequest r) {
+    return new HttpResponse(200, "OK", "text/plain", "healthy");
+  }
+}
 class StatusHandler extends Handler {
   boolean matches(HttpRequest r) { return r.path.equals("/status"); }
   HttpResponse handle(HttpRequest r) {
@@ -174,10 +180,11 @@ class StatusHandler extends Handler {
 class HandlerChain {
   static Handler[] handlers;
   static void init() {
-    handlers = new Handler[3];
+    handlers = new Handler[4];
     handlers[0] = new StaticHandler();
     handlers[1] = new StatusHandler();
-    handlers[2] = new NotFoundHandler();
+    handlers[2] = new HealthHandler();
+    handlers[3] = new NotFoundHandler();
   }
   static HttpResponse dispatch(HttpRequest r) {
     for (int i = 0; i < handlers.length; i = i + 1) {
@@ -616,6 +623,13 @@ class ThreadedServer {
 
 let app : Patching.versioned =
   Patching.build ~app_name:"miniweb" ~base_version ~base_src ~releases
+
+(* Health probe (fleet orchestration): present in every version, never
+   touched by release patches, so it works across an update. *)
+let health_probe = "GET /healthz"
+
+let health_ok resp =
+  String.length resp >= 12 && String.sub resp 0 12 = "HTTP/1.0 200"
 
 (* The update the paper cannot apply. *)
 let failing_update = "5.1.3"

@@ -124,6 +124,33 @@ let update_now ?timeout_rounds ?use_osr ?use_barriers ?(max_rounds = 10_000)
   done;
   h
 
+let resolved h =
+  match h.h_outcome with Pending -> false | Applied _ | Aborted _ -> true
+
+let succeeded h =
+  match h.h_outcome with Applied _ -> true | Pending | Aborted _ -> false
+
+(* A plain-data snapshot of one update attempt, for orchestrators that
+   aggregate outcomes across a fleet of VMs. *)
+type attempt_report = {
+  ar_outcome : outcome;
+  ar_attempts : int;
+  ar_barriers_installed : int;
+  ar_sync_ms : float;
+  ar_blockers : string;
+  ar_waited_rounds : int; (* ticks from request to resolution (or so far) *)
+}
+
+let report vm h =
+  {
+    ar_outcome = h.h_outcome;
+    ar_attempts = h.h_attempts;
+    ar_barriers_installed = h.h_barriers_installed;
+    ar_sync_ms = h.h_sync_ms;
+    ar_blockers = h.h_blockers;
+    ar_waited_rounds = vm.State.ticks - h.h_requested_at;
+  }
+
 let outcome_to_string = function
   | Pending -> "pending"
   | Applied t ->

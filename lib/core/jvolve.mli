@@ -73,3 +73,23 @@ val update_now :
     scheduler until the update resolves (or [max_rounds] elapse). *)
 
 val outcome_to_string : outcome -> string
+
+(** {1 Attempt outcomes (fleet orchestration)} *)
+
+val resolved : handle -> bool
+(** Applied or aborted (no longer pending). *)
+
+val succeeded : handle -> bool
+
+(** A plain-data snapshot of one update attempt, for orchestrators that
+    aggregate outcomes across a fleet of VMs. *)
+type attempt_report = {
+  ar_outcome : outcome;
+  ar_attempts : int;
+  ar_barriers_installed : int;
+  ar_sync_ms : float;
+  ar_blockers : string;
+  ar_waited_rounds : int;  (** ticks from request to resolution (or so far) *)
+}
+
+val report : State.t -> handle -> attempt_report

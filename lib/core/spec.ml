@@ -35,6 +35,18 @@ let make ?(transformer_src = None) ?(object_overrides = [])
 
 let old_class_name ~tag name = Printf.sprintf "v%s_%s" tag name
 
+(* The rollback spec: swap old and new programs and re-run the UPT diff.
+   Custom transformers and per-class overrides describe the forward
+   migration only, so the inverse falls back to the UPT-generated
+   defaults; fields the forward update introduced are simply dropped and
+   reverted fields get default-mapped values.  The blacklist is kept —
+   version-consistency concerns restrict the same methods in both
+   directions. *)
+let inverse spec =
+  make ~blacklist:spec.blacklist
+    ~version_tag:(spec.version_tag ^ "rb")
+    ~old_program:spec.new_program ~new_program:spec.old_program ()
+
 (* A spec is structurally applicable if it stays within Jvolve's update
    model.  Hierarchy permutations (changed superclass edges) are not
    supported (paper §2.2). *)

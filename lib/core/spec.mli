@@ -39,6 +39,13 @@ val make :
 (** [old_class_name ~tag "User"] is ["v<tag>_User"]. *)
 val old_class_name : tag:string -> string -> string
 
+(** The rollback spec: old and new programs swapped, diff recomputed,
+    version tag suffixed with ["rb"].  Custom transformers describe the
+    forward migration only, so the inverse uses UPT-generated defaults;
+    the blacklist carries over.  Used by the fleet orchestrator to revert
+    canaries when a rollout fails. *)
+val inverse : t -> t
+
 (** [Some reason] if the update falls outside Jvolve's model (currently:
     class-hierarchy permutations, paper §2.2). *)
 val unsupported_reason : t -> string option

@@ -1,0 +1,92 @@
+(* The fleet facade: N independent VM instances of one server app behind
+   a load balancer, stepped in lockstep rounds.
+
+   One fleet round = one scheduler round on every in-service VM, one
+   balancer pump (lines move client<->backend), one step of every
+   attached workload driver.  The orchestrator (see [Orchestrator]) is
+   stepped by its own driver loop on top of this. *)
+
+module VM = Jv_vm
+
+let default_lb_port = 80
+
+type t = {
+  profile : Profile.t;
+  config : VM.State.config;
+  instances : Instance.t array;
+  lb : Lb.t;
+  mutable drivers : Driver.t list;
+  mutable ticks : int;
+}
+
+let create ?(config = Instance.default_config) ?(policy = Lb.Round_robin)
+    ?(lb_port = default_lb_port) ~profile ~version ~size () =
+  if size < 1 then invalid_arg "Fleet.create: size must be >= 1";
+  let instances =
+    Array.init size (fun id -> Instance.boot ~config profile ~id ~version)
+  in
+  let lb = Lb.create ~policy ~ok:profile.Profile.pr_ok ~port:lb_port () in
+  Array.iter
+    (fun (inst : Instance.t) ->
+      Lb.register lb ~id:inst.Instance.i_id ~net:(Instance.net inst)
+        ~backend_port:inst.Instance.i_port)
+    instances;
+  { profile; config; instances; lb; drivers = []; ticks = 0 }
+
+let size t = Array.length t.instances
+let instance t id = t.instances.(id)
+let instances t = Array.to_list t.instances
+let lb t = t.lb
+let ticks t = t.ticks
+
+let attach_load ?(concurrency = 4) ?max_sessions t =
+  let d =
+    Driver.create ~net:(Lb.front t.lb) ~port:t.lb.Lb.port
+      ~script:t.profile.Profile.pr_script ~ok:t.profile.Profile.pr_ok
+      ~concurrency ?max_sessions ()
+  in
+  t.drivers <- t.drivers @ [ d ];
+  d
+
+let detach_loads t =
+  List.iter Driver.detach t.drivers;
+  t.drivers <- []
+
+let round t =
+  t.ticks <- t.ticks + 1;
+  Array.iter Instance.round t.instances;
+  Lb.pump t.lb ~tick:t.ticks;
+  List.iter (fun d -> Driver.step d ~tick:t.ticks) t.drivers
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    round t
+  done
+
+(* --- fleet-wide invariant helpers (tests, results) -------------------- *)
+
+let versions t =
+  Array.to_list (Array.map (fun i -> i.Instance.i_version) t.instances)
+
+(* [Some v] iff every instance still in service runs version [v]. *)
+let uniform_version t =
+  let vs =
+    List.filter_map
+      (fun (i : Instance.t) ->
+        if i.Instance.i_status = Instance.Out_of_service then None
+        else Some i.Instance.i_version)
+      (instances t)
+  in
+  match vs with
+  | [] -> None
+  | v :: rest -> if List.for_all (( = ) v) rest then Some v else None
+
+let total_requests t =
+  List.fold_left (fun n d -> n + d.Driver.completed_requests) 0 t.drivers
+
+let total_errors t =
+  List.fold_left (fun n d -> n + d.Driver.errors) 0 t.drivers
+
+let dropped_in_flight t =
+  Lb.dropped t.lb
+  + List.fold_left (fun n d -> n + d.Driver.dropped_in_flight) 0 t.drivers

@@ -1,0 +1,124 @@
+(* Asynchronous health probes and the canary health gate.
+
+   A probe is a tiny scripted client run directly against one instance's
+   simnet (bypassing the load balancer, like a sidecar health checker):
+   connect, send the app's health-probe line, and wait — stepping once
+   per fleet round — until a line passing [ok] arrives (some servers
+   greet with a banner first, which is skipped) or the deadline passes.
+
+   The canary gate compares load-balancer observation windows between
+   the canary pool and the stable pool. *)
+
+module Simnet = Jv_simnet.Simnet
+
+type outcome = Pending | Healthy of int (* latency in rounds *) | Unhealthy of string
+
+type probe = {
+  p_net : Simnet.t;
+  p_port : int;
+  p_line : string;
+  p_ok : string -> bool;
+  p_started : int;
+  p_deadline : int;
+  mutable p_conn : int option;
+  mutable p_outcome : outcome;
+}
+
+let start ~net ~port ~line ~ok ~now ~deadline_rounds =
+  {
+    p_net = net;
+    p_port = port;
+    p_line = line;
+    p_ok = ok;
+    p_started = now;
+    p_deadline = now + deadline_rounds;
+    p_conn = None;
+    p_outcome = Pending;
+  }
+
+let finish p outcome =
+  p.p_outcome <- outcome;
+  match p.p_conn with
+  | None -> ()
+  | Some cid ->
+      Simnet.client_close p.p_net ~conn_id:cid;
+      Simnet.reap p.p_net ~conn_id:cid;
+      p.p_conn <- None
+
+let step p ~now =
+  match p.p_outcome with
+  | Healthy _ | Unhealthy _ -> ()
+  | Pending -> (
+      (match p.p_conn with
+      | Some _ -> ()
+      | None -> (
+          match Simnet.connect p.p_net ~port:p.p_port with
+          | None -> () (* not listening (yet); keep trying until deadline *)
+          | Some cid ->
+              p.p_conn <- Some cid;
+              Simnet.client_send p.p_net ~conn_id:cid p.p_line));
+      (match p.p_conn with
+      | None -> ()
+      | Some cid ->
+          let rec drain () =
+            match Simnet.client_recv p.p_net ~conn_id:cid with
+            | `Line resp when p.p_ok resp ->
+                finish p (Healthy (now - p.p_started))
+            | `Line _ -> drain () (* banner or sick response: keep waiting *)
+            | `Eof -> finish p (Unhealthy "connection closed by server")
+            | `Wait -> ()
+          in
+          drain ());
+      if p.p_outcome = Pending && now > p.p_deadline then
+        finish p
+          (if p.p_conn = None then Unhealthy "not accepting connections"
+           else Unhealthy "no healthy response before deadline"))
+
+let outcome p = p.p_outcome
+
+(* --- the canary gate --------------------------------------------------- *)
+
+type gate_params = {
+  g_min_responses : int;
+      (* don't judge before both pools served this many *)
+  g_max_error_rate : float; (* absolute ceiling on the canary pool *)
+  g_max_error_delta : float; (* vs. the stable pool *)
+  g_max_latency_factor : float; (* canary latency vs. stable latency *)
+}
+
+let default_gate =
+  {
+    g_min_responses = 20;
+    g_max_error_rate = 0.05;
+    g_max_error_delta = 0.02;
+    g_max_latency_factor = 3.0;
+  }
+
+(* [None] = pass (or not enough signal yet: judged only when called after
+   the observation window, so thin traffic counts as a pass with a note),
+   [Some reason] = the canaries are sicker than the stable pool. *)
+let judge gate ~(canary : Lb.window) ~(stable : Lb.window) : string option =
+  let ce = Lb.error_rate canary and se = Lb.error_rate stable in
+  let cl = Lb.mean_latency canary and sl = Lb.mean_latency stable in
+  if canary.Lb.w_responses < gate.g_min_responses then
+    if canary.Lb.w_responses = 0 && canary.Lb.w_sessions > 0 then
+      Some "canaries answered none of the routed requests"
+    else None (* not enough traffic to condemn the canaries *)
+  else if ce > gate.g_max_error_rate then
+    Some
+      (Printf.sprintf "canary error rate %.1f%% above ceiling %.1f%%"
+         (100. *. ce)
+         (100. *. gate.g_max_error_rate))
+  else if ce -. se > gate.g_max_error_delta then
+    Some
+      (Printf.sprintf "canary error rate %.1f%% vs stable %.1f%%"
+         (100. *. ce) (100. *. se))
+  else if
+    stable.Lb.w_responses >= gate.g_min_responses
+    && sl > 0.0
+    && cl > sl *. gate.g_max_latency_factor
+  then
+    Some
+      (Printf.sprintf "canary latency %.1f rounds vs stable %.1f"
+         cl sl)
+  else None

@@ -1,0 +1,60 @@
+(* One fleet member: a whole [Jv_vm] running one version of the server
+   app, plus the bookkeeping the orchestrator needs (current version,
+   lifecycle status, the classfiles it is running — the "old program" of
+   the next update spec). *)
+
+module VM = Jv_vm
+module CF = Jv_classfile
+
+type status =
+  | In_service (* taking new connections through the LB *)
+  | Draining (* no new connections; in-flight completing *)
+  | Updating (* a DSU request is pending on the VM *)
+  | Rolling_back (* reverting to the previous version *)
+  | Out_of_service (* permanently removed (failed rollback) *)
+
+let status_to_string = function
+  | In_service -> "in-service"
+  | Draining -> "draining"
+  | Updating -> "updating"
+  | Rolling_back -> "rolling-back"
+  | Out_of_service -> "out-of-service"
+
+type t = {
+  i_id : int;
+  i_vm : VM.Vm.t;
+  i_port : int; (* backend port inside this VM's simnet *)
+  mutable i_version : string;
+  mutable i_status : status;
+  mutable i_program : CF.Cls.t list; (* classfiles currently running *)
+}
+
+(* Fleet boot mirrors the experience harness: a high opt threshold keeps
+   the per-session run() loops base-compiled, as in the paper's setup. *)
+let default_config =
+  {
+    VM.State.default_config with
+    VM.State.heap_words = 1 lsl 19;
+    opt_threshold = 150;
+  }
+
+let boot ?(config = default_config) (profile : Profile.t) ~id ~version : t =
+  let program = Profile.compile profile ~version in
+  let vm = VM.Vm.create ~config () in
+  VM.Vm.boot vm program;
+  ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+  (* let the server open its listeners before the LB registers it *)
+  VM.Vm.run vm ~rounds:5;
+  {
+    i_id = id;
+    i_vm = vm;
+    i_port = profile.Profile.pr_port;
+    i_version = version;
+    i_status = In_service;
+    i_program = program;
+  }
+
+let net inst = VM.Vm.net inst.i_vm
+
+let round inst =
+  if inst.i_status <> Out_of_service then VM.Sched.round inst.i_vm

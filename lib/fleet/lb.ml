@@ -1,0 +1,264 @@
+(* The fleet's front door: a load balancer at the simnet level.
+
+   Clients connect to the balancer's own front simnet; every accepted
+   connection is proxied line-by-line onto a backend connection into one
+   instance's simnet, chosen round-robin or least-connections among the
+   backends currently admitting traffic.  Setting a backend to
+   non-admitting implements connection draining: established sessions
+   keep flowing, new ones go elsewhere, and [in_flight] reports what the
+   drain still waits on.
+
+   The balancer also keeps the per-backend health signals the canary
+   gate compares (responses, failed responses, request latency in fleet
+   rounds) and counts dropped in-flight connections: a backend closing a
+   proxied connection while a forwarded request is still unanswered. *)
+
+module Simnet = Jv_simnet.Simnet
+
+type policy = Round_robin | Least_conns
+
+type backend = {
+  b_id : int;
+  b_net : Simnet.t;
+  b_port : int;
+  mutable b_admit : bool;
+  mutable b_active : int; (* live proxied connections *)
+  mutable b_sessions : int; (* ever routed *)
+  (* observation-window signals, reset by [reset_window] *)
+  mutable b_responses : int;
+  mutable b_errors : int;
+  mutable b_latency_rounds : int; (* summed over responses *)
+}
+
+type route = {
+  rt_front : int; (* front conn id (balancer is the server side) *)
+  rt_back : int; (* backend conn id (balancer is the client side) *)
+  rt_backend : backend;
+  mutable rt_outstanding : int; (* forwarded requests not yet answered *)
+  mutable rt_sent_at : int; (* tick of the oldest outstanding request *)
+  mutable rt_front_closed : bool;
+  mutable rt_back_closed : bool;
+}
+
+type t = {
+  front : Simnet.t;
+  port : int;
+  listener : int;
+  policy : policy;
+  ok : string -> bool;
+  mutable backends : backend list; (* registration order *)
+  routes : (int, route) Hashtbl.t; (* front conn id -> route *)
+  mutable rr_next : int;
+  mutable dropped : int;
+  mutable rejected : int; (* accepted with no backend admitting *)
+}
+
+let create ?(policy = Round_robin) ?(ok = fun _ -> true) ~port () =
+  let front = Simnet.create () in
+  let listener = Simnet.listen front ~port in
+  {
+    front;
+    port;
+    listener;
+    policy;
+    ok;
+    backends = [];
+    routes = Hashtbl.create 64;
+    rr_next = 0;
+    dropped = 0;
+    rejected = 0;
+  }
+
+let front t = t.front
+
+let register t ~id ~net ~backend_port =
+  t.backends <-
+    t.backends
+    @ [
+        {
+          b_id = id;
+          b_net = net;
+          b_port = backend_port;
+          b_admit = true;
+          b_active = 0;
+          b_sessions = 0;
+          b_responses = 0;
+          b_errors = 0;
+          b_latency_rounds = 0;
+        };
+      ]
+
+let backend t id = List.find_opt (fun b -> b.b_id = id) t.backends
+
+let set_admit t ~id admit =
+  match backend t id with
+  | None -> invalid_arg "Lb.set_admit: unknown backend"
+  | Some b -> b.b_admit <- admit
+
+let admitting t ~id =
+  match backend t id with None -> false | Some b -> b.b_admit
+
+let in_flight t ~id =
+  match backend t id with None -> 0 | Some b -> b.b_active
+
+let total_in_flight t =
+  List.fold_left (fun n b -> n + b.b_active) 0 t.backends
+
+let dropped t = t.dropped
+let rejected t = t.rejected
+
+type window = {
+  w_sessions : int;
+  w_responses : int;
+  w_errors : int;
+  w_latency_rounds : int;
+}
+
+let window_of_backends bs =
+  List.fold_left
+    (fun w b ->
+      {
+        w_sessions = w.w_sessions + b.b_sessions;
+        w_responses = w.w_responses + b.b_responses;
+        w_errors = w.w_errors + b.b_errors;
+        w_latency_rounds = w.w_latency_rounds + b.b_latency_rounds;
+      })
+    { w_sessions = 0; w_responses = 0; w_errors = 0; w_latency_rounds = 0 }
+    bs
+
+let window t ~ids =
+  window_of_backends
+    (List.filter (fun b -> List.mem b.b_id ids) t.backends)
+
+let error_rate w =
+  if w.w_responses = 0 then 0.0
+  else float_of_int w.w_errors /. float_of_int w.w_responses
+
+let mean_latency w =
+  if w.w_responses = 0 then 0.0
+  else float_of_int w.w_latency_rounds /. float_of_int w.w_responses
+
+let reset_window t =
+  List.iter
+    (fun b ->
+      b.b_responses <- 0;
+      b.b_errors <- 0;
+      b.b_latency_rounds <- 0)
+    t.backends
+
+(* --- routing ---------------------------------------------------------- *)
+
+let pick t : backend option =
+  let eligible = List.filter (fun b -> b.b_admit) t.backends in
+  match (eligible, t.policy) with
+  | [], _ -> None
+  | bs, Least_conns ->
+      Some
+        (List.fold_left
+           (fun best b -> if b.b_active < best.b_active then b else best)
+           (List.hd bs) (List.tl bs))
+  | bs, Round_robin ->
+      let n = List.length bs in
+      let b = List.nth bs (t.rr_next mod n) in
+      t.rr_next <- t.rr_next + 1;
+      Some b
+
+let accept_new t =
+  let rec go () =
+    (* nothing admitting (e.g. the whole fleet drains at once): leave new
+       connections in the listener backlog — the accept queue of a real
+       balancer — rather than accepting and hanging up on them *)
+    if not (List.exists (fun b -> b.b_admit) t.backends) then ()
+    else
+    match Simnet.accept t.front ~listener_id:t.listener with
+    | None -> ()
+    | Some fcid ->
+        (match pick t with
+        | None -> assert false (* some backend admits: pick finds it *)
+        | Some b -> (
+            match Simnet.connect b.b_net ~port:b.b_port with
+            | None ->
+                t.rejected <- t.rejected + 1;
+                Simnet.close_server t.front ~conn_id:fcid
+            | Some bcid ->
+                b.b_active <- b.b_active + 1;
+                b.b_sessions <- b.b_sessions + 1;
+                Hashtbl.replace t.routes fcid
+                  {
+                    rt_front = fcid;
+                    rt_back = bcid;
+                    rt_backend = b;
+                    rt_outstanding = 0;
+                    rt_sent_at = 0;
+                    rt_front_closed = false;
+                    rt_back_closed = false;
+                  }));
+        go ()
+  in
+  go ()
+
+let pump_route t ~tick (r : route) : bool (* keep? *) =
+  let b = r.rt_backend in
+  (* The driver (the front net's client) reaps once both sides are
+     closed, which can remove the connection before we observe its EOF;
+     treat a vanished front connection as closed. *)
+  if
+    (not r.rt_front_closed)
+    && Simnet.conn_stats t.front ~conn_id:r.rt_front = None
+  then begin
+    r.rt_front_closed <- true;
+    Simnet.client_close b.b_net ~conn_id:r.rt_back
+  end;
+  (* client -> backend *)
+  let rec fwd () =
+    if not r.rt_front_closed then
+      match Simnet.recv_line t.front ~conn_id:r.rt_front with
+      | `Line l ->
+          if r.rt_outstanding = 0 then r.rt_sent_at <- tick;
+          r.rt_outstanding <- r.rt_outstanding + 1;
+          Simnet.client_send b.b_net ~conn_id:r.rt_back l;
+          fwd ()
+      | `Eof ->
+          r.rt_front_closed <- true;
+          Simnet.client_close b.b_net ~conn_id:r.rt_back
+      | `Wait -> ()
+  in
+  fwd ();
+  (* backend -> client *)
+  let rec bwd () =
+    if not r.rt_back_closed then
+      match Simnet.client_recv b.b_net ~conn_id:r.rt_back with
+      | `Line l ->
+          if r.rt_outstanding > 0 then begin
+            r.rt_outstanding <- r.rt_outstanding - 1;
+            b.b_responses <- b.b_responses + 1;
+            b.b_latency_rounds <- b.b_latency_rounds + (tick - r.rt_sent_at);
+            if r.rt_outstanding > 0 then r.rt_sent_at <- tick;
+            if not (t.ok l) then b.b_errors <- b.b_errors + 1
+          end;
+          Simnet.send t.front ~conn_id:r.rt_front l;
+          bwd ()
+      | `Eof ->
+          (* backend hung up; a still-unanswered request means the
+             connection was dropped in flight *)
+          r.rt_back_closed <- true;
+          if r.rt_outstanding > 0 then t.dropped <- t.dropped + 1;
+          Simnet.close_server t.front ~conn_id:r.rt_front
+      | `Wait -> ()
+  in
+  bwd ();
+  if r.rt_front_closed && r.rt_back_closed then begin
+    Simnet.reap b.b_net ~conn_id:r.rt_back;
+    Simnet.reap t.front ~conn_id:r.rt_front;
+    b.b_active <- b.b_active - 1;
+    false
+  end
+  else true
+
+let pump t ~tick =
+  accept_new t;
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun fcid r -> if not (pump_route t ~tick r) then dead := fcid :: !dead)
+    t.routes;
+  List.iter (Hashtbl.remove t.routes) !dead

@@ -1,0 +1,539 @@
+(* The rollout orchestrator: drives a dynamic software update across a
+   fleet of VM instances, one wave at a time.
+
+   Per wave:  drain (stop routing new sessions, wait for in-flight to
+   reach zero) -> request the DSU on each VM and keep the fleet running
+   until every attempt resolves at a safe point -> health-probe the
+   updated instances -> readmit them.  A canary rollout makes the first
+   wave small, readmits it, then watches load-balancer health signals
+   for an observation window before promoting the rest.
+
+   Any failure — an update abort (safe-point timeout, transformer
+   cycle), a failed health probe, a lost canary gate — halts the rollout
+   and rolls every already-updated instance back by applying the inverse
+   update spec ({!Jvolve_core.Spec.inverse}).  The orchestrator never
+   kills a connection: instances that abort keep serving the old
+   version, and the result records the whole story. *)
+
+module J = Jvolve_core
+module VM = Jv_vm
+
+type mode =
+  | Rolling of { batch_size : int }
+  | Canary of { canaries : int; observe_rounds : int; promote_batch : int }
+
+type params = {
+  mode : mode;
+  drain_timeout : int; (* rounds to wait for in-flight connections *)
+  update_timeout : int; (* DSU abort budget in ticks (paper: 15 s) *)
+  probe_deadline : int; (* rounds one health probe may take *)
+  probes_required : int; (* consecutive healthy probes per instance *)
+  gate : Health.gate_params; (* canary vs. stable comparison *)
+  use_osr : bool;
+  use_barriers : bool;
+  max_rounds : int; (* hard stop for the whole rollout *)
+}
+
+let default_params mode =
+  {
+    mode;
+    drain_timeout = 300;
+    update_timeout = 400;
+    probe_deadline = 80;
+    probes_required = 2;
+    gate = Health.default_gate;
+    use_osr = true;
+    use_barriers = true;
+    max_rounds = 50_000;
+  }
+
+(* --- results ----------------------------------------------------------- *)
+
+type result = {
+  r_ok : bool;
+  r_halted : string option; (* why the rollout stopped early *)
+  r_updated : int list; (* instances on the new version at the end *)
+  r_rolled_back : int list;
+  r_aborted : (int * string) list; (* forward update aborts *)
+  r_unhealthy : (int * string) list; (* failed health checks / gates *)
+  r_rollback_failed : (int * string) list;
+  r_rounds : int;
+  r_mixed_window : int; (* rounds the fleet ran mixed versions *)
+  r_drain_timeouts : int;
+  r_reports : (int * J.Jvolve.attempt_report) list;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%s: %d updated, %d rolled back, %d aborted, %d unhealthy%s | %d \
+     rounds, mixed-version window %d rounds%s"
+    (if r.r_ok then "ROLLOUT OK" else "ROLLOUT HALTED")
+    (List.length r.r_updated)
+    (List.length r.r_rolled_back)
+    (List.length r.r_aborted)
+    (List.length r.r_unhealthy)
+    (match r.r_halted with None -> "" | Some why -> " (" ^ why ^ ")")
+    r.r_rounds r.r_mixed_window
+    (if r.r_rollback_failed = [] then ""
+     else
+       Printf.sprintf ", ROLLBACK FAILED on %d instance(s)"
+         (List.length r.r_rollback_failed))
+
+(* --- the state machine ------------------------------------------------- *)
+
+type direction = Forward | Rollback of string (* the halt reason *)
+
+type stage =
+  | Drain of { until : int }
+  | Update of { handles : (int * J.Jvolve.handle) list }
+  | Probe of {
+      mutable live : (int * Health.probe) list; (* one active probe per id *)
+      mutable needed : (int * int) list; (* id -> healthy probes still due *)
+    }
+  | Observe of { until : int; canaries : int list }
+
+type wave = { w_ids : int list; w_observe : int option }
+
+type t = {
+  fleet : Fleet.t;
+  params : params;
+  from_version : string;
+  to_version : string;
+  fwd_specs : (int * J.Spec.t) list; (* per instance *)
+  mutable waves : wave list; (* not yet started *)
+  mutable wave : wave option; (* in flight *)
+  mutable stage : stage option;
+  mutable direction : direction;
+  mutable updated : int list;
+  mutable rolled_back : int list;
+  mutable aborted : (int * string) list;
+  mutable unhealthy : (int * string) list;
+  mutable rollback_failed : (int * string) list;
+  mutable reports : (int * J.Jvolve.attempt_report) list;
+  mutable drain_timeouts : int;
+  mutable first_mixed : int option; (* tick of the first version change *)
+  mutable last_change : int; (* tick of the latest version change *)
+  started_at : int;
+  mutable result : result option;
+}
+
+let chunk k xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = k then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let make_waves mode ids =
+  match mode with
+  | Rolling { batch_size } ->
+      List.map
+        (fun b -> { w_ids = b; w_observe = None })
+        (chunk (max 1 batch_size) ids)
+  | Canary { canaries; observe_rounds; promote_batch } ->
+      let k = max 1 (min canaries (List.length ids - 1)) in
+      let cs = List.filteri (fun i _ -> i < k) ids in
+      let rest = List.filteri (fun i _ -> i >= k) ids in
+      { w_ids = cs; w_observe = Some observe_rounds }
+      :: List.map
+           (fun b -> { w_ids = b; w_observe = None })
+           (chunk (max 1 promote_batch) rest)
+
+let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
+    () =
+  let profile = fleet.Fleet.profile in
+  let insts = Fleet.instances fleet in
+  let from_version =
+    match Fleet.uniform_version fleet with
+    | Some v -> v
+    | None -> invalid_arg "Orchestrator.create: fleet not on one version"
+  in
+  let new_program = Profile.compile profile ~version:to_version in
+  let fwd_specs =
+    List.map
+      (fun (i : Instance.t) ->
+        let spec =
+          J.Spec.make
+            ~object_overrides:
+              (profile.Profile.pr_object_overrides ~to_version)
+            ~version_tag:
+              (Profile.version_tag ~from_version ~instance_id:i.Instance.i_id)
+            ~old_program:i.Instance.i_program ~new_program ()
+        in
+        (i.Instance.i_id, mutate_spec i.Instance.i_id spec))
+      insts
+  in
+  let ids = List.map (fun (i : Instance.t) -> i.Instance.i_id) insts in
+  {
+    fleet;
+    params;
+    from_version;
+    to_version;
+    fwd_specs;
+    waves = make_waves params.mode ids;
+    wave = None;
+    stage = None;
+    direction = Forward;
+    updated = [];
+    rolled_back = [];
+    aborted = [];
+    unhealthy = [];
+    rollback_failed = [];
+    reports = [];
+    drain_timeouts = 0;
+    first_mixed = None;
+    last_change = 0;
+    started_at = Fleet.ticks fleet;
+    result = None;
+  }
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let now t = Fleet.ticks t.fleet
+let lb t = Fleet.lb t.fleet
+let inst t id = Fleet.instance t.fleet id
+let fwd_spec t id = List.assoc id t.fwd_specs
+
+let spec_for t id =
+  match t.direction with
+  | Forward -> fwd_spec t id
+  | Rollback _ -> J.Spec.inverse (fwd_spec t id)
+
+let note_version_change t =
+  if t.first_mixed = None then t.first_mixed <- Some (now t);
+  t.last_change <- now t
+
+let set_status t ids status =
+  List.iter (fun id -> (inst t id).Instance.i_status <- status) ids
+
+let set_admit t ids admit =
+  List.iter (fun id -> Lb.set_admit (lb t) ~id admit) ids
+
+(* --- stage entry ------------------------------------------------------- *)
+
+let start_updates t ids =
+  set_status t ids
+    (match t.direction with
+    | Forward -> Instance.Updating
+    | Rollback _ -> Instance.Rolling_back);
+  let handles =
+    List.filter_map
+      (fun id ->
+        let i = inst t id in
+        match
+          J.Jvolve.request_spec ~timeout_rounds:t.params.update_timeout
+            ~use_osr:t.params.use_osr ~use_barriers:t.params.use_barriers
+            i.Instance.i_vm (spec_for t id)
+        with
+        | h -> Some (id, h)
+        | exception J.Transformers.Prepare_error e ->
+            (* never reached the VM: treat like an immediate abort *)
+            (match t.direction with
+            | Forward -> t.aborted <- (id, "prepare: " ^ e) :: t.aborted
+            | Rollback _ ->
+                t.rollback_failed <-
+                  (id, "prepare: " ^ e) :: t.rollback_failed);
+            None)
+      ids
+  in
+  t.stage <- Some (Update { handles })
+
+let start_wave t (w : wave) =
+  t.wave <- Some w;
+  match t.direction with
+  | Forward ->
+      set_admit t w.w_ids false;
+      set_status t w.w_ids Instance.Draining;
+      t.stage <- Some (Drain { until = now t + t.params.drain_timeout })
+  | Rollback _ ->
+      (* reverting: skip the drain, halt exposure as fast as possible *)
+      start_updates t w.w_ids
+
+let start_probes t ids =
+  t.stage <-
+    Some
+      (Probe
+         {
+           live =
+             List.map
+               (fun id ->
+                 let i = inst t id in
+                 ( id,
+                   Health.start ~net:(Instance.net i)
+                     ~port:i.Instance.i_port
+                     ~line:t.fleet.Fleet.profile.Profile.pr_health_probe
+                     ~ok:t.fleet.Fleet.profile.Profile.pr_health_ok
+                     ~now:(now t) ~deadline_rounds:t.params.probe_deadline ))
+               ids;
+           needed = List.map (fun id -> (id, t.params.probes_required)) ids;
+         })
+
+(* --- finishing --------------------------------------------------------- *)
+
+let finish t =
+  let halted =
+    match t.direction with Forward -> None | Rollback why -> Some why
+  in
+  let mixed =
+    match t.first_mixed with
+    | None -> 0
+    | Some t0 ->
+        (* still mixed at the end (failed rollback): window stays open *)
+        if Fleet.uniform_version t.fleet = None then now t - t0
+        else t.last_change - t0
+  in
+  t.result <-
+    Some
+      {
+        r_ok = (halted = None && t.rollback_failed = []);
+        r_halted = halted;
+        r_updated = List.sort compare t.updated;
+        r_rolled_back = List.sort compare t.rolled_back;
+        r_aborted = List.rev t.aborted;
+        r_unhealthy = List.rev t.unhealthy;
+        r_rollback_failed = List.rev t.rollback_failed;
+        r_rounds = now t - t.started_at;
+        r_mixed_window = mixed;
+        r_drain_timeouts = t.drain_timeouts;
+        r_reports = List.rev t.reports;
+      }
+
+(* Halt the rollout: every already-updated instance is reverted by the
+   inverse spec, in one wave. *)
+let begin_rollback t ~why =
+  t.direction <- Rollback why;
+  t.wave <- None;
+  t.stage <- None;
+  t.waves <-
+    (match t.updated with
+    | [] -> []
+    | ids -> [ { w_ids = List.sort compare ids; w_observe = None } ])
+
+let next_wave t =
+  t.wave <- None;
+  t.stage <- None;
+  match t.waves with
+  | [] -> finish t
+  | w :: rest ->
+      t.waves <- rest;
+      start_wave t w
+
+(* --- per-round step ---------------------------------------------------- *)
+
+let update_resolved t (w : wave) handles =
+  let failures = ref [] in
+  List.iter
+    (fun (id, (h : J.Jvolve.handle)) ->
+      let i = inst t id in
+      t.reports <- (id, J.Jvolve.report i.Instance.i_vm h) :: t.reports;
+      match (h.J.Jvolve.h_outcome, t.direction) with
+      | J.Jvolve.Applied _, Forward ->
+          i.Instance.i_version <- t.to_version;
+          i.Instance.i_program <- (fwd_spec t id).J.Spec.new_program;
+          t.updated <- id :: t.updated;
+          note_version_change t
+      | J.Jvolve.Applied _, Rollback _ ->
+          i.Instance.i_version <- t.from_version;
+          i.Instance.i_program <- (fwd_spec t id).J.Spec.old_program;
+          t.updated <- List.filter (( <> ) id) t.updated;
+          t.rolled_back <- id :: t.rolled_back;
+          note_version_change t
+      | (J.Jvolve.Aborted _ | J.Jvolve.Pending), _ -> (
+          let e =
+            match h.J.Jvolve.h_outcome with
+            | J.Jvolve.Aborted e -> e
+            | _ -> "still pending"
+          in
+          match t.direction with
+          | Forward ->
+              t.aborted <- (id, e) :: t.aborted;
+              failures := id :: !failures;
+              (* the instance never left the old version: readmit it *)
+              i.Instance.i_status <- Instance.In_service;
+              Lb.set_admit (lb t) ~id true
+          | Rollback _ ->
+              (* stuck on the new version: keep it out of service *)
+              t.rollback_failed <- (id, e) :: t.rollback_failed;
+              i.Instance.i_status <- Instance.Out_of_service;
+              Lb.set_admit (lb t) ~id false))
+    handles;
+  match t.direction with
+  | Forward when !failures <> [] ->
+      begin_rollback t
+        ~why:
+          (Printf.sprintf "update aborted on instance %s"
+             (String.concat ", "
+                (List.map string_of_int (List.rev !failures))));
+      (* instances of this wave that did apply are in [updated] and will
+         be reverted with the rest *)
+      next_wave t
+  | _ ->
+      (* every applied instance gets probed before being readmitted *)
+      let ids =
+        List.filter
+          (fun id ->
+            match t.direction with
+            | Forward -> List.mem id t.updated
+            | Rollback _ -> List.mem id t.rolled_back)
+          w.w_ids
+      in
+      if ids = [] then next_wave t else start_probes t ids
+
+let probe_step t (w : wave) ~live ~needed set_live set_needed =
+  (* advance every live probe; collect verdicts *)
+  List.iter (fun (_, p) -> Health.step p ~now:(now t)) live;
+  let still_live = ref [] and failed = ref [] in
+  List.iter
+    (fun (id, p) ->
+      match Health.outcome p with
+      | Health.Pending -> still_live := (id, p) :: !still_live
+      | Health.Unhealthy why -> failed := (id, why) :: !failed
+      | Health.Healthy _ -> (
+          match List.assoc_opt id needed with
+          | Some n when n > 1 ->
+              set_needed (id, n - 1);
+              let i = inst t id in
+              still_live :=
+                ( id,
+                  Health.start ~net:(Instance.net i) ~port:i.Instance.i_port
+                    ~line:t.fleet.Fleet.profile.Profile.pr_health_probe
+                    ~ok:t.fleet.Fleet.profile.Profile.pr_health_ok
+                    ~now:(now t) ~deadline_rounds:t.params.probe_deadline )
+                :: !still_live
+          | _ -> set_needed (id, 0)))
+    live;
+  set_live !still_live;
+  match !failed with
+  | (id, why) :: _ -> (
+      let why = Printf.sprintf "health check failed on instance %d: %s" id why in
+      match t.direction with
+      | Forward ->
+          t.unhealthy <- (id, why) :: t.unhealthy;
+          begin_rollback t ~why;
+          next_wave t
+      | Rollback _ ->
+          (* reverted but sick: take it out of the fleet *)
+          List.iter
+            (fun (id, why) ->
+              t.rollback_failed <- (id, why) :: t.rollback_failed;
+              (inst t id).Instance.i_status <- Instance.Out_of_service;
+              Lb.set_admit (lb t) ~id false)
+            !failed;
+          if !still_live = [] then next_wave t)
+  | [] ->
+      if !still_live = [] then begin
+        (* every instance of the wave is healthy: readmit *)
+        set_status t w.w_ids Instance.In_service;
+        set_admit t w.w_ids true;
+        match (t.direction, w.w_observe) with
+        | Forward, Some rounds ->
+            (* watch the canaries take real traffic before promoting *)
+            Lb.reset_window (lb t);
+            t.stage <-
+              Some (Observe { until = now t + rounds; canaries = w.w_ids })
+        | _ -> next_wave t
+      end
+
+let observe_done t ~canaries =
+  let all_ids =
+    List.map (fun (i : Instance.t) -> i.Instance.i_id)
+      (Fleet.instances t.fleet)
+  in
+  let stable = List.filter (fun id -> not (List.mem id canaries)) all_ids in
+  let cw = Lb.window (lb t) ~ids:canaries in
+  let sw = Lb.window (lb t) ~ids:stable in
+  match Health.judge t.params.gate ~canary:cw ~stable:sw with
+  | None -> next_wave t
+  | Some why ->
+      let why = "canary gate: " ^ why in
+      List.iter (fun id -> t.unhealthy <- (id, why) :: t.unhealthy) canaries;
+      begin_rollback t ~why;
+      next_wave t
+
+let step t =
+  match (t.result, t.wave, t.stage) with
+  | Some _, _, _ -> ()
+  | None, None, _ ->
+      if now t - t.started_at > t.params.max_rounds then begin
+        begin_rollback t ~why:"rollout exceeded max_rounds";
+        finish t
+      end
+      else next_wave t
+  | None, Some w, Some stage -> (
+      if now t - t.started_at > t.params.max_rounds then begin
+        (* hard stop: report whatever state we reached *)
+        t.direction <-
+          (match t.direction with
+          | Forward -> Rollback "rollout exceeded max_rounds"
+          | d -> d);
+        finish t
+      end
+      else
+        match stage with
+        | Drain { until } ->
+            let remaining =
+              List.fold_left
+                (fun n id -> n + Lb.in_flight (lb t) ~id)
+                0 w.w_ids
+            in
+            if remaining = 0 then start_updates t w.w_ids
+            else if now t >= until then begin
+              (* drain timed out: update anyway — the DSU never kills
+                 connections, the survivors just pause at the safe point *)
+              t.drain_timeouts <- t.drain_timeouts + 1;
+              start_updates t w.w_ids
+            end
+        | Update { handles } ->
+            if
+              List.for_all
+                (fun (_, h) -> J.Jvolve.resolved h)
+                handles
+            then update_resolved t w handles
+        | Probe p ->
+            probe_step t w ~live:p.live ~needed:p.needed
+              (fun l -> p.live <- l)
+              (fun (id, n) ->
+                p.needed <-
+                  (id, n) :: List.remove_assoc id p.needed)
+        | Observe { until; canaries } ->
+            if now t >= until then observe_done t ~canaries)
+  | None, Some _, None -> next_wave t
+
+let result t = t.result
+
+let describe t =
+  match (t.result, t.wave, t.stage) with
+  | Some r, _, _ -> Fmt.str "%a" pp_result r
+  | None, None, _ -> "starting"
+  | None, Some w, stage ->
+      let ids = String.concat "," (List.map string_of_int w.w_ids) in
+      let dir =
+        match t.direction with
+        | Forward -> "update"
+        | Rollback _ -> "rollback"
+      in
+      let st =
+        match stage with
+        | Some (Drain _) -> "draining"
+        | Some (Update _) -> "awaiting safe points"
+        | Some (Probe _) -> "health probing"
+        | Some (Observe _) -> "observing canaries"
+        | None -> "starting"
+      in
+      Fmt.str "%s wave [%s]: %s" dir ids st
+
+(* Convenience: create the orchestrator and drive the fleet until the
+   rollout resolves. *)
+let run ?mutate_spec ~params ~fleet ~to_version () =
+  let t = create ?mutate_spec ~params ~fleet ~to_version () in
+  let rec go () =
+    match t.result with
+    | Some r -> r
+    | None ->
+        Fleet.round fleet;
+        step t;
+        go ()
+  in
+  go ()

@@ -1,0 +1,79 @@
+(* Application profiles: everything the fleet needs to know to run one of
+   the benchmark servers as a load-balanced backend — which port the load
+   balancer fronts, the scripted client session, the response classifier,
+   and the health probe added for orchestration (apps answer it in every
+   version, so it works across an update).
+
+   minimail serves SMTP and POP3; the fleet fronts the SMTP side only
+   (one load-balancer endpoint per fleet), and the health probe goes to
+   the same port. *)
+
+module CF = Jv_classfile
+module Apps = Jv_apps
+
+type t = {
+  pr_name : string;
+  pr_versioned : Apps.Patching.versioned;
+  pr_port : int; (* backend port the load balancer connects to *)
+  pr_script : string list; (* one client session *)
+  pr_ok : string -> bool; (* is this response healthy? *)
+  pr_health_probe : string;
+  pr_health_ok : string -> bool;
+  pr_object_overrides : to_version:string -> (string * string) list;
+}
+
+let miniweb =
+  {
+    pr_name = "miniweb";
+    pr_versioned = Apps.Miniweb.app;
+    pr_port = Apps.Miniweb.protocol_port;
+    pr_script = Apps.Workload.web_script;
+    pr_ok = Apps.Workload.web_ok;
+    pr_health_probe = Apps.Miniweb.health_probe;
+    pr_health_ok = Apps.Miniweb.health_ok;
+    pr_object_overrides = (fun ~to_version:_ -> []);
+  }
+
+let minimail =
+  {
+    pr_name = "minimail";
+    pr_versioned = Apps.Minimail.app;
+    pr_port = Apps.Minimail.smtp_port;
+    pr_script = Apps.Workload.smtp_script;
+    pr_ok = Apps.Workload.default_ok;
+    pr_health_probe = Apps.Minimail.health_probe;
+    pr_health_ok = Apps.Minimail.health_ok;
+    pr_object_overrides =
+      (fun ~to_version -> Apps.Minimail.object_overrides ~to_version);
+  }
+
+let miniftp =
+  {
+    pr_name = "miniftp";
+    pr_versioned = Apps.Miniftp.app;
+    pr_port = Apps.Miniftp.port;
+    pr_script = Apps.Workload.ftp_script;
+    pr_ok = Apps.Workload.default_ok;
+    pr_health_probe = Apps.Miniftp.health_probe;
+    pr_health_ok = Apps.Miniftp.health_ok;
+    pr_object_overrides = (fun ~to_version:_ -> []);
+  }
+
+let all = [ miniweb; minimail; miniftp ]
+
+let by_name name =
+  List.find_opt (fun p -> p.pr_name = name) all
+
+let versions p = List.map fst p.pr_versioned.Apps.Patching.versions
+
+let source p ~version = Apps.Patching.source p.pr_versioned ~version
+
+let compile p ~version =
+  Jv_lang.Compile.compile_program (source p ~version)
+
+(* Version tag for renamed old classes, per-instance so a fleet never
+   collides: "514i3" = from-version 5.1.4 on instance 3. *)
+let version_tag ~from_version ~instance_id =
+  Printf.sprintf "%si%d"
+    (String.concat "" (String.split_on_char '.' from_version))
+    instance_id

@@ -19,6 +19,10 @@ type conn = {
   mutable to_client_back : string list;
   mutable closed_by_client : bool;
   mutable closed_by_server : bool;
+  (* per-connection accounting, for load-balancer endpoints that need to
+     bill traffic to individual backends *)
+  mutable c_bytes_to_server : int;
+  mutable c_bytes_to_client : int;
 }
 
 type listener = {
@@ -123,7 +127,8 @@ let send t ~conn_id line =
     let front, back = push_q c.to_client c.to_client_back line in
     c.to_client <- front;
     c.to_client_back <- back;
-    t.bytes_to_client <- t.bytes_to_client + String.length line + 1
+    t.bytes_to_client <- t.bytes_to_client + String.length line + 1;
+    c.c_bytes_to_client <- c.c_bytes_to_client + String.length line + 1
   end
 
 let close_server t ~conn_id =
@@ -150,6 +155,8 @@ let connect t ~port =
           to_client_back = [];
           closed_by_client = false;
           closed_by_server = false;
+          c_bytes_to_server = 0;
+          c_bytes_to_client = 0;
         }
       in
       Hashtbl.replace t.conns id c;
@@ -164,7 +171,8 @@ let client_send t ~conn_id line =
     let front, back = push_q c.to_server c.to_server_back line in
     c.to_server <- front;
     c.to_server_back <- back;
-    t.bytes_to_server <- t.bytes_to_server + String.length line + 1
+    t.bytes_to_server <- t.bytes_to_server + String.length line + 1;
+    c.c_bytes_to_server <- c.c_bytes_to_server + String.length line + 1
   end
 
 let client_recv t ~conn_id =
@@ -203,3 +211,33 @@ let stats t = (t.bytes_to_server, t.bytes_to_client)
 let reset_stats t =
   t.bytes_to_server <- 0;
   t.bytes_to_client <- 0
+
+(* --- load-balancer endpoints ------------------------------------------ *)
+
+(* Per-connection byte counts; [None] once the connection is reaped. *)
+let conn_stats t ~conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> None
+  | Some c -> Some (c.c_bytes_to_server, c.c_bytes_to_client)
+
+(* Connections not yet fully closed: the in-flight count a drain waits on. *)
+let active_conns t =
+  Hashtbl.fold
+    (fun _ c n ->
+      if c.closed_by_client && c.closed_by_server then n else n + 1)
+    t.conns 0
+
+(* Stop/resume admitting new connections on a port (connection draining at
+   the listener: [connect] returns [None] while paused, established
+   connections are untouched). *)
+let set_listener_admit t ~port admit =
+  match List.assoc_opt port t.listeners with
+  | None -> raise (Net_error (Printf.sprintf "no listener on port %d" port))
+  | Some l -> l.open_ <- admit
+
+let listener_admits t ~port =
+  match List.assoc_opt port t.listeners with
+  | None -> false
+  | Some l -> l.open_
+
+let listening_ports t = List.map fst t.listeners

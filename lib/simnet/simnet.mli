@@ -45,3 +45,23 @@ val stats : t -> int * int
 (** (bytes to server, bytes to client), newline included per line. *)
 
 val reset_stats : t -> unit
+
+(** {1 Load-balancer endpoints (fleet orchestration)} *)
+
+val conn_stats : t -> conn_id:int -> (int * int) option
+(** Per-connection (bytes to server, bytes to client); [None] once the
+    connection has been reaped. *)
+
+val active_conns : t -> int
+(** Connections not yet fully closed by both sides — what a draining
+    load balancer waits to reach zero. *)
+
+val set_listener_admit : t -> port:int -> bool -> unit
+(** Pause/resume admitting new connections on a port ([connect] returns
+    [None] while paused; established connections are untouched).  Raises
+    {!Net_error} if no listener is bound to [port]. *)
+
+val listener_admits : t -> port:int -> bool
+(** Is the port bound and currently admitting? *)
+
+val listening_ports : t -> int list

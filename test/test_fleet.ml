@@ -1,0 +1,264 @@
+(* Fleet orchestration: rolling and canary DSU rollouts across a
+   load-balanced multi-VM cluster, with health checks and automatic
+   rollback (lib/fleet). *)
+
+module F = Jv_fleet
+module J = Jvolve_core
+module Apps = Jv_apps
+
+(* small per-instance heap: fleets boot several VMs per test *)
+let fleet_config =
+  { Jv_vm.State.default_config with Jv_vm.State.heap_words = 1 lsl 18 }
+
+let boot_under_load ?(policy = F.Lb.Round_robin) ?(size = 4)
+    ?(version = "5.1.1") ?(profile = F.Profile.miniweb) () =
+  let fleet =
+    F.Fleet.create ~config:fleet_config ~policy ~profile ~version ~size ()
+  in
+  F.Fleet.run fleet ~rounds:30;
+  ignore (F.Fleet.attach_load ~concurrency:6 fleet);
+  F.Fleet.run fleet ~rounds:100;
+  fleet
+
+let rolling_params ?(update_timeout = 200) ?(batch_size = 1) () =
+  {
+    (F.Orchestrator.default_params (F.Orchestrator.Rolling { batch_size })) with
+    F.Orchestrator.update_timeout;
+  }
+
+(* No proxied connection left behind: once the drivers are detached and
+   the routes settle, every balancer backend must be back to zero live
+   connections. *)
+let check_no_leaked_conns fleet =
+  F.Fleet.detach_loads fleet;
+  F.Fleet.run fleet ~rounds:30;
+  Alcotest.(check int)
+    "no leaked balancer connections" 0
+    (F.Lb.total_in_flight (F.Fleet.lb fleet))
+
+let blacklist_accept_loop =
+  [
+    {
+      J.Diff.r_class = "ThreadedServer";
+      r_name = "run";
+      r_sig = { Jv_classfile.Types.params = []; ret = Jv_classfile.Types.TVoid };
+    };
+  ]
+
+(* --- rolling ----------------------------------------------------------- *)
+
+let test_rolling_happy_path () =
+  let fleet = boot_under_load ~size:4 () in
+  let r =
+    F.Orchestrator.run ~params:(rolling_params ()) ~fleet ~to_version:"5.1.2"
+      ()
+  in
+  F.Fleet.run fleet ~rounds:30;
+  Alcotest.(check bool) "rollout ok" true r.F.Orchestrator.r_ok;
+  Alcotest.(check (list int)) "all updated" [ 0; 1; 2; 3 ]
+    r.F.Orchestrator.r_updated;
+  Alcotest.(check (option string)) "uniform on new version" (Some "5.1.2")
+    (F.Fleet.uniform_version fleet);
+  Alcotest.(check int) "no dropped in-flight connections" 0
+    (F.Fleet.dropped_in_flight fleet);
+  Alcotest.(check bool) "served traffic" true (F.Fleet.total_requests fleet > 0);
+  Alcotest.(check bool) "mixed window bounded by rollout" true
+    (r.F.Orchestrator.r_mixed_window <= r.F.Orchestrator.r_rounds);
+  check_no_leaked_conns fleet
+
+let test_rolling_least_conns_batch2 () =
+  let fleet = boot_under_load ~policy:F.Lb.Least_conns ~size:5 () in
+  let r =
+    F.Orchestrator.run
+      ~params:(rolling_params ~batch_size:2 ())
+      ~fleet ~to_version:"5.1.2" ()
+  in
+  Alcotest.(check bool) "rollout ok" true r.F.Orchestrator.r_ok;
+  Alcotest.(check (option string)) "uniform on new version" (Some "5.1.2")
+    (F.Fleet.uniform_version fleet);
+  Alcotest.(check int) "no dropped in-flight connections" 0
+    (F.Fleet.dropped_in_flight fleet);
+  check_no_leaked_conns fleet
+
+(* --- canary ------------------------------------------------------------ *)
+
+let test_canary_promotion () =
+  let fleet = boot_under_load ~size:4 ~version:"5.1.1" () in
+  let params =
+    {
+      (F.Orchestrator.default_params
+         (F.Orchestrator.Canary
+            { canaries = 1; observe_rounds = 150; promote_batch = 1 }))
+      with
+      F.Orchestrator.update_timeout = 200;
+    }
+  in
+  let r = F.Orchestrator.run ~params ~fleet ~to_version:"5.1.2" () in
+  Alcotest.(check bool) "rollout ok" true r.F.Orchestrator.r_ok;
+  Alcotest.(check (option string)) "promoted everywhere" (Some "5.1.2")
+    (F.Fleet.uniform_version fleet);
+  Alcotest.(check int) "no dropped in-flight connections" 0
+    (F.Fleet.dropped_in_flight fleet);
+  (* the observation window dominates the rollout *)
+  Alcotest.(check bool) "observed before promoting" true
+    (r.F.Orchestrator.r_rounds >= 150);
+  check_no_leaked_conns fleet
+
+(* --- rollback ---------------------------------------------------------- *)
+
+(* An update abort mid-rollout (instance 2's safe point never arrives:
+   its accept loop is blacklisted) halts the rollout and reverts the
+   instances already updated. *)
+let test_rollback_on_update_abort () =
+  let fleet = boot_under_load ~size:4 () in
+  let mutate_spec id spec =
+    if id = 2 then { spec with J.Spec.blacklist = blacklist_accept_loop }
+    else spec
+  in
+  let r =
+    F.Orchestrator.run ~mutate_spec
+      ~params:(rolling_params ~update_timeout:120 ())
+      ~fleet ~to_version:"5.1.2" ()
+  in
+  Alcotest.(check bool) "rollout halted" false r.F.Orchestrator.r_ok;
+  Alcotest.(check bool) "halt reason recorded" true
+    (r.F.Orchestrator.r_halted <> None);
+  Alcotest.(check (list int)) "aborted on the poisoned instance" [ 2 ]
+    (List.map fst r.F.Orchestrator.r_aborted);
+  Alcotest.(check (list int)) "earlier instances reverted" [ 0; 1 ]
+    r.F.Orchestrator.r_rolled_back;
+  Alcotest.(check (list int)) "nobody left updated" []
+    r.F.Orchestrator.r_updated;
+  Alcotest.(check (option string)) "fleet back on the old version"
+    (Some "5.1.1")
+    (F.Fleet.uniform_version fleet);
+  Alcotest.(check int) "no dropped in-flight connections" 0
+    (F.Fleet.dropped_in_flight fleet);
+  check_no_leaked_conns fleet
+
+(* A new version that applies cleanly but answers the health probe with
+   an error never rejoins the pool: the failed probe rolls it back. *)
+let test_rollback_on_failed_health_check () =
+  let profile = F.Profile.miniweb in
+  let fleet = boot_under_load ~profile ~size:3 () in
+  let sick_program =
+    let src = F.Profile.source profile ~version:"5.1.2" in
+    let healthy = {|new HttpResponse(200, "OK", "text/plain", "healthy")|} in
+    let sick = {|new HttpResponse(503, "Unavailable", "text/plain", "sick")|} in
+    Jv_lang.Compile.compile_program
+      (Apps.Patching.replace_once src ~old_frag:healthy ~new_frag:sick)
+  in
+  let mutate_spec id spec =
+    if id = 0 then
+      J.Spec.make
+        ~version_tag:spec.J.Spec.version_tag
+        ~old_program:spec.J.Spec.old_program ~new_program:sick_program ()
+    else spec
+  in
+  let params =
+    {
+      (rolling_params ~update_timeout:200 ()) with
+      F.Orchestrator.probe_deadline = 40;
+    }
+  in
+  let r =
+    F.Orchestrator.run ~mutate_spec ~params ~fleet ~to_version:"5.1.2" ()
+  in
+  Alcotest.(check bool) "rollout halted" false r.F.Orchestrator.r_ok;
+  Alcotest.(check (list int)) "sick instance flagged unhealthy" [ 0 ]
+    (List.map fst r.F.Orchestrator.r_unhealthy);
+  Alcotest.(check (list int)) "sick instance rolled back" [ 0 ]
+    r.F.Orchestrator.r_rolled_back;
+  Alcotest.(check (option string)) "fleet back on the old version"
+    (Some "5.1.1")
+    (F.Fleet.uniform_version fleet);
+  Alcotest.(check int) "no instance out of service" 0
+    (List.length r.F.Orchestrator.r_rollback_failed);
+  check_no_leaked_conns fleet
+
+(* --- health probes across apps ----------------------------------------- *)
+
+let test_health_probes_all_apps () =
+  List.iter
+    (fun (profile : F.Profile.t) ->
+      let version = List.hd (F.Profile.versions profile) in
+      let fleet =
+        F.Fleet.create ~config:fleet_config ~profile ~version ~size:1 ()
+      in
+      F.Fleet.run fleet ~rounds:30;
+      let inst = F.Fleet.instance fleet 0 in
+      let probe =
+        F.Health.start
+          ~net:(F.Instance.net inst)
+          ~port:inst.F.Instance.i_port ~line:profile.F.Profile.pr_health_probe
+          ~ok:profile.F.Profile.pr_health_ok ~now:(F.Fleet.ticks fleet)
+          ~deadline_rounds:60
+      in
+      let rec drive n =
+        F.Fleet.round fleet;
+        F.Health.step probe ~now:(F.Fleet.ticks fleet);
+        match F.Health.outcome probe with
+        | F.Health.Pending when n > 0 -> drive (n - 1)
+        | o -> o
+      in
+      match drive 80 with
+      | F.Health.Healthy _ -> ()
+      | F.Health.Pending -> Alcotest.failf "%s: probe still pending" profile.F.Profile.pr_name
+      | F.Health.Unhealthy why ->
+          Alcotest.failf "%s: probe unhealthy: %s" profile.F.Profile.pr_name why)
+    F.Profile.all
+
+(* --- property: completed rollouts converge ----------------------------- *)
+
+(* Whatever the fleet size, policy and batching, a completed rolling
+   rollout leaves every instance on the same version and the balancer
+   with zero leaked drained connections. *)
+let prop_rollout_converges =
+  QCheck.Test.make ~name:"completed rollout converges, nothing leaks"
+    ~count:6
+    QCheck.(
+      triple (int_range 2 4) (int_range 1 3) bool)
+    (fun (size, batch_size, least_conns) ->
+      (* the stock int shrinker can wander outside int_range: clamp *)
+      let size = max 2 (min 4 size) in
+      let batch_size = max 1 (min 3 batch_size) in
+      let policy = if least_conns then F.Lb.Least_conns else F.Lb.Round_robin in
+      let fleet = boot_under_load ~policy ~size () in
+      let r =
+        F.Orchestrator.run
+          ~params:(rolling_params ~batch_size ())
+          ~fleet ~to_version:"5.1.2" ()
+      in
+      F.Fleet.run fleet ~rounds:30;
+      let uniform = F.Fleet.uniform_version fleet = Some "5.1.2" in
+      let dropped = F.Fleet.dropped_in_flight fleet in
+      F.Fleet.detach_loads fleet;
+      F.Fleet.run fleet ~rounds:30;
+      let leaked = F.Lb.total_in_flight (F.Fleet.lb fleet) in
+      if not r.F.Orchestrator.r_ok then
+        QCheck.Test.fail_reportf "rollout not ok (size %d batch %d)" size
+          batch_size;
+      if not uniform then
+        QCheck.Test.fail_reportf "fleet not uniform on 5.1.2";
+      if dropped <> 0 then
+        QCheck.Test.fail_reportf "%d dropped in-flight connections" dropped;
+      if leaked <> 0 then
+        QCheck.Test.fail_reportf "%d leaked balancer connections" leaked;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "rolling: happy path, zero drops" `Quick
+      test_rolling_happy_path;
+    Alcotest.test_case "rolling: least-conns, batch 2" `Quick
+      test_rolling_least_conns_batch2;
+    Alcotest.test_case "canary: observed then promoted" `Quick
+      test_canary_promotion;
+    Alcotest.test_case "rollback: update abort mid-rollout" `Quick
+      test_rollback_on_update_abort;
+    Alcotest.test_case "rollback: failed health check" `Quick
+      test_rollback_on_failed_health_check;
+    Alcotest.test_case "health probes answer on every app" `Quick
+      test_health_probes_all_apps;
+    QCheck_alcotest.to_alcotest prop_rollout_converges;
+  ]
