@@ -14,9 +14,13 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# A fast end-to-end probe: boot a tiny fleet, roll an update across it.
+# A fast end-to-end probe: boot a tiny fleet, roll an update across it,
+# then check that fig5 publishes a non-empty update-cost metrics snapshot
+# (the jv_obs instrumentation is wired end to end).
 bench-smoke:
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe fleet
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe fig5 \
+	  | grep -q "core_update_pause_ms_count"
 
 clean:
 	dune clean

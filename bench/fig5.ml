@@ -18,9 +18,16 @@
 module VM = Jv_vm
 module J = Jvolve_core
 module A = Jv_apps
+module Obs = Jv_obs.Obs
+module Metrics = Jv_obs.Metrics
 
 let from_version = "5.1.5"
 let to_version = "5.1.6"
+
+(* Update-cost numbers are not timed here: every updated trial merges its
+   VM's metrics into this aggregate sink, and the report below reads the
+   [core.update.*] histograms the DSU machinery itself recorded. *)
+let agg = Obs.create ()
 
 type trial = { mbps : float; lat_ms : float }
 
@@ -69,10 +76,52 @@ let trial_updated ~rounds () =
   (match h.J.Jvolve.h_outcome with
   | J.Jvolve.Applied _ -> ()
   | o -> failwith ("fig5: update failed: " ^ J.Jvolve.outcome_to_string o));
+  Obs.merge_metrics ~into:agg (VM.Vm.obs vm);
   A.Workload.detach vm w;
   (* short settling period for recompilation, as after any update *)
   VM.Vm.run vm ~rounds:50;
   measure_window vm ~rounds
+
+(* Update pause / stack-scan costs, sourced from the jv_obs histograms the
+   DSU machinery recorded during the updated trials (no bench-local
+   timing).  An empty pause histogram means the instrumentation came
+   unwired — fail loudly rather than print a hollow table. *)
+let update_cost_report () =
+  Support.section "Update cost (from jv_obs histograms, all updated trials)";
+  let hist name =
+    match Obs.find_histogram agg name with
+    | Some h when Metrics.count h > 0 -> h
+    | _ -> failwith ("fig5: no observations recorded in " ^ name)
+  in
+  ignore (hist "core.update.pause_ms");
+  Printf.printf "%-28s | %5s | %9s %9s %9s %9s\n" "histogram" "n" "mean"
+    "p50" "p90" "max";
+  List.iter
+    (fun name ->
+      let h = hist name in
+      Printf.printf "%-28s | %5d | %9.3f %9.3f %9.3f %9.3f\n" name
+        (Metrics.count h) (Metrics.mean h)
+        (Metrics.quantile h 0.5)
+        (Metrics.quantile h 0.9)
+        (Metrics.hist_max h))
+    [
+      "core.update.pause_ms";
+      "core.update.stack_scan_ms";
+      "core.update.load_ms";
+      "core.update.gc_ms";
+      "core.update.transform_ms";
+    ];
+  (* machine-readable snapshot: `make bench-smoke` greps this for
+     core_update_pause_ms_count *)
+  Printf.printf "\nmetrics snapshot (core.update.*):\n";
+  String.split_on_char '\n' (Jv_obs.Export.prometheus agg)
+  |> List.iter (fun line ->
+         let has_prefix p =
+           String.length line >= String.length p
+           && String.sub line 0 (String.length p) = p
+         in
+         if has_prefix "core_update_" || has_prefix "# TYPE core_update_"
+         then print_endline line)
 
 let run () =
   Support.section
@@ -99,4 +148,5 @@ let run () =
   Printf.printf
     "\nShape check (paper): the three configurations' interquartile ranges \
      largely overlap;\nthe dynamically-updated server matches a \
-     freshly-started one.\n"
+     freshly-started one.\n";
+  update_cost_report ()

@@ -15,6 +15,8 @@
 
 module F = Jv_fleet
 module J = Jvolve_core
+module Obs = Jv_obs.Obs
+module Metrics = Jv_obs.Metrics
 
 let sizes = if Support.quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]
 
@@ -37,17 +39,33 @@ let boot_under_load ~profile ~version ~size =
   F.Fleet.run fleet ~rounds:120;
   fleet
 
+(* Every figure here is read back from the fleet's jv_obs sink — the
+   orchestrator's gauges and the LB's counters — not from bench-local
+   bookkeeping.  [r] stays only for the outcome line. *)
 let show_result fleet (r : F.Orchestrator.result) ~req0 =
+  let obs = F.Fleet.obs fleet in
+  let counter = Obs.counter_value obs in
+  let gauge name = int_of_float (Obs.gauge_value obs name) in
+  let lat =
+    match Obs.find_histogram obs "fleet.lb.request_latency_rounds" with
+    | Some h when Metrics.count h > 0 ->
+        Printf.sprintf " (request latency p50 %.0f p90 %.0f rounds)"
+          (Metrics.quantile h 0.5) (Metrics.quantile h 0.9)
+    | _ -> ""
+  in
   Printf.printf
     "    %-44s %s\n    %-44s %d rounds (mixed-version window %d)\n\
-    \    %-44s %d dropped, %d rejected, %d served during rollout\n"
+    \    %-44s %d dropped, %d rejected, %d served during rollout%s\n"
     "outcome:"
     (Fmt.str "%a" F.Orchestrator.pp_result r)
-    "latency:" r.F.Orchestrator.r_rounds r.F.Orchestrator.r_mixed_window
+    "latency:"
+    (gauge "fleet.rollout.last_rounds")
+    (gauge "fleet.rollout.last_mixed_window")
     "connections:"
-    (F.Fleet.dropped_in_flight fleet)
-    (F.Lb.rejected (F.Fleet.lb fleet))
+    (counter "fleet.lb.dropped")
+    (counter "fleet.lb.rejected")
     (F.Fleet.total_requests fleet - req0)
+    lat
 
 let rolling () =
   Support.section

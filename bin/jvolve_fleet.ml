@@ -11,8 +11,14 @@
 module F = Jv_fleet
 module J = Jvolve_core
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
-    timeout_rounds probes concurrency policy verbose =
+    timeout_rounds probes concurrency policy trace metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -127,6 +133,26 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
                 (if ar.J.Jvolve.ar_blockers = "" then ""
                  else " (blockers: " ^ ar.J.Jvolve.ar_blockers ^ ")"))
             r.F.Orchestrator.r_reports;
+        let obs = F.Fleet.obs fleet in
+        (match trace with
+        | None -> ()
+        | Some "" ->
+            (* the per-rollout timeline: drain, safe-point update, health
+               probes, readmission — with tick durations *)
+            Printf.printf "\nrollout timeline:\n%s"
+              (Jv_obs.Export.timeline ~scopes:[ "fleet.rollout" ] obs)
+        | Some file -> write_file file (Jv_obs.Export.jsonl obs));
+        if metrics then begin
+          (* fleet-level metrics plus every instance VM's sink, merged *)
+          let snap = Jv_obs.Obs.create () in
+          Jv_obs.Obs.merge_metrics ~into:snap obs;
+          List.iter
+            (fun (i : F.Instance.t) ->
+              Jv_obs.Obs.merge_metrics ~into:snap
+                (Jv_vm.Vm.obs i.F.Instance.i_vm))
+            (F.Fleet.instances fleet);
+          Printf.printf "\n%s" (Jv_obs.Export.prometheus snap)
+        end;
         if r.F.Orchestrator.r_ok then 0 else 2
       with
       | Jv_lang.Compile.Error e ->
@@ -193,6 +219,19 @@ let policy =
          ~doc:"Load-balancing policy: rr (round-robin) or lc \
                (least-connections).")
 
+let trace =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Print the per-rollout timeline (drain, safe-point \
+                   update, health probes, readmission) after the rollout; \
+                   with $(docv), write the full JSON-lines event dump \
+                   there instead.")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print a Prometheus-style snapshot merging the fleet's and \
+               every instance VM's metrics.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Trace rollout phases and per-instance attempt reports.")
@@ -204,6 +243,6 @@ let cmd =
     Term.(
       const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
       $ observe $ drain_timeout $ timeout_rounds $ probes $ concurrency
-      $ policy $ verbose)
+      $ policy $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

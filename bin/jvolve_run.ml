@@ -14,8 +14,25 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* --trace          -> human-readable update/GC/OSR timeline on stderr
+   --trace=FILE     -> full JSONL event dump to FILE *)
+let emit_trace obs = function
+  | None -> ()
+  | Some "" ->
+      prerr_string
+        (Jv_obs.Export.timeline
+           ~scopes:[ "core.update"; "vm.gc"; "vm.osr"; "vm.dsu" ]
+           obs)
+  | Some file -> write_file file (Jv_obs.Export.jsonl obs)
+
 let run path main_class rounds update_path at tag transformers_path
-    timeout_rounds verbose =
+    timeout_rounds trace metrics verbose =
   try
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let vm = VM.Vm.create () in
@@ -36,6 +53,8 @@ let run path main_class rounds update_path at tag transformers_path
           (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
         ignore (VM.Vm.run_to_quiescence ~max_rounds:(max 0 (rounds - at)) vm));
     print_string (VM.Vm.output vm);
+    emit_trace (VM.Vm.obs vm) trace;
+    if metrics then print_string (Jv_obs.Export.prometheus (VM.Vm.obs vm));
     let stats = VM.Vm.stats vm in
     if verbose then begin
       Printf.eprintf
@@ -95,6 +114,17 @@ let timeout_rounds =
              ~doc:"Abort the update if no safe point is reached within $(docv) \
                    scheduler rounds (the paper's 15s abort timeout).")
 
+let trace =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Print the update/GC/OSR flight-recorder timeline on \
+                   stderr; with $(docv), write the full JSON-lines event \
+                   dump there instead.")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print a Prometheus-style snapshot of the VM's metrics.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print VM statistics.")
 
@@ -103,6 +133,6 @@ let cmd =
     (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
     Term.(
       const run $ path $ main_class $ rounds $ update_path $ at $ tag
-      $ transformers_path $ timeout_rounds $ verbose)
+      $ transformers_path $ timeout_rounds $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,9 @@
+(* Shared helpers for the benchmark server apps. *)
+
+(* Health/protocol reply check: does [resp] start with [prefix]?  Every
+   app's health probe ("/healthz", "HLTH") succeeds iff the reply begins
+   with the protocol's success code, so the three servers and the
+   workload driver share this one implementation. *)
+let prefix_ok prefix resp =
+  let n = String.length prefix in
+  String.length resp >= n && String.sub resp 0 n = prefix

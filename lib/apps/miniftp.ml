@@ -431,4 +431,4 @@ let busy_update = "1.08"
    "220" greeting banner first; the prober accepts any line passing
    [health_ok], so only the "200 healthy" reply satisfies it. *)
 let health_probe = "HLTH"
-let health_ok resp = String.length resp >= 3 && String.sub resp 0 3 = "200"
+let health_ok = Common.prefix_ok "200"

@@ -771,7 +771,7 @@ let failing_update = "1.3"
 (* Health probe (fleet orchestration), on the SMTP side: present in every
    version, never touched by release patches. *)
 let health_probe = "HLTH"
-let health_ok resp = String.length resp >= 3 && String.sub resp 0 3 = "250"
+let health_ok = Common.prefix_ok "250"
 
 (* The customized object transformer for the 1.3.1 -> 1.3.2 update: the
    paper's Figure 3, rebuilding EmailAddress values from the old forwarding

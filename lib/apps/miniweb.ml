@@ -628,8 +628,7 @@ let app : Patching.versioned =
    touched by release patches, so it works across an update. *)
 let health_probe = "GET /healthz"
 
-let health_ok resp =
-  String.length resp >= 12 && String.sub resp 0 12 = "HTTP/1.0 200"
+let health_ok = Common.prefix_ok "HTTP/1.0 200"
 
 (* The update the paper cannot apply. *)
 let failing_update = "5.1.3"

@@ -158,7 +158,7 @@ let web_script =
     "GET /index.html";
   ]
 
-let web_ok resp = String.length resp >= 12 && String.sub resp 0 12 = "HTTP/1.0 200"
+let web_ok = Common.prefix_ok "HTTP/1.0 200"
 
 let smtp_script =
   [

@@ -42,17 +42,61 @@ exception Busy
 
 let default_timeout_rounds = 1500
 
+let version_tag h = h.h_prepared.Transformers.p_spec.Spec.version_tag
+
+(* Record the resolved attempt into the VM's sink: the Fig. 5 numbers
+   (pause, stack-scan, per-phase times) live in these histograms, and the
+   applied/aborted event closes the flight-recorder timeline. *)
+let record_outcome vm h outcome =
+  let obs = vm.State.obs in
+  let waited = vm.State.ticks - h.h_requested_at in
+  match outcome with
+  | Pending -> ()
+  | Applied (t : Updater.timings) ->
+      Jv_obs.Obs.incr obs "core.update.applied";
+      Jv_obs.Obs.observe obs "core.update.pause_ms" t.Updater.u_total_ms;
+      Jv_obs.Obs.observe obs "core.update.stack_scan_ms" h.h_sync_ms;
+      Jv_obs.Obs.observe obs "core.update.load_ms" t.Updater.u_load_ms;
+      Jv_obs.Obs.observe obs "core.update.gc_ms" t.Updater.u_gc_ms;
+      Jv_obs.Obs.observe obs "core.update.transform_ms"
+        t.Updater.u_transform_ms;
+      Jv_obs.Obs.observe_int obs "core.update.wait_rounds" waited;
+      Jv_obs.Obs.observe_int obs "core.update.osr_frames" t.Updater.u_osr;
+      Jv_obs.Obs.observe_int obs "core.update.transformed_objects"
+        t.Updater.u_transformed_objects;
+      Jv_obs.Obs.emit obs ~scope:"core.update" "update.applied"
+        [
+          ("version", Jv_obs.Obs.Str (version_tag h));
+          ("pause_ms", Jv_obs.Obs.Float t.Updater.u_total_ms);
+          ("stack_scan_ms", Jv_obs.Obs.Float h.h_sync_ms);
+          ("waited_rounds", Jv_obs.Obs.Int waited);
+          ("attempts", Jv_obs.Obs.Int h.h_attempts);
+          ("osr", Jv_obs.Obs.Int t.Updater.u_osr);
+          ("transformed", Jv_obs.Obs.Int t.Updater.u_transformed_objects);
+        ]
+  | Aborted e ->
+      Jv_obs.Obs.incr obs "core.update.aborted";
+      Jv_obs.Obs.emit obs ~scope:"core.update" "update.aborted"
+        [
+          ("version", Jv_obs.Obs.Str (version_tag h));
+          ("reason", Jv_obs.Obs.Str e);
+          ("waited_rounds", Jv_obs.Obs.Int waited);
+          ("attempts", Jv_obs.Obs.Int h.h_attempts);
+        ]
+
 let finish vm h outcome =
   h.h_outcome <- outcome;
   Safepoint.clear_barriers vm;
   Safepoint.release_parked vm;
-  vm.State.dsu_attempt <- None
+  vm.State.dsu_attempt <- None;
+  record_outcome vm h outcome
 
 let attempt h vm =
   match h.h_outcome with
   | Applied _ | Aborted _ -> vm.State.dsu_attempt <- None
   | Pending -> (
       h.h_attempts <- h.h_attempts + 1;
+      Jv_obs.Obs.incr vm.State.obs "core.update.attempts";
       let t0 = Unix.gettimeofday () in
       match Safepoint.check ~allow_osr:h.h_use_osr vm h.h_restricted with
       | Safepoint.Safe osr_frames -> (
@@ -68,7 +112,14 @@ let attempt h vm =
           | exception Jv_vm.Jit.Compile_error e ->
               finish vm h (Aborted ("jit: " ^ e)))
       | Safepoint.Blocked stuck ->
-          h.h_blockers <- Safepoint.describe_blockers vm stuck;
+          let blockers = Safepoint.describe_blockers vm stuck in
+          if blockers <> h.h_blockers then
+            Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.blocked"
+              [
+                ("version", Jv_obs.Obs.Str (version_tag h));
+                ("blockers", Jv_obs.Obs.Str blockers);
+              ];
+          h.h_blockers <- blockers;
           if vm.State.ticks > h.h_deadline then
             finish vm h
               (Aborted
@@ -76,8 +127,18 @@ let attempt h vm =
                     "timeout: restricted methods still on stack (%s)"
                     h.h_blockers))
           else if h.h_use_barriers then begin
-            h.h_barriers_installed <-
-              h.h_barriers_installed + Safepoint.install_barriers stuck;
+            let installed = Safepoint.install_barriers stuck in
+            if installed > 0 then begin
+              Jv_obs.Obs.incr ~by:installed vm.State.obs
+                "core.update.barriers_installed";
+              Jv_obs.Obs.emit vm.State.obs ~scope:"core.update"
+                "update.barriers"
+                [
+                  ("version", Jv_obs.Obs.Str (version_tag h));
+                  ("installed", Jv_obs.Obs.Int installed);
+                ]
+            end;
+            h.h_barriers_installed <- h.h_barriers_installed + installed;
             (* threads parked at a fired barrier that still have deeper
                restricted frames must run on to clear them *)
             Safepoint.unpark_stuck stuck
@@ -105,6 +166,13 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
     }
   in
   vm.State.dsu_attempt <- Some (attempt h);
+  Jv_obs.Obs.incr vm.State.obs "core.update.requests";
+  Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.requested"
+    [
+      ( "version",
+        Jv_obs.Obs.Str prepared.Transformers.p_spec.Spec.version_tag );
+      ("timeout_rounds", Jv_obs.Obs.Int timeout_rounds);
+    ];
   h
 
 (* Convenience: prepare from a spec and request in one step. *)

@@ -133,6 +133,9 @@ let check ?(allow_osr = true) vm (r : restricted) : check_result =
         | Some fr -> stuck := (t, fr) :: !stuck
         | None -> assert false)
     (State.live_threads vm);
+  Jv_obs.Obs.incr vm.State.obs "core.safepoint.checks";
+  Jv_obs.Obs.set_gauge vm.State.obs "core.safepoint.blocked_threads"
+    (float_of_int (List.length !stuck));
   if !stuck = [] then Safe !osr_frames else Blocked (List.rev !stuck)
 
 (* Install return barriers on the topmost restricted frames (paper: "the VM

@@ -319,6 +319,14 @@ let apply vm (p : Transformers.prepared)
     | _ -> uerr "failed to install transformer class"
   in
   let t_load = now () in
+  let obs = vm.State.obs in
+  Jv_obs.Obs.incr ~by:invalidated obs "core.update.invalidated_methods";
+  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.metadata.done"
+    [
+      ("ms", Jv_obs.Obs.Float ((t_load -. t0) *. 1000.0));
+      ("invalidated", Jv_obs.Obs.Int invalidated);
+      ("osr_frames", Jv_obs.Obs.Int (List.length osr_frames));
+    ];
   (* 5: the transforming collection *)
   let plan = Hashtbl.create 16 in
   List.iter
@@ -329,6 +337,12 @@ let apply vm (p : Transformers.prepared)
     olds;
   let gcres = Gc.collect ~plan vm in
   let t_gc = now () in
+  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.gc.done"
+    [
+      ("ms", Jv_obs.Obs.Float ((t_gc -. t_load) *. 1000.0));
+      ("transformed", Jv_obs.Obs.Int gcres.Gc.transformed_objects);
+      ("copied", Jv_obs.Obs.Int gcres.Gc.copied_objects);
+    ];
   (* 6: transformers *)
   let ctx =
     {
@@ -363,6 +377,11 @@ let apply vm (p : Transformers.prepared)
   (* 7: drop the transformer class; the log is already unreachable *)
   unload_transformer vm transformer_rc;
   let t_end = now () in
+  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.transform.done"
+    [
+      ("ms", Jv_obs.Obs.Float ((t_end -. t_gc) *. 1000.0));
+      ("pairs", Jv_obs.Obs.Int ctx.n_pairs);
+    ];
   {
     u_load_ms = (t_load -. t0) *. 1000.0;
     u_gc_ms = (t_gc -. t_load) *. 1000.0;

@@ -17,6 +17,7 @@ type t = {
   lb : Lb.t;
   mutable drivers : Driver.t list;
   mutable ticks : int;
+  obs : Jv_obs.Obs.t; (* fleet-level sink, clocked by fleet rounds *)
 }
 
 let create ?(config = Instance.default_config) ?(policy = Lb.Round_robin)
@@ -25,19 +26,24 @@ let create ?(config = Instance.default_config) ?(policy = Lb.Round_robin)
   let instances =
     Array.init size (fun id -> Instance.boot ~config profile ~id ~version)
   in
-  let lb = Lb.create ~policy ~ok:profile.Profile.pr_ok ~port:lb_port () in
+  let obs = Jv_obs.Obs.create () in
+  Jv_obs.Obs.set_wall obs Unix.gettimeofday;
+  let lb = Lb.create ~policy ~ok:profile.Profile.pr_ok ~obs ~port:lb_port () in
   Array.iter
     (fun (inst : Instance.t) ->
       Lb.register lb ~id:inst.Instance.i_id ~net:(Instance.net inst)
         ~backend_port:inst.Instance.i_port)
     instances;
-  { profile; config; instances; lb; drivers = []; ticks = 0 }
+  let t = { profile; config; instances; lb; drivers = []; ticks = 0; obs } in
+  Jv_obs.Obs.set_clock obs (fun () -> t.ticks);
+  t
 
 let size t = Array.length t.instances
 let instance t id = t.instances.(id)
 let instances t = Array.to_list t.instances
 let lb t = t.lb
 let ticks t = t.ticks
+let obs t = t.obs
 
 let attach_load ?(concurrency = 4) ?max_sessions t =
   let d =
@@ -56,6 +62,8 @@ let round t =
   t.ticks <- t.ticks + 1;
   Array.iter Instance.round t.instances;
   Lb.pump t.lb ~tick:t.ticks;
+  Jv_obs.Obs.set_gauge t.obs "fleet.lb.in_flight"
+    (float_of_int (Lb.total_in_flight t.lb));
   List.iter (fun d -> Driver.step d ~tick:t.ticks) t.drivers
 
 let run t ~rounds =

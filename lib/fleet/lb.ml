@@ -51,11 +51,13 @@ type t = {
   mutable rr_next : int;
   mutable dropped : int;
   mutable rejected : int; (* accepted with no backend admitting *)
+  mutable obs : Jv_obs.Obs.t option; (* routing decisions + latency *)
 }
 
-let create ?(policy = Round_robin) ?(ok = fun _ -> true) ~port () =
+let create ?(policy = Round_robin) ?(ok = fun _ -> true) ?obs ~port () =
   let front = Simnet.create () in
   let listener = Simnet.listen front ~port in
+  (match obs with Some o -> Simnet.set_obs front o | None -> ());
   {
     front;
     port;
@@ -67,7 +69,16 @@ let create ?(policy = Round_robin) ?(ok = fun _ -> true) ~port () =
     rr_next = 0;
     dropped = 0;
     rejected = 0;
+    obs;
   }
+
+let obs_incr t name =
+  match t.obs with None -> () | Some o -> Jv_obs.Obs.incr o name
+
+let obs_emit t name fields =
+  match t.obs with
+  | None -> ()
+  | Some o -> Jv_obs.Obs.emit o ~scope:"fleet.lb" name fields
 
 let front t = t.front
 
@@ -179,10 +190,13 @@ let accept_new t =
             match Simnet.connect b.b_net ~port:b.b_port with
             | None ->
                 t.rejected <- t.rejected + 1;
+                obs_incr t "fleet.lb.rejected";
+                obs_emit t "lb.reject" [ ("backend", Jv_obs.Obs.Int b.b_id) ];
                 Simnet.close_server t.front ~conn_id:fcid
             | Some bcid ->
                 b.b_active <- b.b_active + 1;
                 b.b_sessions <- b.b_sessions + 1;
+                obs_incr t "fleet.lb.sessions";
                 Hashtbl.replace t.routes fcid
                   {
                     rt_front = fcid;
@@ -233,8 +247,17 @@ let pump_route t ~tick (r : route) : bool (* keep? *) =
             r.rt_outstanding <- r.rt_outstanding - 1;
             b.b_responses <- b.b_responses + 1;
             b.b_latency_rounds <- b.b_latency_rounds + (tick - r.rt_sent_at);
+            obs_incr t "fleet.lb.responses";
+            (match t.obs with
+            | Some o ->
+                Jv_obs.Obs.observe_int o "fleet.lb.request_latency_rounds"
+                  (tick - r.rt_sent_at)
+            | None -> ());
             if r.rt_outstanding > 0 then r.rt_sent_at <- tick;
-            if not (t.ok l) then b.b_errors <- b.b_errors + 1
+            if not (t.ok l) then begin
+              b.b_errors <- b.b_errors + 1;
+              obs_incr t "fleet.lb.errors"
+            end
           end;
           Simnet.send t.front ~conn_id:r.rt_front l;
           bwd ()
@@ -242,7 +265,15 @@ let pump_route t ~tick (r : route) : bool (* keep? *) =
           (* backend hung up; a still-unanswered request means the
              connection was dropped in flight *)
           r.rt_back_closed <- true;
-          if r.rt_outstanding > 0 then t.dropped <- t.dropped + 1;
+          if r.rt_outstanding > 0 then begin
+            t.dropped <- t.dropped + 1;
+            obs_incr t "fleet.lb.dropped";
+            obs_emit t "lb.drop"
+              [
+                ("backend", Jv_obs.Obs.Int b.b_id);
+                ("outstanding", Jv_obs.Obs.Int r.rt_outstanding);
+              ]
+          end;
           Simnet.close_server t.front ~conn_id:r.rt_front
       | `Wait -> ()
   in
@@ -256,6 +287,11 @@ let pump_route t ~tick (r : route) : bool (* keep? *) =
   else true
 
 let pump t ~tick =
+  (match t.obs with
+  | Some o ->
+      Jv_obs.Obs.observe_int o "fleet.lb.backlog"
+        (Simnet.pending_count t.front ~listener_id:t.listener)
+  | None -> ());
   accept_new t;
   let dead = ref [] in
   Hashtbl.iter

@@ -114,8 +114,18 @@ type t = {
   mutable first_mixed : int option; (* tick of the first version change *)
   mutable last_change : int; (* tick of the latest version change *)
   started_at : int;
+  mutable wave_started : int; (* tick the in-flight wave began *)
+  mutable stage_started : int; (* tick the current stage began *)
   mutable result : result option;
 }
+
+(* Rollout telemetry goes to the fleet's sink under scope "fleet.rollout":
+   the --trace timeline is exactly these events. *)
+let emit_ev t name fields =
+  Jv_obs.Obs.emit (Fleet.obs t.fleet) ~scope:"fleet.rollout" name fields
+
+let ids_field ids =
+  Jv_obs.Obs.Str (String.concat "," (List.map string_of_int ids))
 
 let chunk k xs =
   let rec go acc cur n = function
@@ -166,6 +176,20 @@ let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
       insts
   in
   let ids = List.map (fun (i : Instance.t) -> i.Instance.i_id) insts in
+  Jv_obs.Obs.emit (Fleet.obs fleet) ~scope:"fleet.rollout" "rollout.start"
+    [
+      ("from", Jv_obs.Obs.Str from_version);
+      ("to", Jv_obs.Obs.Str to_version);
+      ("size", Jv_obs.Obs.Int (List.length ids));
+      ( "mode",
+        Jv_obs.Obs.Str
+          (match params.mode with
+          | Rolling { batch_size } ->
+              Printf.sprintf "rolling(batch=%d)" batch_size
+          | Canary { canaries; observe_rounds; _ } ->
+              Printf.sprintf "canary(%d, observe=%d)" canaries observe_rounds)
+      );
+    ];
   {
     fleet;
     params;
@@ -186,6 +210,8 @@ let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
     first_mixed = None;
     last_change = 0;
     started_at = Fleet.ticks fleet;
+    wave_started = Fleet.ticks fleet;
+    stage_started = Fleet.ticks fleet;
     result = None;
   }
 
@@ -214,6 +240,16 @@ let set_admit t ids admit =
 (* --- stage entry ------------------------------------------------------- *)
 
 let start_updates t ids =
+  emit_ev t "update.begin"
+    [
+      ("instances", ids_field ids);
+      ( "direction",
+        Jv_obs.Obs.Str
+          (match t.direction with
+          | Forward -> "forward"
+          | Rollback _ -> "rollback") );
+    ];
+  t.stage_started <- now t;
   set_status t ids
     (match t.direction with
     | Forward -> Instance.Updating
@@ -242,16 +278,30 @@ let start_updates t ids =
 
 let start_wave t (w : wave) =
   t.wave <- Some w;
+  t.wave_started <- now t;
+  emit_ev t "wave.start" [ ("instances", ids_field w.w_ids) ];
   match t.direction with
   | Forward ->
       set_admit t w.w_ids false;
       set_status t w.w_ids Instance.Draining;
+      emit_ev t "drain.begin"
+        [
+          ("instances", ids_field w.w_ids);
+          ("timeout", Jv_obs.Obs.Int t.params.drain_timeout);
+        ];
+      t.stage_started <- now t;
       t.stage <- Some (Drain { until = now t + t.params.drain_timeout })
   | Rollback _ ->
       (* reverting: skip the drain, halt exposure as fast as possible *)
       start_updates t w.w_ids
 
 let start_probes t ids =
+  emit_ev t "probe.begin"
+    [
+      ("instances", ids_field ids);
+      ("required", Jv_obs.Obs.Int t.params.probes_required);
+    ];
+  t.stage_started <- now t;
   t.stage <-
     Some
       (Probe
@@ -284,6 +334,25 @@ let finish t =
         if Fleet.uniform_version t.fleet = None then now t - t0
         else t.last_change - t0
   in
+  let rounds = now t - t.started_at in
+  let obs = Fleet.obs t.fleet in
+  Jv_obs.Obs.observe_int obs "fleet.rollout.rounds" rounds;
+  Jv_obs.Obs.observe_int obs "fleet.rollout.mixed_window" mixed;
+  (* exact last-rollout figures, for reports that must not round through
+     histogram buckets *)
+  Jv_obs.Obs.set_gauge obs "fleet.rollout.last_rounds" (float_of_int rounds);
+  Jv_obs.Obs.set_gauge obs "fleet.rollout.last_mixed_window"
+    (float_of_int mixed);
+  emit_ev t "rollout.done"
+    [
+      ( "ok",
+        Jv_obs.Obs.Str
+          (string_of_bool (halted = None && t.rollback_failed = [])) );
+      ("rounds", Jv_obs.Obs.Int rounds);
+      ("mixed_window", Jv_obs.Obs.Int mixed);
+      ("updated", Jv_obs.Obs.Int (List.length t.updated));
+      ("rolled_back", Jv_obs.Obs.Int (List.length t.rolled_back));
+    ];
   t.result <-
     Some
       {
@@ -294,7 +363,7 @@ let finish t =
         r_aborted = List.rev t.aborted;
         r_unhealthy = List.rev t.unhealthy;
         r_rollback_failed = List.rev t.rollback_failed;
-        r_rounds = now t - t.started_at;
+        r_rounds = rounds;
         r_mixed_window = mixed;
         r_drain_timeouts = t.drain_timeouts;
         r_reports = List.rev t.reports;
@@ -303,6 +372,11 @@ let finish t =
 (* Halt the rollout: every already-updated instance is reverted by the
    inverse spec, in one wave. *)
 let begin_rollback t ~why =
+  emit_ev t "rollback.begin"
+    [
+      ("why", Jv_obs.Obs.Str why);
+      ("instances", ids_field (List.sort compare t.updated));
+    ];
   t.direction <- Rollback why;
   t.wave <- None;
   t.stage <- None;
@@ -323,11 +397,29 @@ let next_wave t =
 (* --- per-round step ---------------------------------------------------- *)
 
 let update_resolved t (w : wave) handles =
+  let waited = now t - t.stage_started in
+  Jv_obs.Obs.observe_int (Fleet.obs t.fleet) "fleet.rollout.update_rounds"
+    waited;
   let failures = ref [] in
   List.iter
     (fun (id, (h : J.Jvolve.handle)) ->
       let i = inst t id in
-      t.reports <- (id, J.Jvolve.report i.Instance.i_vm h) :: t.reports;
+      let rep = J.Jvolve.report i.Instance.i_vm h in
+      t.reports <- (id, rep) :: t.reports;
+      emit_ev t "update.done"
+        [
+          ("instance", Jv_obs.Obs.Int id);
+          ( "outcome",
+            Jv_obs.Obs.Str
+              (match h.J.Jvolve.h_outcome with
+              | J.Jvolve.Applied _ -> "applied"
+              | J.Jvolve.Aborted _ -> "aborted"
+              | J.Jvolve.Pending -> "pending") );
+          ("ticks", Jv_obs.Obs.Int waited);
+          ("sync_ms", Jv_obs.Obs.Float rep.J.Jvolve.ar_sync_ms);
+          ( "waited_rounds",
+            Jv_obs.Obs.Int rep.J.Jvolve.ar_waited_rounds );
+        ];
       match (h.J.Jvolve.h_outcome, t.direction) with
       | J.Jvolve.Applied _, Forward ->
           i.Instance.i_version <- t.to_version;
@@ -389,8 +481,18 @@ let probe_step t (w : wave) ~live ~needed set_live set_needed =
     (fun (id, p) ->
       match Health.outcome p with
       | Health.Pending -> still_live := (id, p) :: !still_live
-      | Health.Unhealthy why -> failed := (id, why) :: !failed
-      | Health.Healthy _ -> (
+      | Health.Unhealthy why ->
+          emit_ev t "probe.unhealthy"
+            [
+              ("instance", Jv_obs.Obs.Int id); ("why", Jv_obs.Obs.Str why);
+            ];
+          failed := (id, why) :: !failed
+      | Health.Healthy latency -> (
+          emit_ev t "probe.healthy"
+            [
+              ("instance", Jv_obs.Obs.Int id);
+              ("latency", Jv_obs.Obs.Int latency);
+            ];
           match List.assoc_opt id needed with
           | Some n when n > 1 ->
               set_needed (id, n - 1);
@@ -425,12 +527,26 @@ let probe_step t (w : wave) ~live ~needed set_live set_needed =
   | [] ->
       if !still_live = [] then begin
         (* every instance of the wave is healthy: readmit *)
+        Jv_obs.Obs.observe_int (Fleet.obs t.fleet)
+          "fleet.rollout.probe_rounds"
+          (now t - t.stage_started);
         set_status t w.w_ids Instance.In_service;
         set_admit t w.w_ids true;
+        emit_ev t "readmit"
+          [
+            ("instances", ids_field w.w_ids);
+            ("wave_ticks", Jv_obs.Obs.Int (now t - t.wave_started));
+          ];
         match (t.direction, w.w_observe) with
         | Forward, Some rounds ->
             (* watch the canaries take real traffic before promoting *)
             Lb.reset_window (lb t);
+            emit_ev t "observe.begin"
+              [
+                ("canaries", ids_field w.w_ids);
+                ("rounds", Jv_obs.Obs.Int rounds);
+              ];
+            t.stage_started <- now t;
             t.stage <-
               Some (Observe { until = now t + rounds; canaries = w.w_ids })
         | _ -> next_wave t
@@ -444,7 +560,15 @@ let observe_done t ~canaries =
   let stable = List.filter (fun id -> not (List.mem id canaries)) all_ids in
   let cw = Lb.window (lb t) ~ids:canaries in
   let sw = Lb.window (lb t) ~ids:stable in
-  match Health.judge t.params.gate ~canary:cw ~stable:sw with
+  let verdict = Health.judge t.params.gate ~canary:cw ~stable:sw in
+  emit_ev t "observe.done"
+    [
+      ("canaries", ids_field canaries);
+      ( "verdict",
+        Jv_obs.Obs.Str
+          (match verdict with None -> "pass" | Some why -> why) );
+    ];
+  match verdict with
   | None -> next_wave t
   | Some why ->
       let why = "canary gate: " ^ why in
@@ -478,12 +602,25 @@ let step t =
                 (fun n id -> n + Lb.in_flight (lb t) ~id)
                 0 w.w_ids
             in
-            if remaining = 0 then start_updates t w.w_ids
+            let drain_done ~timed_out =
+              let waited = now t - t.stage_started in
+              Jv_obs.Obs.observe_int (Fleet.obs t.fleet)
+                "fleet.rollout.drain_rounds" waited;
+              emit_ev t "drain.done"
+                [
+                  ("instances", ids_field w.w_ids);
+                  ("ticks", Jv_obs.Obs.Int waited);
+                  ("timed_out", Jv_obs.Obs.Str (string_of_bool timed_out));
+                  ("in_flight", Jv_obs.Obs.Int remaining);
+                ];
+              start_updates t w.w_ids
+            in
+            if remaining = 0 then drain_done ~timed_out:false
             else if now t >= until then begin
               (* drain timed out: update anyway — the DSU never kills
                  connections, the survivors just pause at the safe point *)
               t.drain_timeouts <- t.drain_timeouts + 1;
-              start_updates t w.w_ids
+              drain_done ~timed_out:true
             end
         | Update { handles } ->
             if

@@ -1,0 +1,135 @@
+(* Exporters over a sink: Prometheus-style text snapshot, JSON-lines event
+   dump, and a human-readable timeline for --trace. *)
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  We map every other
+   character (the dots in "core.update.pause_ms") to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+(* --- Prometheus text snapshot ------------------------------------------ *)
+
+let prometheus sink =
+  let buf = Buffer.create 1024 in
+  Metrics.iter (Obs.metrics sink) (fun name m ->
+      let n = sanitize name in
+      match m with
+      | Metrics.M_counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" n (Metrics.counter_value c))
+      | Metrics.M_gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" n (fmt_float (Metrics.gauge_value g)))
+      | Metrics.M_histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+          List.iter
+            (fun q ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n q
+                   (fmt_float (Metrics.quantile h q))))
+            [ 0.5; 0.9; 0.99 ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" n (Metrics.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" n (fmt_float (Metrics.sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_min %s\n" n (fmt_float (Metrics.hist_min h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_max %s\n" n (fmt_float (Metrics.hist_max h))));
+  Buffer.contents buf
+
+(* --- JSON lines --------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value = function
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f -> fmt_float f
+  | Obs.Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let event_json (ev : Obs.event) =
+  let fields =
+    ev.Obs.ev_fields
+    |> List.map (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (json_value v))
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"seq\":%d,\"tick\":%d,\"scope\":\"%s\",\"name\":\"%s\",\"fields\":{%s}}"
+    ev.Obs.ev_seq ev.Obs.ev_tick (json_escape ev.Obs.ev_scope)
+    (json_escape ev.Obs.ev_name) fields
+
+(* One JSON object per line, oldest event first. *)
+let jsonl sink =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (event_json ev);
+      Buffer.add_char buf '\n')
+    (Obs.events sink);
+  Buffer.contents buf
+
+(* --- human-readable timeline ------------------------------------------- *)
+
+let field_str (k, v) =
+  let s =
+    match v with
+    | Obs.Int i -> string_of_int i
+    | Obs.Float f -> Printf.sprintf "%.3f" f
+    | Obs.Str s -> s
+  in
+  k ^ "=" ^ s
+
+(* [scopes] keeps only events whose scope starts with one of the given
+   prefixes (all events when omitted). *)
+let timeline ?scopes sink =
+  let keep ev =
+    match scopes with
+    | None -> true
+    | Some ps ->
+        List.exists
+          (fun p ->
+            let lp = String.length p in
+            String.length ev.Obs.ev_scope >= lp
+            && String.sub ev.Obs.ev_scope 0 lp = p)
+          ps
+  in
+  let buf = Buffer.create 1024 in
+  let dropped = Obs.dropped_events sink in
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d earlier events dropped by flight recorder)\n"
+         dropped);
+  List.iter
+    (fun ev ->
+      if keep ev then
+        Buffer.add_string buf
+          (Printf.sprintf "[%8d] %-14s %-24s %s\n" ev.Obs.ev_tick
+             ev.Obs.ev_scope ev.Obs.ev_name
+             (String.concat " " (List.map field_str ev.Obs.ev_fields))))
+    (Obs.events sink);
+  Buffer.contents buf

@@ -1,0 +1,129 @@
+(* The observability sink: one per VM (and one per fleet).
+
+   A sink bundles three things:
+
+   - a *flight recorder*: a bounded ring of structured events with
+     monotonic tick timestamps, so the last N events before an update
+     abort or health-check failure are always reconstructable;
+   - a *metrics registry* (counters / gauges / histograms) that the
+     instrumented layers record into and the exporters snapshot;
+   - two injected clocks: [clock] returns the owner's logical tick
+     (VM scheduler rounds, fleet rounds), [wall] returns seconds for
+     pause-time histograms.
+
+   The library itself depends on nothing; owners inject their clocks
+   ([Jv_vm.State.create] wires the VM's tick counter and
+   [Unix.gettimeofday]).  Emitting is cheap — a record allocation and a
+   ring store — and recording a metric is a hash lookup plus an in-place
+   mutation, so instrumentation can stay on in production. *)
+
+type value = Int of int | Float of float | Str of string
+
+type event = {
+  ev_seq : int; (* per-sink, monotonically increasing *)
+  ev_tick : int; (* owner's logical clock at emit time *)
+  ev_scope : string; (* "vm.gc", "core.update", "fleet.rollout", ... *)
+  ev_name : string;
+  ev_fields : (string * value) list;
+}
+
+type t = {
+  ring : event Ring.t;
+  metrics : Metrics.registry;
+  mutable seq : int;
+  mutable clock : unit -> int;
+  mutable wall : unit -> float;
+}
+
+let default_capacity = 2048
+
+let create ?(capacity = default_capacity) () =
+  {
+    ring = Ring.create ~capacity;
+    metrics = Metrics.create_registry ();
+    seq = 0;
+    clock = (fun () -> 0);
+    wall = Sys.time;
+  }
+
+let set_clock t f = t.clock <- f
+let set_wall t f = t.wall <- f
+let now t = t.clock ()
+let wall t = t.wall ()
+
+(* --- events ------------------------------------------------------------ *)
+
+let emit t ~scope name fields =
+  let ev =
+    {
+      ev_seq = t.seq;
+      ev_tick = t.clock ();
+      ev_scope = scope;
+      ev_name = name;
+      ev_fields = fields;
+    }
+  in
+  t.seq <- t.seq + 1;
+  Ring.push t.ring ev
+
+let events t = Ring.to_list t.ring
+let dropped_events t = Ring.dropped t.ring
+
+(* --- metrics conveniences ---------------------------------------------- *)
+
+let metrics t = t.metrics
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
+
+let incr ?by t name = Metrics.incr ?by (counter t name)
+let set_gauge t name v = Metrics.set (gauge t name) v
+let observe t name v = Metrics.observe (histogram t name) v
+let observe_int t name v = Metrics.observe_int (histogram t name) v
+
+let counter_value t name =
+  match Metrics.find t.metrics name with
+  | Some (Metrics.M_counter c) -> Metrics.counter_value c
+  | _ -> 0
+
+let gauge_value t name =
+  match Metrics.find t.metrics name with
+  | Some (Metrics.M_gauge g) -> Metrics.gauge_value g
+  | _ -> 0.0
+
+let find_histogram t name =
+  match Metrics.find t.metrics name with
+  | Some (Metrics.M_histogram h) -> Some h
+  | _ -> None
+
+(* Merge [src]'s metrics into [into]'s registry (events stay put). *)
+let merge_metrics ~into src =
+  Metrics.merge_registry ~into:into.metrics src.metrics
+
+(* --- spans -------------------------------------------------------------- *)
+
+(* Run [f], bracketing it with begin/end events carrying the tick and
+   wall-clock durations, and record the duration into the
+   "<scope>.<name>.ms" histogram.  The end event is emitted on exception
+   too (with status "error"), so aborted updates still leave a complete
+   timeline. *)
+let span t ~scope ?(fields = []) name f =
+  let t0 = t.clock () and w0 = t.wall () in
+  emit t ~scope (name ^ ".begin") fields;
+  let finish status =
+    let dticks = t.clock () - t0 in
+    let dms = (t.wall () -. w0) *. 1000.0 in
+    emit t ~scope (name ^ ".end")
+      (fields
+      @ [ ("status", Str status); ("ticks", Int dticks); ("ms", Float dms) ]);
+    Metrics.observe
+      (Metrics.histogram t.metrics (scope ^ "." ^ name ^ ".ms"))
+      dms
+  in
+  match f () with
+  | v ->
+      finish "ok";
+      v
+  | exception e ->
+      finish "error";
+      raise e

@@ -1,0 +1,47 @@
+(* A bounded ring buffer: the storage behind the flight recorder.
+
+   Pushes never fail and never allocate beyond the fixed capacity; once
+   full, the oldest element is overwritten.  [to_list] returns survivors
+   oldest-first, and [dropped] says how many were evicted — so a reader
+   always knows whether it is looking at a complete history or only the
+   last N entries before the interesting moment. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable total : int; (* everything ever pushed *)
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  { buf = Array.make cap None; cap; total = 0 }
+
+let capacity r = r.cap
+let length r = min r.total r.cap
+let dropped r = max 0 (r.total - r.cap)
+
+let push r x =
+  r.buf.(r.total mod r.cap) <- Some x;
+  r.total <- r.total + 1
+
+let clear r =
+  Array.fill r.buf 0 r.cap None;
+  r.total <- 0
+
+(* Oldest first. *)
+let iter r f =
+  let n = length r in
+  let first = r.total - n in
+  for i = first to r.total - 1 do
+    match r.buf.(i mod r.cap) with Some x -> f x | None -> ()
+  done
+
+let to_list r =
+  let acc = ref [] in
+  iter r (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let fold r f init =
+  let acc = ref init in
+  iter r (fun x -> acc := f !acc x);
+  !acc

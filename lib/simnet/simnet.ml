@@ -23,6 +23,8 @@ type conn = {
      bill traffic to individual backends *)
   mutable c_bytes_to_server : int;
   mutable c_bytes_to_client : int;
+  c_opened_at : int; (* sink tick at connect, for lifetime histograms *)
+  mutable c_close_emitted : bool;
 }
 
 type listener = {
@@ -40,6 +42,7 @@ type t = {
   listener_ids : (int, listener) Hashtbl.t;
   mutable bytes_to_client : int; (* throughput accounting *)
   mutable bytes_to_server : int;
+  mutable obs : Jv_obs.Obs.t option; (* per-connection events and meters *)
 }
 
 let create () =
@@ -51,7 +54,38 @@ let create () =
     listener_ids = Hashtbl.create 8;
     bytes_to_client = 0;
     bytes_to_server = 0;
+    obs = None;
   }
+
+(* Attach the owning VM's (or fleet's) sink; connection open/close events
+   land in scope "net". *)
+let set_obs t sink = t.obs <- Some sink
+
+let obs_tick t = match t.obs with None -> 0 | Some o -> Jv_obs.Obs.now o
+
+let obs_incr t ?by name =
+  match t.obs with None -> () | Some o -> Jv_obs.Obs.incr ?by o name
+
+(* A connection's close event fires once, when the second side closes. *)
+let emit_close t c =
+  if c.closed_by_client && c.closed_by_server && not c.c_close_emitted then begin
+    c.c_close_emitted <- true;
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        let life = Jv_obs.Obs.now o - c.c_opened_at in
+        Jv_obs.Obs.incr o "net.conns_closed";
+        Jv_obs.Obs.observe_int o "net.conn_lifetime_ticks" life;
+        Jv_obs.Obs.observe_int o "net.conn_bytes"
+          (c.c_bytes_to_server + c.c_bytes_to_client);
+        Jv_obs.Obs.emit o ~scope:"net" "conn.close"
+          [
+            ("conn", Jv_obs.Obs.Int c.conn_id);
+            ("ticks", Jv_obs.Obs.Int life);
+            ("bytes_in", Jv_obs.Obs.Int c.c_bytes_to_server);
+            ("bytes_out", Jv_obs.Obs.Int c.c_bytes_to_client);
+          ]
+  end
 
 (* --- queue helpers (two-list FIFO) --- *)
 
@@ -98,6 +132,12 @@ let has_pending t ~listener_id =
   | None -> false
   | Some l -> l.backlog <> [] || l.backlog_back <> []
 
+(* Accepted-queue depth: what an LB reads as backlog pressure. *)
+let pending_count t ~listener_id =
+  match listener_by_id t listener_id with
+  | None -> 0
+  | Some l -> List.length l.backlog + List.length l.backlog_back
+
 let conn t id =
   match Hashtbl.find_opt t.conns id with
   | None -> raise (Net_error (Printf.sprintf "unknown connection %d" id))
@@ -128,13 +168,16 @@ let send t ~conn_id line =
     c.to_client <- front;
     c.to_client_back <- back;
     t.bytes_to_client <- t.bytes_to_client + String.length line + 1;
-    c.c_bytes_to_client <- c.c_bytes_to_client + String.length line + 1
+    c.c_bytes_to_client <- c.c_bytes_to_client + String.length line + 1;
+    obs_incr t ~by:(String.length line + 1) "net.bytes_to_client"
   end
 
 let close_server t ~conn_id =
   match Hashtbl.find_opt t.conns conn_id with
   | None -> ()
-  | Some c -> c.closed_by_server <- true
+  | Some c ->
+      c.closed_by_server <- true;
+      emit_close t c
 
 (* --- client side (used by workload drivers) --- *)
 
@@ -157,12 +200,22 @@ let connect t ~port =
           closed_by_server = false;
           c_bytes_to_server = 0;
           c_bytes_to_client = 0;
+          c_opened_at = obs_tick t;
+          c_close_emitted = false;
         }
       in
       Hashtbl.replace t.conns id c;
       let front, back = push_q l.backlog l.backlog_back c in
       l.backlog <- front;
       l.backlog_back <- back;
+      obs_incr t "net.conns_opened";
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Jv_obs.Obs.emit o ~scope:"net" "conn.open"
+            [
+              ("conn", Jv_obs.Obs.Int id); ("port", Jv_obs.Obs.Int port);
+            ]);
       Some id
 
 let client_send t ~conn_id line =
@@ -172,7 +225,8 @@ let client_send t ~conn_id line =
     c.to_server <- front;
     c.to_server_back <- back;
     t.bytes_to_server <- t.bytes_to_server + String.length line + 1;
-    c.c_bytes_to_server <- c.c_bytes_to_server + String.length line + 1
+    c.c_bytes_to_server <- c.c_bytes_to_server + String.length line + 1;
+    obs_incr t ~by:(String.length line + 1) "net.bytes_to_server"
   end
 
 let client_recv t ~conn_id =
@@ -187,7 +241,9 @@ let client_recv t ~conn_id =
 let client_close t ~conn_id =
   match Hashtbl.find_opt t.conns conn_id with
   | None -> ()
-  | Some c -> c.closed_by_client <- true
+  | Some c ->
+      c.closed_by_client <- true;
+      emit_close t c
 
 let client_can_recv t ~conn_id =
   match Hashtbl.find_opt t.conns conn_id with

@@ -7,6 +7,10 @@ type t
 
 val create : unit -> t
 
+val set_obs : t -> Jv_obs.Obs.t -> unit
+(** Attach an observability sink: per-connection open/close events (scope
+    ["net"]), byte counters, and connection lifetime/byte histograms. *)
+
 exception Net_error of string
 
 (** {1 Server side (used by the VM natives)} *)
@@ -19,6 +23,9 @@ val accept : t -> listener_id:int -> int option
 (** Non-blocking: [None] means the VM thread must block. *)
 
 val has_pending : t -> listener_id:int -> bool
+
+val pending_count : t -> listener_id:int -> int
+(** Accepted-queue depth on a listener (load-balancer backlog pressure). *)
 
 val recv_line : t -> conn_id:int -> [ `Line of string | `Eof | `Wait ]
 val send : t -> conn_id:int -> string -> unit

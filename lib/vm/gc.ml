@@ -162,6 +162,23 @@ let collect ?plan (vm : State.t) : result =
   in
   let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   vm.State.last_gc_ms <- ms;
+  let obs = vm.State.obs in
+  Jv_obs.Obs.incr obs "vm.gc.collections";
+  Jv_obs.Obs.observe obs "vm.gc.ms" ms;
+  Jv_obs.Obs.observe_int obs "vm.gc.copied_objects" !copied;
+  Jv_obs.Obs.observe_int obs "vm.gc.copied_words" (Heap.words_used heap);
+  if plan <> None then begin
+    Jv_obs.Obs.incr obs "vm.gc.update_collections";
+    Jv_obs.Obs.observe_int obs "vm.gc.transformed_objects" !transformed
+  end;
+  Jv_obs.Obs.emit obs ~scope:"vm.gc"
+    (if plan = None then "gc.done" else "gc.transform.done")
+    [
+      ("ms", Jv_obs.Obs.Float ms);
+      ("copied", Jv_obs.Obs.Int !copied);
+      ("transformed", Jv_obs.Obs.Int !transformed);
+      ("live_words", Jv_obs.Obs.Int (Heap.words_used heap));
+    ];
   {
     gc_ms = ms;
     copied_objects = !copied;

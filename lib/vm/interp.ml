@@ -62,7 +62,12 @@ let do_return vm (t : State.vthread) ~(value : int option) =
       | [] ->
           t.State.last_result <- Option.value value ~default:0;
           t.State.tstate <- State.T_done);
-      if fired then vm.State.barrier_fired <- true;
+      if fired then begin
+        vm.State.barrier_fired <- true;
+        Jv_obs.Obs.incr vm.State.obs "vm.dsu.return_barrier_hits";
+        Jv_obs.Obs.emit vm.State.obs ~scope:"vm.dsu" "barrier.fired"
+          [ ("tid", Jv_obs.Obs.Int t.State.tid) ]
+      end;
       fired
 
 let run_native vm (t : State.vthread) (m : Rt.rt_method) (args : int array) :
@@ -123,6 +128,7 @@ let do_call vm (t : State.vthread) (fr : State.frame) (m : Rt.rt_method) argc :
 (* Execute one thread for up to [fuel] instructions, stopping only at safe
    points.  Returns how the slice ended. *)
 let run_slice vm (t : State.vthread) ~fuel : slice_end =
+  Jv_obs.Obs.incr vm.State.obs "vm.interp.slices";
   let heap = vm.State.heap in
   let reg = vm.State.reg in
   let fuel = ref fuel in

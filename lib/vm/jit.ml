@@ -266,8 +266,12 @@ let compile vm (m : Rt.rt_method) (level : level) : compiled =
         Array.iteri (fun i bcpc -> assert (bcpc = i)) bc_map
       end;
       (match level with
-      | Base -> vm.State.compile_count <- vm.State.compile_count + 1
-      | Opt -> vm.State.opt_compile_count <- vm.State.opt_compile_count + 1);
+      | Base ->
+          vm.State.compile_count <- vm.State.compile_count + 1;
+          Jv_obs.Obs.incr vm.State.obs "vm.jit.base_compiles"
+      | Opt ->
+          vm.State.opt_compile_count <- vm.State.opt_compile_count + 1;
+          Jv_obs.Obs.incr vm.State.obs "vm.jit.opt_compiles");
       {
         code = mcode;
         bc_map;

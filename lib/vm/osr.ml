@@ -65,4 +65,12 @@ let replace_frame vm (fr : State.frame) =
   end;
   fr.State.code <- fresh;
   fr.State.pc <- new_pc;
-  vm.State.osr_count <- vm.State.osr_count + 1
+  vm.State.osr_count <- vm.State.osr_count + 1;
+  Jv_obs.Obs.incr vm.State.obs "vm.osr.replacements";
+  Jv_obs.Obs.emit vm.State.obs ~scope:"vm.osr" "osr.replace"
+    [
+      ( "method",
+        Jv_obs.Obs.Str
+          (Rt.method_qname (Rt.class_by_id vm.State.reg m.Rt.owner) m) );
+      ("bc_pc", Jv_obs.Obs.Int bc_pc);
+    ]

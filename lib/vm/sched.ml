@@ -44,6 +44,9 @@ let round vm =
   List.iter (fun f -> f vm) vm.State.pollers;
   wake_blocked vm;
   let runnable = State.runnable_threads vm in
+  Jv_obs.Obs.incr vm.State.obs "vm.sched.rounds";
+  Jv_obs.Obs.set_gauge vm.State.obs "vm.sched.runnable"
+    (float_of_int (List.length runnable));
   List.iter
     (fun (t : State.vthread) ->
       if t.State.tstate = State.T_runnable then begin

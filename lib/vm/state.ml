@@ -6,6 +6,7 @@
 
 module CF = Jv_classfile
 module Simnet = Jv_simnet.Simnet
+module Obs = Jv_obs.Obs
 
 type config = {
   heap_words : int; (* words per semi-space *)
@@ -129,6 +130,8 @@ type t = {
   mutable trap_log : (int * string) list;
   out : Buffer.t; (* program output (Sys.print) *)
   mutable last_gc_ms : float;
+  (* flight recorder + metrics; clock = this VM's [ticks] *)
+  obs : Obs.t;
   (* harness hooks run at the start of every scheduler round (workload
      drivers pumping the simulated network) *)
   mutable pollers : (t -> unit) list;
@@ -146,6 +149,7 @@ let gc_hook : (t -> unit) ref =
   ref (fun _ -> failwith "Gc not linked")
 
 let create ?(config = default_config) () =
+  let vm =
   {
     config;
     reg = Rt.create_registry ();
@@ -178,8 +182,14 @@ let create ?(config = default_config) () =
     trap_log = [];
     out = Buffer.create 1024;
     last_gc_ms = 0.0;
+    obs = Obs.create ();
     pollers = [];
   }
+  in
+  Obs.set_clock vm.obs (fun () -> vm.ticks);
+  Obs.set_wall vm.obs Unix.gettimeofday;
+  Simnet.set_obs vm.net vm.obs;
+  vm
 
 (* --- JTOC ---------------------------------------------------------- *)
 

@@ -19,6 +19,7 @@ let run_to_quiescence = Sched.run_to_quiescence
 let output = State.output
 let ticks (vm : t) = vm.State.ticks
 let net (vm : t) = vm.State.net
+let obs (vm : t) = vm.State.obs
 let gc vm = Gc.collect vm
 
 let add_poller (vm : t) f = vm.State.pollers <- vm.State.pollers @ [ f ]

@@ -27,6 +27,11 @@ val output : t -> string
 
 val ticks : t -> int
 val net : t -> Jv_simnet.Simnet.t
+
+val obs : t -> Jv_obs.Obs.t
+(** The VM's observability sink: flight-recorder events and metrics,
+    tick-stamped by this VM's logical clock. *)
+
 val gc : t -> Gc.result
 (** Force a plain full collection. *)
 

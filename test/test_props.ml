@@ -270,6 +270,34 @@ let default_transformer_preserves =
           (String.concat ","
              (List.map (fun (i, b) -> Printf.sprintf "%d%c" i (if b then 'i' else 's')) v2)))
 
+(* --- Spec.inverse round-trips ------------------------------------------------------ *)
+
+(* The rollback of a rollback is the forward update again: programs are
+   the same values, the recomputed diff matches, and the blacklist rides
+   along unchanged.  (The version tag differs — it accumulates "rb"
+   suffixes so renamed old classes never collide.) *)
+let inverse_roundtrip =
+  QCheck.Test.make ~name:"Spec.inverse round-trips" ~count:10
+    QCheck.(make Gen.(tup2 gen_fspec gen_fspec))
+    (fun (v1, v2) ->
+      let old_program = Jv_lang.Compile.compile_program (program_src v1 ~set:true) in
+      let new_program = Jv_lang.Compile.compile_program (program_src v2 ~set:true) in
+      let blacklist =
+        [
+          {
+            J.Diff.r_class = "Probe";
+            r_name = "describe";
+            r_sig = { Jv_classfile.Types.params = []; ret = Jv_classfile.Types.TVoid };
+          };
+        ]
+      in
+      let s = J.Spec.make ~blacklist ~version_tag:"9" ~old_program ~new_program () in
+      let s' = J.Spec.inverse (J.Spec.inverse s) in
+      s'.J.Spec.old_program == s.J.Spec.old_program
+      && s'.J.Spec.new_program == s.J.Spec.new_program
+      && s'.J.Spec.diff = s.J.Spec.diff
+      && s'.J.Spec.blacklist = s.J.Spec.blacklist)
+
 (* --- randomized UPT classification ------------------------------------------------- *)
 
 type edit = E_add_field | E_del_field | E_chg_body | E_add_method
@@ -316,5 +344,6 @@ let suite =
     QCheck_alcotest.to_alcotest arith_agrees;
     QCheck_alcotest.to_alcotest bool_agrees;
     QCheck_alcotest.to_alcotest default_transformer_preserves;
+    QCheck_alcotest.to_alcotest inverse_roundtrip;
     QCheck_alcotest.to_alcotest classification_matches;
   ]
