@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke clean
 
 all:
 	dune build @all
@@ -21,6 +21,14 @@ bench-smoke:
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe fleet
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe fig5 \
 	  | grep -q "core_update_pause_ms_count"
+
+# Fixed-seed chaos probe: inject a fault into every update phase and a
+# 20% fault rate into a rolling rollout, then check that every abort
+# rolled back (zero half-installed class tables) and the fleet converged.
+chaos-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe chaos | tee _build/chaos-smoke.out
+	grep -q "half-installed tables:   0" _build/chaos-smoke.out
+	grep -q "rate  20%: converged" _build/chaos-smoke.out
 
 clean:
 	dune clean

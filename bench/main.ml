@@ -10,13 +10,15 @@
      dune exec bench/main.exe ablation     # design-choice ablations
      dune exec bench/main.exe micro        # Bechamel kernels
      dune exec bench/main.exe fleet        # multi-VM rollout orchestration
+     dune exec bench/main.exe chaos        # fault injection: abort cost,
+                                           # convergence under fault rates
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|all]";
+     ablation|micro|fleet|chaos|all]";
   exit 1
 
 let run_one = function
@@ -27,6 +29,7 @@ let run_one = function
   | "ablation" -> Ablation.run ()
   | "micro" -> Micro.run ()
   | "fleet" -> Fleet.run ()
+  | "chaos" -> Chaos.run ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)
@@ -36,7 +39,8 @@ let run_one = function
       Overhead.run ();
       Ablation.run ();
       Micro.run ();
-      Fleet.run ()
+      Fleet.run ();
+      Chaos.run ()
   | _ -> usage ()
 
 let () =

@@ -18,7 +18,8 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
-    timeout_rounds probes concurrency policy trace metrics verbose =
+    timeout_rounds probes max_retries backoff_base quarantine faults
+    fault_seed concurrency policy trace metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -61,7 +62,20 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           F.Orchestrator.drain_timeout;
           update_timeout = timeout_rounds;
           probes_required = probes;
+          max_retries;
+          backoff_base;
+          on_exhausted = (if quarantine then `Quarantine else `Halt);
         }
+      in
+      let plan =
+        match faults with
+        | None -> None
+        | Some p -> (
+            match Jv_faults.Faults.parse ~seed:fault_seed p with
+            | Ok plan -> Some plan
+            | Error e ->
+                Printf.eprintf "bad fault plan: %s\n" e;
+                exit 1)
       in
       let policy =
         match policy with
@@ -77,6 +91,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
         let fleet =
           F.Fleet.create ~policy ~profile ~version:from_v ~size ()
         in
+        F.Fleet.set_faults fleet plan;
         F.Fleet.run fleet ~rounds:30;
         ignore (F.Fleet.attach_load ~concurrency fleet);
         F.Fleet.run fleet ~rounds:120;
@@ -210,6 +225,34 @@ let probes =
   Arg.(value & opt int 2 & info [ "probes" ] ~docv:"N"
          ~doc:"Consecutive healthy probes required before readmission.")
 
+let max_retries =
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N"
+         ~doc:"Re-attempt a cleanly-aborted per-instance update up to \
+               $(docv) times, with exponential backoff.")
+
+let backoff_base =
+  Arg.(value & opt int 40 & info [ "backoff-base" ] ~docv:"ROUNDS"
+         ~doc:"Backoff before the first retry; doubles per attempt.")
+
+let quarantine =
+  Arg.(value & flag & info [ "quarantine" ]
+         ~doc:"When an instance exhausts its retries, quarantine it and \
+               finish the rollout on the survivors instead of halting \
+               and rolling everything back.")
+
+let faults =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+         ~doc:"Arm a deterministic fault plan on every instance VM and \
+               its network: comma-separated POINT=ACTION[@RATE][xCOUNT] \
+               rules, e.g. 'updater.transform=raise\\@0.2', \
+               'net.link=drop\\@0.05', 'updater.gc=kill x1'.  Actions: \
+               raise, kill, drop, delay:N.  A trailing * in POINT \
+               matches by prefix.")
+
+let fault_seed =
+  Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed for the fault plan's RNG (same seed, same schedule).")
+
 let concurrency =
   Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"N"
          ~doc:"Concurrent scripted client sessions against the balancer.")
@@ -242,7 +285,8 @@ let cmd =
        ~doc:"Rolling and canary DSU rollouts across a multi-VM fleet")
     Term.(
       const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
-      $ observe $ drain_timeout $ timeout_rounds $ probes $ concurrency
+      $ observe $ drain_timeout $ timeout_rounds $ probes $ max_retries
+      $ backoff_base $ quarantine $ faults $ fault_seed $ concurrency
       $ policy $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,10 +32,21 @@ let emit_trace obs = function
   | Some file -> write_file file (Jv_obs.Export.jsonl obs)
 
 let run path main_class rounds update_path at tag transformers_path
-    timeout_rounds trace metrics verbose =
+    timeout_rounds faults fault_seed trace metrics verbose =
   try
+    let plan =
+      match faults with
+      | None -> None
+      | Some p -> (
+          match Jv_faults.Faults.parse ~seed:fault_seed p with
+          | Ok plan -> Some plan
+          | Error e ->
+              Printf.eprintf "bad fault plan: %s\n" e;
+              exit 1)
+    in
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let vm = VM.Vm.create () in
+    VM.Vm.set_faults vm plan;
     VM.Vm.boot vm old_program;
     ignore (VM.Vm.spawn_main vm ~main_class);
     (match update_path with
@@ -51,6 +62,9 @@ let run path main_class rounds update_path at tag transformers_path
         let h = J.Jvolve.update_now ~timeout_rounds vm spec in
         Printf.eprintf "[jvolve] update at round %d: %s\n" at
           (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
+        (match VM.Vm.killed vm with
+        | Some pt -> Printf.eprintf "[jvolve] VM killed at %s\n" pt
+        | None -> ());
         ignore (VM.Vm.run_to_quiescence ~max_rounds:(max 0 (rounds - at)) vm));
     print_string (VM.Vm.output vm);
     emit_trace (VM.Vm.obs vm) trace;
@@ -114,6 +128,18 @@ let timeout_rounds =
              ~doc:"Abort the update if no safe point is reached within $(docv) \
                    scheduler rounds (the paper's 15s abort timeout).")
 
+let faults =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+         ~doc:"Arm a deterministic fault plan: comma-separated \
+               POINT=ACTION[@RATE][xCOUNT] rules, e.g. \
+               'updater.transform=raise', 'updater.*=raise\\@0.2', \
+               'net.link=delay:3\\@0.1x5'.  Actions: raise, kill, drop, \
+               delay:N.  A trailing * in POINT matches by prefix.")
+
+let fault_seed =
+  Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed for the fault plan's RNG (same seed, same schedule).")
+
 let trace =
   Arg.(value & opt ~vopt:(Some "") (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -133,6 +159,7 @@ let cmd =
     (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
     Term.(
       const run $ path $ main_class $ rounds $ update_path $ at $ tag
-      $ transformers_path $ timeout_rounds $ trace $ metrics $ verbose)
+      $ transformers_path $ timeout_rounds $ faults $ fault_seed $ trace
+      $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -127,7 +127,9 @@ let run_one ?(config = default_config) ?(concurrency = 4) ?(warmup = 60)
         match h.J.Jvolve.h_outcome with
         | J.Jvolve.Applied t ->
             (Applied t, t.J.Updater.u_osr, h.J.Jvolve.h_barriers_installed)
-        | J.Jvolve.Aborted e -> (Aborted e, 0, h.J.Jvolve.h_barriers_installed)
+        | J.Jvolve.Aborted a ->
+            (Aborted (J.Updater.abort_to_string a), 0,
+             h.J.Jvolve.h_barriers_installed)
         | J.Jvolve.Pending ->
             (Aborted "still pending after max rounds", 0,
              h.J.Jvolve.h_barriers_installed))

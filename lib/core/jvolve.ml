@@ -22,7 +22,7 @@ module State = Jv_vm.State
 type outcome =
   | Pending
   | Applied of Updater.timings
-  | Aborted of string
+  | Aborted of Updater.abort
 
 type handle = {
   h_prepared : Transformers.prepared;
@@ -74,12 +74,15 @@ let record_outcome vm h outcome =
           ("osr", Jv_obs.Obs.Int t.Updater.u_osr);
           ("transformed", Jv_obs.Obs.Int t.Updater.u_transformed_objects);
         ]
-  | Aborted e ->
+  | Aborted (a : Updater.abort) ->
       Jv_obs.Obs.incr obs "core.update.aborted";
       Jv_obs.Obs.emit obs ~scope:"core.update" "update.aborted"
         [
           ("version", Jv_obs.Obs.Str (version_tag h));
-          ("reason", Jv_obs.Obs.Str e);
+          ("phase", Jv_obs.Obs.Str (Updater.phase_to_string a.Updater.a_phase));
+          ("reason", Jv_obs.Obs.Str a.Updater.a_reason);
+          ("rolled_back",
+           Jv_obs.Obs.Str (string_of_bool a.Updater.a_rolled_back));
           ("waited_rounds", Jv_obs.Obs.Int waited);
           ("attempts", Jv_obs.Obs.Int h.h_attempts);
         ]
@@ -105,12 +108,8 @@ let attempt h vm =
             Updater.apply vm h.h_prepared ~restricted:h.h_restricted
               ~osr_frames
           with
-          | timings -> finish vm h (Applied timings)
-          | exception Updater.Update_error e -> finish vm h (Aborted e)
-          | exception Jv_vm.Interp.Sync_trap e ->
-              finish vm h (Aborted ("transformer trap: " ^ e))
-          | exception Jv_vm.Jit.Compile_error e ->
-              finish vm h (Aborted ("jit: " ^ e)))
+          | Ok timings -> finish vm h (Applied timings)
+          | Error a -> finish vm h (Aborted a))
       | Safepoint.Blocked stuck ->
           let blockers = Safepoint.describe_blockers vm stuck in
           if blockers <> h.h_blockers then
@@ -123,9 +122,10 @@ let attempt h vm =
           if vm.State.ticks > h.h_deadline then
             finish vm h
               (Aborted
-                 (Printf.sprintf
-                    "timeout: restricted methods still on stack (%s)"
-                    h.h_blockers))
+                 (Updater.sync_abort
+                    (Printf.sprintf
+                       "timeout: restricted methods still on stack (%s)"
+                       h.h_blockers)))
           else if h.h_use_barriers then begin
             let installed = Safepoint.install_barriers stuck in
             if installed > 0 then begin
@@ -227,4 +227,4 @@ let outcome_to_string = function
          %d objects transformed, %d OSRs)"
         t.Updater.u_load_ms t.Updater.u_gc_ms t.Updater.u_transform_ms
         t.Updater.u_total_ms t.Updater.u_transformed_objects t.Updater.u_osr
-  | Aborted e -> "aborted: " ^ e
+  | Aborted a -> "aborted: " ^ Updater.abort_to_string a

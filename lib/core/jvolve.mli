@@ -16,9 +16,11 @@ module State = Jv_vm.State
 type outcome =
   | Pending
   | Applied of Updater.timings
-  | Aborted of string
-      (** e.g. "timeout: restricted methods still on stack (...)" — the
-          paper's abort after 15 s (here a round budget) *)
+  | Aborted of Updater.abort
+      (** A typed abort: [a_phase = P_sync] for pre-apply failures (the
+          paper's 15 s timeout, here a round budget); any later phase
+          means the transactional installation failed and rolled the VM
+          back ([a_rolled_back]). *)
 
 type handle = {
   h_prepared : Transformers.prepared;

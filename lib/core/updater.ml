@@ -25,6 +25,7 @@ module Gc = Jv_vm.Gc
 module Interp = Jv_vm.Interp
 module Osr = Jv_vm.Osr
 module Classloader = Jv_vm.Classloader
+module Faults = Jv_faults.Faults
 
 exception Update_error of string
 
@@ -40,6 +41,42 @@ type timings = {
   u_transformed_objects : int;
   u_copied_objects : int;
 }
+
+(* --- typed aborts -------------------------------------------------------- *)
+
+type phase =
+  | P_sync (* never reached [apply]: safe-point timeout, prepare error *)
+  | P_load (* metadata installation, clinits, transformer install *)
+  | P_gc (* the transforming collection *)
+  | P_transform (* class and object transformers *)
+  | P_osr (* on-stack replacement of parked frames *)
+
+let phase_to_string = function
+  | P_sync -> "sync"
+  | P_load -> "load"
+  | P_gc -> "gc"
+  | P_transform -> "transform"
+  | P_osr -> "osr"
+
+type abort = {
+  a_phase : phase;
+  a_reason : string;
+  a_rolled_back : bool;
+      (* the transaction rolled back and the post-rollback audit passed:
+         the VM is intact on the old version *)
+  a_rollback_ms : float;
+}
+
+let sync_abort reason =
+  { a_phase = P_sync; a_reason = reason; a_rolled_back = true;
+    a_rollback_ms = 0.0 }
+
+let abort_to_string a =
+  match a.a_phase with
+  | P_sync -> a.a_reason
+  | _ ->
+      Printf.sprintf "[%s] %s%s" (phase_to_string a.a_phase) a.a_reason
+        (if a.a_rolled_back then " (rolled back)" else " (ROLLBACK FAILED)")
 
 let now () = Unix.gettimeofday ()
 
@@ -285,110 +322,220 @@ let unload_transformer vm (rc : Rt.rt_class) =
 
 (* --- the driver ----------------------------------------------------------- *)
 
+(* What OSR mutates per frame, for restoration when a later frame's
+   replacement (or an injected fault) aborts the update. *)
+type frame_snap = {
+  fs_code : Jv_vm.Machine.compiled;
+  fs_pc : int;
+  fs_locals : int array;
+  fs_ostack : int array;
+  fs_sp : int;
+}
+
+let snap_frame (fr : State.frame) =
+  {
+    fs_code = fr.State.code;
+    fs_pc = fr.State.pc;
+    fs_locals = Array.copy fr.State.locals;
+    fs_ostack = Array.copy fr.State.ostack;
+    fs_sp = fr.State.sp;
+  }
+
+let restore_frame (fr : State.frame) s =
+  fr.State.code <- s.fs_code;
+  fr.State.pc <- s.fs_pc;
+  fr.State.locals <- s.fs_locals;
+  fr.State.ostack <- s.fs_ostack;
+  fr.State.sp <- s.fs_sp
+
+(* The whole installation runs inside a [Txn]: any failure in the load /
+   GC / transform / OSR phases — including the armed fault plan's
+   [updater.*] injection points — rolls the VM back to the pre-update
+   snapshot and reports a typed abort instead of leaving a half-installed
+   class table (the paper's all-or-nothing claim, §3.3-3.4).
+
+   Step order differs from the paper's presentation in one way: OSR runs
+   {e last}, after the transformer phase.  The world is stopped either
+   way, so nothing observes the difference — but every failure before
+   OSR then needs no frame surgery to undo, and an OSR failure itself
+   restores the frames it touched from snapshots. *)
 let apply vm (p : Transformers.prepared)
     ~(restricted : Safepoint.restricted)
-    ~(osr_frames : State.frame list) : timings =
+    ~(osr_frames : State.frame list) : (timings, abort) result =
   let spec = p.Transformers.p_spec in
-  let t0 = now () in
-  (* 1-3: metadata installation *)
-  let olds = rename_old_classes vm spec in
-  let news = install_new_classes vm spec in
-  carry_over_statics vm spec olds news;
-  swap_method_bodies vm spec;
-  let invalidated = invalidate_stale_code vm restricted in
-  (* static initializers of brand-new classes *)
-  List.iter
-    (fun name ->
-      match List.assoc_opt name news with
-      | Some rc -> (
-          try Classloader.run_clinit vm rc
-          with Interp.Sync_trap e -> uerr "<clinit> of %s trapped: %s" name e)
-      | None -> ())
-    spec.Spec.diff.Diff.added_classes;
-  (* 4: OSR the parked category-(2) frames against the new metadata *)
-  List.iter
-    (fun fr ->
-      try Osr.replace_frame vm fr
-      with Osr.Osr_failed e -> uerr "OSR failed: %s" e)
-    osr_frames;
-  (* install the transformer class *)
-  let transformer_rc =
-    match Classloader.install vm ~replace:true [ p.Transformers.p_transformer ]
-    with
-    | [ rc ] -> rc
-    | _ -> uerr "failed to install transformer class"
-  in
-  let t_load = now () in
+  let faults = vm.State.faults in
   let obs = vm.State.obs in
-  Jv_obs.Obs.incr ~by:invalidated obs "core.update.invalidated_methods";
-  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.metadata.done"
-    [
-      ("ms", Jv_obs.Obs.Float ((t_load -. t0) *. 1000.0));
-      ("invalidated", Jv_obs.Obs.Int invalidated);
-      ("osr_frames", Jv_obs.Obs.Int (List.length osr_frames));
-    ];
-  (* 5: the transforming collection *)
-  let plan = Hashtbl.create 16 in
-  List.iter
-    (fun (name, (old_rc : Rt.rt_class)) ->
-      match List.assoc_opt name news with
-      | Some new_rc -> Hashtbl.replace plan old_rc.Rt.cid new_rc.Rt.cid
-      | None -> () (* deleted classes: instances survive untransformed *))
-    olds;
-  let gcres = Gc.collect ~plan vm in
-  let t_gc = now () in
-  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.gc.done"
-    [
-      ("ms", Jv_obs.Obs.Float ((t_gc -. t_load) *. 1000.0));
-      ("transformed", Jv_obs.Obs.Int gcres.Gc.transformed_objects);
-      ("copied", Jv_obs.Obs.Int gcres.Gc.copied_objects);
-    ];
-  (* 6: transformers *)
-  let ctx =
+  let t0 = now () in
+  let txn = Txn.capture vm in
+  let phase = ref P_load in
+  let update_log = ref [||] in
+  let frame_snaps = ref [] in
+  let run () =
+    (* 1-3: metadata installation *)
+    let olds = rename_old_classes vm spec in
+    let news = install_new_classes vm spec in
+    carry_over_statics vm spec olds news;
+    swap_method_bodies vm spec;
+    let invalidated = invalidate_stale_code vm restricted in
+    Faults.point faults "updater.load";
+    (* static initializers of brand-new classes *)
+    List.iter
+      (fun name ->
+        match List.assoc_opt name news with
+        | Some rc -> (
+            try Classloader.run_clinit vm rc
+            with Interp.Sync_trap e -> uerr "<clinit> of %s trapped: %s" name e)
+        | None -> ())
+      spec.Spec.diff.Diff.added_classes;
+    (* install the transformer class *)
+    let transformer_rc =
+      match
+        Classloader.install vm ~replace:true [ p.Transformers.p_transformer ]
+      with
+      | [ rc ] -> rc
+      | _ -> uerr "failed to install transformer class"
+    in
+    let t_load = now () in
+    Jv_obs.Obs.incr ~by:invalidated obs "core.update.invalidated_methods";
+    Jv_obs.Obs.emit obs ~scope:"core.update" "phase.metadata.done"
+      [
+        ("ms", Jv_obs.Obs.Float ((t_load -. t0) *. 1000.0));
+        ("invalidated", Jv_obs.Obs.Int invalidated);
+        ("osr_frames", Jv_obs.Obs.Int (List.length osr_frames));
+      ];
+    (* 5: the transforming collection *)
+    phase := P_gc;
+    Faults.point faults "updater.gc";
+    let plan = Hashtbl.create 16 in
+    List.iter
+      (fun (name, (old_rc : Rt.rt_class)) ->
+        match List.assoc_opt name news with
+        | Some new_rc -> Hashtbl.replace plan old_rc.Rt.cid new_rc.Rt.cid
+        | None -> () (* deleted classes: instances survive untransformed *))
+      olds;
+    let gcres = Gc.collect ~plan vm in
+    update_log := gcres.Gc.update_log;
+    let t_gc = now () in
+    Jv_obs.Obs.emit obs ~scope:"core.update" "phase.gc.done"
+      [
+        ("ms", Jv_obs.Obs.Float ((t_gc -. t_load) *. 1000.0));
+        ("transformed", Jv_obs.Obs.Int gcres.Gc.transformed_objects);
+        ("copied", Jv_obs.Obs.Int gcres.Gc.copied_objects);
+      ];
+    (* 6: transformers *)
+    phase := P_transform;
+    let ctx =
+      {
+        log = gcres.Gc.update_log;
+        n_pairs = Array.length gcres.Gc.update_log / 2;
+        status = Array.make (max 1 (Array.length gcres.Gc.update_log / 2)) 0;
+        index = Hashtbl.create 16;
+        index_gc_count = -1;
+        transformer_rc;
+        method_cache = Hashtbl.create 8;
+        carrier = Interp.make_carrier vm;
+      }
+    in
+    vm.State.extra_roots <- ctx.log :: vm.State.extra_roots;
+    vm.State.force_transform <-
+      Some (fun vm addr -> force_transform vm ctx addr);
+    let finish_transformers () =
+      vm.State.force_transform <- None;
+      Interp.release_carrier vm ctx.carrier;
+      vm.State.extra_roots <-
+        List.filter (fun a -> a != ctx.log) vm.State.extra_roots
+    in
+    (try
+       Faults.point faults "updater.transform";
+       build_index ctx vm;
+       run_class_transformers vm spec ctx;
+       for i = 0 to ctx.n_pairs - 1 do
+         Faults.point faults "updater.transform";
+         run_pair vm ctx i
+       done;
+       finish_transformers ()
+     with e ->
+       finish_transformers ();
+       raise e);
+    (* 7: drop the transformer class; the log is already unreachable *)
+    unload_transformer vm transformer_rc;
+    let t_transform = now () in
+    Jv_obs.Obs.emit obs ~scope:"core.update" "phase.transform.done"
+      [
+        ("ms", Jv_obs.Obs.Float ((t_transform -. t_gc) *. 1000.0));
+        ("pairs", Jv_obs.Obs.Int ctx.n_pairs);
+      ];
+    (* 4 (run last, see above): OSR the parked category-(2) frames *)
+    phase := P_osr;
+    frame_snaps := List.map snap_frame osr_frames;
+    Faults.point faults "updater.osr";
+    List.iter
+      (fun fr ->
+        try Osr.replace_frame vm fr
+        with Osr.Osr_failed e -> uerr "OSR failed: %s" e)
+      osr_frames;
+    let t_end = now () in
     {
-      log = gcres.Gc.update_log;
-      n_pairs = Array.length gcres.Gc.update_log / 2;
-      status = Array.make (max 1 (Array.length gcres.Gc.update_log / 2)) 0;
-      index = Hashtbl.create 16;
-      index_gc_count = -1;
-      transformer_rc;
-      method_cache = Hashtbl.create 8;
-      carrier = Interp.make_carrier vm;
+      u_load_ms = ((t_load -. t0) +. (t_end -. t_transform)) *. 1000.0;
+      u_gc_ms = (t_gc -. t_load) *. 1000.0;
+      u_transform_ms = (t_transform -. t_gc) *. 1000.0;
+      u_total_ms = (t_end -. t0) *. 1000.0;
+      u_osr = List.length osr_frames;
+      u_invalidated_methods = invalidated;
+      u_transformed_objects = gcres.Gc.transformed_objects;
+      u_copied_objects = gcres.Gc.copied_objects;
     }
   in
-  vm.State.extra_roots <- ctx.log :: vm.State.extra_roots;
-  vm.State.force_transform <- Some (fun vm addr -> force_transform vm ctx addr);
-  let finish_transformers () =
-    vm.State.force_transform <- None;
-    Interp.release_carrier vm ctx.carrier;
-    vm.State.extra_roots <-
-      List.filter (fun a -> a != ctx.log) vm.State.extra_roots
-  in
-  (try
-     build_index ctx vm;
-     run_class_transformers vm spec ctx;
-     for i = 0 to ctx.n_pairs - 1 do
-       run_pair vm ctx i
-     done;
-     finish_transformers ()
-   with e ->
-     finish_transformers ();
-     raise e);
-  (* 7: drop the transformer class; the log is already unreachable *)
-  unload_transformer vm transformer_rc;
-  let t_end = now () in
-  Jv_obs.Obs.emit obs ~scope:"core.update" "phase.transform.done"
-    [
-      ("ms", Jv_obs.Obs.Float ((t_end -. t_gc) *. 1000.0));
-      ("pairs", Jv_obs.Obs.Int ctx.n_pairs);
-    ];
-  {
-    u_load_ms = (t_load -. t0) *. 1000.0;
-    u_gc_ms = (t_gc -. t_load) *. 1000.0;
-    u_transform_ms = (t_end -. t_gc) *. 1000.0;
-    u_total_ms = (t_end -. t0) *. 1000.0;
-    u_osr = List.length osr_frames;
-    u_invalidated_methods = invalidated;
-    u_transformed_objects = gcres.Gc.transformed_objects;
-    u_copied_objects = gcres.Gc.copied_objects;
-  }
+  match run () with
+  | timings ->
+      Txn.commit vm txn;
+      Ok timings
+  | exception e ->
+      let reason, killed_at =
+        match e with
+        | Update_error m -> (m, None)
+        | Faults.Injected pt -> ("injected fault at " ^ pt, None)
+        | Faults.Killed pt -> ("VM killed at " ^ pt, Some pt)
+        | Interp.Sync_trap m -> ("transformer trap: " ^ m, None)
+        | Jv_vm.Jit.Compile_error m -> ("jit: " ^ m, None)
+        | Classloader.Load_error errs ->
+            ("load: " ^ String.concat "; " errs, None)
+        | e ->
+            (* unrecoverable VM conditions (e.g. to-space overflow
+               mid-collection) are outside the fault model *)
+            Txn.commit vm txn;
+            raise e
+      in
+      let rt0 = now () in
+      (match !frame_snaps with
+      | [] -> ()
+      | snaps -> List.iter2 restore_frame osr_frames snaps);
+      let rolled_back, rollback_note =
+        match Txn.rollback ~update_log:!update_log vm txn with
+        | () -> (
+            match Txn.audit vm txn with
+            | Ok () -> (true, "")
+            | Error why -> (false, "; audit: " ^ why))
+        | exception ex ->
+            (false, "; rollback raised: " ^ Printexc.to_string ex)
+      in
+      (match killed_at with
+      | Some pt -> vm.State.killed <- Some pt
+      | None -> ());
+      let rollback_ms = (now () -. rt0) *. 1000.0 in
+      Jv_obs.Obs.incr obs "core.update.rollbacks";
+      Jv_obs.Obs.observe obs "core.update.rollback_ms" rollback_ms;
+      Jv_obs.Obs.emit obs ~scope:"core.update" "update.rollback"
+        [
+          ("phase", Jv_obs.Obs.Str (phase_to_string !phase));
+          ("reason", Jv_obs.Obs.Str reason);
+          ("ok", Jv_obs.Obs.Str (string_of_bool rolled_back));
+          ("ms", Jv_obs.Obs.Float rollback_ms);
+        ];
+      Error
+        {
+          a_phase = !phase;
+          a_reason = reason ^ rollback_note;
+          a_rolled_back = rolled_back;
+          a_rollback_ms = rollback_ms;
+        }

@@ -19,6 +19,31 @@ type timings = {
   u_copied_objects : int;
 }
 
+(** Which phase of the update an abort happened in. *)
+type phase =
+  | P_sync  (** never reached [apply]: safe-point timeout, prepare error *)
+  | P_load  (** metadata installation, clinits, transformer install *)
+  | P_gc  (** the transforming collection *)
+  | P_transform  (** class and object transformers *)
+  | P_osr  (** on-stack replacement of parked frames *)
+
+val phase_to_string : phase -> string
+
+(** A typed abort: the update did not apply, and — when [a_rolled_back]
+    holds — the transaction restored the VM to the pre-update state and
+    the post-rollback metadata audit passed. *)
+type abort = {
+  a_phase : phase;
+  a_reason : string;
+  a_rolled_back : bool;
+  a_rollback_ms : float;
+}
+
+val sync_abort : string -> abort
+(** An abort before [apply] ever ran (nothing to roll back). *)
+
+val abort_to_string : abort -> string
+
 (** The individual steps, exposed for the baseline updaters (hotswap and
     lazy indirection reuse the metadata phases without the GC pass): *)
 
@@ -53,8 +78,12 @@ val apply :
   Transformers.prepared ->
   restricted:Safepoint.restricted ->
   osr_frames:State.frame list ->
-  timings
+  (timings, abort) result
 (** The full update, to be called with all threads stopped at a DSU safe
     point; [osr_frames] are the category-(2) frames {!Safepoint.check}
-    found.  Raises {!Update_error} (e.g. transformer trap or cyclic
-    transformer dependency — paper §3.4). *)
+    found.  Runs inside a {!Txn}: any failure — transformer trap, cyclic
+    transformer dependency (paper §3.4), or an injected fault at the
+    [updater.load] / [updater.gc] / [updater.transform] / [updater.osr]
+    points — rolls the VM back to the pre-update snapshot and returns
+    [Error abort].  A [Faults.Killed] injection additionally marks the VM
+    killed ([State.killed]) after the rollback. *)

@@ -58,6 +58,16 @@ let detach_loads t =
   List.iter Driver.detach t.drivers;
   t.drivers <- []
 
+(* Arm (or disarm) one chaos plan across the whole fleet: every instance
+   VM (its [updater.*] points and scheduler kill switch) and every
+   instance network (the LB-to-backend links cross each instance's own
+   simnet, so [net.*] faults partition exactly that path). *)
+let set_faults t f =
+  Array.iter
+    (fun (i : Instance.t) -> VM.Vm.set_faults i.Instance.i_vm f)
+    t.instances;
+  Option.iter (fun p -> Jv_faults.Faults.set_obs p t.obs) f
+
 let round t =
   t.ticks <- t.ticks + 1;
   Array.iter Instance.round t.instances;

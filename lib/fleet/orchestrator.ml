@@ -32,6 +32,11 @@ type params = {
   use_osr : bool;
   use_barriers : bool;
   max_rounds : int; (* hard stop for the whole rollout *)
+  max_retries : int; (* re-attempts per instance after a clean abort *)
+  backoff_base : int; (* rounds before retry #1; doubles per attempt *)
+  on_exhausted : [ `Halt | `Quarantine ];
+      (* retries spent: halt + roll everything back (default), or
+         quarantine the instance and finish the rollout on survivors *)
 }
 
 let default_params mode =
@@ -45,6 +50,9 @@ let default_params mode =
     use_osr = true;
     use_barriers = true;
     max_rounds = 50_000;
+    max_retries = 0;
+    backoff_base = 40;
+    on_exhausted = `Halt;
   }
 
 (* --- results ----------------------------------------------------------- *)
@@ -57,6 +65,10 @@ type result = {
   r_aborted : (int * string) list; (* forward update aborts *)
   r_unhealthy : (int * string) list; (* failed health checks / gates *)
   r_rollback_failed : (int * string) list;
+  r_quarantined : (int * string) list;
+      (* removed from the fleet: VM killed, rollback failed, or retries
+         spent under [`Quarantine] *)
+  r_retries : int; (* per-instance update re-attempts performed *)
   r_rounds : int;
   r_mixed_window : int; (* rounds the fleet ran mixed versions *)
   r_drain_timeouts : int;
@@ -74,10 +86,16 @@ let pp_result ppf r =
     (List.length r.r_unhealthy)
     (match r.r_halted with None -> "" | Some why -> " (" ^ why ^ ")")
     r.r_rounds r.r_mixed_window
-    (if r.r_rollback_failed = [] then ""
-     else
-       Printf.sprintf ", ROLLBACK FAILED on %d instance(s)"
-         (List.length r.r_rollback_failed))
+    ((if r.r_retries = 0 then ""
+      else Printf.sprintf ", %d retries" r.r_retries)
+    ^ (if r.r_quarantined = [] then ""
+       else
+         Printf.sprintf ", %d quarantined" (List.length r.r_quarantined))
+    ^
+    if r.r_rollback_failed = [] then ""
+    else
+      Printf.sprintf ", ROLLBACK FAILED on %d instance(s)"
+        (List.length r.r_rollback_failed))
 
 (* --- the state machine ------------------------------------------------- *)
 
@@ -91,8 +109,13 @@ type stage =
       mutable needed : (int * int) list; (* id -> healthy probes still due *)
     }
   | Observe of { until : int; canaries : int list }
+  | Backoff of { until : int } (* waiting out a retry's backoff delay *)
 
-type wave = { w_ids : int list; w_observe : int option }
+type wave = {
+  w_ids : int list;
+  w_observe : int option;
+  w_not_before : int; (* retry waves: earliest tick to start (backoff) *)
+}
 
 type t = {
   fleet : Fleet.t;
@@ -109,6 +132,9 @@ type t = {
   mutable aborted : (int * string) list;
   mutable unhealthy : (int * string) list;
   mutable rollback_failed : (int * string) list;
+  mutable quarantined : (int * string) list;
+  attempts : (int, int) Hashtbl.t; (* id -> failed forward attempts *)
+  mutable retries : int;
   mutable reports : (int * J.Jvolve.attempt_report) list;
   mutable drain_timeouts : int;
   mutable first_mixed : int option; (* tick of the first version change *)
@@ -137,19 +163,15 @@ let chunk k xs =
   go [] [] 0 xs
 
 let make_waves mode ids =
+  let plain b = { w_ids = b; w_observe = None; w_not_before = 0 } in
   match mode with
-  | Rolling { batch_size } ->
-      List.map
-        (fun b -> { w_ids = b; w_observe = None })
-        (chunk (max 1 batch_size) ids)
+  | Rolling { batch_size } -> List.map plain (chunk (max 1 batch_size) ids)
   | Canary { canaries; observe_rounds; promote_batch } ->
       let k = max 1 (min canaries (List.length ids - 1)) in
       let cs = List.filteri (fun i _ -> i < k) ids in
       let rest = List.filteri (fun i _ -> i >= k) ids in
-      { w_ids = cs; w_observe = Some observe_rounds }
-      :: List.map
-           (fun b -> { w_ids = b; w_observe = None })
-           (chunk (max 1 promote_batch) rest)
+      { w_ids = cs; w_observe = Some observe_rounds; w_not_before = 0 }
+      :: List.map plain (chunk (max 1 promote_batch) rest)
 
 let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
     () =
@@ -205,6 +227,9 @@ let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
     aborted = [];
     unhealthy = [];
     rollback_failed = [];
+    quarantined = [];
+    attempts = Hashtbl.create 16;
+    retries = 0;
     reports = [];
     drain_timeouts = 0;
     first_mixed = None;
@@ -236,6 +261,17 @@ let set_status t ids status =
 
 let set_admit t ids admit =
   List.iter (fun id -> Lb.set_admit (lb t) ~id admit) ids
+
+(* Remove an instance from the fleet for good: its VM was killed, its
+   rollback failed (state not trusted), or its retries are spent under
+   [`Quarantine].  Never readmitted. *)
+let quarantine t id ~why =
+  t.quarantined <- (id, why) :: t.quarantined;
+  (inst t id).Instance.i_status <- Instance.Out_of_service;
+  Lb.set_admit (lb t) ~id false;
+  Jv_obs.Obs.incr (Fleet.obs t.fleet) "fleet.rollout.quarantined";
+  emit_ev t "instance.quarantine"
+    [ ("instance", Jv_obs.Obs.Int id); ("why", Jv_obs.Obs.Str why) ]
 
 (* --- stage entry ------------------------------------------------------- *)
 
@@ -276,9 +312,7 @@ let start_updates t ids =
   in
   t.stage <- Some (Update { handles })
 
-let start_wave t (w : wave) =
-  t.wave <- Some w;
-  t.wave_started <- now t;
+let enter_wave t (w : wave) =
   emit_ev t "wave.start" [ ("instances", ids_field w.w_ids) ];
   match t.direction with
   | Forward ->
@@ -294,6 +328,22 @@ let start_wave t (w : wave) =
   | Rollback _ ->
       (* reverting: skip the drain, halt exposure as fast as possible *)
       start_updates t w.w_ids
+
+let start_wave t (w : wave) =
+  t.wave <- Some w;
+  t.wave_started <- now t;
+  if w.w_not_before > now t then begin
+    (* a retry wave still inside its backoff window: the instance keeps
+       serving the old version until the delay elapses *)
+    emit_ev t "backoff.wait"
+      [
+        ("instances", ids_field w.w_ids);
+        ("until", Jv_obs.Obs.Int w.w_not_before);
+      ];
+    t.stage_started <- now t;
+    t.stage <- Some (Backoff { until = w.w_not_before })
+  end
+  else enter_wave t w
 
 let start_probes t ids =
   emit_ev t "probe.begin"
@@ -352,6 +402,8 @@ let finish t =
       ("mixed_window", Jv_obs.Obs.Int mixed);
       ("updated", Jv_obs.Obs.Int (List.length t.updated));
       ("rolled_back", Jv_obs.Obs.Int (List.length t.rolled_back));
+      ("quarantined", Jv_obs.Obs.Int (List.length t.quarantined));
+      ("retries", Jv_obs.Obs.Int t.retries);
     ];
   t.result <-
     Some
@@ -363,6 +415,8 @@ let finish t =
         r_aborted = List.rev t.aborted;
         r_unhealthy = List.rev t.unhealthy;
         r_rollback_failed = List.rev t.rollback_failed;
+        r_quarantined = List.rev t.quarantined;
+        r_retries = t.retries;
         r_rounds = rounds;
         r_mixed_window = mixed;
         r_drain_timeouts = t.drain_timeouts;
@@ -383,7 +437,14 @@ let begin_rollback t ~why =
   t.waves <-
     (match t.updated with
     | [] -> []
-    | ids -> [ { w_ids = List.sort compare ids; w_observe = None } ])
+    | ids ->
+        [
+          {
+            w_ids = List.sort compare ids;
+            w_observe = None;
+            w_not_before = 0;
+          };
+        ])
 
 let next_wave t =
   t.wave <- None;
@@ -435,21 +496,66 @@ let update_resolved t (w : wave) handles =
       | (J.Jvolve.Aborted _ | J.Jvolve.Pending), _ -> (
           let e =
             match h.J.Jvolve.h_outcome with
-            | J.Jvolve.Aborted e -> e
+            | J.Jvolve.Aborted a -> J.Updater.abort_to_string a
             | _ -> "still pending"
           in
           match t.direction with
           | Forward ->
               t.aborted <- (id, e) :: t.aborted;
-              failures := id :: !failures;
-              (* the instance never left the old version: readmit it *)
-              i.Instance.i_status <- Instance.In_service;
-              Lb.set_admit (lb t) ~id true
+              (* a killed VM, or an abort whose rollback did not restore
+                 the old version, cannot be trusted to serve or retry *)
+              let unreliable =
+                VM.Vm.killed i.Instance.i_vm <> None
+                || (match h.J.Jvolve.h_outcome with
+                   | J.Jvolve.Aborted a -> not a.J.Updater.a_rolled_back
+                   | _ -> false)
+              in
+              if unreliable then quarantine t id ~why:e
+              else begin
+                let n =
+                  (Option.value ~default:0 (Hashtbl.find_opt t.attempts id))
+                  + 1
+                in
+                Hashtbl.replace t.attempts id n;
+                if n <= t.params.max_retries then begin
+                  (* rolled back cleanly: serve the old version while the
+                     backoff elapses, then try again in its own wave *)
+                  i.Instance.i_status <- Instance.In_service;
+                  Lb.set_admit (lb t) ~id true;
+                  t.retries <- t.retries + 1;
+                  Jv_obs.Obs.incr (Fleet.obs t.fleet)
+                    "fleet.rollout.retries";
+                  let delay = t.params.backoff_base * (1 lsl (n - 1)) in
+                  emit_ev t "update.retry"
+                    [
+                      ("instance", Jv_obs.Obs.Int id);
+                      ("attempt", Jv_obs.Obs.Int n);
+                      ("backoff", Jv_obs.Obs.Int delay);
+                      ("reason", Jv_obs.Obs.Str e);
+                    ];
+                  t.waves <-
+                    {
+                      w_ids = [ id ];
+                      w_observe = None;
+                      w_not_before = now t + delay;
+                    }
+                    :: t.waves
+                end
+                else
+                  match t.params.on_exhausted with
+                  | `Quarantine ->
+                      quarantine t id ~why:("retries exhausted: " ^ e)
+                  | `Halt ->
+                      failures := id :: !failures;
+                      (* the instance never left the old version:
+                         readmit it *)
+                      i.Instance.i_status <- Instance.In_service;
+                      Lb.set_admit (lb t) ~id true
+              end
           | Rollback _ ->
               (* stuck on the new version: keep it out of service *)
               t.rollback_failed <- (id, e) :: t.rollback_failed;
-              i.Instance.i_status <- Instance.Out_of_service;
-              Lb.set_admit (lb t) ~id false))
+              quarantine t id ~why:e))
     handles;
   match t.direction with
   | Forward when !failures <> [] ->
@@ -520,8 +626,7 @@ let probe_step t (w : wave) ~live ~needed set_live set_needed =
           List.iter
             (fun (id, why) ->
               t.rollback_failed <- (id, why) :: t.rollback_failed;
-              (inst t id).Instance.i_status <- Instance.Out_of_service;
-              Lb.set_admit (lb t) ~id false)
+              quarantine t id ~why)
             !failed;
           if !still_live = [] then next_wave t)
   | [] ->
@@ -530,11 +635,19 @@ let probe_step t (w : wave) ~live ~needed set_live set_needed =
         Jv_obs.Obs.observe_int (Fleet.obs t.fleet)
           "fleet.rollout.probe_rounds"
           (now t - t.stage_started);
-        set_status t w.w_ids Instance.In_service;
-        set_admit t w.w_ids true;
+        (* never readmit what was quarantined out of this wave (killed
+           VM, failed rollback, exhausted retries) *)
+        let back =
+          List.filter
+            (fun id ->
+              (inst t id).Instance.i_status <> Instance.Out_of_service)
+            w.w_ids
+        in
+        set_status t back Instance.In_service;
+        set_admit t back true;
         emit_ev t "readmit"
           [
-            ("instances", ids_field w.w_ids);
+            ("instances", ids_field back);
             ("wave_ticks", Jv_obs.Obs.Int (now t - t.wave_started));
           ];
         match (t.direction, w.w_observe) with
@@ -635,7 +748,8 @@ let step t =
                 p.needed <-
                   (id, n) :: List.remove_assoc id p.needed)
         | Observe { until; canaries } ->
-            if now t >= until then observe_done t ~canaries)
+            if now t >= until then observe_done t ~canaries
+        | Backoff { until } -> if now t >= until then enter_wave t w)
   | None, Some _, None -> next_wave t
 
 let result t = t.result
@@ -657,6 +771,7 @@ let describe t =
         | Some (Update _) -> "awaiting safe points"
         | Some (Probe _) -> "health probing"
         | Some (Observe _) -> "observing canaries"
+        | Some (Backoff _) -> "backing off before retry"
         | None -> "starting"
       in
       Fmt.str "%s wave [%s]: %s" dir ids st

@@ -25,6 +25,10 @@ type conn = {
   mutable c_bytes_to_client : int;
   c_opened_at : int; (* sink tick at connect, for lifetime histograms *)
   mutable c_close_emitted : bool;
+  (* lines held back by a delay fault: (deliver-at tick, line), in send
+     order; flushed into the main queue by the receive paths *)
+  mutable c_delayed_to_server : (int * string) list;
+  mutable c_delayed_to_client : (int * string) list;
 }
 
 type listener = {
@@ -43,6 +47,9 @@ type t = {
   mutable bytes_to_client : int; (* throughput accounting *)
   mutable bytes_to_server : int;
   mutable obs : Jv_obs.Obs.t option; (* per-connection events and meters *)
+  (* armed chaos plan: the [net.connect] and [net.link] points live here.
+     Delay faults are timed on the attached sink's clock *)
+  mutable faults : Jv_faults.Faults.t option;
 }
 
 let create () =
@@ -55,11 +62,13 @@ let create () =
     bytes_to_client = 0;
     bytes_to_server = 0;
     obs = None;
+    faults = None;
   }
 
 (* Attach the owning VM's (or fleet's) sink; connection open/close events
    land in scope "net". *)
 let set_obs t sink = t.obs <- Some sink
+let set_faults t f = t.faults <- f
 
 let obs_tick t = match t.obs with None -> 0 | Some o -> Jv_obs.Obs.now o
 
@@ -98,6 +107,47 @@ let pop_q front back =
       match List.rev back with
       | [] -> None
       | v :: rest -> Some (v, rest, []))
+
+(* --- link faults ------------------------------------------------------- *)
+
+(* What a send must do under the armed plan.  One consultation per line. *)
+let link_verdict t = Jv_faults.Faults.link t.faults "net.link"
+
+let note_dropped t =
+  obs_incr t "net.fault_dropped_lines";
+  match t.obs with
+  | None -> ()
+  | Some o -> Jv_obs.Obs.emit o ~scope:"net" "line.dropped" []
+
+(* Move delay-held lines whose deliver-at tick has passed into the real
+   queue, preserving hold order. *)
+let flush_to_server t c =
+  match c.c_delayed_to_server with
+  | [] -> ()
+  | held ->
+      let tick = obs_tick t in
+      let ready, still = List.partition (fun (at, _) -> at <= tick) held in
+      c.c_delayed_to_server <- still;
+      List.iter
+        (fun (_, line) ->
+          let front, back = push_q c.to_server c.to_server_back line in
+          c.to_server <- front;
+          c.to_server_back <- back)
+        ready
+
+let flush_to_client t c =
+  match c.c_delayed_to_client with
+  | [] -> ()
+  | held ->
+      let tick = obs_tick t in
+      let ready, still = List.partition (fun (at, _) -> at <= tick) held in
+      c.c_delayed_to_client <- still;
+      List.iter
+        (fun (_, line) ->
+          let front, back = push_q c.to_client c.to_client_back line in
+          c.to_client <- front;
+          c.to_client_back <- back)
+        ready
 
 (* --- server side (used by VM natives) --- *)
 
@@ -148,6 +198,7 @@ let conn t id =
    thread must block. *)
 let recv_line t ~conn_id =
   let c = conn t conn_id in
+  flush_to_server t c;
   match pop_q c.to_server c.to_server_back with
   | Some (s, front, back) ->
       c.to_server <- front;
@@ -159,14 +210,21 @@ let can_recv t ~conn_id =
   match Hashtbl.find_opt t.conns conn_id with
   | None -> true (* let the native re-run and fail loudly *)
   | Some c ->
+      flush_to_server t c;
       c.to_server <> [] || c.to_server_back <> [] || c.closed_by_client
 
 let send t ~conn_id line =
   let c = conn t conn_id in
   if not c.closed_by_server then begin
-    let front, back = push_q c.to_client c.to_client_back line in
-    c.to_client <- front;
-    c.to_client_back <- back;
+    (match link_verdict t with
+    | `Drop -> note_dropped t
+    | `Delay n ->
+        c.c_delayed_to_client <-
+          c.c_delayed_to_client @ [ (obs_tick t + n, line) ]
+    | `Ok ->
+        let front, back = push_q c.to_client c.to_client_back line in
+        c.to_client <- front;
+        c.to_client_back <- back);
     t.bytes_to_client <- t.bytes_to_client + String.length line + 1;
     c.c_bytes_to_client <- c.c_bytes_to_client + String.length line + 1;
     obs_incr t ~by:(String.length line + 1) "net.bytes_to_client"
@@ -186,6 +244,11 @@ let connect t ~port =
   match List.assoc_opt port t.listeners with
   | None -> None
   | Some l when not l.open_ -> None
+  | Some _
+    when Jv_faults.Faults.link t.faults "net.connect" <> `Ok ->
+      (* connection refused by an armed fault (partition) *)
+      obs_incr t "net.fault_refused_conns";
+      None
   | Some l ->
       let id = t.next_conn in
       t.next_conn <- id + 1;
@@ -202,6 +265,8 @@ let connect t ~port =
           c_bytes_to_client = 0;
           c_opened_at = obs_tick t;
           c_close_emitted = false;
+          c_delayed_to_server = [];
+          c_delayed_to_client = [];
         }
       in
       Hashtbl.replace t.conns id c;
@@ -221,9 +286,15 @@ let connect t ~port =
 let client_send t ~conn_id line =
   let c = conn t conn_id in
   if not c.closed_by_client then begin
-    let front, back = push_q c.to_server c.to_server_back line in
-    c.to_server <- front;
-    c.to_server_back <- back;
+    (match link_verdict t with
+    | `Drop -> note_dropped t
+    | `Delay n ->
+        c.c_delayed_to_server <-
+          c.c_delayed_to_server @ [ (obs_tick t + n, line) ]
+    | `Ok ->
+        let front, back = push_q c.to_server c.to_server_back line in
+        c.to_server <- front;
+        c.to_server_back <- back);
     t.bytes_to_server <- t.bytes_to_server + String.length line + 1;
     c.c_bytes_to_server <- c.c_bytes_to_server + String.length line + 1;
     obs_incr t ~by:(String.length line + 1) "net.bytes_to_server"
@@ -231,6 +302,7 @@ let client_send t ~conn_id line =
 
 let client_recv t ~conn_id =
   let c = conn t conn_id in
+  flush_to_client t c;
   match pop_q c.to_client c.to_client_back with
   | Some (s, front, back) ->
       c.to_client <- front;
@@ -249,6 +321,7 @@ let client_can_recv t ~conn_id =
   match Hashtbl.find_opt t.conns conn_id with
   | None -> true (* let the native re-run and fail loudly *)
   | Some c ->
+      flush_to_client t c;
       c.to_client <> [] || c.to_client_back <> [] || c.closed_by_server
 
 let server_closed t ~conn_id =

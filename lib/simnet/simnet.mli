@@ -11,6 +11,14 @@ val set_obs : t -> Jv_obs.Obs.t -> unit
 (** Attach an observability sink: per-connection open/close events (scope
     ["net"]), byte counters, and connection lifetime/byte histograms. *)
 
+val set_faults : t -> Jv_faults.Faults.t option -> unit
+(** Arm (or disarm) a chaos plan on this network.  Armed points:
+    ["net.connect"] — a firing rule refuses the connection ([connect]
+    returns [None], as across a partition); ["net.link"] — consulted
+    once per sent line in either direction: [drop] discards the line,
+    [delay:N] holds it for N ticks of the attached sink's clock.
+    Delay faults require a sink ({!set_obs}) whose clock advances. *)
+
 exception Net_error of string
 
 (** {1 Server side (used by the VM natives)} *)

@@ -38,7 +38,12 @@ let obj_size (vm : State.t) space addr =
     Heap.array_header_words + space.(addr + Heap.off_array_len)
   else cls.Rt.size_words
 
-let collect ?plan (vm : State.t) : result =
+(* [redirect] (new addr -> old-copy addr, decoded from an update log) is
+   the updater's transaction-rollback mechanism: forwarding chases the
+   redirect first, so every reference that landed on a half-transformed
+   new-layout object is moved back to its pristine old copy and the new
+   objects die with this collection. *)
+let collect ?plan ?redirect (vm : State.t) : result =
   let t0 = Unix.gettimeofday () in
   let heap = vm.State.heap in
   let from = Heap.flip heap in
@@ -59,6 +64,11 @@ let collect ?plan (vm : State.t) : result =
   in
   let space () = heap.Heap.space in
   let rec forward addr =
+    let addr =
+      match redirect with
+      | None -> addr
+      | Some r -> Option.value ~default:addr (Hashtbl.find_opt r addr)
+    in
     let gcw = from.(addr + Heap.off_gc) in
     if gcw < 0 then -(gcw + 1) (* already forwarded *)
     else begin

@@ -23,7 +23,14 @@ type result = {
           while transformers run *)
 }
 
-val collect : ?plan:transform_plan -> State.t -> result
+val collect :
+  ?plan:transform_plan -> ?redirect:(int, int) Hashtbl.t -> State.t -> result
 (** Roots: the JTOC, every thread frame's locals and live operand stack,
     pending native arguments, [State.extra_roots] arrays (rewritten in
-    place), and the indirection baseline's handle table. *)
+    place), and the indirection baseline's handle table.
+
+    [redirect] (new addr → old-copy addr, decoded from an update log) is
+    the updater's transaction rollback: forwarding chases the redirect
+    first, so every reference that landed on a half-transformed
+    new-layout object moves back to its pristine old copy, and the new
+    objects die with this collection. *)

@@ -40,6 +40,8 @@ let reap vm =
       vm.State.threads
 
 let round vm =
+  if vm.State.killed <> None then ()
+  else begin
   vm.State.ticks <- vm.State.ticks + 1;
   List.iter (fun f -> f vm) vm.State.pollers;
   wake_blocked vm;
@@ -62,6 +64,7 @@ let round vm =
   (* all threads parked at safe points: attempt any pending update *)
   (match vm.State.dsu_attempt with Some f -> f vm | None -> ());
   reap vm
+  end
 
 let run_rounds vm n =
   for _ = 1 to n do
@@ -72,7 +75,8 @@ let run_rounds vm n =
    thread is runnable, or blocked on a condition that is already (or will
    become) ready.  Sleepers always become ready as ticks advance. *)
 let progress_possible vm =
-  vm.State.dsu_attempt <> None
+  vm.State.killed = None
+  && (vm.State.dsu_attempt <> None
   || List.exists
        (fun (t : State.vthread) ->
          match t.State.tstate with
@@ -80,7 +84,7 @@ let progress_possible vm =
          | State.T_blocked (State.B_sleep _) -> true
          | State.T_blocked r -> block_ready vm r
          | _ -> false)
-       vm.State.threads
+       vm.State.threads)
 
 (* Run until no thread can make progress (all done/trapped, or everything
    blocked on I/O with no poller to unblock it), or until [max_rounds]. *)

@@ -120,6 +120,12 @@ type t = {
   (* word arrays that the GC must treat as extra roots and rewrite
      (e.g. the update log while transformers run) *)
   mutable extra_roots : int array list;
+  (* --- fault injection --------------------------------------------- *)
+  (* armed chaos plan, consulted at the updater's injection points *)
+  mutable faults : Jv_faults.Faults.t option;
+  (* a [Faults.Kill] fired: the VM is dead, as after a process crash.
+     The scheduler stops running rounds; the payload names the point *)
+  mutable killed : string option;
   (* --- statistics --------------------------------------------------- *)
   mutable compile_count : int;
   mutable opt_compile_count : int;
@@ -173,6 +179,8 @@ let create ?(config = default_config) () =
     force_transform = None;
     lazy_hook = None;
     extra_roots = [];
+    faults = None;
+    killed = None;
     compile_count = 0;
     opt_compile_count = 0;
     osr_count = 0;

@@ -25,6 +25,16 @@ let gc vm = Gc.collect vm
 let add_poller (vm : t) f = vm.State.pollers <- vm.State.pollers @ [ f ]
 let clear_pollers (vm : t) = vm.State.pollers <- []
 
+(* Arm a chaos plan on this VM: the updater's injection points, and the
+   VM's own simnet links, consult it.  [None] disarms. *)
+let set_faults (vm : t) f =
+  vm.State.faults <- f;
+  Jv_simnet.Simnet.set_faults vm.State.net f;
+  Option.iter (fun p -> Jv_faults.Faults.set_obs p vm.State.obs) f
+
+let faults (vm : t) = vm.State.faults
+let killed (vm : t) = vm.State.killed
+
 let live_threads = State.live_threads
 
 type stats = {

@@ -42,6 +42,18 @@ val add_poller : t -> (State.t -> unit) -> unit
 val clear_pollers : t -> unit
 val live_threads : t -> State.vthread list
 
+val set_faults : t -> Jv_faults.Faults.t option -> unit
+(** Arm (or disarm, with [None]) a chaos plan on this VM: the updater's
+    injection points and this VM's simnet links consult it, and its
+    fires are reported to this VM's sink. *)
+
+val faults : t -> Jv_faults.Faults.t option
+
+val killed : t -> string option
+(** [Some point] once a [kill] fault fired: the VM is dead (the
+    scheduler no-ops), as after a process crash before the update
+    transaction committed. *)
+
 type stats = {
   instr_count : int;
   compile_count : int;

@@ -144,7 +144,8 @@ let ftp_108_busy_vs_idle () =
   in
   let h = J.Jvolve.update_now ~timeout_rounds:80 vm spec in
   (match h.J.Jvolve.h_outcome with
-  | J.Jvolve.Aborted e ->
+  | J.Jvolve.Aborted a ->
+      let e = J.Updater.abort_to_string a in
       if not (Helpers.contains e "RequestHandler.run") then
         Alcotest.failf "abort should blame RequestHandler.run: %s" e
   | o ->

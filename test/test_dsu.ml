@@ -34,7 +34,8 @@ let check_applied (h : J.Jvolve.handle) =
 
 let check_aborted (h : J.Jvolve.handle) ~substr =
   match h.J.Jvolve.h_outcome with
-  | J.Jvolve.Aborted e ->
+  | J.Jvolve.Aborted a ->
+      let e = J.Updater.abort_to_string a in
       if not (Helpers.contains e substr) then
         Alcotest.failf "abort reason %S does not mention %S" e substr
   | o -> Alcotest.failf "expected abort, got %s" (J.Jvolve.outcome_to_string o)

@@ -83,7 +83,8 @@ let without_extension_blocks () =
      never leaves the stack -> timeout *)
   let h, _ = run_case ~opt_osr:false in
   match h.J.Jvolve.h_outcome with
-  | J.Jvolve.Aborted e ->
+  | J.Jvolve.Aborted a ->
+      let e = J.Updater.abort_to_string a in
       if not (Helpers.contains e "work") then
         Alcotest.failf "abort should blame Main.work: %s" e
   | o -> Alcotest.failf "expected abort, got %s" (J.Jvolve.outcome_to_string o)

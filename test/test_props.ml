@@ -339,6 +339,98 @@ let classification_matches =
           d.J.Diff.class_updates = [ "A" ]
           && d.J.Diff.stats.J.Diff.s_methods_added = 1)
 
+(* --- fault schedules never leave the fleet permanently mixed --------------- *)
+
+(* Arbitrary fault schedule over a rolling rollout with retry/backoff:
+   whatever fires, the fleet converges — every in-service instance ends
+   on one version (all-old after a coherent halt, all-new after retries
+   succeed), with incoherent survivors quarantined, and the dropped
+   in-flight connection count stays bounded by the work the rollout
+   actually attempted. *)
+
+module F = Jv_fleet
+module Faults = Jv_faults.Faults
+
+let gen_schedule =
+  QCheck.Gen.(
+    tup4 (int_range 0 30) (int_bound 1000)
+      (oneofl [ "updater.transform"; "updater.gc"; "updater.load"; "updater.*" ])
+      bool)
+
+let print_schedule (rate_pct, seed, point, quarantine) =
+  Printf.sprintf "{rate=%d%%; seed=%d; point=%s; on_exhausted=%s}" rate_pct
+    seed point
+    (if quarantine then "Quarantine" else "Halt")
+
+let fleet_config =
+  { VM.State.default_config with VM.State.heap_words = 1 lsl 18 }
+
+let rollout_converges =
+  QCheck.Test.make ~count:6
+    ~name:"faulty rollouts converge to one version (or quarantine)"
+    (QCheck.make ~print:print_schedule gen_schedule)
+    (fun (rate_pct, seed, point, quarantine) ->
+      let size = 3 in
+      let fleet =
+        F.Fleet.create ~config:fleet_config ~policy:F.Lb.Round_robin
+          ~profile:F.Profile.miniweb ~version:"5.1.1" ~size ()
+      in
+      F.Fleet.run fleet ~rounds:30;
+      ignore (F.Fleet.attach_load ~concurrency:(2 * size) fleet);
+      F.Fleet.run fleet ~rounds:60;
+      let plan = Faults.create ~seed () in
+      if rate_pct > 0 then
+        Faults.arm plan ~point ~rate:(float_of_int rate_pct /. 100.0)
+          Faults.Raise;
+      F.Fleet.set_faults fleet (Some plan);
+      let params =
+        {
+          (F.Orchestrator.default_params
+             (F.Orchestrator.Rolling { batch_size = 1 }))
+          with
+          F.Orchestrator.update_timeout = 200;
+          max_retries = 2;
+          backoff_base = 10;
+          on_exhausted = (if quarantine then `Quarantine else `Halt);
+        }
+      in
+      let r = F.Orchestrator.run ~params ~fleet ~to_version:"5.1.2" () in
+      F.Fleet.set_faults fleet None;
+      F.Fleet.run fleet ~rounds:30;
+      let in_service =
+        List.filter
+          (fun (i : F.Instance.t) ->
+            i.F.Instance.i_status <> F.Instance.Out_of_service)
+          (F.Fleet.instances fleet)
+      in
+      let converged =
+        match F.Fleet.uniform_version fleet with
+        | Some ("5.1.1" | "5.1.2") -> true
+        | Some v -> QCheck.Test.fail_reportf "stray version %s" v
+        | None ->
+            if in_service = [] then true (* everything quarantined *)
+            else
+              QCheck.Test.fail_reportf
+                "permanently mixed: %s"
+                (String.concat ","
+                   (List.map
+                      (fun (i : F.Instance.t) -> i.F.Instance.i_version)
+                      in_service))
+      in
+      let attempts =
+        List.length r.F.Orchestrator.r_updated
+        + List.length r.F.Orchestrator.r_rolled_back
+        + List.length r.F.Orchestrator.r_aborted
+        + List.length r.F.Orchestrator.r_quarantined
+        + r.F.Orchestrator.r_retries
+      in
+      let dropped = F.Fleet.dropped_in_flight fleet in
+      (* each attempt drains at most the instance's in-flight window *)
+      let bound = (attempts + size) * 2 * size in
+      if dropped > bound then
+        QCheck.Test.fail_reportf "dropped %d conns > bound %d" dropped bound;
+      converged)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest arith_agrees;
@@ -346,4 +438,5 @@ let suite =
     QCheck_alcotest.to_alcotest default_transformer_preserves;
     QCheck_alcotest.to_alcotest inverse_roundtrip;
     QCheck_alcotest.to_alcotest classification_matches;
+    QCheck_alcotest.to_alcotest rollout_converges;
   ]
