@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke clean
 
 all:
 	dune build @all
@@ -25,10 +25,20 @@ bench-smoke:
 # Fixed-seed chaos probe: inject a fault into every update phase and a
 # 20% fault rate into a rolling rollout, then check that every abort
 # rolled back (zero half-installed class tables) and the fleet converged.
+# Runs with the heap verifier on, so a rollback that corrupted the heap
+# would show up as a dirty abort.
 chaos-smoke:
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe chaos | tee _build/chaos-smoke.out
 	grep -q "half-installed tables:   0" _build/chaos-smoke.out
 	grep -q "rate  20%: converged" _build/chaos-smoke.out
+
+# Safety probe: looping / throwing / heap-corrupting transformers on all
+# three apps must abort with a clean, re-verified rollback while the VM
+# keeps serving.
+safety-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe safety | tee _build/safety-smoke.out
+	grep -q "gauntlet: 9/9 contained" _build/safety-smoke.out
+	grep -q "0 dirty rollbacks" _build/safety-smoke.out
 
 clean:
 	dune clean

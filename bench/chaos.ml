@@ -29,9 +29,15 @@ let phases =
     ("updater.transform", "transform");
   ]
 
+(* run the whole suite with the post-transform / post-rollback heap
+   verifier on: a fault-induced rollback that corrupts the heap fails
+   the abort audit instead of passing silently *)
+let chaos_config =
+  { A.Experience.default_config with VM.State.verify_heap = true }
+
 let boot_web_loaded () =
   let d = A.Experience.web_desc in
-  let vm = A.Experience.boot_version d ~version:"5.1.1" in
+  let vm = A.Experience.boot_version ~config:chaos_config d ~version:"5.1.1" in
   let loads = A.Experience.attach_loads vm d ~concurrency:4 in
   VM.Vm.run vm ~rounds:80;
   (vm, loads)
@@ -90,8 +96,10 @@ let rates = if Support.quick then [ 0.0; 0.2 ] else [ 0.0; 0.05; 0.1; 0.2 ]
 
 let boot_fleet ~size =
   let fleet =
-    F.Fleet.create ~policy:F.Lb.Round_robin ~profile:F.Profile.miniweb
-      ~version:"5.1.1" ~size ()
+    F.Fleet.create
+      ~config:{ F.Instance.default_config with VM.State.verify_heap = true }
+      ~policy:F.Lb.Round_robin ~profile:F.Profile.miniweb ~version:"5.1.1"
+      ~size ()
   in
   F.Fleet.run fleet ~rounds:30;
   ignore (F.Fleet.attach_load ~concurrency:(2 * size) fleet);

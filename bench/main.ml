@@ -12,13 +12,15 @@
      dune exec bench/main.exe fleet        # multi-VM rollout orchestration
      dune exec bench/main.exe chaos        # fault injection: abort cost,
                                            # convergence under fault rates
+     dune exec bench/main.exe safety       # admission latency, verifier
+                                           # pause cost, fault gauntlet
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|chaos|all]";
+     ablation|micro|fleet|chaos|safety|all]";
   exit 1
 
 let run_one = function
@@ -30,6 +32,7 @@ let run_one = function
   | "micro" -> Micro.run ()
   | "fleet" -> Fleet.run ()
   | "chaos" -> Chaos.run ()
+  | "safety" -> Safety.run ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)
@@ -40,7 +43,8 @@ let run_one = function
       Ablation.run ();
       Micro.run ();
       Fleet.run ();
-      Chaos.run ()
+      Chaos.run ();
+      Safety.run ()
   | _ -> usage ()
 
 let () =

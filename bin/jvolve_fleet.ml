@@ -18,8 +18,9 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
-    timeout_rounds probes max_retries backoff_base quarantine faults
-    fault_seed concurrency policy trace metrics verbose =
+    timeout_rounds probes max_retries backoff_base quarantine admit_strict
+    verify_heap transformer_fuel faults fault_seed concurrency policy trace
+    metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -64,7 +65,15 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           probes_required = probes;
           max_retries;
           backoff_base;
+          admit_strict;
           on_exhausted = (if quarantine then `Quarantine else `Halt);
+        }
+      in
+      let config =
+        {
+          F.Instance.default_config with
+          Jv_vm.State.verify_heap;
+          transformer_fuel;
         }
       in
       let plan =
@@ -89,7 +98,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
         Printf.printf "booting %d %s instance(s) on %s...\n%!" size app_name
           from_v;
         let fleet =
-          F.Fleet.create ~policy ~profile ~version:from_v ~size ()
+          F.Fleet.create ~config ~policy ~profile ~version:from_v ~size ()
         in
         F.Fleet.set_faults fleet plan;
         F.Fleet.run fleet ~rounds:30;
@@ -240,6 +249,22 @@ let quarantine =
                finish the rollout on the survivors instead of halting \
                and rolling everything back.")
 
+let admit_strict =
+  Arg.(value & flag & info [ "admit-strict" ]
+         ~doc:"Promote admission-control warnings (e.g. a field silently \
+               changing type across the update) to rejections.")
+
+let verify_heap =
+  Arg.(value & flag & info [ "verify-heap" ]
+         ~doc:"On every instance, walk the whole heap after each update's \
+               transform phase (and after any rollback); a failed \
+               post-rollback verify quarantines the instance.")
+
+let transformer_fuel =
+  Arg.(value & opt int Jv_vm.State.default_config.Jv_vm.State.transformer_fuel
+         & info [ "transformer-fuel" ] ~docv:"N"
+             ~doc:"Machine-instruction budget per transformer invocation.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
          ~doc:"Arm a deterministic fault plan on every instance VM and \
@@ -286,7 +311,8 @@ let cmd =
     Term.(
       const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
       $ observe $ drain_timeout $ timeout_rounds $ probes $ max_retries
-      $ backoff_base $ quarantine $ faults $ fault_seed $ concurrency
-      $ policy $ trace $ metrics $ verbose)
+      $ backoff_base $ quarantine $ admit_strict $ verify_heap
+      $ transformer_fuel $ faults $ fault_seed $ concurrency $ policy
+      $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,7 +32,8 @@ let emit_trace obs = function
   | Some file -> write_file file (Jv_obs.Export.jsonl obs)
 
 let run path main_class rounds update_path at tag transformers_path
-    timeout_rounds faults fault_seed trace metrics verbose =
+    timeout_rounds admit_strict verify_heap transformer_fuel faults
+    fault_seed trace metrics verbose =
   try
     let plan =
       match faults with
@@ -45,7 +46,10 @@ let run path main_class rounds update_path at tag transformers_path
               exit 1)
     in
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
-    let vm = VM.Vm.create () in
+    let config =
+      { VM.State.default_config with VM.State.verify_heap; transformer_fuel }
+    in
+    let vm = VM.Vm.create ~config () in
     VM.Vm.set_faults vm plan;
     VM.Vm.boot vm old_program;
     ignore (VM.Vm.spawn_main vm ~main_class);
@@ -59,7 +63,7 @@ let run path main_class rounds update_path at tag transformers_path
           J.Spec.make ~transformer_src ~version_tag:tag ~old_program
             ~new_program ()
         in
-        let h = J.Jvolve.update_now ~timeout_rounds vm spec in
+        let h = J.Jvolve.update_now ~timeout_rounds ~admit_strict vm spec in
         Printf.eprintf "[jvolve] update at round %d: %s\n" at
           (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
         (match VM.Vm.killed vm with
@@ -128,6 +132,24 @@ let timeout_rounds =
              ~doc:"Abort the update if no safe point is reached within $(docv) \
                    scheduler rounds (the paper's 15s abort timeout).")
 
+let admit_strict =
+  Arg.(value & flag & info [ "admit-strict" ]
+         ~doc:"Promote admission-control warnings (e.g. a field silently \
+               changing type across the update) to rejections.")
+
+let verify_heap =
+  Arg.(value & flag & info [ "verify-heap" ]
+         ~doc:"Walk the whole heap after the transform phase (and after \
+               any rollback) checking headers, reference-field types and \
+               statics; a failed verify aborts the update.")
+
+let transformer_fuel =
+  Arg.(value & opt int VM.State.default_config.VM.State.transformer_fuel
+         & info [ "transformer-fuel" ] ~docv:"N"
+             ~doc:"Machine-instruction budget per transformer invocation; \
+                   a transformer that exceeds it traps and the update \
+                   aborts.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
          ~doc:"Arm a deterministic fault plan: comma-separated \
@@ -159,7 +181,7 @@ let cmd =
     (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
     Term.(
       const run $ path $ main_class $ rounds $ update_path $ at $ tag
-      $ transformers_path $ timeout_rounds $ faults $ fault_seed $ trace
-      $ metrics $ verbose)
+      $ transformers_path $ timeout_rounds $ admit_strict $ verify_heap
+      $ transformer_fuel $ faults $ fault_seed $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

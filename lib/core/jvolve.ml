@@ -60,6 +60,7 @@ let record_outcome vm h outcome =
       Jv_obs.Obs.observe obs "core.update.gc_ms" t.Updater.u_gc_ms;
       Jv_obs.Obs.observe obs "core.update.transform_ms"
         t.Updater.u_transform_ms;
+      Jv_obs.Obs.observe obs "core.update.verify_ms" t.Updater.u_verify_ms;
       Jv_obs.Obs.observe_int obs "core.update.wait_rounds" waited;
       Jv_obs.Obs.observe_int obs "core.update.osr_frames" t.Updater.u_osr;
       Jv_obs.Obs.observe_int obs "core.update.transformed_objects"
@@ -146,9 +147,14 @@ let attempt h vm =
 
 (* Signal the VM that an update is available.  The update is applied by the
    scheduler at the next DSU safe point.  Raises [Busy] if another update
-   is already pending. *)
+   is already pending.
+
+   Admission control runs first (unless [admit] is false): a rejected
+   update resolves immediately as [Aborted] in phase [P_admit] — the
+   attempt hook is never installed, so the VM never pauses. *)
 let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
-    ?(use_barriers = true) vm (prepared : Transformers.prepared) : handle =
+    ?(use_barriers = true) ?(admit = true) ?(admit_strict = false) vm
+    (prepared : Transformers.prepared) : handle =
   if vm.State.dsu_attempt <> None then raise Busy;
   let h =
     {
@@ -165,7 +171,6 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
       h_sync_ms = 0.0;
     }
   in
-  vm.State.dsu_attempt <- Some (attempt h);
   Jv_obs.Obs.incr vm.State.obs "core.update.requests";
   Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.requested"
     [
@@ -173,18 +178,54 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
         Jv_obs.Obs.Str prepared.Transformers.p_spec.Spec.version_tag );
       ("timeout_rounds", Jv_obs.Obs.Int timeout_rounds);
     ];
+  let rejected =
+    if not admit then []
+    else begin
+      let rep = Admission.review prepared in
+      let obs = vm.State.obs in
+      Jv_obs.Obs.incr obs "core.admission.reviews";
+      Jv_obs.Obs.observe obs "core.admission.ms" rep.Admission.a_ms;
+      let warns =
+        List.length
+          (List.filter
+             (fun v -> v.Admission.v_severity = Admission.Warn)
+             rep.Admission.a_verdicts)
+      in
+      Jv_obs.Obs.incr ~by:warns obs "core.admission.warns";
+      let rej = Admission.rejections ~strict:admit_strict rep in
+      Jv_obs.Obs.incr ~by:(List.length rej) obs "core.admission.rejections";
+      if rej <> [] then
+        Jv_obs.Obs.emit obs ~scope:"core.admission" "admission.rejected"
+          [
+            ( "version",
+              Jv_obs.Obs.Str prepared.Transformers.p_spec.Spec.version_tag );
+            ("verdicts", Jv_obs.Obs.Str (String.concat "; " rej));
+            ("strict", Jv_obs.Obs.Str (string_of_bool admit_strict));
+          ];
+      rej
+    end
+  in
+  (match rejected with
+  | [] -> vm.State.dsu_attempt <- Some (attempt h)
+  | reasons ->
+      h.h_outcome <- Aborted (Updater.admission_abort reasons);
+      record_outcome vm h h.h_outcome);
   h
 
 (* Convenience: prepare from a spec and request in one step. *)
-let request_spec ?timeout_rounds ?use_osr ?use_barriers vm (spec : Spec.t) :
-    handle =
-  request ?timeout_rounds ?use_osr ?use_barriers vm (Transformers.prepare spec)
+let request_spec ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
+    vm (spec : Spec.t) : handle =
+  request ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict vm
+    (Transformers.prepare spec)
 
 (* Convenience for tests and benchmarks: request the update and drive the
    scheduler until it resolves (or [max_rounds] elapses). *)
-let update_now ?timeout_rounds ?use_osr ?use_barriers ?(max_rounds = 10_000)
-    vm spec : handle =
-  let h = request_spec ?timeout_rounds ?use_osr ?use_barriers vm spec in
+let update_now ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
+    ?(max_rounds = 10_000) vm spec : handle =
+  let h =
+    request_spec ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
+      vm spec
+  in
   let n = ref 0 in
   while h.h_outcome = Pending && !n < max_rounds do
     Jv_vm.Sched.round vm;

@@ -47,17 +47,26 @@ val request :
   ?timeout_rounds:int ->
   ?use_osr:bool ->
   ?use_barriers:bool ->
+  ?admit:bool ->
+  ?admit_strict:bool ->
   State.t ->
   Transformers.prepared ->
   handle
 (** Signal the VM: the scheduler will attempt the update at every safe
     point (and immediately whenever a return barrier fires) until it
-    applies or times out. *)
+    applies or times out.
+
+    {!Admission.review} runs first unless [admit] is [false]; a rejected
+    update resolves immediately as [Aborted] in phase [P_admit] and the
+    VM never pauses.  [admit_strict] promotes [Warn] verdicts (e.g. a
+    field silently changing type) to rejections. *)
 
 val request_spec :
   ?timeout_rounds:int ->
   ?use_osr:bool ->
   ?use_barriers:bool ->
+  ?admit:bool ->
+  ?admit_strict:bool ->
   State.t ->
   Spec.t ->
   handle
@@ -67,6 +76,8 @@ val update_now :
   ?timeout_rounds:int ->
   ?use_osr:bool ->
   ?use_barriers:bool ->
+  ?admit:bool ->
+  ?admit_strict:bool ->
   ?max_rounds:int ->
   State.t ->
   Spec.t ->

@@ -85,6 +85,21 @@ let default_object_body spec ~(cls : string) : string =
       |> String.concat "\n"
   | _ -> ""
 
+(* The transformer methods an update's layout closure requires: the
+   contract [generate_source] fulfils and admission control checks
+   against hand-written transformer sources. *)
+let transformer_method_sigs spec : (string * CF.Types.ty list) list =
+  let tag = spec.Spec.version_tag in
+  List.concat_map
+    (fun cls ->
+      [
+        ("jvolveClass", [ CF.Types.TRef cls ]);
+        ( "jvolveObject",
+          [ CF.Types.TRef cls; CF.Types.TRef (Spec.old_class_name ~tag cls) ]
+        );
+      ])
+    spec.Spec.diff.Diff.class_updates_closure
+
 let generate_source spec : string =
   let tag = spec.Spec.version_tag in
   let b = Buffer.create 1024 in

@@ -35,6 +35,7 @@ type timings = {
   u_load_ms : float; (* class installation + body swaps + OSR *)
   u_gc_ms : float;
   u_transform_ms : float;
+  u_verify_ms : float; (* post-transform heap integrity walk (0 if off) *)
   u_total_ms : float;
   u_osr : int;
   u_invalidated_methods : int;
@@ -45,38 +46,96 @@ type timings = {
 (* --- typed aborts -------------------------------------------------------- *)
 
 type phase =
+  | P_admit (* rejected by admission control; the VM never paused *)
   | P_sync (* never reached [apply]: safe-point timeout, prepare error *)
   | P_load (* metadata installation, clinits, transformer install *)
   | P_gc (* the transforming collection *)
   | P_transform (* class and object transformers *)
+  | P_verify (* the post-transform heap integrity walk *)
   | P_osr (* on-stack replacement of parked frames *)
 
 let phase_to_string = function
+  | P_admit -> "admit"
   | P_sync -> "sync"
   | P_load -> "load"
   | P_gc -> "gc"
   | P_transform -> "transform"
+  | P_verify -> "verify"
   | P_osr -> "osr"
+
+(* Where a transformer was executing when it failed. *)
+type transformer_site = {
+  ts_method : string; (* qualified transformer method *)
+  ts_class : string; (* class being transformed *)
+  ts_object : int; (* heap address of the object; 0 for class transformers *)
+}
+
+let site_desc s =
+  if s.ts_object = 0 then s.ts_class
+  else Printf.sprintf "%s@%d" s.ts_class s.ts_object
+
+type cause =
+  | C_generic
+  | C_injected of string (* fault-plan point that fired *)
+  | C_transformer_trap of transformer_site * string
+  | C_fuel_exhausted of transformer_site * int (* steps charged *)
+  | C_sandbox_violation of transformer_site * string
+  | C_heap_verify of string list (* verifier issues *)
+  | C_admission of string list (* rejecting verdicts *)
+
+let cause_to_string = function
+  | C_generic -> "error"
+  | C_injected pt -> "injected at " ^ pt
+  | C_transformer_trap (s, msg) ->
+      Printf.sprintf "transformer %s trapped on %s: %s" s.ts_method
+        (site_desc s) msg
+  | C_fuel_exhausted (s, steps) ->
+      Printf.sprintf "transformer %s out of fuel (%d steps) on %s"
+        s.ts_method steps (site_desc s)
+  | C_sandbox_violation (s, msg) ->
+      Printf.sprintf "transformer %s on %s: %s" s.ts_method (site_desc s) msg
+  | C_heap_verify issues ->
+      Printf.sprintf "heap verify: %d issue(s)" (List.length issues)
+  | C_admission verdicts ->
+      Printf.sprintf "admission: %d rejection(s)" (List.length verdicts)
 
 type abort = {
   a_phase : phase;
   a_reason : string;
+  a_cause : cause;
   a_rolled_back : bool;
-      (* the transaction rolled back and the post-rollback audit passed:
-         the VM is intact on the old version *)
+      (* the transaction rolled back and the post-rollback audit (and
+         heap verification, when enabled) passed: the VM is intact on
+         the old version *)
   a_rollback_ms : float;
 }
 
 let sync_abort reason =
-  { a_phase = P_sync; a_reason = reason; a_rolled_back = true;
-    a_rollback_ms = 0.0 }
+  { a_phase = P_sync; a_reason = reason; a_cause = C_generic;
+    a_rolled_back = true; a_rollback_ms = 0.0 }
+
+(* An update rejected before the VM paused: nothing was mutated, so the
+   "transaction" is trivially intact. *)
+let admission_abort reasons =
+  {
+    a_phase = P_admit;
+    a_reason = "admission: " ^ String.concat "; " reasons;
+    a_cause = C_admission reasons;
+    a_rolled_back = true;
+    a_rollback_ms = 0.0;
+  }
 
 let abort_to_string a =
   match a.a_phase with
-  | P_sync -> a.a_reason
+  | P_sync | P_admit -> a.a_reason
   | _ ->
       Printf.sprintf "[%s] %s%s" (phase_to_string a.a_phase) a.a_reason
         (if a.a_rolled_back then " (rolled back)" else " (ROLLBACK FAILED)")
+
+(* A transformer failure carrying its typed cause through the abort
+   machinery (the bare [Update_error] string keeps serving everything
+   that has no structure to preserve). *)
+exception Update_failure of cause * string
 
 let now () = Unix.gettimeofday ()
 
@@ -219,7 +278,66 @@ type transform_ctx = {
      "caching the lookup" optimization for the reflective dispatch *)
   method_cache : (int * int, Rt.rt_method) Hashtbl.t;
   carrier : State.vthread; (* reused for every transformer invocation *)
+  sandbox : State.sandbox; (* fuel accounting + write restriction *)
 }
+
+(* The transformer.* fault points simulate the three ways a bad
+   transformer misbehaves, each driven through the real enforcement
+   path rather than shortcutting to an abort: [transformer.loop] spends
+   the invocation's remaining fuel so the very next instruction trips
+   the budget; [transformer.throw] raises the trap a failing body
+   would; [transformer.badwrite] pushes a store to a non-writable
+   object (the old copy) through the sandbox's write gate. *)
+let consult_transformer_faults vm (sb : State.sandbox) ~bad_target =
+  (match Faults.check vm.State.faults "transformer.loop" with
+  | Some _ -> sb.State.sb_steps <- sb.State.sb_fuel
+  | None -> ());
+  (match Faults.check vm.State.faults "transformer.throw" with
+  | Some _ -> raise (Interp.Trap "injected: transformer.throw")
+  | None -> ());
+  match bad_target with
+  | None -> () (* class transformer: no object to mis-target *)
+  | Some addr -> (
+      match Faults.check vm.State.faults "transformer.badwrite" with
+      | Some _ ->
+          let saved = sb.State.sb_guard in
+          sb.State.sb_guard <- true;
+          Fun.protect
+            ~finally:(fun () -> sb.State.sb_guard <- saved)
+            (fun () ->
+              Interp.guard_write vm ~addr ~what:"putfield (injected)")
+      | None -> ())
+
+(* Classify a trapped transformer by the trap message the interpreter's
+   enforcement produced, and surface the typed cause. *)
+let fail_transformer vm (site : transformer_site) msg =
+  (* the failure is re-reported through the typed abort below; drop the
+     carrier thread's entry from the VM-wide trap log so a contained
+     transformer failure does not read as an app-thread crash *)
+  (match vm.State.trap_log with
+  | (_, m) :: rest when String.equal m msg -> vm.State.trap_log <- rest
+  | _ -> ());
+  let cause, reason =
+    if String.starts_with ~prefix:"transformer fuel exhausted" msg then
+      let steps =
+        match vm.State.sandbox with
+        | Some sb -> sb.State.sb_steps
+        | None -> 0
+      in
+      ( C_fuel_exhausted (site, steps),
+        Printf.sprintf
+          "%s exhausted its fuel budget (%d steps) transforming %s"
+          site.ts_method steps (site_desc site) )
+    else if String.starts_with ~prefix:"sandbox:" msg then
+      ( C_sandbox_violation (site, msg),
+        Printf.sprintf "%s transforming %s: %s" site.ts_method
+          (site_desc site) msg )
+    else
+      ( C_transformer_trap (site, msg),
+        Printf.sprintf "transformer %s trapped on %s: %s" site.ts_method
+          (site_desc site) msg )
+  in
+  raise (Update_failure (cause, reason))
 
 let build_index ctx vm =
   let h = Hashtbl.create (max 16 ctx.n_pairs) in
@@ -273,6 +391,13 @@ let rec run_pair vm ctx i =
                 uerr "no jvolveObject(%s, %s) in transformer class"
                   new_cls.Rt.name old_cls.Rt.name)
       in
+      let site =
+        {
+          ts_method = Rt.method_qname ctx.transformer_rc m;
+          ts_class = (Rt.class_by_id vm.State.reg new_cid).Rt.name;
+          ts_object = new_addr;
+        }
+      in
       (* reuse the carrier thread when it is free; recursive transforms
          (via the Jvolve.transform native) arrive while the carrier is
          mid-call and need their own thread *)
@@ -280,12 +405,23 @@ let rec run_pair vm ctx i =
         if ctx.carrier.State.frames = [] then Interp.call_on vm ctx.carrier m args
         else Interp.call_sync vm m args
       in
+      let sb = ctx.sandbox in
+      (* fresh fuel per invocation; writes restricted to the object set *)
+      let saved_guard = sb.State.sb_guard in
+      sb.State.sb_steps <- 0;
       (try
+         consult_transformer_faults vm sb ~bad_target:(Some old_addr);
+         sb.State.sb_guard <- true;
          ignore
-           (invoke m [| Value.of_ref new_addr; Value.of_ref old_addr |])
-       with Interp.Sync_trap e ->
-         uerr "object transformer for %s trapped: %s"
-           (Rt.class_by_id vm.State.reg new_cid).Rt.name e);
+           (invoke m [| Value.of_ref new_addr; Value.of_ref old_addr |]);
+         sb.State.sb_guard <- saved_guard
+       with
+      | Interp.Sync_trap e | Interp.Trap e ->
+          sb.State.sb_guard <- saved_guard;
+          fail_transformer vm site e
+      | e ->
+          sb.State.sb_guard <- saved_guard;
+          raise e);
       (* the transformer may have allocated and moved the heap *)
       refresh_index ctx vm;
       ctx.status.(i) <- 2
@@ -296,6 +432,8 @@ and force_transform vm ctx addr =
   | Some i -> run_pair vm ctx i
   | None -> () (* not an object under transformation: no-op *)
 
+(* Class transformers run with a fresh fuel budget but no write guard:
+   (re)initializing statics legitimately reaches arbitrary objects. *)
 let run_class_transformers vm (spec : Spec.t) ctx =
   List.iter
     (fun cname ->
@@ -305,9 +443,19 @@ let run_class_transformers vm (spec : Spec.t) ctx =
       with
       | None -> uerr "no jvolveClass(%s) in transformer class" cname
       | Some m -> (
-          try ignore (Interp.call_on vm ctx.carrier m [| Value.null |])
-          with Interp.Sync_trap e ->
-            uerr "class transformer for %s trapped: %s" cname e))
+          let site =
+            {
+              ts_method = Rt.method_qname ctx.transformer_rc m;
+              ts_class = cname;
+              ts_object = 0;
+            }
+          in
+          ctx.sandbox.State.sb_steps <- 0;
+          try
+            consult_transformer_faults vm ctx.sandbox ~bad_target:None;
+            ignore (Interp.call_on vm ctx.carrier m [| Value.null |])
+          with Interp.Sync_trap e | Interp.Trap e ->
+            fail_transformer vm site e))
     spec.Spec.diff.Diff.class_updates_closure
 
 let unload_transformer vm (rc : Rt.rt_class) =
@@ -422,8 +570,11 @@ let apply vm (p : Transformers.prepared)
         ("transformed", Jv_obs.Obs.Int gcres.Gc.transformed_objects);
         ("copied", Jv_obs.Obs.Int gcres.Gc.copied_objects);
       ];
-    (* 6: transformers *)
+    (* 6: transformers, sandboxed (fuel + write restriction) *)
     phase := P_transform;
+    let sb =
+      State.sandbox_create vm ~fuel:vm.State.config.transformer_fuel
+    in
     let ctx =
       {
         log = gcres.Gc.update_log;
@@ -434,12 +585,18 @@ let apply vm (p : Transformers.prepared)
         transformer_rc;
         method_cache = Hashtbl.create 8;
         carrier = Interp.make_carrier vm;
+        sandbox = sb;
       }
     in
     vm.State.extra_roots <- ctx.log :: vm.State.extra_roots;
+    (* every new-layout object in the log is a legitimate write target *)
+    for i = 0 to ctx.n_pairs - 1 do
+      State.sandbox_allow vm sb (Value.to_ref ctx.log.((2 * i) + 1))
+    done;
     vm.State.force_transform <-
       Some (fun vm addr -> force_transform vm ctx addr);
     let finish_transformers () =
+      State.sandbox_dispose vm sb;
       vm.State.force_transform <- None;
       Interp.release_carrier vm ctx.carrier;
       vm.State.extra_roots <-
@@ -460,11 +617,46 @@ let apply vm (p : Transformers.prepared)
     (* 7: drop the transformer class; the log is already unreachable *)
     unload_transformer vm transformer_rc;
     let t_transform = now () in
+    Jv_obs.Obs.observe_int obs "core.update.transformer_steps"
+      sb.State.sb_total_steps;
     Jv_obs.Obs.emit obs ~scope:"core.update" "phase.transform.done"
       [
         ("ms", Jv_obs.Obs.Float ((t_transform -. t_gc) *. 1000.0));
         ("pairs", Jv_obs.Obs.Int ctx.n_pairs);
+        ("steps", Jv_obs.Obs.Int sb.State.sb_total_steps);
       ];
+    (* 7.5: the post-transform heap integrity walk.  The old copies in
+       the update log are the one place stale-class instances may
+       legally survive. *)
+    if vm.State.config.verify_heap then begin
+      phase := P_verify;
+      let old_copies = Hashtbl.create (max 16 ctx.n_pairs) in
+      for i = 0 to ctx.n_pairs - 1 do
+        Hashtbl.replace old_copies (Value.to_ref ctx.log.(2 * i)) ()
+      done;
+      let rep =
+        Jv_vm.Heapverify.run ~stale_ok:(Hashtbl.mem old_copies) vm
+      in
+      Jv_obs.Obs.emit obs ~scope:"core.update" "phase.verify.done"
+        [
+          ("ms", Jv_obs.Obs.Float rep.Jv_vm.Heapverify.hv_ms);
+          ("objects", Jv_obs.Obs.Int rep.Jv_vm.Heapverify.hv_objects);
+          ("issues", Jv_obs.Obs.Int rep.Jv_vm.Heapverify.hv_total_issues);
+        ];
+      if not rep.Jv_vm.Heapverify.hv_ok then begin
+        let msgs =
+          List.map Jv_vm.Heapverify.issue_to_string
+            rep.Jv_vm.Heapverify.hv_issues
+        in
+        raise
+          (Update_failure
+             ( C_heap_verify msgs,
+               Printf.sprintf "heap verify found %d issue(s): %s"
+                 rep.Jv_vm.Heapverify.hv_total_issues
+                 (match msgs with m :: _ -> m | [] -> "?") ))
+      end
+    end;
+    let t_verify = now () in
     (* 4 (run last, see above): OSR the parked category-(2) frames *)
     phase := P_osr;
     frame_snaps := List.map snap_frame osr_frames;
@@ -476,9 +668,10 @@ let apply vm (p : Transformers.prepared)
       osr_frames;
     let t_end = now () in
     {
-      u_load_ms = ((t_load -. t0) +. (t_end -. t_transform)) *. 1000.0;
+      u_load_ms = ((t_load -. t0) +. (t_end -. t_verify)) *. 1000.0;
       u_gc_ms = (t_gc -. t_load) *. 1000.0;
       u_transform_ms = (t_transform -. t_gc) *. 1000.0;
+      u_verify_ms = (t_verify -. t_transform) *. 1000.0;
       u_total_ms = (t_end -. t0) *. 1000.0;
       u_osr = List.length osr_frames;
       u_invalidated_methods = invalidated;
@@ -491,15 +684,16 @@ let apply vm (p : Transformers.prepared)
       Txn.commit vm txn;
       Ok timings
   | exception e ->
-      let reason, killed_at =
+      let reason, cause, killed_at =
         match e with
-        | Update_error m -> (m, None)
-        | Faults.Injected pt -> ("injected fault at " ^ pt, None)
-        | Faults.Killed pt -> ("VM killed at " ^ pt, Some pt)
-        | Interp.Sync_trap m -> ("transformer trap: " ^ m, None)
-        | Jv_vm.Jit.Compile_error m -> ("jit: " ^ m, None)
+        | Update_error m -> (m, C_generic, None)
+        | Update_failure (cause, m) -> (m, cause, None)
+        | Faults.Injected pt -> ("injected fault at " ^ pt, C_injected pt, None)
+        | Faults.Killed pt -> ("VM killed at " ^ pt, C_injected pt, Some pt)
+        | Interp.Sync_trap m -> ("transformer trap: " ^ m, C_generic, None)
+        | Jv_vm.Jit.Compile_error m -> ("jit: " ^ m, C_generic, None)
         | Classloader.Load_error errs ->
-            ("load: " ^ String.concat "; " errs, None)
+            ("load: " ^ String.concat "; " errs, C_generic, None)
         | e ->
             (* unrecoverable VM conditions (e.g. to-space overflow
                mid-collection) are outside the fault model *)
@@ -519,6 +713,27 @@ let apply vm (p : Transformers.prepared)
         | exception ex ->
             (false, "; rollback raised: " ^ Printexc.to_string ex)
       in
+      (* Re-verify the restored heap: a rollback that leaves ill-typed
+         references standing is no rollback at all — reporting it as
+         unreliable is what routes the instance into the orchestrator's
+         quarantine policy. *)
+      let rolled_back, rollback_note =
+        if rolled_back && vm.State.config.verify_heap then begin
+          let rep = Jv_vm.Heapverify.run vm in
+          if rep.Jv_vm.Heapverify.hv_ok then (rolled_back, rollback_note)
+          else begin
+            Jv_obs.Obs.incr obs "core.update.post_rollback_verify_failures";
+            ( false,
+              rollback_note
+              ^ Printf.sprintf "; post-rollback heap verify found %d issue(s): %s"
+                  rep.Jv_vm.Heapverify.hv_total_issues
+                  (match rep.Jv_vm.Heapverify.hv_issues with
+                  | i :: _ -> Jv_vm.Heapverify.issue_to_string i
+                  | [] -> "?") )
+          end
+        end
+        else (rolled_back, rollback_note)
+      in
       (match killed_at with
       | Some pt -> vm.State.killed <- Some pt
       | None -> ());
@@ -536,6 +751,7 @@ let apply vm (p : Transformers.prepared)
         {
           a_phase = !phase;
           a_reason = reason ^ rollback_note;
+          a_cause = cause;
           a_rolled_back = rolled_back;
           a_rollback_ms = rollback_ms;
         }

@@ -12,6 +12,7 @@ type timings = {
   u_load_ms : float;  (** class installation + body swaps + OSR *)
   u_gc_ms : float;  (** the transforming full-heap collection *)
   u_transform_ms : float;  (** running class and object transformers *)
+  u_verify_ms : float;  (** post-transform heap integrity walk (0 if off) *)
   u_total_ms : float;
   u_osr : int;  (** frames replaced on stack *)
   u_invalidated_methods : int;  (** compiled bodies thrown away *)
@@ -21,20 +22,46 @@ type timings = {
 
 (** Which phase of the update an abort happened in. *)
 type phase =
+  | P_admit  (** rejected by admission control; the VM never paused *)
   | P_sync  (** never reached [apply]: safe-point timeout, prepare error *)
   | P_load  (** metadata installation, clinits, transformer install *)
   | P_gc  (** the transforming collection *)
   | P_transform  (** class and object transformers *)
+  | P_verify  (** the post-transform heap integrity walk *)
   | P_osr  (** on-stack replacement of parked frames *)
 
 val phase_to_string : phase -> string
 
+(** Where a transformer was executing when it failed. *)
+type transformer_site = {
+  ts_method : string;  (** qualified transformer method *)
+  ts_class : string;  (** class being transformed *)
+  ts_object : int;  (** heap address; 0 for class transformers *)
+}
+
+val site_desc : transformer_site -> string
+
+(** What, structurally, sank the update (the [a_reason] string renders
+    it for humans; this is for policy). *)
+type cause =
+  | C_generic
+  | C_injected of string  (** fault-plan point that fired *)
+  | C_transformer_trap of transformer_site * string
+  | C_fuel_exhausted of transformer_site * int  (** steps charged *)
+  | C_sandbox_violation of transformer_site * string
+  | C_heap_verify of string list  (** verifier issues *)
+  | C_admission of string list  (** rejecting verdicts *)
+
+val cause_to_string : cause -> string
+
 (** A typed abort: the update did not apply, and — when [a_rolled_back]
     holds — the transaction restored the VM to the pre-update state and
-    the post-rollback metadata audit passed. *)
+    the post-rollback metadata audit (plus heap verification, when
+    enabled) passed. *)
 type abort = {
   a_phase : phase;
   a_reason : string;
+  a_cause : cause;
   a_rolled_back : bool;
   a_rollback_ms : float;
 }
@@ -42,7 +69,13 @@ type abort = {
 val sync_abort : string -> abort
 (** An abort before [apply] ever ran (nothing to roll back). *)
 
+val admission_abort : string list -> abort
+(** An update rejected by admission control before the VM paused. *)
+
 val abort_to_string : abort -> string
+
+exception Update_failure of cause * string
+(** A failure inside [apply] that carries a typed cause. *)
 
 (** The individual steps, exposed for the baseline updaters (hotswap and
     lazy indirection reuse the metadata phases without the GC pass): *)
@@ -86,4 +119,14 @@ val apply :
     [updater.load] / [updater.gc] / [updater.transform] / [updater.osr]
     points — rolls the VM back to the pre-update snapshot and returns
     [Error abort].  A [Faults.Killed] injection additionally marks the VM
-    killed ([State.killed]) after the rollback. *)
+    killed ([State.killed]) after the rollback.
+
+    Transformers run sandboxed: each invocation gets a fresh fuel budget
+    ([State.config.transformer_fuel]) and object transformers may only
+    write the objects under transformation plus their own fresh
+    allocations.  The [transformer.loop] / [transformer.throw] /
+    [transformer.badwrite] fault points drive each failure mode through
+    the corresponding enforcement path.  With
+    [State.config.verify_heap] set, a full {!Jv_vm.Heapverify} walk runs
+    after the transform phase ([P_verify]; failure aborts) and again
+    after any rollback (failure clears [a_rolled_back]). *)

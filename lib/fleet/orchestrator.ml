@@ -31,6 +31,7 @@ type params = {
   gate : Health.gate_params; (* canary vs. stable comparison *)
   use_osr : bool;
   use_barriers : bool;
+  admit_strict : bool; (* promote admission Warn verdicts to rejections *)
   max_rounds : int; (* hard stop for the whole rollout *)
   max_retries : int; (* re-attempts per instance after a clean abort *)
   backoff_base : int; (* rounds before retry #1; doubles per attempt *)
@@ -49,6 +50,7 @@ let default_params mode =
     gate = Health.default_gate;
     use_osr = true;
     use_barriers = true;
+    admit_strict = false;
     max_rounds = 50_000;
     max_retries = 0;
     backoff_base = 40;
@@ -297,7 +299,8 @@ let start_updates t ids =
         match
           J.Jvolve.request_spec ~timeout_rounds:t.params.update_timeout
             ~use_osr:t.params.use_osr ~use_barriers:t.params.use_barriers
-            i.Instance.i_vm (spec_for t id)
+            ~admit_strict:t.params.admit_strict i.Instance.i_vm
+            (spec_for t id)
         with
         | h -> Some (id, h)
         | exception J.Transformers.Prepare_error e ->

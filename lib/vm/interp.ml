@@ -45,6 +45,28 @@ let ref_addr what w =
   if Value.is_null w then trap "null dereference in %s" what
   else Value.to_ref w
 
+(* Transformer-sandbox write guard: while the updater runs object
+   transformers, heap stores may only target the objects under
+   transformation or fresh allocations.  Exposed so the updater's
+   [transformer.badwrite] fault point can drive the same gate. *)
+let guard_write vm ~addr ~what =
+  match vm.State.sandbox with
+  | Some sb when sb.State.sb_guard ->
+      if not (State.sandbox_may_write vm sb addr) then
+        trap "sandbox: %s to object %d outside the transformed object set"
+          what addr
+  | _ -> ()
+
+(* Charge one instruction against the active sandbox's fuel budget. *)
+let charge_fuel vm =
+  match vm.State.sandbox with
+  | None -> ()
+  | Some sb ->
+      sb.State.sb_steps <- sb.State.sb_steps + 1;
+      sb.State.sb_total_steps <- sb.State.sb_total_steps + 1;
+      if sb.State.sb_steps > sb.State.sb_fuel then
+        trap "transformer fuel exhausted after %d steps" sb.State.sb_steps
+
 (* Complete a method return: pop the frame, deliver the result, advance the
    caller, fire any installed return barrier. *)
 let do_return vm (t : State.vthread) ~(value : int option) =
@@ -146,6 +168,7 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
            let ins = code.(fr.State.pc) in
            vm.State.instr_count <- vm.State.instr_count + 1;
            decr fuel;
+           charge_fuel vm;
            let next () = fr.State.pc <- fr.State.pc + 1 in
            match ins with
            | M_const w ->
@@ -233,6 +256,7 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                deref_check_slot vm fr (fr.State.sp - 2);
                let v = State.pop_op fr in
                let addr = ref_addr "putfield" (State.pop_op fr) in
+               guard_write vm ~addr ~what:"putfield";
                Heap.set heap ~addr ~off v;
                next ()
            | M_getstatic slot ->
@@ -293,6 +317,7 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                let len = Heap.array_length heap addr in
                if idx < 0 || idx >= len then
                  trap "array index %d out of bounds (length %d)" idx len;
+               guard_write vm ~addr ~what:"array store";
                Heap.set heap ~addr ~off:(Heap.array_header_words + idx) v;
                next ()
            | M_alen ->

@@ -11,6 +11,11 @@ type slice_end = S_parked | S_blocked | S_finished | S_trapped of string
 
 val run_slice : State.t -> State.vthread -> fuel:int -> slice_end
 
+val guard_write : State.t -> addr:int -> what:string -> unit
+(** Raise {!Trap} when a sandbox with the write guard armed forbids a
+    store to [addr] (exposed so the updater's fault injection can push a
+    simulated bad write through the same gate). *)
+
 val retry_pending : State.t -> State.vthread -> unit
 (** Re-run the native call a blocked thread is parked on (called by the
     scheduler once the block reason looks ready). *)

@@ -21,6 +21,12 @@ type config = {
          inlined region.  Off by default: the paper's Jvolve only OSRs
          base-compiled frames *)
   trace : bool;
+  transformer_fuel : int;
+      (* machine-instruction budget per transformer invocation; a
+         transformer that exceeds it traps and the update aborts *)
+  verify_heap : bool;
+      (* walk the whole heap after the transform phase (and again after a
+         rollback) checking headers, reference-field types and statics *)
 }
 
 let default_config =
@@ -33,6 +39,8 @@ let default_config =
     inline_depth = 3;
     opt_osr = false;
     trace = false;
+    transformer_fuel = 200_000;
+    verify_heap = false;
   }
 
 (* --- threads --- *)
@@ -82,6 +90,34 @@ type native_result =
   | N_block of block_reason
   | N_trap of string
 
+(* The transformer sandbox (installed by the updater for the transform
+   phase).  While one is active the interpreter charges every executed
+   instruction against [sb_fuel] and, when [sb_guard] is set, refuses heap
+   writes whose target is not in the allowed set — the objects under
+   transformation plus anything freshly allocated by the transformers
+   themselves.  The objects under transformation are kept as encoded
+   references in a word array registered as an extra GC root (they are
+   rooted through the update log anyway), so a nested collection forwards
+   the entries and membership stays exact.  Fresh allocations are NOT
+   added to that set — a root there would retain every transformer
+   temporary and defeat nested collections — but are recognized by an
+   allocation watermark: anything at or above the first allocation of the
+   current GC epoch is fresh.  The one approximation: a temporary
+   allocated before a nested collection loses write permission after it
+   (the transformed objects themselves never do). *)
+type sandbox = {
+  mutable sb_fuel : int; (* budget per transformer invocation *)
+  mutable sb_steps : int; (* steps charged to the current invocation *)
+  mutable sb_total_steps : int; (* accounting across the whole phase *)
+  mutable sb_guard : bool; (* writes restricted (object transformers) *)
+  mutable sb_allowed : int array; (* encoded refs; lives in extra_roots *)
+  mutable sb_n_allowed : int;
+  mutable sb_index : (int, unit) Hashtbl.t; (* decoded addr set cache *)
+  mutable sb_index_gc : int; (* heap gc_count the cache was built at *)
+  mutable sb_watermark : int; (* first fresh allocation of this epoch *)
+  mutable sb_watermark_gc : int; (* gc_count the watermark belongs to *)
+}
+
 type t = {
   config : config;
   reg : Rt.registry;
@@ -120,6 +156,8 @@ type t = {
   (* word arrays that the GC must treat as extra roots and rewrite
      (e.g. the update log while transformers run) *)
   mutable extra_roots : int array list;
+  (* active transformer sandbox, if the updater installed one *)
+  mutable sandbox : sandbox option;
   (* --- fault injection --------------------------------------------- *)
   (* armed chaos plan, consulted at the updater's injection points *)
   mutable faults : Jv_faults.Faults.t option;
@@ -179,6 +217,7 @@ let create ?(config = default_config) () =
     force_transform = None;
     lazy_hook = None;
     extra_roots = [];
+    sandbox = None;
     faults = None;
     killed = None;
     compile_count = 0;
@@ -235,6 +274,70 @@ let string_of_sid vm sid =
   if sid < 0 || sid >= vm.n_strings then fatal "bad string id %d" sid;
   vm.strings.(sid)
 
+(* --- transformer sandbox -------------------------------------------- *)
+
+let sandbox_create vm ~fuel : sandbox =
+  let sb =
+    {
+      sb_fuel = fuel;
+      sb_steps = 0;
+      sb_total_steps = 0;
+      sb_guard = false;
+      sb_allowed = Array.make 64 0;
+      sb_n_allowed = 0;
+      sb_index = Hashtbl.create 64;
+      sb_index_gc = -1;
+      sb_watermark = vm.heap.Heap.free;
+      sb_watermark_gc = vm.heap.Heap.gc_count;
+    }
+  in
+  vm.extra_roots <- sb.sb_allowed :: vm.extra_roots;
+  vm.sandbox <- Some sb;
+  sb
+
+let sandbox_dispose vm sb =
+  vm.sandbox <- None;
+  vm.extra_roots <- List.filter (fun a -> a != sb.sb_allowed) vm.extra_roots
+
+(* Admit [addr] as a legitimate write target. *)
+let sandbox_allow vm sb addr =
+  if sb.sb_n_allowed >= Array.length sb.sb_allowed then begin
+    let a = Array.make (2 * Array.length sb.sb_allowed) 0 in
+    Array.blit sb.sb_allowed 0 a 0 sb.sb_n_allowed;
+    vm.extra_roots <-
+      a :: List.filter (fun x -> x != sb.sb_allowed) vm.extra_roots;
+    sb.sb_allowed <- a
+  end;
+  sb.sb_allowed.(sb.sb_n_allowed) <- Value.of_ref addr;
+  sb.sb_n_allowed <- sb.sb_n_allowed + 1;
+  if sb.sb_index_gc = vm.heap.Heap.gc_count then
+    Hashtbl.replace sb.sb_index addr ()
+
+(* A fresh allocation: advance the watermark into the current GC epoch
+   if a collection has happened since it was set. *)
+let sandbox_note_alloc vm sb addr =
+  if sb.sb_watermark_gc <> vm.heap.Heap.gc_count then begin
+    sb.sb_watermark <- addr;
+    sb.sb_watermark_gc <- vm.heap.Heap.gc_count
+  end
+
+let sandbox_may_write vm sb addr =
+  (sb.sb_watermark_gc = vm.heap.Heap.gc_count && addr >= sb.sb_watermark)
+  ||
+  begin
+    if sb.sb_index_gc <> vm.heap.Heap.gc_count then begin
+      (* a collection moved the allowed objects; the root array was
+         forwarded with them, so rebuild the address cache from it *)
+      let h = Hashtbl.create (max 16 sb.sb_n_allowed) in
+      for i = 0 to sb.sb_n_allowed - 1 do
+        Hashtbl.replace h (Value.to_ref sb.sb_allowed.(i)) ()
+      done;
+      sb.sb_index <- h;
+      sb.sb_index_gc <- vm.heap.Heap.gc_count
+    end;
+    Hashtbl.mem sb.sb_index addr
+  end
+
 (* --- allocation ----------------------------------------------------- *)
 
 (* Guarantee [words] of free space, collecting if necessary. *)
@@ -259,6 +362,9 @@ let alloc_object vm (cls : Rt.rt_class) =
   in
   Heap.set vm.heap ~addr ~off:Heap.off_class cls.Rt.cid;
   (* remaining words are pre-zeroed: gc word 0, fields default *)
+  (match vm.sandbox with
+  | Some sb -> sandbox_note_alloc vm sb addr (* fresh allocation: writable *)
+  | None -> ());
   addr
 
 let alloc_array vm ~len =
@@ -275,6 +381,9 @@ let alloc_array vm ~len =
   in
   Heap.set vm.heap ~addr ~off:Heap.off_class vm.array_cid;
   Heap.set vm.heap ~addr ~off:Heap.off_array_len len;
+  (match vm.sandbox with
+  | Some sb -> sandbox_note_alloc vm sb addr
+  | None -> ());
   addr
 
 (* Strings are ordinary heap objects of class String with one int field:

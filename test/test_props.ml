@@ -339,6 +339,69 @@ let classification_matches =
           d.J.Diff.class_updates = [ "A" ]
           && d.J.Diff.stats.J.Diff.s_methods_added = 1)
 
+(* --- admission soundness vs. the heap verifier ------------------------------ *)
+
+(* Over randomized class shapes: a spec that survives admission control
+   either applies with a clean post-transform heap walk, or aborts for a
+   reason other than heap verification with a trustworthy rollback.
+   Admission rejecting the spec is vacuously safe (it never pauses the
+   VM, so there is nothing to verify). *)
+let admitted_specs_verify =
+  QCheck.Test.make
+    ~name:"specs surviving admission never fail the heap verifier" ~count:15
+    QCheck.(make Gen.(tup2 gen_fspec gen_fspec))
+    (fun (v1, v2) ->
+      QCheck.assume (v1 <> v2);
+      let old_program =
+        Jv_lang.Compile.compile_program (program_src v1 ~set:true)
+      in
+      let new_program =
+        Jv_lang.Compile.compile_program (program_src v2 ~set:true)
+      in
+      let config =
+        { Helpers.test_config with VM.State.verify_heap = true }
+      in
+      let vm = VM.Vm.create ~config () in
+      VM.Vm.boot vm old_program;
+      ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+      VM.Vm.run vm ~rounds:5;
+      let spec = J.Spec.make ~version_tag:"13" ~old_program ~new_program () in
+      let p = J.Transformers.prepare spec in
+      if J.Admission.rejections ~strict:false (J.Admission.review p) <> []
+      then true (* rejected: the VM never pauses *)
+      else begin
+        let h = J.Jvolve.request vm p in
+        let budget = ref 300 in
+        while (not (J.Jvolve.resolved h)) && !budget > 0 do
+          ignore (VM.Sched.round vm);
+          decr budget
+        done;
+        match h.J.Jvolve.h_outcome with
+        | J.Jvolve.Applied _ ->
+            (* P_verify already passed inside apply with the update log's
+               old copies allowed; collect once so the dead copies are
+               gone, then the committed heap re-verifies with no
+               allowance at all *)
+            ignore (VM.Gc.collect vm);
+            let rep = VM.Heapverify.run vm in
+            if rep.VM.Heapverify.hv_ok then true
+            else
+              QCheck.Test.fail_reportf "committed heap fails verify: %s"
+                (match rep.VM.Heapverify.hv_issues with
+                | i :: _ -> VM.Heapverify.issue_to_string i
+                | [] -> "?")
+        | J.Jvolve.Aborted a ->
+            if
+              a.J.Updater.a_phase <> J.Updater.P_verify
+              && a.J.Updater.a_rolled_back
+            then true
+            else
+              QCheck.Test.fail_reportf "admitted spec aborted: %s"
+                (J.Updater.abort_to_string a)
+        | J.Jvolve.Pending ->
+            QCheck.Test.fail_reportf "update never resolved"
+      end)
+
 (* --- fault schedules never leave the fleet permanently mixed --------------- *)
 
 (* Arbitrary fault schedule over a rolling rollout with retry/backoff:
@@ -438,5 +501,6 @@ let suite =
     QCheck_alcotest.to_alcotest default_transformer_preserves;
     QCheck_alcotest.to_alcotest inverse_roundtrip;
     QCheck_alcotest.to_alcotest classification_matches;
+    QCheck_alcotest.to_alcotest admitted_specs_verify;
     QCheck_alcotest.to_alcotest rollout_converges;
   ]
