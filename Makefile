@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke clean
 
 all:
 	dune build @all
@@ -39,6 +39,18 @@ safety-smoke:
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe safety | tee _build/safety-smoke.out
 	grep -q "gauntlet: 9/9 contained" _build/safety-smoke.out
 	grep -q "0 dirty rollbacks" _build/safety-smoke.out
+	grep -q "spurious failures: 0" _build/safety-smoke.out
+	grep -q "window closed clean, retained log freed" _build/safety-smoke.out
+
+# Guard-window probe: a forced revert replays the retained log, an open
+# window costs <= 2% of steady-state throughput, and the semantically-bad
+# miniweb 5.1.11 release is auto-reverted by the error-budget watchdog
+# with zero dropped connections.
+guard-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe guard | tee _build/guard-smoke.out
+	grep -q "auto-reverted: guard tripped on app-errors" _build/guard-smoke.out
+	grep -q "dropped connections: 0" _build/guard-smoke.out
+	grep -q "guard overhead" _build/guard-smoke.out
 
 clean:
 	dune clean

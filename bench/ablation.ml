@@ -56,6 +56,7 @@ let rec osr_ablation () =
         | J.Jvolve.Applied tt ->
             Printf.sprintf "applied (%d OSR)" tt.J.Updater.u_osr
         | J.Jvolve.Aborted _ -> "ABORTED"
+        | J.Jvolve.Reverted _ -> "reverted"
         | J.Jvolve.Pending -> "pending"
       in
       Printf.printf "%-34s %-24s %-24s\n"
@@ -123,6 +124,7 @@ class Main {
     with
     | J.Jvolve.Applied t -> Printf.sprintf "applied (%d OSR)" t.J.Updater.u_osr
     | J.Jvolve.Aborted _ -> "ABORTED"
+    | J.Jvolve.Reverted _ -> "reverted"
     | J.Jvolve.Pending -> "pending"
   in
   Printf.printf
@@ -151,6 +153,7 @@ let barrier_ablation () =
     match h.J.Jvolve.h_outcome with
     | J.Jvolve.Applied _ -> "applied"
     | J.Jvolve.Aborted _ -> "ABORTED (timeout)"
+    | J.Jvolve.Reverted _ -> "reverted"
     | J.Jvolve.Pending -> "pending"
   in
   Printf.printf

@@ -106,6 +106,21 @@ let boot_fleet ~size =
   F.Fleet.run fleet ~rounds:100;
   fleet
 
+(* Every committed instance serves through a short guard window (traffic
+   budgets disabled so only the faults under test can trip it): the
+   rollout must converge with the watchdog and retained logs in the
+   pipeline. *)
+let chaos_guard =
+  J.Guard.config
+    ~budget:
+      {
+        J.Guard.default_budget with
+        J.Guard.b_rounds = 60;
+        b_max_app_errors = max_int;
+        b_latency_factor = 1e9;
+      }
+    ()
+
 let chaos_params =
   {
     (F.Orchestrator.default_params (F.Orchestrator.Rolling { batch_size = 1 }))
@@ -114,6 +129,7 @@ let chaos_params =
     max_retries = 3;
     backoff_base = 20;
     on_exhausted = `Quarantine;
+    guard = Some chaos_guard;
   }
 
 (* Every per-instance abort in the rollout must have rolled its VM back

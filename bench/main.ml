@@ -14,13 +14,16 @@
                                            # convergence under fault rates
      dune exec bench/main.exe safety       # admission latency, verifier
                                            # pause cost, fault gauntlet
+     dune exec bench/main.exe guard        # guard window: revert pause,
+                                           # watchdog overhead, bad-update
+                                           # auto-revert demo
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|chaos|safety|all]";
+     ablation|micro|fleet|chaos|safety|guard|all]";
   exit 1
 
 let run_one = function
@@ -33,6 +36,7 @@ let run_one = function
   | "fleet" -> Fleet.run ()
   | "chaos" -> Chaos.run ()
   | "safety" -> Safety.run ()
+  | "guard" -> Guard_bench.run ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)
@@ -44,7 +48,8 @@ let run_one = function
       Micro.run ();
       Fleet.run ();
       Chaos.run ();
-      Safety.run ()
+      Safety.run ();
+      Guard_bench.run ()
   | _ -> usage ()
 
 let () =

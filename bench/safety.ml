@@ -186,7 +186,76 @@ let gauntlet () =
   Printf.printf "\n    gauntlet: %d/%d contained, %d dirty rollbacks\n"
     !contained !total !dirty
 
+(* --- section 4: the heap verifier across an open guard window ----------- *)
+
+(* A guarded commit keeps the update log (old-layout object copies) alive
+   until the window closes; the verifier's [guard_pending] allowance must
+   keep full-heap walks green the whole time, and the close must free the
+   log. *)
+let guard_window_verify () =
+  Support.section
+    "SAFETY: heap verifier across an open guard window (retained update log)";
+  let d = A.Experience.web_desc in
+  let config =
+    { A.Experience.default_config with VM.State.verify_heap = true }
+  in
+  let vm = A.Experience.boot_version ~config d ~version:"5.1.4" in
+  ignore (A.Experience.attach_loads vm d ~concurrency:3);
+  VM.Vm.run vm ~rounds:60;
+  let spec =
+    J.Spec.make ~version_tag:"514"
+      ~old_program:
+        (Support.compile_version d.A.Experience.d_versioned ~version:"5.1.4")
+      ~new_program:
+        (Support.compile_version d.A.Experience.d_versioned ~version:"5.1.5")
+      ()
+  in
+  let budget =
+    {
+      J.Guard.default_budget with
+      J.Guard.b_rounds = 120;
+      b_max_app_errors = max_int;
+      b_latency_factor = 1e9;
+    }
+  in
+  let h =
+    J.Jvolve.update_now ~timeout_rounds:400
+      ~guard:(J.Guard.config ~budget ())
+      vm spec
+  in
+  match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Applied _ ->
+      let retained =
+        match vm.VM.State.guard_retained with
+        | Some roots -> Array.length roots
+        | None -> 0
+      in
+      let walks = ref 0 and spurious = ref 0 in
+      for _ = 1 to 6 do
+        VM.Vm.run vm ~rounds:20;
+        incr walks;
+        let r = VM.Heapverify.run vm in
+        if not r.VM.Heapverify.hv_ok then incr spurious
+      done;
+      let final = J.Jvolve.run_to_guard_close vm h in
+      Printf.printf
+        "    %d retained log roots; %d verifier walks over the open window, \
+         spurious failures: %d\n"
+        retained !walks !spurious;
+      (match (final, vm.VM.State.guard_retained) with
+      | J.Jvolve.Applied _, None ->
+          Printf.printf "    window closed clean, retained log freed\n"
+      | J.Jvolve.Applied _, Some _ ->
+          Printf.printf "    !! window closed but the log is still rooted\n"
+      | o, _ ->
+          Printf.printf "    !! window did not close clean: %s\n"
+            (J.Jvolve.outcome_to_string o))
+  | o ->
+      Printf.printf "    !! guarded update did not apply: %s\n"
+        (J.Jvolve.outcome_to_string o)
+
 let run () =
   verifier_cost ();
   admission_latency ();
-  gauntlet ()
+  gauntlet ();
+  guard_window_verify ()

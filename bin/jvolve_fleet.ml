@@ -19,8 +19,8 @@ let write_file path contents =
 
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
     timeout_rounds probes max_retries backoff_base quarantine admit_strict
-    verify_heap transformer_fuel faults fault_seed concurrency policy trace
-    metrics verbose =
+    verify_heap transformer_fuel guard_rounds guard_budget no_guard faults
+    fault_seed concurrency policy trace metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -57,6 +57,19 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
             Printf.eprintf "unknown mode %S (rolling|canary)\n" m;
             exit 1
       in
+      let guard =
+        if no_guard then None
+        else
+          match J.Guard.budget_of_string guard_budget with
+          | Error e ->
+              Printf.eprintf "bad --guard-budget: %s\n" e;
+              exit 1
+          | Ok b ->
+              Some
+                (J.Guard.config
+                   ~budget:{ b with J.Guard.b_rounds = guard_rounds }
+                   ())
+      in
       let params =
         {
           (F.Orchestrator.default_params mode) with
@@ -67,6 +80,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           backoff_base;
           admit_strict;
           on_exhausted = (if quarantine then `Quarantine else `Halt);
+          guard;
         }
       in
       let config =
@@ -265,6 +279,26 @@ let transformer_fuel =
          & info [ "transformer-fuel" ] ~docv:"N"
              ~doc:"Machine-instruction budget per transformer invocation.")
 
+let guard_rounds =
+  Arg.(value & opt int J.Guard.default_budget.J.Guard.b_rounds
+         & info [ "guard-rounds" ] ~docv:"N"
+             ~doc:"Post-commit guard window per instance, in scheduler \
+                   rounds: each committed update is watched against its \
+                   pre-update baselines and auto-reverted in-VM if the \
+                   error budget trips; a trip also fences the rollout and \
+                   reverts every already-updated instance.")
+
+let guard_budget =
+  Arg.(value & opt string "" & info [ "guard-budget" ] ~docv:"SPEC"
+         ~doc:"Guard error budget, comma-separated key=value pairs: \
+               rounds, traps, errors, probes, latency (factor), samples. \
+               Unset keys keep their defaults.")
+
+let no_guard =
+  Arg.(value & flag & info [ "no-guard" ]
+         ~doc:"Commit per-instance updates immediately: no guard windows, \
+               no fleet-wide fenced revert.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
          ~doc:"Arm a deterministic fault plan on every instance VM and \
@@ -312,7 +346,7 @@ let cmd =
       const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
       $ observe $ drain_timeout $ timeout_rounds $ probes $ max_retries
       $ backoff_base $ quarantine $ admit_strict $ verify_heap
-      $ transformer_fuel $ faults $ fault_seed $ concurrency $ policy
-      $ trace $ metrics $ verbose)
+      $ transformer_fuel $ guard_rounds $ guard_budget $ no_guard $ faults
+      $ fault_seed $ concurrency $ policy $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

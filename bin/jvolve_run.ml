@@ -32,8 +32,8 @@ let emit_trace obs = function
   | Some file -> write_file file (Jv_obs.Export.jsonl obs)
 
 let run path main_class rounds update_path at tag transformers_path
-    timeout_rounds admit_strict verify_heap transformer_fuel faults
-    fault_seed trace metrics verbose =
+    timeout_rounds admit_strict verify_heap transformer_fuel guard_rounds
+    guard_budget no_guard faults fault_seed trace metrics verbose =
   try
     let plan =
       match faults with
@@ -44,6 +44,19 @@ let run path main_class rounds update_path at tag transformers_path
           | Error e ->
               Printf.eprintf "bad fault plan: %s\n" e;
               exit 1)
+    in
+    let guard =
+      if no_guard then None
+      else
+        match J.Guard.budget_of_string guard_budget with
+        | Error e ->
+            Printf.eprintf "bad --guard-budget: %s\n" e;
+            exit 1
+        | Ok b ->
+            Some
+              (J.Guard.config
+                 ~budget:{ b with J.Guard.b_rounds = guard_rounds }
+                 ())
     in
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let config =
@@ -63,9 +76,19 @@ let run path main_class rounds update_path at tag transformers_path
           J.Spec.make ~transformer_src ~version_tag:tag ~old_program
             ~new_program ()
         in
-        let h = J.Jvolve.update_now ~timeout_rounds ~admit_strict vm spec in
+        let h =
+          J.Jvolve.update_now ~timeout_rounds ~admit_strict ?guard vm spec
+        in
         Printf.eprintf "[jvolve] update at round %d: %s\n" at
           (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
+        (match guard with
+        | Some _ when J.Jvolve.succeeded h ->
+            let final = J.Jvolve.run_to_guard_close vm h in
+            Printf.eprintf "[jvolve] guard window: %s\n"
+              (match final with
+              | J.Jvolve.Applied _ -> "closed clean (update kept)"
+              | o -> J.Jvolve.outcome_to_string o)
+        | _ -> ());
         (match VM.Vm.killed vm with
         | Some pt -> Printf.eprintf "[jvolve] VM killed at %s\n" pt
         | None -> ());
@@ -150,6 +173,28 @@ let transformer_fuel =
                    a transformer that exceeds it traps and the update \
                    aborts.")
 
+let guard_rounds =
+  Arg.(value & opt int J.Guard.default_budget.J.Guard.b_rounds
+         & info [ "guard-rounds" ] ~docv:"N"
+             ~doc:"Length of the post-commit guard window in scheduler \
+                   rounds: after a successful update the VM watches trap \
+                   rate, app errors, probe failures and p99 latency \
+                   against pre-update baselines, auto-reverting (inverse \
+                   update, replaying the retained update log) if a budget \
+                   trips.")
+
+let guard_budget =
+  Arg.(value & opt string "" & info [ "guard-budget" ] ~docv:"SPEC"
+         ~doc:"Guard error budget, comma-separated key=value pairs: \
+               rounds, traps, errors, probes, latency (factor), samples. \
+               E.g. 'traps=0,errors=2,latency=3'.  Unset keys keep their \
+               defaults.")
+
+let no_guard =
+  Arg.(value & flag & info [ "no-guard" ]
+         ~doc:"Commit updates immediately: no guard window, no retained \
+               update log, no automatic revert.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
          ~doc:"Arm a deterministic fault plan: comma-separated \
@@ -182,6 +227,7 @@ let cmd =
     Term.(
       const run $ path $ main_class $ rounds $ update_path $ at $ tag
       $ transformers_path $ timeout_rounds $ admit_strict $ verify_heap
-      $ transformer_fuel $ faults $ fault_seed $ trace $ metrics $ verbose)
+      $ transformer_fuel $ guard_rounds $ guard_budget $ no_guard $ faults
+      $ fault_seed $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

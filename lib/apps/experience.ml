@@ -85,6 +85,11 @@ let boot_version ?(config = default_config) (d : app_desc) ~version =
   let classes = Jv_lang.Compile.compile_program src in
   let vm = VM.Vm.create ~config () in
   VM.Vm.boot vm classes;
+  (* server responses any of the app's protocols would reject count as
+     app-level errors, charged to the code epoch that sent them (the
+     guard watchdog's 5xx signal) *)
+  VM.Vm.set_response_classifier vm
+    (Some (fun s -> List.exists (fun (_, _, ok) -> ok s) d.d_loads));
   ignore (VM.Vm.spawn_main vm ~main_class:"Main");
   (* let the server boot and open its listeners *)
   VM.Vm.run vm ~rounds:5;
@@ -129,6 +134,9 @@ let run_one ?(config = default_config) ?(concurrency = 4) ?(warmup = 60)
             (Applied t, t.J.Updater.u_osr, h.J.Jvolve.h_barriers_installed)
         | J.Jvolve.Aborted a ->
             (Aborted (J.Updater.abort_to_string a), 0,
+             h.J.Jvolve.h_barriers_installed)
+        | J.Jvolve.Reverted v ->
+            (Aborted ("reverted: " ^ J.Guard.verdict_to_string v), 0,
              h.J.Jvolve.h_barriers_installed)
         | J.Jvolve.Pending ->
             (Aborted "still pending after max rounds", 0,

@@ -6,10 +6,12 @@
    queue, a handler chain with virtual dispatch, a static resource cache,
    and assorted config/log/stats plumbing.
 
-   Eleven versions, 5.1.0 through 5.1.10, derived by source patches whose
+   Twelve versions, 5.1.0 through 5.1.11, derived by source patches whose
    change mix mirrors the paper's Table 2:
-   - 5.1.1, 5.1.2, 5.1.8, 5.1.9, 5.1.10 are method-body-only releases
-     (the ones an edit-and-continue system could also apply);
+   - 5.1.1, 5.1.2, 5.1.8, 5.1.9, 5.1.10, 5.1.11 are method-body-only
+     releases (the ones an edit-and-continue system could also apply);
+   - 5.1.11 is additionally {e semantically} broken (admission-clean but
+     404s most static traffic) — the guard-window benchmarks' bad update;
    - 5.1.3 changes [ThreadedServer.acceptSocket] and [PoolThread.run],
      which are always on stack, so the dynamic update cannot reach a safe
      point and must abort — the paper's one Jetty failure;
@@ -619,6 +621,29 @@ class ThreadedServer {
           {|  static String badRequest() { return "malformed or empty request line"; }|}
         );
       ] );
+    (* 5.1.11: a "cache lookup fast path" that is semantically wrong.
+       Method-body-only, so admission control is clean and the update
+       applies — but the broken loop start skips the first cached
+       resource and 404s most static requests under load.  The
+       post-commit guard window's app-error budget catches it.  The
+       health endpoint does not go through the cache, so probes stay
+       green: only real traffic exposes the bug. *)
+    ( "5.1.11",
+      [
+        ( {|  static String lookup(String name) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (names[i].equals(name)) { return contents[i]; }
+    }
+    return null;
+  }|},
+          {|  static String lookup(String name) {
+    for (int i = 1; i < n; i = i + 1) {
+      if (names[i].equals(name)) { return contents[i]; }
+    }
+    return null;
+  }|}
+        );
+      ] );
   ]
 
 let app : Patching.versioned =
@@ -632,3 +657,7 @@ let health_ok = Common.prefix_ok "HTTP/1.0 200"
 
 (* The update the paper cannot apply. *)
 let failing_update = "5.1.3"
+
+(* The admission-clean but semantically-bad release: applies fine, then
+   404s most static traffic.  The guard window auto-reverts it. *)
+let bad_update = "5.1.11"

@@ -31,6 +31,7 @@ type t = {
   mutable completed_sessions : int;
   mutable completed_requests : int;
   mutable errors : int;
+  mutable dropped : int; (* sessions severed with a request outstanding *)
   mutable latency_rounds : int; (* summed over completed requests *)
   mutable poller : (State.t -> unit) option;
 }
@@ -45,6 +46,9 @@ let pump_conn vm t (c : conn_state) : bool (* keep? *) =
     match Simnet.client_recv net ~conn_id:c.cid with
     | `Wait -> true
     | `Eof ->
+        (* awaiting = a request was outstanding: this is a dropped
+           connection, the number an update (or revert) must keep at 0 *)
+        t.dropped <- t.dropped + 1;
         Simnet.client_close net ~conn_id:c.cid;
         Simnet.reap net ~conn_id:c.cid;
         false
@@ -52,7 +56,13 @@ let pump_conn vm t (c : conn_state) : bool (* keep? *) =
         c.awaiting <- false;
         t.completed_requests <- t.completed_requests + 1;
         t.latency_rounds <- t.latency_rounds + (vm.State.ticks - c.sent_at);
-        if not (t.ok resp) then t.errors <- t.errors + 1;
+        (* the guard window's latency signal reads this histogram *)
+        Jv_obs.Obs.observe_int vm.State.obs "app.request_rounds"
+          (vm.State.ticks - c.sent_at);
+        if not (t.ok resp) then begin
+          t.errors <- t.errors + 1;
+          Jv_obs.Obs.incr vm.State.obs "app.request_errors"
+        end;
         match c.remaining with
         | [] ->
             Simnet.client_close net ~conn_id:c.cid;
@@ -111,6 +121,7 @@ let attach vm ~port ~script ?(ok = default_ok) ~concurrency
       completed_sessions = 0;
       completed_requests = 0;
       errors = 0;
+      dropped = 0;
       latency_rounds = 0;
       poller = None;
     }

@@ -1,0 +1,115 @@
+(** The post-commit guard window: an error-budget watchdog over a freshly
+    committed update, comparing new-epoch trap rate, app-level errors,
+    health-probe failures and windowed p99 latency against pre-update
+    baselines.  Tripping yields a {!verdict}; the driver ([Jvolve]) then
+    applies the inverse update, replaying the retained update log.
+
+    Deterministic trip drivers for tests and benches: the [guard.trap],
+    [guard.probe], [guard.latency] and [guard.trip] fault points, checked
+    each {!tick}. *)
+
+module State = Jv_vm.State
+
+(** {1 The error budget} *)
+
+type budget = {
+  b_rounds : int;  (** window length in scheduler rounds *)
+  b_max_traps : int;  (** new-epoch traps tolerated (strictly more trips) *)
+  b_max_app_errors : int;  (** classifier-rejected responses tolerated *)
+  b_max_probe_failures : int;
+  b_latency_factor : float;  (** window p99 may exceed baseline by this *)
+  b_min_latency_samples : int;  (** don't judge p99 on thin traffic *)
+}
+
+val default_budget : budget
+
+val budget_of_string : string -> (budget, string) result
+(** Parse a [--guard-budget] string:
+    ["rounds=200,traps=0,errors=2,probes=2,latency=3,samples=32"] — any
+    subset of keys, the rest keep their defaults.  The empty string is
+    {!default_budget}. *)
+
+val budget_to_string : budget -> string
+
+(** {1 Configuration} *)
+
+(** The built-in loopback prober: every [pc_every] rounds connect to the
+    app's own port, send [pc_line], and expect a response passing [pc_ok]
+    within [pc_deadline] rounds. *)
+type probe_config = {
+  pc_port : int;
+  pc_line : string;
+  pc_ok : string -> bool;
+  pc_every : int;
+  pc_deadline : int;
+}
+
+val probe_config :
+  ?every:int ->
+  ?deadline:int ->
+  port:int ->
+  line:string ->
+  ok:(string -> bool) ->
+  unit ->
+  probe_config
+
+type config = {
+  c_budget : budget;
+  c_probe : probe_config option;
+  c_latency_metric : string;  (** histogram name in the VM's sink *)
+}
+
+val default_latency_metric : string
+(** ["app.request_rounds"], observed by the server apps' workloads. *)
+
+val config :
+  ?budget:budget -> ?probe:probe_config -> ?latency_metric:string -> unit ->
+  config
+
+(** {1 Verdicts} *)
+
+type signal = S_traps | S_app_errors | S_probes | S_latency | S_injected
+
+val signal_to_string : signal -> string
+
+type verdict = {
+  v_signal : signal;
+  v_detail : string;
+  v_round : int;  (** window round at which the budget tripped *)
+  v_traps : int;  (** new-epoch traps observed (incl. synthetic) *)
+  v_app_errors : int;
+  v_probe_failures : int;
+  v_p99 : float;  (** window p99 (latency-metric units) *)
+  v_baseline_p99 : float;
+  mutable v_revert_ms : float;  (** filled in once the revert resolves *)
+}
+
+val verdict_to_string : verdict -> string
+
+(** {1 The window} *)
+
+type t
+
+val open_window : config -> State.t -> t
+(** Snapshot the latency baseline and start watching the current code
+    epoch.  Call immediately after a [Txn.commit_retaining] commit, with
+    the world still stopped. *)
+
+val tick : State.t -> t -> [ `Watching | `Trip of verdict | `Close ]
+(** One watchdog step, to be called once per scheduler round (the
+    [State.guard_tick] hook).  [`Close] means the window expired with the
+    budget intact (and keeps being returned thereafter); the caller
+    should then release the retained log.  [`Trip v] means a budget was
+    exceeded; the window is closed and the caller should revert. *)
+
+val round_of : State.t -> t -> int
+(** Rounds elapsed since the window opened. *)
+
+val note_probe_failure : t -> unit
+(** Feed in a probe failure observed out-of-band (an orchestrator's
+    sidecar prober). *)
+
+val cancel : State.t -> t -> unit
+(** Shut the window without a verdict: close any in-flight probe and make
+    every further {!tick} return [`Close].  Used when an external driver
+    (the fleet orchestrator) takes over the revert decision. *)

@@ -15,13 +15,24 @@
    safe points (every round, and immediately when a return barrier fires).
    Each attempt re-checks the stacks; if restricted methods are on stack it
    installs return barriers and waits, up to a timeout, after which the
-   update aborts (paper: 15 seconds, configurable). *)
+   update aborts (paper: 15 seconds, configurable).
+
+   Guarded commits: with [?guard] set, a successful apply commits through
+   [Txn.commit_retaining] and opens a [Guard] window — the scheduler then
+   drives [Guard.tick] once per round via the [State.guard_tick] hook.  A
+   clean close releases the retained update log; a trip launches the
+   inverse update ([Spec.inverse]) through this same attempt machinery,
+   replaying the retained log, and flips the original handle's outcome to
+   [Reverted].  A failure *during* the revert rolls forward to [Aborted]
+   in phase [P_guard] (the revert's own transaction rolled the VM back to
+   the new version, which keeps running). *)
 
 module State = Jv_vm.State
 
 type outcome =
   | Pending
   | Applied of Updater.timings
+  | Reverted of Guard.verdict
   | Aborted of Updater.abort
 
 type handle = {
@@ -29,13 +40,20 @@ type handle = {
   h_restricted : Safepoint.restricted;
   h_requested_at : int; (* tick *)
   h_deadline : int; (* tick *)
+  h_timeout_rounds : int;
   h_use_osr : bool; (* ablation: lift category-2 frames by OSR *)
   h_use_barriers : bool; (* ablation: install return barriers *)
+  h_guard : Guard.config option; (* watch the commit, revert on trip *)
+  h_revert_of : (handle * Guard.verdict) option;
+      (* this handle IS the guard revert of another update *)
   mutable h_outcome : outcome;
   mutable h_attempts : int;
   mutable h_barriers_installed : int;
   mutable h_blockers : string; (* last observed blocking methods *)
+  mutable h_stuck : Safepoint.blocker list; (* structured blocker list *)
   mutable h_sync_ms : float; (* stack-scan time of the successful attempt *)
+  mutable h_guard_state : Guard.t option; (* open window, if any *)
+  mutable h_guard_busy : bool; (* window open or revert in flight *)
 }
 
 exception Busy
@@ -75,6 +93,17 @@ let record_outcome vm h outcome =
           ("osr", Jv_obs.Obs.Int t.Updater.u_osr);
           ("transformed", Jv_obs.Obs.Int t.Updater.u_transformed_objects);
         ]
+  | Reverted (v : Guard.verdict) ->
+      Jv_obs.Obs.incr obs "core.update.reverted";
+      Jv_obs.Obs.observe obs "core.guard.revert_ms" v.Guard.v_revert_ms;
+      Jv_obs.Obs.emit obs ~scope:"core.update" "update.reverted"
+        [
+          ("version", Jv_obs.Obs.Str (version_tag h));
+          ("signal", Jv_obs.Obs.Str (Guard.signal_to_string v.Guard.v_signal));
+          ("detail", Jv_obs.Obs.Str v.Guard.v_detail);
+          ("window_round", Jv_obs.Obs.Int v.Guard.v_round);
+          ("revert_ms", Jv_obs.Obs.Float v.Guard.v_revert_ms);
+        ]
   | Aborted (a : Updater.abort) ->
       Jv_obs.Obs.incr obs "core.update.aborted";
       Jv_obs.Obs.emit obs ~scope:"core.update" "update.aborted"
@@ -95,9 +124,38 @@ let finish vm h outcome =
   vm.State.dsu_attempt <- None;
   record_outcome vm h outcome
 
-let attempt h vm =
+(* The guard cycle resolved against the original update's handle: a trip
+   whose revert failed rolls forward to a typed [P_guard] abort — the
+   revert's transaction already restored the NEW version, which keeps
+   running. *)
+let guard_abort vm (orig : handle) (v : Guard.verdict) ~rolled_back
+    ~rollback_ms reason =
+  orig.h_guard_busy <- false;
+  Txn.release_retained vm;
+  let a =
+    {
+      Updater.a_phase = Updater.P_guard;
+      a_reason = Guard.verdict_to_string v ^ "; " ^ reason;
+      a_cause = Updater.C_generic;
+      a_rolled_back = rolled_back;
+      a_rollback_ms = rollback_ms;
+    }
+  in
+  orig.h_outcome <- Aborted a;
+  record_outcome vm orig orig.h_outcome
+
+(* The revert applied: the original update is now [Reverted]. *)
+let guard_reverted vm (orig : handle) (v : Guard.verdict)
+    (t : Updater.timings) =
+  orig.h_guard_busy <- false;
+  Txn.release_retained vm;
+  v.Guard.v_revert_ms <- t.Updater.u_total_ms;
+  orig.h_outcome <- Reverted v;
+  record_outcome vm orig orig.h_outcome
+
+let rec attempt h vm =
   match h.h_outcome with
-  | Applied _ | Aborted _ -> vm.State.dsu_attempt <- None
+  | Applied _ | Reverted _ | Aborted _ -> vm.State.dsu_attempt <- None
   | Pending -> (
       h.h_attempts <- h.h_attempts + 1;
       Jv_obs.Obs.incr vm.State.obs "core.update.attempts";
@@ -105,13 +163,33 @@ let attempt h vm =
       match Safepoint.check ~allow_osr:h.h_use_osr vm h.h_restricted with
       | Safepoint.Safe osr_frames -> (
           h.h_sync_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
+          let replay =
+            match h.h_revert_of with
+            | Some _ -> vm.State.guard_retained
+            | None -> None
+          in
           match
-            Updater.apply vm h.h_prepared ~restricted:h.h_restricted
-              ~osr_frames
+            Updater.apply
+              ~retain_log:(h.h_guard <> None)
+              ?replay vm h.h_prepared ~restricted:h.h_restricted ~osr_frames
           with
-          | Ok timings -> finish vm h (Applied timings)
-          | Error a -> finish vm h (Aborted a))
+          | Ok timings -> (
+              finish vm h (Applied timings);
+              match h.h_revert_of with
+              | Some (orig, v) -> guard_reverted vm orig v timings
+              | None -> open_guard vm h)
+          | Error a -> (
+              finish vm h (Aborted a);
+              match h.h_revert_of with
+              | Some (orig, v) ->
+                  guard_abort vm orig v ~rolled_back:a.Updater.a_rolled_back
+                    ~rollback_ms:a.Updater.a_rollback_ms
+                    (Printf.sprintf "revert failed [%s]: %s"
+                       (Updater.phase_to_string a.Updater.a_phase)
+                       a.Updater.a_reason)
+              | None -> ()))
       | Safepoint.Blocked stuck ->
+          h.h_stuck <- Safepoint.blocker_list vm stuck;
           let blockers = Safepoint.describe_blockers vm stuck in
           if blockers <> h.h_blockers then
             Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.blocked"
@@ -120,13 +198,31 @@ let attempt h vm =
                 ("blockers", Jv_obs.Obs.Str blockers);
               ];
           h.h_blockers <- blockers;
-          if vm.State.ticks > h.h_deadline then
-            finish vm h
-              (Aborted
-                 (Updater.sync_abort
-                    (Printf.sprintf
-                       "timeout: restricted methods still on stack (%s)"
-                       h.h_blockers)))
+          if vm.State.ticks > h.h_deadline then begin
+            (* name the culprit, not just "timeout" (starvation diag) *)
+            let reason =
+              match h.h_stuck with
+              | [] -> "timeout: restricted methods still on stack"
+              | b :: rest ->
+                  Printf.sprintf
+                    "timeout: thread %d blocked the DSU safe point in \
+                     restricted frame %s%s"
+                    b.Safepoint.b_tid b.Safepoint.b_method
+                    (match rest with
+                    | [] -> ""
+                    | _ ->
+                        Printf.sprintf " (+%d more: %s)" (List.length rest)
+                          (String.concat ", "
+                             (List.map Safepoint.blocker_to_string rest)))
+            in
+            let a = Updater.sync_abort reason in
+            finish vm h (Aborted a);
+            match h.h_revert_of with
+            | Some (orig, v) ->
+                guard_abort vm orig v ~rolled_back:false ~rollback_ms:0.0
+                  ("revert failed [sync]: " ^ reason)
+            | None -> ()
+          end
           else if h.h_use_barriers then begin
             let installed = Safepoint.install_barriers stuck in
             if installed > 0 then begin
@@ -145,6 +241,105 @@ let attempt h vm =
             Safepoint.unpark_stuck stuck
           end)
 
+(* A guarded update just applied: retain-commit already happened inside
+   [Updater.apply]; open the watch window and hand its tick to the
+   scheduler. *)
+and open_guard vm h =
+  match h.h_guard with
+  | None -> ()
+  | Some cfg ->
+      let g = Guard.open_window cfg vm in
+      h.h_guard_state <- Some g;
+      h.h_guard_busy <- true;
+      vm.State.guard_tick <- Some (guard_step h g)
+
+and guard_step h g vm =
+  match Guard.tick vm g with
+  | `Watching -> ()
+  | `Close ->
+      vm.State.guard_tick <- None;
+      h.h_guard_state <- None;
+      h.h_guard_busy <- false;
+      Txn.release_retained vm
+  | `Trip v ->
+      vm.State.guard_tick <- None;
+      h.h_guard_state <- None;
+      start_revert vm h v
+
+(* The budget tripped: build the inverse update and push it through the
+   normal pipeline at this very safe point (the scheduler calls the guard
+   tick between rounds, with no thread mid-slice).  Failures that prevent
+   the revert from even starting roll forward to a [P_guard] abort. *)
+and start_revert vm h v =
+  Jv_obs.Obs.emit vm.State.obs ~scope:"core.guard" "guard.reverting"
+    [
+      ("version", Jv_obs.Obs.Str (version_tag h));
+      ("signal", Jv_obs.Obs.Str (Guard.signal_to_string v.Guard.v_signal));
+    ];
+  let inv_spec = Spec.inverse h.h_prepared.Transformers.p_spec in
+  match Transformers.prepare inv_spec with
+  | exception Transformers.Prepare_error msg ->
+      guard_abort vm h v ~rolled_back:false ~rollback_ms:0.0
+        ("inverse prepare failed: " ^ msg)
+  | prepared ->
+      if vm.State.dsu_attempt <> None then
+        guard_abort vm h v ~rolled_back:false ~rollback_ms:0.0
+          "revert blocked: another update is pending"
+      else begin
+        let rh =
+          {
+            h_prepared = prepared;
+            h_restricted = Safepoint.compute vm prepared.Transformers.p_spec;
+            h_requested_at = vm.State.ticks;
+            h_deadline = vm.State.ticks + h.h_timeout_rounds;
+            h_timeout_rounds = h.h_timeout_rounds;
+            h_use_osr = h.h_use_osr;
+            h_use_barriers = h.h_use_barriers;
+            h_guard = None; (* reverts are not themselves guarded *)
+            h_revert_of = Some (h, v);
+            h_outcome = Pending;
+            h_attempts = 0;
+            h_barriers_installed = 0;
+            h_blockers = "";
+            h_stuck = [];
+            h_sync_ms = 0.0;
+            h_guard_state = None;
+            h_guard_busy = false;
+          }
+        in
+        vm.State.dsu_attempt <- Some (attempt rh);
+        (* the world is stopped between rounds: try right now, so a clean
+           revert lands without running another request round on the bad
+           version *)
+        attempt rh vm
+      end
+
+(* An external driver (the fleet orchestrator) forcing an open window to
+   trip: the in-VM revert replays the retained log exactly as a
+   budget-driven trip would, so a fleet-wide coordinated revert restores
+   forward-dropped field values instead of defaulting them. *)
+let force_trip vm (h : handle) ~reason =
+  match h.h_guard_state with
+  | None -> ()
+  | Some g ->
+      vm.State.guard_tick <- None;
+      Guard.cancel vm g;
+      h.h_guard_state <- None;
+      let v =
+        {
+          Guard.v_signal = Guard.S_injected;
+          v_detail = reason;
+          v_round = Guard.round_of vm g;
+          v_traps = 0;
+          v_app_errors = 0;
+          v_probe_failures = 0;
+          v_p99 = 0.0;
+          v_baseline_p99 = 0.0;
+          v_revert_ms = 0.0;
+        }
+      in
+      start_revert vm h v
+
 (* Signal the VM that an update is available.  The update is applied by the
    scheduler at the next DSU safe point.  Raises [Busy] if another update
    is already pending.
@@ -153,7 +348,7 @@ let attempt h vm =
    update resolves immediately as [Aborted] in phase [P_admit] — the
    attempt hook is never installed, so the VM never pauses. *)
 let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
-    ?(use_barriers = true) ?(admit = true) ?(admit_strict = false) vm
+    ?(use_barriers = true) ?(admit = true) ?(admit_strict = false) ?guard vm
     (prepared : Transformers.prepared) : handle =
   if vm.State.dsu_attempt <> None then raise Busy;
   let h =
@@ -162,13 +357,19 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
       h_restricted = Safepoint.compute vm prepared.Transformers.p_spec;
       h_requested_at = vm.State.ticks;
       h_deadline = vm.State.ticks + timeout_rounds;
+      h_timeout_rounds = timeout_rounds;
       h_use_osr = use_osr;
       h_use_barriers = use_barriers;
+      h_guard = guard;
+      h_revert_of = None;
       h_outcome = Pending;
       h_attempts = 0;
       h_barriers_installed = 0;
       h_blockers = "";
+      h_stuck = [];
       h_sync_ms = 0.0;
+      h_guard_state = None;
+      h_guard_busy = false;
     }
   in
   Jv_obs.Obs.incr vm.State.obs "core.update.requests";
@@ -177,6 +378,7 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
       ( "version",
         Jv_obs.Obs.Str prepared.Transformers.p_spec.Spec.version_tag );
       ("timeout_rounds", Jv_obs.Obs.Int timeout_rounds);
+      ("guarded", Jv_obs.Obs.Str (string_of_bool (guard <> None)));
     ];
   let rejected =
     if not admit then []
@@ -214,17 +416,18 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
 
 (* Convenience: prepare from a spec and request in one step. *)
 let request_spec ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
-    vm (spec : Spec.t) : handle =
-  request ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict vm
+    ?guard vm (spec : Spec.t) : handle =
+  request ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict ?guard
+    vm
     (Transformers.prepare spec)
 
 (* Convenience for tests and benchmarks: request the update and drive the
    scheduler until it resolves (or [max_rounds] elapses). *)
 let update_now ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
-    ?(max_rounds = 10_000) vm spec : handle =
+    ?guard ?(max_rounds = 10_000) vm spec : handle =
   let h =
     request_spec ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
-      vm spec
+      ?guard vm spec
   in
   let n = ref 0 in
   while h.h_outcome = Pending && !n < max_rounds do
@@ -233,11 +436,28 @@ let update_now ?timeout_rounds ?use_osr ?use_barriers ?admit ?admit_strict
   done;
   h
 
+let guard_active h = h.h_guard_busy
+
+(* Drive the scheduler until the whole guard cycle resolves: the update
+   applies (or aborts), then the window either closes clean or trips and
+   the revert lands.  The terminal outcome is the handle's. *)
+let run_to_guard_close ?(max_rounds = 10_000) vm (h : handle) =
+  let n = ref 0 in
+  while (h.h_outcome = Pending || h.h_guard_busy) && !n < max_rounds do
+    Jv_vm.Sched.round vm;
+    incr n
+  done;
+  h.h_outcome
+
 let resolved h =
-  match h.h_outcome with Pending -> false | Applied _ | Aborted _ -> true
+  match h.h_outcome with
+  | Pending -> false
+  | Applied _ | Reverted _ | Aborted _ -> true
 
 let succeeded h =
-  match h.h_outcome with Applied _ -> true | Pending | Aborted _ -> false
+  match h.h_outcome with
+  | Applied _ -> true
+  | Pending | Reverted _ | Aborted _ -> false
 
 (* A plain-data snapshot of one update attempt, for orchestrators that
    aggregate outcomes across a fleet of VMs. *)
@@ -247,6 +467,7 @@ type attempt_report = {
   ar_barriers_installed : int;
   ar_sync_ms : float;
   ar_blockers : string;
+  ar_stuck : Safepoint.blocker list;
   ar_waited_rounds : int; (* ticks from request to resolution (or so far) *)
 }
 
@@ -257,6 +478,7 @@ let report vm h =
     ar_barriers_installed = h.h_barriers_installed;
     ar_sync_ms = h.h_sync_ms;
     ar_blockers = h.h_blockers;
+    ar_stuck = h.h_stuck;
     ar_waited_rounds = vm.State.ticks - h.h_requested_at;
   }
 
@@ -268,4 +490,5 @@ let outcome_to_string = function
          %d objects transformed, %d OSRs)"
         t.Updater.u_load_ms t.Updater.u_gc_ms t.Updater.u_transform_ms
         t.Updater.u_total_ms t.Updater.u_transformed_objects t.Updater.u_osr
+  | Reverted v -> "reverted: " ^ Guard.verdict_to_string v
   | Aborted a -> "aborted: " ^ Updater.abort_to_string a

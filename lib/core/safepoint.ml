@@ -175,13 +175,28 @@ let unpark_stuck (stuck : (State.vthread * State.frame) list) =
         t.State.tstate <- State.T_runnable)
     stuck
 
-(* Human-readable description of what blocks the update (for abort
-   messages and the experience tables). *)
-let describe_blockers vm (stuck : (State.vthread * State.frame) list) :
-    string =
+(* Structured starvation diagnostic: per stuck thread, the topmost
+   restricted frame that kept the DSU safe point out of reach.  A timeout
+   abort names these instead of reporting a bare timeout. *)
+type blocker = {
+  b_tid : int;
+  b_method : string; (* qualified name of the topmost restricted frame *)
+}
+
+let blocker_list vm (stuck : (State.vthread * State.frame) list) :
+    blocker list =
   stuck
   |> List.map (fun ((t : State.vthread), (fr : State.frame)) ->
          let m = Rt.method_by_uid vm.State.reg fr.State.f_method in
          let c = Rt.class_by_id vm.State.reg m.Rt.owner in
-         Printf.sprintf "thread %d: %s" t.State.tid (Rt.method_qname c m))
-  |> List.sort_uniq compare |> String.concat "; "
+         { b_tid = t.State.tid; b_method = Rt.method_qname c m })
+  |> List.sort_uniq compare
+
+let blocker_to_string b =
+  Printf.sprintf "thread %d: %s" b.b_tid b.b_method
+
+(* Human-readable description of what blocks the update (for abort
+   messages and the experience tables). *)
+let describe_blockers vm (stuck : (State.vthread * State.frame) list) :
+    string =
+  blocker_list vm stuck |> List.map blocker_to_string |> String.concat "; "

@@ -50,4 +50,18 @@ val unpark_stuck : (State.vthread * State.frame) list -> unit
     deeper in its stack must keep running (with a fresh barrier) to clear
     them. *)
 
+(** Structured starvation diagnostic: per stuck thread, the topmost
+    restricted frame that kept the DSU safe point out of reach. *)
+type blocker = {
+  b_tid : int;
+  b_method : string;  (** qualified name of the topmost restricted frame *)
+}
+
+val blocker_list :
+  State.t -> (State.vthread * State.frame) list -> blocker list
+(** Deduplicated, sorted (thread, topmost restricted frame) pairs — what
+    a safe-point timeout abort names instead of a bare timeout. *)
+
+val blocker_to_string : blocker -> string
+
 val describe_blockers : State.t -> (State.vthread * State.frame) list -> string

@@ -111,6 +111,30 @@ let release vm txn =
 
 let commit vm txn = release vm txn
 
+(* Commit, but keep the update log alive for a post-commit guard window:
+   the transaction's own root (the JTOC copy) is dropped as usual, while
+   the log array — which the updater left registered in [extra_roots] —
+   is published as [State.guard_retained].  The pristine old copies in
+   its even slots are the inverse-update replay's source should the
+   guard's error budget trip; until the window closes they are also the
+   heap verifier's [guard_pending] allowance. *)
+let commit_retaining vm txn ~update_log =
+  release vm txn;
+  if Array.length update_log > 0 then
+    vm.State.guard_retained <- Some update_log
+
+(* Close the guard window: unroot the retained log and collect, so the
+   old copies finally die and subsequent heap verifications see no
+   superseded objects at all. *)
+let release_retained vm =
+  match vm.State.guard_retained with
+  | None -> ()
+  | Some log ->
+      vm.State.guard_retained <- None;
+      vm.State.extra_roots <-
+        List.filter (fun a -> a != log) vm.State.extra_roots;
+      ignore (Gc.collect vm)
+
 (* Exact metadata restoration: truncate the appended ids, put back every
    saved mutable field, rebuild the name table. *)
 let restore_metadata (vm : State.t) txn =

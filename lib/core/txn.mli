@@ -17,6 +17,18 @@ val capture : State.t -> t
 val commit : State.t -> t -> unit
 (** The update applied: drop the snapshot root. *)
 
+val commit_retaining : State.t -> t -> update_log:int array -> unit
+(** Commit, but keep the update log (still registered in [extra_roots] by
+    the updater) alive for a post-commit guard window, published as
+    [State.guard_retained].  Its pristine old copies feed the
+    inverse-update replay if the guard trips, and the heap verifier's
+    [guard_pending] allowance until then.  Pair with
+    {!release_retained}. *)
+
+val release_retained : State.t -> unit
+(** Close the guard window: unroot the retained log (if any) and run a
+    plain collection so the old copies die.  Idempotent. *)
+
 val rollback : ?update_log:int array -> State.t -> t -> unit
 (** Restore metadata and statics, then — when [update_log] is non-empty,
     i.e. the transforming collection already ran — undo the heap pass by

@@ -53,6 +53,7 @@ type phase =
   | P_transform (* class and object transformers *)
   | P_verify (* the post-transform heap integrity walk *)
   | P_osr (* on-stack replacement of parked frames *)
+  | P_guard (* the post-commit guard window: a failed automatic revert *)
 
 let phase_to_string = function
   | P_admit -> "admit"
@@ -62,6 +63,7 @@ let phase_to_string = function
   | P_transform -> "transform"
   | P_verify -> "verify"
   | P_osr -> "osr"
+  | P_guard -> "guard"
 
 (* Where a transformer was executing when it failed. *)
 type transformer_site = {
@@ -315,7 +317,11 @@ let fail_transformer vm (site : transformer_site) msg =
      carrier thread's entry from the VM-wide trap log so a contained
      transformer failure does not read as an app-thread crash *)
   (match vm.State.trap_log with
-  | (_, m) :: rest when String.equal m msg -> vm.State.trap_log <- rest
+  | (_, m) :: rest when String.equal m msg ->
+      vm.State.trap_log <- rest;
+      (* ...and from the per-epoch attribution, or a contained transformer
+         failure would spend the guard window's trap budget *)
+      State.unrecord_trap_count vm
   | _ -> ());
   let cause, reason =
     if String.starts_with ~prefix:"transformer fuel exhausted" msg then
@@ -458,6 +464,76 @@ let run_class_transformers vm (spec : Spec.t) ctx =
             fail_transformer vm site e))
     spec.Spec.diff.Diff.class_updates_closure
 
+(* --- inverse-update replay (guard revert) -------------------------------
+
+   When a guard window trips, the revert is the inverse update applied
+   through this same pipeline.  Its default transformers restore only the
+   fields shared between the two layouts (copied from the pristine copies
+   of the version being backed out, so in-window mutations survive).
+   Fields the forward update *dropped* exist in neither that layout nor
+   its copies — their pre-update values live only in the retained forward
+   update log.  This step replays them: for every forward pair, copy
+   exactly the dropped fields from the forward old copy into the restored
+   object.
+
+   The retained log's slots were rewritten by the revert's transforming
+   collection: even slots now hold the (forwarded) pre-update copies, odd
+   slots the restored new-layout objects — references to the backed-out
+   objects were redirected to their replacements like any other root.
+   Reference-typed dropped fields are sound for the same reason: the old
+   copies were scanned as live objects through both collections, so their
+   referents are current addresses of the restored versions. *)
+let replay_retained vm (spec : Spec.t) (fwd_log : int array) : int =
+  (* [spec] is the inverse spec: its [version_tag] renamed the version
+     being backed out aside, so the forward-new layout of class N is the
+     runtime class [v<tag>_N] *)
+  let heap = vm.State.heap in
+  let reg = vm.State.reg in
+  let replayed = ref 0 in
+  let shared_with_forward (fwd_rc : Rt.rt_class) (nfi : Rt.field_info) =
+    Array.exists
+      (fun (ffi : Rt.field_info) ->
+        String.equal ffi.Rt.fi_name nfi.Rt.fi_name
+        && CF.Types.equal_ty
+             (Transformers.map_old_ty spec ffi.Rt.fi_ty)
+             nfi.Rt.fi_ty)
+      fwd_rc.Rt.instance_fields
+  in
+  for i = 0 to (Array.length fwd_log / 2) - 1 do
+    let a = Value.to_ref fwd_log.(2 * i) (* pre-update pristine copy *)
+    and c = Value.to_ref fwd_log.((2 * i) + 1) (* restored object *) in
+    let c_cls = Rt.class_by_id reg (Heap.class_id heap c) in
+    let a_cls = Rt.class_by_id reg (Heap.class_id heap a) in
+    if
+      c_cls.Rt.valid
+      && List.mem c_cls.Rt.name spec.Spec.diff.Diff.class_updates_closure
+    then
+      match
+        Rt.find_class reg
+          (Spec.old_class_name ~tag:spec.Spec.version_tag c_cls.Rt.name)
+      with
+      | None -> () (* forward layout gone: nothing was dropped *)
+      | Some fwd_rc ->
+          Array.iter
+            (fun (nfi : Rt.field_info) ->
+              if not (shared_with_forward fwd_rc nfi) then
+                (* dropped by the forward update: restore from the
+                   pre-update copy (same source layout as [c_cls]) *)
+                Array.iter
+                  (fun (ofi : Rt.field_info) ->
+                    if
+                      String.equal ofi.Rt.fi_name nfi.Rt.fi_name
+                      && CF.Types.equal_ty ofi.Rt.fi_ty nfi.Rt.fi_ty
+                    then begin
+                      Heap.set heap ~addr:c ~off:nfi.Rt.fi_offset
+                        (Heap.get heap ~addr:a ~off:ofi.Rt.fi_offset);
+                      incr replayed
+                    end)
+                  a_cls.Rt.instance_fields)
+            c_cls.Rt.instance_fields
+  done;
+  !replayed
+
 let unload_transformer vm (rc : Rt.rt_class) =
   Hashtbl.remove vm.State.reg.Rt.by_name rc.Rt.name;
   rc.Rt.valid <- false;
@@ -507,7 +583,7 @@ let restore_frame (fr : State.frame) s =
    way, so nothing observes the difference — but every failure before
    OSR then needs no frame surgery to undo, and an OSR failure itself
    restores the frames it touched from snapshots. *)
-let apply vm (p : Transformers.prepared)
+let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
     ~(restricted : Safepoint.restricted)
     ~(osr_frames : State.frame list) : (timings, abort) result =
   let spec = p.Transformers.p_spec in
@@ -519,6 +595,10 @@ let apply vm (p : Transformers.prepared)
   let update_log = ref [||] in
   let frame_snaps = ref [] in
   let run () =
+    (* a guard-window revert: give the chaos plan its deterministic shot
+       at the revert path itself (a fire rolls the revert back — the VM
+       stays on the version being backed out, heap intact) *)
+    if replay <> None then Faults.point faults "guard.revert";
     (* 1-3: metadata installation *)
     let olds = rename_old_classes vm spec in
     let news = install_new_classes vm spec in
@@ -595,12 +675,15 @@ let apply vm (p : Transformers.prepared)
     done;
     vm.State.force_transform <-
       Some (fun vm addr -> force_transform vm ctx addr);
-    let finish_transformers () =
+    let finish_transformers ~keep_log () =
       State.sandbox_dispose vm sb;
       vm.State.force_transform <- None;
       Interp.release_carrier vm ctx.carrier;
-      vm.State.extra_roots <-
-        List.filter (fun a -> a != ctx.log) vm.State.extra_roots
+      (* [keep_log]: a guard window will retain the log past commit, so
+         it must stay rooted (the failure path always unroots) *)
+      if not keep_log then
+        vm.State.extra_roots <-
+          List.filter (fun a -> a != ctx.log) vm.State.extra_roots
     in
     (try
        Faults.point faults "updater.transform";
@@ -610,12 +693,24 @@ let apply vm (p : Transformers.prepared)
          Faults.point faults "updater.transform";
          run_pair vm ctx i
        done;
-       finish_transformers ()
+       finish_transformers ~keep_log:retain_log ()
      with e ->
-       finish_transformers ();
+       finish_transformers ~keep_log:false ();
        raise e);
     (* 7: drop the transformer class; the log is already unreachable *)
     unload_transformer vm transformer_rc;
+    (* 7.25: guard revert only — restore the fields the forward update
+       dropped from the retained forward log (see [replay_retained]) *)
+    (match replay with
+    | Some fwd_log when Array.length fwd_log > 1 ->
+        let n = replay_retained vm spec fwd_log in
+        Jv_obs.Obs.incr ~by:n obs "core.guard.replayed_fields";
+        Jv_obs.Obs.emit obs ~scope:"core.update" "phase.replay.done"
+          [
+            ("fields", Jv_obs.Obs.Int n);
+            ("pairs", Jv_obs.Obs.Int (Array.length fwd_log / 2));
+          ]
+    | _ -> ());
     let t_transform = now () in
     Jv_obs.Obs.observe_int obs "core.update.transformer_steps"
       sb.State.sb_total_steps;
@@ -681,7 +776,8 @@ let apply vm (p : Transformers.prepared)
   in
   match run () with
   | timings ->
-      Txn.commit vm txn;
+      if retain_log then Txn.commit_retaining vm txn ~update_log:!update_log
+      else Txn.commit vm txn;
       Ok timings
   | exception e ->
       let reason, cause, killed_at =
@@ -701,6 +797,12 @@ let apply vm (p : Transformers.prepared)
             raise e
       in
       let rt0 = now () in
+      (* with [retain_log], the log stayed rooted past the transform phase;
+         a verify/OSR failure must unroot it before the rollback's redirect
+         collection, or the redirect would rewrite the log's own slots *)
+      if retain_log && Array.length !update_log > 0 then
+        vm.State.extra_roots <-
+          List.filter (fun a -> a != !update_log) vm.State.extra_roots;
       (match !frame_snaps with
       | [] -> ()
       | snaps -> List.iter2 restore_frame osr_frames snaps);

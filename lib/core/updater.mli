@@ -29,6 +29,11 @@ type phase =
   | P_transform  (** class and object transformers *)
   | P_verify  (** the post-transform heap integrity walk *)
   | P_osr  (** on-stack replacement of parked frames *)
+  | P_guard
+      (** the post-commit guard window: the error budget tripped and the
+          automatic inverse-update revert itself failed (the abort wraps
+          the revert's own phase; the VM stays on the new version,
+          rolled back from the revert attempt) *)
 
 val phase_to_string : phase -> string
 
@@ -107,6 +112,8 @@ val invalidate_stale_code : State.t -> Safepoint.restricted -> int
     and bumps the resolution epoch. *)
 
 val apply :
+  ?retain_log:bool ->
+  ?replay:int array ->
   State.t ->
   Transformers.prepared ->
   restricted:Safepoint.restricted ->
@@ -120,6 +127,13 @@ val apply :
     points — rolls the VM back to the pre-update snapshot and returns
     [Error abort].  A [Faults.Killed] injection additionally marks the VM
     killed ([State.killed]) after the rollback.
+
+    [retain_log] commits through {!Txn.commit_retaining}: the update log
+    stays GC-rooted and published as [State.guard_retained] until the
+    guard window closes ({!Txn.release_retained}).  [replay] marks this
+    application as a guard revert: after the (inverse) transformers run,
+    the fields the forward update dropped are restored from the retained
+    forward log, and the [guard.revert] fault point is consulted first.
 
     Transformers run sandboxed: each invocation gets a fresh fuel budget
     ([State.config.transformer_fuel]) and object transformers may only

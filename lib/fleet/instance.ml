@@ -42,6 +42,9 @@ let boot ?(config = default_config) (profile : Profile.t) ~id ~version : t =
   let program = Profile.compile profile ~version in
   let vm = VM.Vm.create ~config () in
   VM.Vm.boot vm program;
+  (* responses the profile's protocol rejects count as app-level errors,
+     charged to the sending code epoch (the guard watchdog's 5xx feed) *)
+  VM.Vm.set_response_classifier vm (Some profile.Profile.pr_ok);
   ignore (VM.Vm.spawn_main vm ~main_class:"Main");
   (* let the server open its listeners before the LB registers it *)
   VM.Vm.run vm ~rounds:5;

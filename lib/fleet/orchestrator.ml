@@ -38,6 +38,12 @@ type params = {
   on_exhausted : [ `Halt | `Quarantine ];
       (* retries spent: halt + roll everything back (default), or
          quarantine the instance and finish the rollout on survivors *)
+  guard : J.Guard.config option;
+      (* guarded commits: every forward update opens an in-VM guard
+         window; a trip auto-reverts that instance AND fences the
+         rollout with a fleet-wide coordinated revert.  A config without
+         a probe gets the profile's health probe on each instance's own
+         port. *)
 }
 
 let default_params mode =
@@ -55,6 +61,7 @@ let default_params mode =
     max_retries = 0;
     backoff_base = 40;
     on_exhausted = `Halt;
+    guard = None;
   }
 
 (* --- results ----------------------------------------------------------- *)
@@ -70,6 +77,9 @@ type result = {
   r_quarantined : (int * string) list;
       (* removed from the fleet: VM killed, rollback failed, or retries
          spent under [`Quarantine] *)
+  r_guard_tripped : (int * string) list;
+      (* per-instance guard verdicts: in-VM auto-reverts (and failed
+         reverts, which also land in [r_rollback_failed]) *)
   r_retries : int; (* per-instance update re-attempts performed *)
   r_rounds : int;
   r_mixed_window : int; (* rounds the fleet ran mixed versions *)
@@ -93,6 +103,9 @@ let pp_result ppf r =
     ^ (if r.r_quarantined = [] then ""
        else
          Printf.sprintf ", %d quarantined" (List.length r.r_quarantined))
+    ^ (if r.r_guard_tripped = [] then ""
+       else
+         Printf.sprintf ", %d guard trip(s)" (List.length r.r_guard_tripped))
     ^
     if r.r_rollback_failed = [] then ""
     else
@@ -136,6 +149,9 @@ type t = {
   mutable rollback_failed : (int * string) list;
   mutable quarantined : (int * string) list;
   attempts : (int, int) Hashtbl.t; (* id -> failed forward attempts *)
+  mutable guarding : (int * J.Jvolve.handle) list; (* open guard windows *)
+  mutable guard_trips : (int * string) list;
+  mutable fence : string option; (* pending fleet-wide revert reason *)
   mutable retries : int;
   mutable reports : (int * J.Jvolve.attempt_report) list;
   mutable drain_timeouts : int;
@@ -231,6 +247,9 @@ let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
     rollback_failed = [];
     quarantined = [];
     attempts = Hashtbl.create 16;
+    guarding = [];
+    guard_trips = [];
+    fence = None;
     retries = 0;
     reports = [];
     drain_timeouts = 0;
@@ -277,6 +296,29 @@ let quarantine t id ~why =
 
 (* --- stage entry ------------------------------------------------------- *)
 
+(* Forward updates are guarded when [params.guard] is set; a config
+   without a probe gets the profile's health probe on the instance's own
+   port.  Rollbacks are never guarded. *)
+let guard_for t (i : Instance.t) =
+  match (t.direction, t.params.guard) with
+  | Rollback _, _ | _, None -> None
+  | Forward, Some cfg ->
+      Some
+        (match cfg.J.Guard.c_probe with
+        | Some _ -> cfg
+        | None ->
+            let p = t.fleet.Fleet.profile in
+            {
+              cfg with
+              J.Guard.c_probe =
+                Some
+                  (J.Guard.probe_config ~every:20
+                     ~deadline:t.params.probe_deadline
+                     ~port:i.Instance.i_port
+                     ~line:p.Profile.pr_health_probe
+                     ~ok:p.Profile.pr_health_ok ());
+            })
+
 let start_updates t ids =
   emit_ev t "update.begin"
     [
@@ -299,7 +341,8 @@ let start_updates t ids =
         match
           J.Jvolve.request_spec ~timeout_rounds:t.params.update_timeout
             ~use_osr:t.params.use_osr ~use_barriers:t.params.use_barriers
-            ~admit_strict:t.params.admit_strict i.Instance.i_vm
+            ~admit_strict:t.params.admit_strict
+            ?guard:(guard_for t i) i.Instance.i_vm
             (spec_for t id)
         with
         | h -> Some (id, h)
@@ -375,7 +418,11 @@ let start_probes t ids =
 
 (* --- finishing --------------------------------------------------------- *)
 
-let finish t =
+let finish ?(force = false) t =
+  (* open guard windows (or in-flight in-VM reverts) keep the rollout
+     alive: the per-round guard watch drains [guarding], then this runs *)
+  if t.guarding <> [] && not force then ()
+  else begin
   let halted =
     match t.direction with Forward -> None | Rollback why -> Some why
   in
@@ -419,26 +466,45 @@ let finish t =
         r_unhealthy = List.rev t.unhealthy;
         r_rollback_failed = List.rev t.rollback_failed;
         r_quarantined = List.rev t.quarantined;
+        r_guard_tripped = List.rev t.guard_trips;
         r_retries = t.retries;
         r_rounds = rounds;
         r_mixed_window = mixed;
         r_drain_timeouts = t.drain_timeouts;
         r_reports = List.rev t.reports;
       }
+  end
 
-(* Halt the rollout: every already-updated instance is reverted by the
-   inverse spec, in one wave. *)
+(* Halt the rollout: every already-updated instance is reverted, in one
+   coordinated wave.  Instances whose guard window is still open revert
+   in-VM (forced trip, replaying the retained update log so
+   forward-dropped field values are restored); the rest get the plain
+   inverse spec through the normal update pipeline. *)
 let begin_rollback t ~why =
+  let in_vm =
+    List.filter (fun (_, h) -> J.Jvolve.guard_active h) t.guarding
+  in
+  List.iter
+    (fun (id, h) ->
+      emit_ev t "guard.fence"
+        [ ("instance", Jv_obs.Obs.Int id); ("why", Jv_obs.Obs.Str why) ];
+      J.Jvolve.force_trip (inst t id).Instance.i_vm h
+        ~reason:("rollout fenced: " ^ why))
+    in_vm;
+  let in_vm_ids = List.map fst in_vm in
   emit_ev t "rollback.begin"
     [
       ("why", Jv_obs.Obs.Str why);
       ("instances", ids_field (List.sort compare t.updated));
+      ("in_vm_reverts", ids_field (List.sort compare in_vm_ids));
     ];
   t.direction <- Rollback why;
   t.wave <- None;
   t.stage <- None;
   t.waves <-
-    (match t.updated with
+    (match
+       List.filter (fun id -> not (List.mem id in_vm_ids)) t.updated
+     with
     | [] -> []
     | ids ->
         [
@@ -460,6 +526,71 @@ let next_wave t =
 
 (* --- per-round step ---------------------------------------------------- *)
 
+(* Scan the open guard windows once per round.  A clean close just drops
+   off the watch list; a trip means the instance already reverted itself
+   in-VM (it is back on the known-good version and keeps serving) and the
+   rollout must be fenced; a trip whose revert failed leaves the instance
+   stuck on the new version — quarantined, like a failed rollback. *)
+let guard_watch t =
+  if t.guarding <> [] then begin
+    let still = ref [] in
+    List.iter
+      (fun (id, (h : J.Jvolve.handle)) ->
+        if J.Jvolve.guard_active h then still := (id, h) :: !still
+        else
+          let i = inst t id in
+          match h.J.Jvolve.h_outcome with
+          | J.Jvolve.Applied _ ->
+              emit_ev t "guard.closed" [ ("instance", Jv_obs.Obs.Int id) ]
+          | J.Jvolve.Reverted v ->
+              let why = J.Guard.verdict_to_string v in
+              Jv_obs.Obs.incr (Fleet.obs t.fleet)
+                "fleet.rollout.guard_trips";
+              emit_ev t "guard.reverted"
+                [
+                  ("instance", Jv_obs.Obs.Int id);
+                  ("why", Jv_obs.Obs.Str why);
+                  ( "revert_ms",
+                    Jv_obs.Obs.Float v.J.Guard.v_revert_ms );
+                ];
+              t.guard_trips <- (id, why) :: t.guard_trips;
+              i.Instance.i_version <- t.from_version;
+              i.Instance.i_program <- (fwd_spec t id).J.Spec.old_program;
+              t.updated <- List.filter (( <> ) id) t.updated;
+              t.rolled_back <- id :: t.rolled_back;
+              note_version_change t;
+              (* back on the known-good version: keep it serving *)
+              i.Instance.i_status <- Instance.In_service;
+              Lb.set_admit (lb t) ~id true;
+              (match (t.direction, t.fence) with
+              | Forward, None ->
+                  t.fence <-
+                    Some
+                      (Printf.sprintf "guard tripped on instance %d: %s" id
+                         why)
+              | _ -> ())
+          | J.Jvolve.Aborted a ->
+              (* tripped, and the revert itself rolled forward to an
+                 abort: the VM stays on the new version — not trusted *)
+              let why =
+                "guard revert failed: " ^ J.Updater.abort_to_string a
+              in
+              t.guard_trips <- (id, why) :: t.guard_trips;
+              t.updated <- List.filter (( <> ) id) t.updated;
+              t.rollback_failed <- (id, why) :: t.rollback_failed;
+              quarantine t id ~why;
+              (match (t.direction, t.fence) with
+              | Forward, None ->
+                  t.fence <-
+                    Some
+                      (Printf.sprintf
+                         "guard tripped on instance %d (revert failed)" id)
+              | _ -> ())
+          | J.Jvolve.Pending -> ())
+      t.guarding;
+    t.guarding <- List.rev !still
+  end
+
 let update_resolved t (w : wave) handles =
   let waited = now t - t.stage_started in
   Jv_obs.Obs.observe_int (Fleet.obs t.fleet) "fleet.rollout.update_rounds"
@@ -477,6 +608,7 @@ let update_resolved t (w : wave) handles =
             Jv_obs.Obs.Str
               (match h.J.Jvolve.h_outcome with
               | J.Jvolve.Applied _ -> "applied"
+              | J.Jvolve.Reverted _ -> "reverted"
               | J.Jvolve.Aborted _ -> "aborted"
               | J.Jvolve.Pending -> "pending") );
           ("ticks", Jv_obs.Obs.Int waited);
@@ -489,13 +621,38 @@ let update_resolved t (w : wave) handles =
           i.Instance.i_version <- t.to_version;
           i.Instance.i_program <- (fwd_spec t id).J.Spec.new_program;
           t.updated <- id :: t.updated;
-          note_version_change t
+          note_version_change t;
+          (* guarded commit: keep watching the window *)
+          if J.Jvolve.guard_active h then
+            t.guarding <- (id, h) :: t.guarding
       | J.Jvolve.Applied _, Rollback _ ->
           i.Instance.i_version <- t.from_version;
           i.Instance.i_program <- (fwd_spec t id).J.Spec.old_program;
           t.updated <- List.filter (( <> ) id) t.updated;
           t.rolled_back <- id :: t.rolled_back;
           note_version_change t
+      | J.Jvolve.Reverted v, Forward ->
+          (* the window tripped before this resolution scan even saw the
+             apply: the instance visited the new version and is already
+             back on the old one *)
+          let why = J.Guard.verdict_to_string v in
+          Jv_obs.Obs.incr (Fleet.obs t.fleet) "fleet.rollout.guard_trips";
+          t.guard_trips <- (id, why) :: t.guard_trips;
+          t.rolled_back <- id :: t.rolled_back;
+          note_version_change t;
+          i.Instance.i_status <- Instance.In_service;
+          Lb.set_admit (lb t) ~id true;
+          (match t.fence with
+          | None ->
+              t.fence <-
+                Some
+                  (Printf.sprintf "guard tripped on instance %d: %s" id why)
+          | Some _ -> ())
+      | J.Jvolve.Reverted v, Rollback _ ->
+          (* cannot happen: rollbacks are never guarded *)
+          let e = "guard reverted the rollback: " ^ J.Guard.verdict_to_string v in
+          t.rollback_failed <- (id, e) :: t.rollback_failed;
+          quarantine t id ~why:e
       | (J.Jvolve.Aborted _ | J.Jvolve.Pending), _ -> (
           let e =
             match h.J.Jvolve.h_outcome with
@@ -692,15 +849,35 @@ let observe_done t ~canaries =
       begin_rollback t ~why;
       next_wave t
 
+(* Consume a pending fence (a guard trip demanding a fleet-wide revert).
+   Mid-[Update] waves must first resolve — their VMs have DSU attempts in
+   flight — so the fence waits for the next safe stage boundary. *)
+let consume_fence t =
+  match (t.fence, t.direction) with
+  | None, _ -> false
+  | Some _, Rollback _ ->
+      t.fence <- None;
+      false
+  | Some why, Forward -> (
+      match t.stage with
+      | Some (Update _) -> false
+      | None | Some (Drain _ | Probe _ | Observe _ | Backoff _) ->
+          t.fence <- None;
+          begin_rollback t ~why;
+          next_wave t;
+          true)
+
 let step t =
+  guard_watch t;
   match (t.result, t.wave, t.stage) with
   | Some _, _, _ -> ()
   | None, None, _ ->
       if now t - t.started_at > t.params.max_rounds then begin
         begin_rollback t ~why:"rollout exceeded max_rounds";
-        finish t
+        t.guarding <- [];
+        finish ~force:true t
       end
-      else next_wave t
+      else if not (consume_fence t) then next_wave t
   | None, Some w, Some stage -> (
       if now t - t.started_at > t.params.max_rounds then begin
         (* hard stop: report whatever state we reached *)
@@ -708,8 +885,10 @@ let step t =
           (match t.direction with
           | Forward -> Rollback "rollout exceeded max_rounds"
           | d -> d);
-        finish t
+        t.guarding <- [];
+        finish ~force:true t
       end
+      else if consume_fence t then ()
       else
         match stage with
         | Drain { until } ->

@@ -113,6 +113,49 @@ let quantile h q =
     Float.min (Float.max v h.h_min) h.h_max
   end
 
+(* --- snapshots and windowed quantiles ----------------------------------
+
+   Histograms are cumulative; a guard window needs "p99 since the update
+   committed" compared against "p99 before it".  A [snap] freezes the
+   bucket counts; [since] rebuilds the delta histogram (observations made
+   after the snapshot) by bucket-wise subtraction.  Min/max cannot be
+   recovered for a window, so the delta keeps the source's bounds — the
+   quantile clamp stays sound, just looser. *)
+
+type snap = {
+  s_counts : int array;
+  s_zero : int;
+  s_count : int;
+  s_sum : float;
+}
+
+let snapshot h =
+  {
+    s_counts = Array.copy h.h_counts;
+    s_zero = h.h_zero;
+    s_count = h.h_count;
+    s_sum = h.h_sum;
+  }
+
+let since h (s : snap) =
+  let d = make_histogram ~gamma:h.h_gamma h.h_name in
+  d.h_counts <- Array.copy h.h_counts;
+  Array.iteri
+    (fun i n -> if i < Array.length d.h_counts then
+        d.h_counts.(i) <- max 0 (d.h_counts.(i) - n))
+    s.s_counts;
+  d.h_zero <- max 0 (h.h_zero - s.s_zero);
+  d.h_count <- max 0 (h.h_count - s.s_count);
+  d.h_sum <- Float.max 0.0 (h.h_sum -. s.s_sum);
+  if d.h_count > 0 then begin
+    d.h_min <- h.h_min;
+    d.h_max <- h.h_max
+  end;
+  d
+
+(* The [q]-quantile of the observations recorded after [snap] was taken. *)
+let quantile_since h s q = quantile (since h s) q
+
 (* Bucket-wise merge; both histograms must share gamma (the default unless
    explicitly overridden). *)
 let merge_into ~into src =

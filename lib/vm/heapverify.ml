@@ -47,8 +47,35 @@ let max_issues = 16
 let issue_to_string i =
   Printf.sprintf "%s@%d: %s" i.i_class i.i_addr i.i_what
 
-let run ?(stale_ok = fun (_ : int) -> false) (vm : State.t) : report =
+(* The [guard_pending] allowance mirrors [stale_ok]: while a post-commit
+   guard window holds the update log alive (for a possible inverse-update
+   replay), the log's old copies are legitimate superseded objects even
+   though the update has committed.  It defaults from the VM's retained
+   log so every call site — post-rollback audits, the gauntlet, tests —
+   is guard-aware without threading the allowance around. *)
+let default_guard_pending (vm : State.t) =
+  match vm.State.guard_retained with
+  | None -> fun (_ : int) -> false
+  | Some log ->
+      let olds = Hashtbl.create (max 16 (Array.length log / 2)) in
+      let i = ref 0 in
+      while !i + 1 < Array.length log do
+        (* even slots: the pristine old copies *)
+        if Value.is_ref log.(!i) then
+          Hashtbl.replace olds (Value.to_ref log.(!i)) ();
+        i := !i + 2
+      done;
+      Hashtbl.mem olds
+
+let run ?(stale_ok = fun (_ : int) -> false) ?guard_pending (vm : State.t) :
+    report =
   let t0 = Unix.gettimeofday () in
+  let guard_pending =
+    match guard_pending with
+    | Some f -> f
+    | None -> default_guard_pending vm
+  in
+  let stale_ok a = stale_ok a || guard_pending a in
   let heap = vm.State.heap in
   let reg = vm.State.reg in
   let issues = ref [] in

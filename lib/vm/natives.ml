@@ -215,6 +215,12 @@ let net_natives =
       fun vm _t args ->
         let cid = Value.to_int args.(0) in
         let s = str_exn vm args.(1) "Net.send" in
+        (* server-side responses feed the guard's error budget: a line the
+           classifier rejects is an app-level 5xx, charged to the epoch of
+           the code that produced it *)
+        (match vm.State.response_classifier with
+        | Some ok when cid > 0 && not (ok s) -> State.record_app_error vm
+        | _ -> ());
         (try
            if cid < 0 then Simnet.client_send vm.State.net ~conn_id:(-cid) s
            else Simnet.send vm.State.net ~conn_id:cid s

@@ -63,6 +63,9 @@ let round vm =
     runnable;
   (* all threads parked at safe points: attempt any pending update *)
   (match vm.State.dsu_attempt with Some f -> f vm | None -> ());
+  (* the post-commit guard watchdog ticks once per round, after the
+     slices it is judging (and after any revert the DSU hook ran) *)
+  (match vm.State.guard_tick with Some f -> f vm | None -> ());
   reap vm
   end
 
@@ -77,6 +80,7 @@ let run_rounds vm n =
 let progress_possible vm =
   vm.State.killed = None
   && (vm.State.dsu_attempt <> None
+  || vm.State.guard_tick <> None (* an open guard window still needs rounds *)
   || List.exists
        (fun (t : State.vthread) ->
          match t.State.tstate with

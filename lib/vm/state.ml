@@ -172,6 +172,22 @@ type t = {
   mutable deref_checks : int; (* indirection-baseline trap count *)
   handle_table : (int, int) Hashtbl.t; (* indirection-baseline redirects *)
   mutable trap_log : (int * string) list;
+  (* --- per-epoch error attribution (post-commit guard window) ------- *)
+  (* every interpreter trap / app-level error response is charged to the
+     code epoch current when it was raised.  The world is stopped while an
+     update installs code and bumps the epoch, so raise-time epoch equals
+     the epoch of the code that raised. *)
+  traps_by_epoch : (int, int) Hashtbl.t;
+  app_errors_by_epoch : (int, int) Hashtbl.t;
+  (* when set, every server-side [Net.send] line is classified; lines the
+     predicate rejects (an app-level 5xx) count as app errors *)
+  mutable response_classifier : (string -> bool) option;
+  (* update log retained past commit while a guard window is open
+     (flattened (old copy, new object) pairs; also in [extra_roots]) *)
+  mutable guard_retained : int array option;
+  (* installed by the guard watchdog: called at the end of every
+     scheduler round while a guard window is open *)
+  mutable guard_tick : (t -> unit) option;
   out : Buffer.t; (* program output (Sys.print) *)
   mutable last_gc_ms : float;
   (* flight recorder + metrics; clock = this VM's [ticks] *)
@@ -227,6 +243,11 @@ let create ?(config = default_config) () =
     deref_checks = 0;
     handle_table = Hashtbl.create 64;
     trap_log = [];
+    traps_by_epoch = Hashtbl.create 8;
+    app_errors_by_epoch = Hashtbl.create 8;
+    response_classifier = None;
+    guard_retained = None;
+    guard_tick = None;
     out = Buffer.create 1024;
     last_gc_ms = 0.0;
     obs = Obs.create ();
@@ -472,4 +493,29 @@ let next_random vm bound =
 
 let output vm = Buffer.contents vm.out
 
-let record_trap vm t msg = vm.trap_log <- (t.tid, msg) :: vm.trap_log
+(* --- per-epoch error attribution ------------------------------------ *)
+
+let bump_epoch_count tbl epoch by =
+  let v = match Hashtbl.find_opt tbl epoch with Some v -> v | None -> 0 in
+  Hashtbl.replace tbl epoch (max 0 (v + by))
+
+let traps_at_epoch vm epoch =
+  match Hashtbl.find_opt vm.traps_by_epoch epoch with Some v -> v | None -> 0
+
+let app_errors_at_epoch vm epoch =
+  match Hashtbl.find_opt vm.app_errors_by_epoch epoch with
+  | Some v -> v
+  | None -> 0
+
+let record_trap vm t msg =
+  vm.trap_log <- (t.tid, msg) :: vm.trap_log;
+  bump_epoch_count vm.traps_by_epoch vm.reg.Rt.epoch 1
+
+(* Used by the updater when it scrubs a sandboxed transformer trap from
+   the carrier's log: the typed abort is the report, so the trap must not
+   count against the current epoch's error budget either. *)
+let unrecord_trap_count vm =
+  bump_epoch_count vm.traps_by_epoch vm.reg.Rt.epoch (-1)
+
+let record_app_error vm =
+  bump_epoch_count vm.app_errors_by_epoch vm.reg.Rt.epoch 1

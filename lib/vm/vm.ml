@@ -35,6 +35,16 @@ let set_faults (vm : t) f =
 let faults (vm : t) = vm.State.faults
 let killed (vm : t) = vm.State.killed
 
+(* --- per-epoch error attribution (guard window) --------------------- *)
+
+let epoch (vm : t) = vm.State.reg.Rt.epoch
+
+let set_response_classifier (vm : t) ok =
+  vm.State.response_classifier <- ok
+
+let traps_at_epoch = State.traps_at_epoch
+let app_errors_at_epoch = State.app_errors_at_epoch
+
 let live_threads = State.live_threads
 
 type stats = {

@@ -54,6 +54,20 @@ val killed : t -> string option
     scheduler no-ops), as after a process crash before the update
     transaction committed. *)
 
+val epoch : t -> int
+(** The current code epoch (bumped once per applied update or revert). *)
+
+val set_response_classifier : t -> (string -> bool) option -> unit
+(** When set, every server-side [Net.send] line is classified; lines the
+    predicate rejects count as app-level errors charged to the current
+    code epoch (the guard watchdog's 5xx signal). *)
+
+val traps_at_epoch : t -> int -> int
+(** Interpreter traps raised while the given epoch's code was installed. *)
+
+val app_errors_at_epoch : t -> int -> int
+(** Classifier-rejected responses sent under the given epoch's code. *)
+
 type stats = {
   instr_count : int;
   compile_count : int;

@@ -298,6 +298,66 @@ let inverse_roundtrip =
       && s'.J.Spec.diff = s.J.Spec.diff
       && s'.J.Spec.blacklist = s.J.Spec.blacklist)
 
+(* The inverse is not just a layout flip: tripping a guard window after a
+   field-dropping update must restore the dropped fields' {e values} by
+   replaying the retained update log (the forward transformer discarded
+   them from the live object; only the log's old copies still hold them). *)
+let inverse_restores_field_values =
+  QCheck.Test.make
+    ~name:"guard revert restores old-layout field values from the update log"
+    ~count:10
+    QCheck.(make Gen.(tup2 gen_fspec gen_fspec))
+    (fun (v1, v2) ->
+      QCheck.assume (v1 <> v2);
+      let line1 = expected_line v1 v1 ^ "\n" in
+      let line2 = expected_line v1 v2 ^ "\n" in
+      QCheck.assume (line1 <> line2);
+      let old_program =
+        Jv_lang.Compile.compile_program (program_src v1 ~set:true)
+      in
+      let new_program =
+        Jv_lang.Compile.compile_program (program_src v2 ~set:true)
+      in
+      let vm = VM.Vm.create ~config:Helpers.test_config () in
+      VM.Vm.boot vm old_program;
+      ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+      VM.Vm.run vm ~rounds:5;
+      let spec = J.Spec.make ~version_tag:"8" ~old_program ~new_program () in
+      let h = J.Jvolve.update_now ~guard:(J.Guard.config ()) vm spec in
+      (match h.J.Jvolve.h_outcome with
+      | J.Jvolve.Applied _ -> ()
+      | o ->
+          QCheck.Test.fail_reportf "update: %s" (J.Jvolve.outcome_to_string o));
+      (* let the new version print a few lines, then trip the window *)
+      VM.Vm.run vm ~rounds:6;
+      let plan = Jv_faults.Faults.create ~seed:17 () in
+      Jv_faults.Faults.arm plan ~point:"guard.trip" ~max_fires:1
+        Jv_faults.Faults.Raise;
+      VM.Vm.set_faults vm (Some plan);
+      (match J.Jvolve.run_to_guard_close vm h with
+      | J.Jvolve.Reverted _ -> ()
+      | o ->
+          QCheck.Test.fail_reportf "expected a revert, got %s"
+            (J.Jvolve.outcome_to_string o));
+      VM.Vm.set_faults vm None;
+      ignore (VM.Vm.run_to_quiescence ~max_rounds:200 vm);
+      let out = VM.Vm.output vm in
+      (* the updated code demonstrably ran ... *)
+      if not (Helpers.contains out line2) then
+        QCheck.Test.fail_reportf "no post-update line %S in %S" line2 out;
+      (* ... and after the revert the last line is the original one,
+         dropped-field values included *)
+      let last =
+        match List.rev (String.split_on_char '\n' (String.trim out)) with
+        | l :: _ -> l ^ "\n"
+        | [] -> ""
+      in
+      if last <> line1 then
+        QCheck.Test.fail_reportf
+          "expected restored line %S at the end, got %S (full output %S)"
+          line1 last out;
+      true)
+
 (* --- randomized UPT classification ------------------------------------------------- *)
 
 type edit = E_add_field | E_del_field | E_chg_body | E_add_method
@@ -398,6 +458,9 @@ let admitted_specs_verify =
             else
               QCheck.Test.fail_reportf "admitted spec aborted: %s"
                 (J.Updater.abort_to_string a)
+        | J.Jvolve.Reverted v ->
+            QCheck.Test.fail_reportf "unguarded update reverted: %s"
+              (J.Guard.verdict_to_string v)
         | J.Jvolve.Pending ->
             QCheck.Test.fail_reportf "update never resolved"
       end)
@@ -500,6 +563,7 @@ let suite =
     QCheck_alcotest.to_alcotest bool_agrees;
     QCheck_alcotest.to_alcotest default_transformer_preserves;
     QCheck_alcotest.to_alcotest inverse_roundtrip;
+    QCheck_alcotest.to_alcotest inverse_restores_field_values;
     QCheck_alcotest.to_alcotest classification_matches;
     QCheck_alcotest.to_alcotest admitted_specs_verify;
     QCheck_alcotest.to_alcotest rollout_converges;

@@ -119,7 +119,7 @@ let miniweb_rolling_upgrade () =
             incr applied;
             current := to_v;
             VM.Vm.run vm ~rounds:20
-        | J.Jvolve.Aborted _ | J.Jvolve.Pending ->
+        | J.Jvolve.Aborted _ | J.Jvolve.Reverted _ | J.Jvolve.Pending ->
             (* 5.1.3 cannot apply; restart the chain from the next version
                is not possible on a live VM, so skip that hop (the paper's
                server would have required a restart there) *)
