@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke clean
 
 all:
 	dune build @all
@@ -51,6 +51,21 @@ guard-smoke:
 	grep -q "auto-reverted: guard tripped on app-errors" _build/guard-smoke.out
 	grep -q "dropped connections: 0" _build/guard-smoke.out
 	grep -q "guard overhead" _build/guard-smoke.out
+
+# Decentralized-rollout probe: a 64-instance gossip rollout (no
+# orchestrator) under a 10% control-plane drop plan must reach one
+# epoch by local quorum reads alone, and the open-loop load it runs
+# under must see zero dropped connections; the bad-update scenario must
+# fence by trip-vote quorum and converge back to epoch 0.
+gossip-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe -- fleet --gossip \
+	  | tee _build/gossip-smoke.out
+	grep -q "CONVERGED in" _build/gossip-smoke.out
+	! grep -q "NOT CONVERGED" _build/gossip-smoke.out
+	! grep -q "SLO FAIL" _build/gossip-smoke.out
+	! grep -q "DID NOT FENCE" _build/gossip-smoke.out
+	grep -q "central decisions:.*0 (all" _build/gossip-smoke.out
+	grep -q "tripped and converged back to epoch 0" _build/gossip-smoke.out
 
 clean:
 	dune clean

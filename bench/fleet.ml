@@ -14,6 +14,7 @@
      with inverse specs *)
 
 module F = Jv_fleet
+module G = Jv_gossip
 module J = Jvolve_core
 module Obs = Jv_obs.Obs
 module Metrics = Jv_obs.Metrics
@@ -162,6 +163,145 @@ let rollback_mid_rollout () =
     | Some v -> v ^ " (uniform)"
     | None -> "MIXED");
   F.Fleet.detach_loads fleet
+
+(* --- decentralized gossip rollouts (lib/gossip) ------------------------- *)
+
+(* Many small heaps: 256 instances at the default 1 MiB semi-spaces
+   would be 2 GiB of host arrays; miniweb under single-request sessions
+   is comfortable in 64 K words. *)
+let gossip_config =
+  { F.Instance.default_config with Jv_vm.State.heap_words = 1 lsl 16 }
+
+let gossip_params =
+  {
+    G.Gossip.default_params with
+    G.Gossip.g_apply_jitter = 64 (* spread the post-quorum drain wave *);
+  }
+
+(* Boot a fleet on [version] and put it under open-loop load at
+   [rate] arrivals per round; returns (fleet, driver). *)
+let boot_open_loop ~version ~size ~rate =
+  let profile = F.Profile.miniweb in
+  let fleet =
+    F.Fleet.create ~config:gossip_config ~policy:F.Lb.Round_robin ~profile
+      ~version ~size ()
+  in
+  F.Fleet.run fleet ~rounds:30;
+  let ol =
+    F.Openloop.create
+      ~net:(F.Lb.front (F.Fleet.lb fleet))
+      ~port:F.Fleet.default_lb_port
+      ~line:(List.hd profile.F.Profile.pr_script)
+      ~ok:profile.F.Profile.pr_ok ~rate
+      ~obs:(F.Fleet.obs fleet) ()
+  in
+  for _ = 1 to 120 do
+    F.Fleet.round fleet;
+    F.Openloop.step ol ~tick:(F.Fleet.ticks fleet)
+  done;
+  (fleet, ol)
+
+(* Drive the gossip runtime to convergence, keeping the open-loop
+   arrival process running, then let the request tail drain. *)
+let gossip_run g ol ~max_rounds =
+  let fleet = g.G.Gossip.fleet in
+  let rounds =
+    G.Gossip.run g
+      ~on_round:(fun _ -> F.Openloop.step ol ~tick:(F.Fleet.ticks fleet))
+      ~max_rounds ()
+  in
+  let _drained =
+    F.Openloop.drain ol
+      ~tick:(F.Fleet.ticks fleet)
+      ~round:(fun () -> F.Fleet.round fleet)
+      ~patience:600
+  in
+  rounds
+
+let show_gossip_result g ol ~rounds =
+  let fleet = g.G.Gossip.fleet in
+  let r = G.Gossip.report g ~rounds in
+  let dropped =
+    F.Openloop.dropped_in_flight ol + F.Lb.dropped (F.Fleet.lb fleet)
+  in
+  Printf.printf "    %-44s %s\n" "gossip:" (Fmt.str "%a" G.Gossip.pp_report r);
+  Printf.printf "    %-44s %s\n" "fleet version:"
+    (match F.Fleet.uniform_version fleet with
+    | Some v -> v ^ " (uniform)"
+    | None -> "MIXED");
+  Printf.printf
+    "    %-44s %d offered, %d served, %d errors (max %d in flight)\n"
+    "open-loop load:" (F.Openloop.offered ol) (F.Openloop.served ol)
+    (F.Openloop.errors ol)
+    (F.Openloop.max_in_flight ol);
+  Printf.printf "    %-44s p50 %.0f p99 %.0f rounds (mean %.1f)\n"
+    "request latency:"
+    (F.Openloop.latency_quantile ol 0.5)
+    (F.Openloop.latency_quantile ol 0.99)
+    (F.Openloop.mean_latency_rounds ol);
+  Printf.printf "    %-44s %d dropped in flight, %d refused -- SLO %s\n"
+    "connections:" dropped (F.Openloop.refused ol)
+    (if dropped = 0 then "PASS" else "FAIL");
+  r
+
+(* A full-fleet decentralized rollout: one proposal injected at node 0
+   spreads by rumor + anti-entropy over a control plane losing 10% of
+   its packets; every apply decision is a local quorum read.  There is
+   no orchestrator to halt or fence -- the SLOs are judged against the
+   open-loop arrival process that never stops. *)
+let gossip_rollout () =
+  let size = if Support.quick then 64 else 256 in
+  Support.section
+    (Printf.sprintf
+       "FLEET: decentralized gossip rollout (miniweb 5.1.1 -> 5.1.2, %d \
+        instances, no orchestrator, 10%% control-plane drop)"
+       size);
+  let fleet, ol = boot_open_loop ~version:"5.1.1" ~size ~rate:4.0 in
+  let chaos =
+    match Jv_faults.Faults.parse ~seed:11 "net.link=drop@0.10" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let g = G.Gossip.create ~chaos ~params:gossip_params ~fleet () in
+  let req0 = F.Openloop.served ol in
+  ignore (G.Gossip.propose g ~origin:0 ~to_version:"5.1.2");
+  let rounds = gossip_run g ol ~max_rounds:6000 in
+  Printf.printf "  size %d, quorum %d votes:\n" size g.G.Gossip.quorum;
+  let r = show_gossip_result g ol ~rounds in
+  Printf.printf "    %-44s 0 (all %d applies were local quorum reads)\n"
+    "central decisions:" r.G.Gossip.gr_applied;
+  ignore req0
+
+(* Mid-rollout guard trip, no orchestrator: 5.1.11 passes admission on
+   every node but 404s real traffic, so the first guards to see app
+   errors trip, their trip-votes reach the fence quorum by gossip, and
+   the inverse-spec wave walks the fleet back to epoch 0. *)
+let gossip_fence () =
+  let size = if Support.quick then 16 else 64 in
+  Support.section
+    (Printf.sprintf
+       "FLEET: gossip fence (miniweb 5.1.10 -> 5.1.11 bad update, %d \
+        instances, guard trips reach quorum, peer-to-peer inverse wave)"
+       size);
+  let fleet, ol = boot_open_loop ~version:"5.1.10" ~size ~rate:4.0 in
+  let params = { gossip_params with G.Gossip.g_guard = Some (J.Guard.config ()) } in
+  let g = G.Gossip.create ~params ~fleet () in
+  ignore (G.Gossip.propose g ~origin:0 ~to_version:"5.1.11");
+  let rounds = gossip_run g ol ~max_rounds:8000 in
+  Printf.printf "  size %d, fence quorum %d trip vote(s):\n" size
+    g.G.Gossip.fence;
+  let r = show_gossip_result g ol ~rounds in
+  Printf.printf "    %-44s %s\n" "fence:"
+    (if r.G.Gossip.gr_fenced && r.G.Gossip.gr_epoch = Some 0 then
+       Printf.sprintf
+         "tripped and converged back to epoch 0 (%d guard trip(s), %d \
+          inverse updates)"
+         r.G.Gossip.gr_guard_trips r.G.Gossip.gr_reverts
+     else "DID NOT FENCE")
+
+let run_gossip () =
+  gossip_rollout ();
+  gossip_fence ()
 
 let run () =
   rolling ();

@@ -10,6 +10,10 @@
      dune exec bench/main.exe ablation     # design-choice ablations
      dune exec bench/main.exe micro        # Bechamel kernels
      dune exec bench/main.exe fleet        # multi-VM rollout orchestration
+     dune exec bench/main.exe fleet --gossip  # decentralized gossip rollout:
+                                           # 256-instance quorum epoch
+                                           # agreement under open-loop load
+                                           # (alias: gossip)
      dune exec bench/main.exe chaos        # fault injection: abort cost,
                                            # convergence under fault rates
      dune exec bench/main.exe safety       # admission latency, verifier
@@ -23,7 +27,7 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|chaos|safety|guard|all]";
+     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|all]";
   exit 1
 
 let run_one = function
@@ -34,6 +38,7 @@ let run_one = function
   | "ablation" -> Ablation.run ()
   | "micro" -> Micro.run ()
   | "fleet" -> Fleet.run ()
+  | "gossip" -> Fleet.run_gossip ()
   | "chaos" -> Chaos.run ()
   | "safety" -> Safety.run ()
   | "guard" -> Guard_bench.run ()
@@ -47,6 +52,7 @@ let run_one = function
       Ablation.run ();
       Micro.run ();
       Fleet.run ();
+      Fleet.run_gossip ();
       Chaos.run ();
       Safety.run ();
       Guard_bench.run ()
@@ -64,6 +70,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   (match Array.to_list Sys.argv with
   | [ _ ] -> run_one "all"
+  | [ _; "fleet"; "--gossip" ] -> run_one "gossip"
   | [ _; cmd ] -> run_one cmd
   | _ -> usage ());
   Printf.printf "\n[bench completed in %.1f s%s]\n"

@@ -9,6 +9,7 @@
        --size 4 --timeout-rounds 150        # always-on-stack: halts *)
 
 module F = Jv_fleet
+module G = Jv_gossip
 module J = Jvolve_core
 
 let write_file path contents =
@@ -17,10 +18,21 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+let print_versions fleet =
+  Printf.printf "fleet versions: %s\n"
+    (String.concat " "
+       (List.map
+          (fun (i : F.Instance.t) ->
+            Printf.sprintf "%d:%s%s" i.F.Instance.i_id i.F.Instance.i_version
+              (match i.F.Instance.i_status with
+              | F.Instance.Out_of_service -> "(out)"
+              | _ -> ""))
+          (F.Fleet.instances fleet)))
+
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
     timeout_rounds probes max_retries backoff_base quarantine admit_strict
     verify_heap transformer_fuel guard_rounds guard_budget no_guard faults
-    fault_seed concurrency policy trace metrics verbose =
+    fault_seed concurrency policy gossip fanout quorum trace metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -119,6 +131,78 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
         ignore (F.Fleet.attach_load ~concurrency fleet);
         F.Fleet.run fleet ~rounds:120;
         let req0 = F.Fleet.total_requests fleet in
+        if gossip then begin
+          (* decentralized path: no orchestrator — a proposal injected
+             at node 0 spreads by rumor, every instance applies on its
+             own local quorum read, and guard trips fence by vote *)
+          Printf.printf
+            "gossiping %s -> %s (fanout %d, quorum %.2f, no \
+             orchestrator)...\n\
+             %!"
+            from_v to_v fanout quorum;
+          let gparams =
+            {
+              G.Gossip.default_params with
+              G.Gossip.g_fanout = fanout;
+              g_quorum = quorum;
+              g_drain_timeout = drain_timeout;
+              g_update_timeout = timeout_rounds;
+              g_max_retries = max_retries;
+              g_backoff_base = backoff_base;
+              g_seed = fault_seed;
+              g_guard = guard;
+            }
+          in
+          let g = G.Gossip.create ?chaos:plan ~params:gparams ~fleet () in
+          ignore (G.Gossip.propose g ~origin:0 ~to_version:to_v);
+          let last = ref "" in
+          let on_round g =
+            if verbose then begin
+              let counts = Hashtbl.create 4 in
+              for id = 0 to F.Fleet.size fleet - 1 do
+                let e = G.Node.epoch (G.Gossip.node g id) in
+                Hashtbl.replace counts e
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts e))
+              done;
+              let d =
+                Hashtbl.fold
+                  (fun e n acc -> Printf.sprintf "e%d:%d %s" e n acc)
+                  counts ""
+              in
+              if d <> !last then begin
+                last := d;
+                Printf.printf "  [%6d] epochs %s\n%!" (F.Fleet.ticks fleet) d
+              end
+            end
+          in
+          let rounds = G.Gossip.run g ~on_round ~max_rounds:20_000 () in
+          F.Fleet.run fleet ~rounds:50;
+          let served = F.Fleet.total_requests fleet - req0 in
+          let dropped = F.Fleet.dropped_in_flight fleet in
+          F.Fleet.detach_loads fleet;
+          let r = G.Gossip.report g ~rounds in
+          Printf.printf "%s\n" (Fmt.str "%a" G.Gossip.pp_report r);
+          Printf.printf
+            "connections: %d dropped in flight, %d rejected at the door, %d \
+             requests served during the rollout\n"
+            dropped
+            (F.Lb.rejected (F.Fleet.lb fleet))
+            served;
+          print_versions fleet;
+          if metrics then begin
+            let snap = Jv_obs.Obs.create () in
+            Jv_obs.Obs.merge_metrics ~into:snap (F.Fleet.obs fleet);
+            List.iter
+              (fun (i : F.Instance.t) ->
+                Jv_obs.Obs.merge_metrics ~into:snap
+                  (Jv_vm.Vm.obs i.F.Instance.i_vm))
+              (F.Fleet.instances fleet);
+            Printf.printf "\n%s" (Jv_obs.Export.prometheus snap)
+          end;
+          if r.G.Gossip.gr_converged && r.G.Gossip.gr_stuck = [] then 0
+          else 2
+        end
+        else begin
         Printf.printf "rolling out %s -> %s...\n%!" from_v to_v;
         let orch =
           F.Orchestrator.create ~params ~fleet ~to_version:to_v ()
@@ -150,16 +234,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           dropped
           (F.Lb.rejected (F.Fleet.lb fleet))
           served;
-        Printf.printf "fleet versions: %s\n"
-          (String.concat " "
-             (List.map
-                (fun (i : F.Instance.t) ->
-                  Printf.sprintf "%d:%s%s" i.F.Instance.i_id
-                    i.F.Instance.i_version
-                    (match i.F.Instance.i_status with
-                    | F.Instance.Out_of_service -> "(out)"
-                    | _ -> ""))
-                (F.Fleet.instances fleet)));
+        print_versions fleet;
         if verbose then
           List.iter
             (fun (id, (ar : J.Jvolve.attempt_report)) ->
@@ -192,6 +267,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           Printf.printf "\n%s" (Jv_obs.Export.prometheus snap)
         end;
         if r.F.Orchestrator.r_ok then 0 else 2
+        end
       with
       | Jv_lang.Compile.Error e ->
           Printf.eprintf "compile error: %s\n" e;
@@ -321,6 +397,27 @@ let policy =
          ~doc:"Load-balancing policy: rr (round-robin) or lc \
                (least-connections).")
 
+let gossip =
+  Arg.(value & flag & info [ "gossip" ]
+         ~doc:"Roll out with the decentralized gossip control plane \
+               instead of the orchestrator: the proposal spreads by \
+               rumor and anti-entropy, every instance applies on its \
+               own local quorum read, and a guard trip fences the \
+               rollout by trip-vote quorum with a peer-to-peer \
+               inverse-spec wave.")
+
+let fanout =
+  Arg.(value & opt int G.Gossip.default_params.G.Gossip.g_fanout
+         & info [ "fanout" ] ~docv:"K"
+             ~doc:"Gossip: random peers each hot rumor is pushed to per \
+                   round.")
+
+let quorum =
+  Arg.(value & opt float G.Gossip.default_params.G.Gossip.g_quorum
+         & info [ "quorum" ] ~docv:"Q"
+             ~doc:"Gossip: apply once ceil($(docv) * size) positive \
+                   votes are in the local mempool.")
+
 let trace =
   Arg.(value & opt ~vopt:(Some "") (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -347,6 +444,7 @@ let cmd =
       $ observe $ drain_timeout $ timeout_rounds $ probes $ max_retries
       $ backoff_base $ quarantine $ admit_strict $ verify_heap
       $ transformer_fuel $ guard_rounds $ guard_budget $ no_guard $ faults
-      $ fault_seed $ concurrency $ policy $ trace $ metrics $ verbose)
+      $ fault_seed $ concurrency $ policy $ gossip $ fanout $ quorum $ trace
+      $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

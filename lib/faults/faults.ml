@@ -97,6 +97,16 @@ let next_unit t =
   t.rng <- x land max_int;
   float_of_int (t.rng mod 1_000_000) /. 1_000_000.0
 
+(* Public draws from the plan's stream: gossip peer selection and the
+   simnet partition chooser pull their randomness from here, so one
+   (plan, seed) pair fixes the fault schedule AND every schedule built
+   on top of it — gossip rounds replay byte-identically. *)
+let draw t = next_unit t
+
+let draw_int t bound =
+  if bound <= 0 then invalid_arg "Faults.draw_int: bound must be > 0";
+  int_of_float (next_unit t *. float_of_int bound) mod bound
+
 let matches r point =
   if r.ru_prefix then
     String.length point >= String.length r.ru_point

@@ -41,6 +41,18 @@ val arm : t -> point:string -> ?rate:float -> ?max_fires:int -> action -> unit
 
 val clear : t -> unit
 
+(** {1 The seeded stream}
+
+    Deterministic harness schedules (gossip fanout, partition splits)
+    draw from the same xorshift stream the plan's rate checks use, so a
+    seed fixes faults and schedules together. *)
+
+val draw : t -> float
+(** One draw in [0, 1). *)
+
+val draw_int : t -> int -> int
+(** One draw in [0, bound); raises [Invalid_argument] if [bound <= 0]. *)
+
 val parse : ?seed:int -> string -> (t, string) result
 (** Parse a plan string (syntax above) into a fresh plan. *)
 

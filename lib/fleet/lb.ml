@@ -11,7 +11,14 @@
    The balancer also keeps the per-backend health signals the canary
    gate compares (responses, failed responses, request latency in fleet
    rounds) and counts dropped in-flight connections: a backend closing a
-   proxied connection while a forwarded request is still unanswered. *)
+   proxied connection while a forwarded request is still unanswered.
+
+   Bookkeeping is incremental so fleets of hundreds of backends spend
+   their rounds proxying, not scanning: backends live in an array with a
+   by-id index, the admitting count and total in-flight are maintained
+   counters, and round-robin picking is a cursor walk that skips
+   non-admitting backends (amortised O(1); least-connections stays a
+   full scan by nature of the policy). *)
 
 module Simnet = Jv_simnet.Simnet
 
@@ -46,9 +53,13 @@ type t = {
   listener : int;
   policy : policy;
   ok : string -> bool;
-  mutable backends : backend list; (* registration order *)
+  mutable backends : backend array; (* registration order *)
+  mutable n_backends : int; (* used prefix of [backends] *)
+  by_id : (int, backend) Hashtbl.t;
   routes : (int, route) Hashtbl.t; (* front conn id -> route *)
   mutable rr_next : int;
+  mutable admit_count : int; (* backends currently admitting *)
+  mutable in_flight_count : int; (* sum of b_active, maintained *)
   mutable dropped : int;
   mutable rejected : int; (* accepted with no backend admitting *)
   mutable obs : Jv_obs.Obs.t option; (* routing decisions + latency *)
@@ -64,9 +75,13 @@ let create ?(policy = Round_robin) ?(ok = fun _ -> true) ?obs ~port () =
     listener;
     policy;
     ok;
-    backends = [];
+    backends = [||];
+    n_backends = 0;
+    by_id = Hashtbl.create 64;
     routes = Hashtbl.create 64;
     rr_next = 0;
+    admit_count = 0;
+    in_flight_count = 0;
     dropped = 0;
     rejected = 0;
     obs;
@@ -83,28 +98,41 @@ let obs_emit t name fields =
 let front t = t.front
 
 let register t ~id ~net ~backend_port =
-  t.backends <-
-    t.backends
-    @ [
-        {
-          b_id = id;
-          b_net = net;
-          b_port = backend_port;
-          b_admit = true;
-          b_active = 0;
-          b_sessions = 0;
-          b_responses = 0;
-          b_errors = 0;
-          b_latency_rounds = 0;
-        };
-      ]
+  let b =
+    {
+      b_id = id;
+      b_net = net;
+      b_port = backend_port;
+      b_admit = true;
+      b_active = 0;
+      b_sessions = 0;
+      b_responses = 0;
+      b_errors = 0;
+      b_latency_rounds = 0;
+    }
+  in
+  if t.n_backends = Array.length t.backends then begin
+    let grown =
+      Array.make (max 8 (2 * Array.length t.backends)) b
+    in
+    Array.blit t.backends 0 grown 0 t.n_backends;
+    t.backends <- grown
+  end;
+  t.backends.(t.n_backends) <- b;
+  t.n_backends <- t.n_backends + 1;
+  Hashtbl.replace t.by_id id b;
+  t.admit_count <- t.admit_count + 1
 
-let backend t id = List.find_opt (fun b -> b.b_id = id) t.backends
+let backend t id = Hashtbl.find_opt t.by_id id
 
 let set_admit t ~id admit =
   match backend t id with
   | None -> invalid_arg "Lb.set_admit: unknown backend"
-  | Some b -> b.b_admit <- admit
+  | Some b ->
+      if b.b_admit <> admit then begin
+        b.b_admit <- admit;
+        t.admit_count <- t.admit_count + (if admit then 1 else -1)
+      end
 
 let admitting t ~id =
   match backend t id with None -> false | Some b -> b.b_admit
@@ -112,9 +140,7 @@ let admitting t ~id =
 let in_flight t ~id =
   match backend t id with None -> 0 | Some b -> b.b_active
 
-let total_in_flight t =
-  List.fold_left (fun n b -> n + b.b_active) 0 t.backends
-
+let total_in_flight t = t.in_flight_count
 let dropped t = t.dropped
 let rejected t = t.rejected
 
@@ -137,9 +163,8 @@ let window_of_backends bs =
     { w_sessions = 0; w_responses = 0; w_errors = 0; w_latency_rounds = 0 }
     bs
 
-let window t ~ids =
-  window_of_backends
-    (List.filter (fun b -> List.mem b.b_id ids) t.backends)
+(* O(|ids|): by-id lookups, not a scan of every backend. *)
+let window t ~ids = window_of_backends (List.filter_map (backend t) ids)
 
 let error_rate w =
   if w.w_responses = 0 then 0.0
@@ -150,64 +175,77 @@ let mean_latency w =
   else float_of_int w.w_latency_rounds /. float_of_int w.w_responses
 
 let reset_window t =
-  List.iter
-    (fun b ->
-      b.b_responses <- 0;
-      b.b_errors <- 0;
-      b.b_latency_rounds <- 0)
-    t.backends
+  for i = 0 to t.n_backends - 1 do
+    let b = t.backends.(i) in
+    b.b_responses <- 0;
+    b.b_errors <- 0;
+    b.b_latency_rounds <- 0
+  done
 
 (* --- routing ---------------------------------------------------------- *)
 
 let pick t : backend option =
-  let eligible = List.filter (fun b -> b.b_admit) t.backends in
-  match (eligible, t.policy) with
-  | [], _ -> None
-  | bs, Least_conns ->
-      Some
-        (List.fold_left
-           (fun best b -> if b.b_active < best.b_active then b else best)
-           (List.hd bs) (List.tl bs))
-  | bs, Round_robin ->
-      let n = List.length bs in
-      let b = List.nth bs (t.rr_next mod n) in
-      t.rr_next <- t.rr_next + 1;
-      Some b
+  if t.admit_count = 0 then None
+  else
+    match t.policy with
+    | Round_robin ->
+        (* cursor walk skipping drained backends; admit_count > 0
+           guarantees termination within one lap *)
+        let n = t.n_backends in
+        let rec go steps =
+          let b = t.backends.(t.rr_next mod n) in
+          t.rr_next <- (t.rr_next + 1) mod n;
+          if b.b_admit then Some b
+          else if steps >= n then None
+          else go (steps + 1)
+        in
+        go 1
+    | Least_conns ->
+        let best = ref None in
+        for i = 0 to t.n_backends - 1 do
+          let b = t.backends.(i) in
+          if b.b_admit then
+            match !best with
+            | Some c when c.b_active <= b.b_active -> ()
+            | _ -> best := Some b
+        done;
+        !best
 
 let accept_new t =
   let rec go () =
     (* nothing admitting (e.g. the whole fleet drains at once): leave new
        connections in the listener backlog — the accept queue of a real
        balancer — rather than accepting and hanging up on them *)
-    if not (List.exists (fun b -> b.b_admit) t.backends) then ()
+    if t.admit_count = 0 then ()
     else
-    match Simnet.accept t.front ~listener_id:t.listener with
-    | None -> ()
-    | Some fcid ->
-        (match pick t with
-        | None -> assert false (* some backend admits: pick finds it *)
-        | Some b -> (
-            match Simnet.connect b.b_net ~port:b.b_port with
-            | None ->
-                t.rejected <- t.rejected + 1;
-                obs_incr t "fleet.lb.rejected";
-                obs_emit t "lb.reject" [ ("backend", Jv_obs.Obs.Int b.b_id) ];
-                Simnet.close_server t.front ~conn_id:fcid
-            | Some bcid ->
-                b.b_active <- b.b_active + 1;
-                b.b_sessions <- b.b_sessions + 1;
-                obs_incr t "fleet.lb.sessions";
-                Hashtbl.replace t.routes fcid
-                  {
-                    rt_front = fcid;
-                    rt_back = bcid;
-                    rt_backend = b;
-                    rt_outstanding = 0;
-                    rt_sent_at = 0;
-                    rt_front_closed = false;
-                    rt_back_closed = false;
-                  }));
-        go ()
+      match Simnet.accept t.front ~listener_id:t.listener with
+      | None -> ()
+      | Some fcid ->
+          (match pick t with
+          | None -> assert false (* some backend admits: pick finds it *)
+          | Some b -> (
+              match Simnet.connect b.b_net ~port:b.b_port with
+              | None ->
+                  t.rejected <- t.rejected + 1;
+                  obs_incr t "fleet.lb.rejected";
+                  obs_emit t "lb.reject" [ ("backend", Jv_obs.Obs.Int b.b_id) ];
+                  Simnet.close_server t.front ~conn_id:fcid
+              | Some bcid ->
+                  b.b_active <- b.b_active + 1;
+                  t.in_flight_count <- t.in_flight_count + 1;
+                  b.b_sessions <- b.b_sessions + 1;
+                  obs_incr t "fleet.lb.sessions";
+                  Hashtbl.replace t.routes fcid
+                    {
+                      rt_front = fcid;
+                      rt_back = bcid;
+                      rt_backend = b;
+                      rt_outstanding = 0;
+                      rt_sent_at = 0;
+                      rt_front_closed = false;
+                      rt_back_closed = false;
+                    }));
+          go ()
   in
   go ()
 
@@ -282,6 +320,7 @@ let pump_route t ~tick (r : route) : bool (* keep? *) =
     Simnet.reap b.b_net ~conn_id:r.rt_back;
     Simnet.reap t.front ~conn_id:r.rt_front;
     b.b_active <- b.b_active - 1;
+    t.in_flight_count <- t.in_flight_count - 1;
     false
   end
   else true

@@ -1,0 +1,679 @@
+(* The gossip runtime: a control plane for decentralized rollouts.
+
+   Every fleet instance gets a [Node] and a listener on a shared control
+   simnet (base port + id).  Dissemination is classic push rumor
+   mongering plus periodic anti-entropy, both drawing every random
+   choice from one [Jv_faults] stream so a (plan, seed) pair replays the
+   whole rollout byte-for-byte:
+
+   - {e rumor push}: an item a node just learned stays "hot" for
+     [g_rumor_rounds] rounds; each round the node opens short-lived
+     connections to [g_fanout] randomly drawn peers and pushes every hot
+     line, fire-and-forget;
+   - {e anti-entropy}: every [g_digest_every] rounds (staggered by node
+     id) a node sends one random peer a digest of its mempool keys; the
+     peer pushes back whatever the digest lacks and answers WANT for
+     what it is missing itself — this pull half is what drags stragglers
+     back after drops, delays and healed partitions.
+
+   The chaos plan armed on the control net (net.connect / net.link /
+   simnet.partition points) is the same [Faults.t] the peer chooser
+   draws from, so faults and schedules stay aligned under one seed.
+
+   No component here sees the whole fleet: the runtime moves bytes and
+   steps nodes; every halt/fence/apply decision is taken inside a node
+   from its own mempool. *)
+
+module J = Jvolve_core
+module VM = Jv_vm
+module F = Jv_fleet
+module Simnet = Jv_simnet.Simnet
+module Faults = Jv_faults.Faults
+module Obs = Jv_obs.Obs
+
+let default_base_port = 7000
+
+type params = {
+  g_fanout : int;
+  g_rumor_rounds : int; (* rounds an item stays hot *)
+  g_digest_every : int; (* anti-entropy period per node *)
+  g_quorum : float; (* apply at ceil(q * N) Pro votes *)
+  g_fence_quorum : float; (* fence at max 1 (ceil(fq * N)) trip votes *)
+  g_apply_jitter : int; (* max random per-node delay before draining *)
+  g_drain_timeout : int;
+  g_update_timeout : int;
+  g_probe_deadline : int;
+  g_max_retries : int;
+  g_backoff_base : int;
+  g_guard : J.Guard.config option; (* probe bound per node if absent *)
+  g_seed : int;
+}
+
+let default_params =
+  {
+    g_fanout = 3;
+    g_rumor_rounds = 4;
+    g_digest_every = 16;
+    g_quorum = 0.51;
+    g_fence_quorum = 0.0; (* -> threshold 1: any trip verdict fences *)
+    g_apply_jitter = 24;
+    g_drain_timeout = 120;
+    g_update_timeout = 400;
+    g_probe_deadline = 80;
+    g_max_retries = 2;
+    g_backoff_base = 40;
+    g_guard = None;
+    g_seed = 42;
+  }
+
+type hot = { h_line : string; mutable h_ttl : int }
+
+let is_settled_phase = function
+  | Node.Idle | Node.Stuck _ -> true
+  | _ -> false
+
+type peer_state = {
+  ps_node : Node.t;
+  ps_port : int;
+  ps_listener : int;
+  mutable ps_sconns : int list; (* server conns, accept order *)
+  mutable ps_hot : hot list; (* newest last *)
+  mutable ps_digests : (int * int) list; (* open digest conns: (cid, ttl) *)
+}
+
+type t = {
+  fleet : F.Fleet.t;
+  params : params;
+  net : Simnet.t; (* the shared control plane *)
+  rng : Faults.t; (* chaos plan AND schedule randomness *)
+  mutable peers : peer_state array;
+  base_port : int;
+  quorum : int;
+  fence : int;
+  compiled : (string, Jv_classfile.Cls.t list) Hashtbl.t;
+  epoch_counts : (int, int) Hashtbl.t; (* over live (counted) nodes *)
+  counted : bool array; (* node still in the convergence tally *)
+  mutable mixed_window : int;
+  mutable last_net_bytes : int;
+  mutable proposed_epoch : int option; (* highest epoch ever proposed *)
+}
+
+let obs t = F.Fleet.obs t.fleet
+
+(* --- construction ------------------------------------------------------- *)
+
+let count_epoch t ~old_epoch ~new_epoch =
+  let get e = Option.value ~default:0 (Hashtbl.find_opt t.epoch_counts e) in
+  (match old_epoch with
+  | None -> ()
+  | Some e ->
+      let n = get e - 1 in
+      if n <= 0 then Hashtbl.remove t.epoch_counts e
+      else Hashtbl.replace t.epoch_counts e n);
+  match new_epoch with
+  | None -> ()
+  | Some e -> Hashtbl.replace t.epoch_counts e (get e + 1)
+
+let spec_digest profile ~to_version =
+  Digest.to_hex (Digest.string (F.Profile.source profile ~version:to_version))
+
+let compile_cached t ~version =
+  match Hashtbl.find_opt t.compiled version with
+  | Some p -> p
+  | None ->
+      let p = F.Profile.compile t.fleet.F.Fleet.profile ~version in
+      Hashtbl.replace t.compiled version p;
+      p
+
+let guard_for params (profile : F.Profile.t) (inst : F.Instance.t) =
+  match params.g_guard with
+  | None -> None
+  | Some cfg ->
+      Some
+        (match cfg.J.Guard.c_probe with
+        | Some _ -> cfg
+        | None ->
+            {
+              cfg with
+              J.Guard.c_probe =
+                Some
+                  (J.Guard.probe_config ~every:20
+                     ~deadline:params.g_probe_deadline
+                     ~port:inst.F.Instance.i_port
+                     ~line:profile.F.Profile.pr_health_probe
+                     ~ok:profile.F.Profile.pr_health_ok ());
+            })
+
+(* [chaos], when given, is armed on the control net (net.connect,
+   net.link, simnet.partition) and replaces the plain seeded stream as
+   the source of every schedule draw. *)
+let create ?chaos ?(params = default_params) ~fleet () =
+  let n = F.Fleet.size fleet in
+  let profile = fleet.F.Fleet.profile in
+  let net = Simnet.create () in
+  Simnet.set_obs net (F.Fleet.obs fleet);
+  let rng =
+    match chaos with
+    | Some p -> p
+    | None -> Faults.create ~seed:params.g_seed ()
+  in
+  (match chaos with
+  | Some p ->
+      Simnet.set_faults net (Some p);
+      Faults.set_obs p (F.Fleet.obs fleet)
+  | None -> ());
+  let quorum =
+    max 1 (int_of_float (ceil (params.g_quorum *. float_of_int n)))
+  in
+  let fence =
+    max 1 (int_of_float (ceil (params.g_fence_quorum *. float_of_int n)))
+  in
+  let t =
+    {
+      fleet;
+      params;
+      net;
+      rng;
+      peers = [||];
+      base_port = default_base_port;
+      quorum;
+      fence;
+      compiled = Hashtbl.create 4;
+      epoch_counts = Hashtbl.create 4;
+      counted = Array.make n true;
+      mixed_window = 0;
+      last_net_bytes = 0;
+      proposed_epoch = None;
+    }
+  in
+  Hashtbl.replace t.epoch_counts 0 n;
+  let lb = F.Fleet.lb fleet in
+  let peers =
+    Array.init n (fun id ->
+        let inst = F.Fleet.instance fleet id in
+        let port = t.base_port + id in
+        let listener = Simnet.listen net ~port in
+        let jitter =
+          if params.g_apply_jitter > 0 then
+            Faults.draw_int rng (params.g_apply_jitter + 1)
+          else 0
+        in
+        let cfg =
+          {
+            Node.nc_quorum = quorum;
+            nc_fence = fence;
+            nc_drain_timeout = params.g_drain_timeout;
+            nc_update_timeout = params.g_update_timeout;
+            nc_max_retries = params.g_max_retries;
+            nc_backoff_base = params.g_backoff_base + jitter;
+            nc_guard = guard_for params profile inst;
+          }
+        in
+        let node =
+          Node.create ~id ~inst ~cfg
+            ~set_admit:(fun admit -> F.Lb.set_admit lb ~id admit)
+            ~in_flight:(fun () -> F.Lb.in_flight lb ~id)
+            ~spec_for:(fun (p : Mempool.proposal) ->
+              if p.Mempool.p_from_version <> inst.F.Instance.i_version then
+                Error "base version mismatch"
+              else
+                Ok
+                  (J.Spec.make
+                     ~object_overrides:
+                       (profile.F.Profile.pr_object_overrides
+                          ~to_version:p.Mempool.p_to_version)
+                     ~version_tag:
+                       (F.Profile.version_tag
+                          ~from_version:p.Mempool.p_from_version
+                          ~instance_id:id)
+                     ~old_program:inst.F.Instance.i_program
+                     ~new_program:
+                       (compile_cached t ~version:p.Mempool.p_to_version)
+                     ()))
+            ~on_epoch:(fun old_e new_e ->
+              count_epoch t ~old_epoch:(Some old_e) ~new_epoch:(Some new_e))
+            ()
+        in
+        {
+          ps_node = node;
+          ps_port = port;
+          ps_listener = listener;
+          ps_sconns = [];
+          ps_hot = [];
+          ps_digests = [];
+        })
+  in
+  t.peers <- peers;
+  t
+
+let node t id = t.peers.(id).ps_node
+let size t = Array.length t.peers
+
+(* Per-node jitter also spreads drain starts; see nc_backoff_base above.
+   The first apply wave is additionally staggered by casting the initial
+   quorum threshold per node... (kept simple: jitter on backoff only). *)
+
+(* --- proposing ---------------------------------------------------------- *)
+
+(* Inject a proposal at [origin]'s mempool, exactly as if it had arrived
+   over the wire: the node votes and the rumor starts spreading from
+   there.  Returns the proposal id. *)
+let propose t ~origin ~to_version =
+  let profile = t.fleet.F.Fleet.profile in
+  let nd = node t origin in
+  let inst = t.fleet |> fun f -> F.Fleet.instance f origin in
+  let from_version = inst.F.Instance.i_version in
+  let epoch = Node.epoch nd + 1 in
+  let digest = spec_digest profile ~to_version in
+  let id = Mempool.proposal_id ~epoch ~from_version ~to_version ~digest in
+  let p =
+    {
+      Mempool.p_id = id;
+      p_epoch = epoch;
+      p_from_version = from_version;
+      p_to_version = to_version;
+      p_digest = digest;
+      p_origin = origin;
+    }
+  in
+  t.proposed_epoch <-
+    Some (max epoch (Option.value ~default:0 t.proposed_epoch));
+  Obs.emit (obs t) ~scope:"gossip" "propose"
+    [
+      ("origin", Obs.Int origin);
+      ("epoch", Obs.Int epoch);
+      ("to", Obs.Str to_version);
+      ("id", Obs.Str id);
+    ];
+  Node.learn nd (Wire.Prop p);
+  id
+
+(* --- the wire ----------------------------------------------------------- *)
+
+let key_item pool key : Wire.msg option =
+  match String.split_on_char ':' key with
+  | [ "P"; id ] ->
+      Option.map (fun p -> Wire.Prop p) (Mempool.find pool id)
+  | [ "V"; prop; voter; _stance ] -> (
+      match int_of_string_opt voter with
+      | None -> None
+      | Some voter ->
+          Option.map (fun v -> Wire.Vote v) (Mempool.vote_for pool ~prop ~voter))
+  | _ -> None
+
+(* Server side: ingest every line pending on [ps]'s accepted conns,
+   answering digests in place. *)
+let serve t (ps : peer_state) =
+  (* accept everything pending *)
+  let rec accept_all () =
+    match Simnet.accept t.net ~listener_id:ps.ps_listener with
+    | None -> ()
+    | Some cid ->
+        ps.ps_sconns <- ps.ps_sconns @ [ cid ];
+        accept_all ()
+  in
+  accept_all ();
+  let handle_line cid line =
+    match Wire.decode line with
+    | Error _ -> Obs.incr (obs t) "gossip.bad_lines"
+    | Ok (Wire.Prop _ as m) | Ok (Wire.Vote _ as m) -> Node.learn ps.ps_node m
+    | Ok (Wire.Digest { d_keys; _ }) ->
+        let missing_props, missing_votes, want =
+          Mempool.with_lock (Node.pool ps.ps_node) (fun () ->
+              let pool = Node.pool ps.ps_node in
+              let props, votes = Mempool.missing_from pool ~remote_keys:d_keys in
+              let ours = Mempool.keys pool in
+              let mine = Hashtbl.create 32 in
+              List.iter (fun k -> Hashtbl.replace mine k ()) ours;
+              let want =
+                List.filter (fun k -> not (Hashtbl.mem mine k)) d_keys
+              in
+              (props, votes, want))
+        in
+        if missing_props <> [] || missing_votes <> [] || want <> [] then
+          Obs.incr (obs t) "gossip.digest_reconciliations";
+        List.iter
+          (fun p -> Simnet.send t.net ~conn_id:cid (Wire.encode (Wire.Prop p)))
+          missing_props;
+        List.iter
+          (fun v -> Simnet.send t.net ~conn_id:cid (Wire.encode (Wire.Vote v)))
+          missing_votes;
+        if want <> [] then
+          Simnet.send t.net ~conn_id:cid (Wire.encode (Wire.Want want))
+    | Ok (Wire.Want keys) ->
+        List.iter
+          (fun k ->
+            match
+              Mempool.with_lock (Node.pool ps.ps_node) (fun () ->
+                  key_item (Node.pool ps.ps_node) k)
+            with
+            | Some m -> Simnet.send t.net ~conn_id:cid (Wire.encode m)
+            | None -> ())
+          keys
+    | Ok Wire.Bye -> ()
+  in
+  ps.ps_sconns <-
+    List.filter
+      (fun cid ->
+        let rec drain () =
+          match Simnet.recv_line t.net ~conn_id:cid with
+          | `Line l ->
+              handle_line cid l;
+              drain ()
+          | `Wait -> true
+          | `Eof ->
+              Simnet.close_server t.net ~conn_id:cid;
+              Simnet.reap t.net ~conn_id:cid;
+              false
+        in
+        drain ())
+      ps.ps_sconns
+
+(* Draw a random peer other than [self]; [None] on a 1-node fleet. *)
+let draw_peer t ~self =
+  let n = size t in
+  if n <= 1 then None
+  else
+    let j = Faults.draw_int t.rng (n - 1) in
+    Some (if j >= self then j + 1 else j)
+
+(* Fire-and-forget rumor push: all hot lines to [g_fanout] random peers.
+   A refused connect (partition, net.connect fault) just loses this
+   push; anti-entropy repairs later. *)
+let push_rumors t ~self (ps : peer_state) =
+  if ps.ps_hot <> [] then begin
+    for _ = 1 to t.params.g_fanout do
+      match draw_peer t ~self with
+      | None -> ()
+      | Some peer -> (
+          match
+            Simnet.connect ~from:ps.ps_port t.net
+              ~port:(t.base_port + peer)
+          with
+          | None -> Obs.incr (obs t) "gossip.push_refused"
+          | Some cid ->
+              List.iter
+                (fun h -> Simnet.client_send t.net ~conn_id:cid h.h_line)
+                ps.ps_hot;
+              Simnet.client_send t.net ~conn_id:cid (Wire.encode Wire.Bye);
+              Simnet.client_close t.net ~conn_id:cid;
+              Obs.incr (obs t) "gossip.pushes")
+    done;
+    List.iter (fun h -> h.h_ttl <- h.h_ttl - 1) ps.ps_hot;
+    ps.ps_hot <- List.filter (fun h -> h.h_ttl > 0) ps.ps_hot
+  end
+
+(* Open one anti-entropy exchange: send our digest, keep the connection
+   to read the peer's answer (missing items now, WANT answered next
+   round). *)
+let start_digest t ~self (ps : peer_state) =
+  match draw_peer t ~self with
+  | None -> ()
+  | Some peer -> (
+      match
+        Simnet.connect ~from:ps.ps_port t.net ~port:(t.base_port + peer)
+      with
+      | None -> Obs.incr (obs t) "gossip.digest_refused"
+      | Some cid ->
+          let keys =
+            Mempool.with_lock (Node.pool ps.ps_node) (fun () ->
+                Mempool.keys (Node.pool ps.ps_node))
+          in
+          Simnet.client_send t.net ~conn_id:cid
+            (Wire.encode
+               (Wire.Digest
+                  {
+                    d_sender = self;
+                    d_epoch = Node.epoch ps.ps_node;
+                    d_keys = keys;
+                  }));
+          ps.ps_digests <-
+            ps.ps_digests @ [ (cid, 2 * t.params.g_digest_every) ])
+
+(* Pump open digest exchanges: learn pushed items, answer WANTs, expire
+   exchanges a partition left hanging. *)
+let pump_digests t (ps : peer_state) =
+  ps.ps_digests <-
+    List.filter_map
+      (fun (cid, ttl) ->
+        let finished = ref false in
+        let rec drain () =
+          match Simnet.client_recv t.net ~conn_id:cid with
+          | `Wait -> ()
+          | `Eof -> finished := true
+          | `Line l ->
+              (match Wire.decode l with
+              | Ok (Wire.Prop _ as m) | Ok (Wire.Vote _ as m) ->
+                  Node.learn ps.ps_node m
+              | Ok (Wire.Want keys) ->
+                  List.iter
+                    (fun k ->
+                      match
+                        Mempool.with_lock (Node.pool ps.ps_node) (fun () ->
+                            key_item (Node.pool ps.ps_node) k)
+                      with
+                      | Some m ->
+                          Simnet.client_send t.net ~conn_id:cid
+                            (Wire.encode m)
+                      | None -> ())
+                    keys;
+                  Simnet.client_send t.net ~conn_id:cid
+                    (Wire.encode Wire.Bye);
+                  Simnet.client_close t.net ~conn_id:cid;
+                  finished := true
+              | Ok (Wire.Digest _ | Wire.Bye) | Error _ -> ());
+              if not !finished then drain ()
+        in
+        drain ();
+        if !finished then None
+        else if ttl <= 1 then begin
+          (* peer unreachable (partition?): give up on this exchange *)
+          Simnet.client_close t.net ~conn_id:cid;
+          None
+        end
+        else Some (cid, ttl - 1))
+      ps.ps_digests
+
+(* --- the round ---------------------------------------------------------- *)
+
+let note_stuck t =
+  Array.iteri
+    (fun id ps ->
+      if t.counted.(id) && not (Node.live ps.ps_node) then begin
+        t.counted.(id) <- false;
+        count_epoch t
+          ~old_epoch:(Some (Node.epoch ps.ps_node))
+          ~new_epoch:None;
+        Obs.incr (obs t) "gossip.stuck_nodes"
+      end)
+    t.peers
+
+let step t =
+  F.Fleet.round t.fleet;
+  let now = F.Fleet.ticks t.fleet in
+  Obs.incr (obs t) "gossip.rounds";
+  Simnet.tick_faults t.net;
+  (* ingest, decide, then spread what this round produced *)
+  Array.iter (fun ps -> serve t ps) t.peers;
+  Array.iter (fun ps -> pump_digests t ps) t.peers;
+  Array.iter (fun ps -> Node.tick ps.ps_node ~now) t.peers;
+  note_stuck t;
+  Array.iteri
+    (fun _ ps ->
+      List.iter
+        (fun m ->
+          ps.ps_hot <-
+            ps.ps_hot
+            @ [ { h_line = Wire.encode m; h_ttl = t.params.g_rumor_rounds } ])
+        (Node.take_out ps.ps_node))
+    t.peers;
+  (* Anti-entropy runs only while there is something to reconcile:
+     once every node settled on one epoch with no hot rumors left AND
+     every mempool holds the same key set, a new digest exchange would
+     carry nothing, and stopping them lets [run] detect quiescence
+     instead of chasing a perpetually refreshed exchange.  The key-set
+     check is what keeps a partitioned minority reachable: its nodes
+     are settled on the old epoch with their rumors expired, but their
+     pools lag, so digests keep flowing and the pull half rescues them
+     after the heal.  The expensive comparison only runs once the
+     cheap settled/uniform/no-hot prefix holds — i.e. at most a
+     handful of rounds before [run] exits. *)
+  let pools_synced () =
+    let n = Array.length t.peers in
+    n = 0
+    ||
+    let pool0 = Node.pool t.peers.(0).ps_node in
+    let size0, keys0 =
+      Mempool.with_lock pool0 (fun () ->
+          (Mempool.size pool0, Mempool.keys pool0))
+    in
+    let set0 = Hashtbl.create (max 16 size0) in
+    List.iter (fun k -> Hashtbl.replace set0 k ()) keys0;
+    Array.for_all
+      (fun ps ->
+        let pool = Node.pool ps.ps_node in
+        Mempool.with_lock pool (fun () ->
+            Mempool.size pool = size0
+            && List.for_all (Hashtbl.mem set0) (Mempool.keys pool)))
+      t.peers
+  in
+  let quiet =
+    Hashtbl.length t.epoch_counts = 1
+    && Array.for_all
+         (fun ps ->
+           is_settled_phase (Node.phase ps.ps_node) && ps.ps_hot = [])
+         t.peers
+    && pools_synced ()
+  in
+  Array.iteri
+    (fun id ps ->
+      push_rumors t ~self:id ps;
+      if (not quiet) && (now + id) mod t.params.g_digest_every = 0 then
+        start_digest t ~self:id ps)
+    t.peers;
+  (* accounting *)
+  let to_srv, to_cli = Simnet.stats t.net in
+  let total = to_srv + to_cli in
+  if total > t.last_net_bytes then begin
+    Obs.incr (obs t) ~by:(total - t.last_net_bytes) "gossip.rumor_bytes";
+    t.last_net_bytes <- total
+  end;
+  if Hashtbl.length t.epoch_counts > 1 then begin
+    t.mixed_window <- t.mixed_window + 1;
+    Obs.incr (obs t) "gossip.mixed_rounds"
+  end
+
+(* --- convergence -------------------------------------------------------- *)
+
+(* All counted nodes share one epoch (incrementally maintained). *)
+let uniform_epoch t =
+  if Hashtbl.length t.epoch_counts = 1 then
+    Hashtbl.fold (fun e _ _ -> Some e) t.epoch_counts None
+  else None
+
+(* No node is mid-protocol: every live node is Idle or Guarded-closed. *)
+let settled t =
+  Array.for_all (fun ps -> is_settled_phase (Node.phase ps.ps_node)) t.peers
+
+let converged t = settled t && uniform_epoch t <> None
+let mixed_window t = t.mixed_window
+
+let run t ?(on_round = fun _ -> ()) ~max_rounds () =
+  let rec go r =
+    if r >= max_rounds then r
+    else begin
+      step t;
+      on_round t;
+      (* a rollout is done when dissemination has quiesced too: no hot
+         rumors left anywhere, so convergence is not a lucky instant *)
+      if
+        converged t
+        && Array.for_all
+             (fun ps -> ps.ps_hot = [] && ps.ps_digests = [])
+             t.peers
+      then r + 1
+      else go (r + 1)
+    end
+  in
+  go 0
+
+(* --- reporting ---------------------------------------------------------- *)
+
+type report = {
+  gr_rounds : int;
+  gr_converged : bool;
+  gr_epoch : int option; (* the common epoch, when converged *)
+  gr_applied : int; (* live nodes above epoch 0 *)
+  gr_stuck : int list;
+  gr_fenced : bool; (* any node enforced a fence *)
+  gr_mixed_window : int;
+  gr_rumor_bytes : int;
+  gr_pushes : int;
+  gr_digest_recons : int;
+  gr_votes_seen : int;
+  gr_guard_trips : int;
+  gr_reverts : int;
+}
+
+let fleet_counter t name = Obs.counter_value (obs t) name
+
+let node_counter_sum t name =
+  Array.fold_left
+    (fun acc ps ->
+      acc
+      + Obs.counter_value (VM.Vm.obs ps.ps_node.Node.n_inst.F.Instance.i_vm)
+          name)
+    0 t.peers
+
+let report t ~rounds =
+  let stuck =
+    Array.to_list t.peers
+    |> List.filteri (fun _ ps -> not (Node.live ps.ps_node))
+    |> List.map (fun ps -> ps.ps_node.Node.n_id)
+  in
+  let applied =
+    Array.fold_left
+      (fun acc ps ->
+        if Node.live ps.ps_node && Node.epoch ps.ps_node > 0 then acc + 1
+        else acc)
+      0 t.peers
+  in
+  let votes_seen = node_counter_sum t "gossip.votes_seen" in
+  let guard_trips = node_counter_sum t "gossip.guard_trips" in
+  let reverts = node_counter_sum t "gossip.reverts" in
+  let fences = node_counter_sum t "gossip.fences_enforced" in
+  (* fleet-sink roll-ups so one export shows the whole story *)
+  Obs.set_gauge (obs t) "gossip.fleet.votes_seen" (float_of_int votes_seen);
+  Obs.set_gauge (obs t) "gossip.fleet.guard_trips" (float_of_int guard_trips);
+  Obs.set_gauge (obs t) "gossip.fleet.reverts" (float_of_int reverts);
+  {
+    gr_rounds = rounds;
+    gr_converged = converged t;
+    gr_epoch = uniform_epoch t;
+    gr_applied = applied;
+    gr_stuck = stuck;
+    gr_fenced = fences > 0;
+    gr_mixed_window = t.mixed_window;
+    gr_rumor_bytes = fleet_counter t "gossip.rumor_bytes";
+    gr_pushes = fleet_counter t "gossip.pushes";
+    gr_digest_recons = fleet_counter t "gossip.digest_reconciliations";
+    gr_votes_seen = votes_seen;
+    gr_guard_trips = guard_trips;
+    gr_reverts = reverts;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%s in %d rounds: epoch %s, %d applied, %d stuck%s | mixed window %d \
+     rounds | %d pushes, %d reconciliations, %d votes seen, %d KiB gossiped"
+    (if r.gr_converged then "CONVERGED" else "NOT CONVERGED")
+    r.gr_rounds
+    (match r.gr_epoch with None -> "mixed" | Some e -> string_of_int e)
+    r.gr_applied
+    (List.length r.gr_stuck)
+    (if r.gr_fenced then
+       Printf.sprintf " | FENCED (%d guard trip(s), %d inverse updates)"
+         r.gr_guard_trips r.gr_reverts
+     else "")
+    r.gr_mixed_window r.gr_pushes r.gr_digest_recons r.gr_votes_seen
+    (r.gr_rumor_bytes / 1024)

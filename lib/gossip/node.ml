@@ -1,0 +1,416 @@
+(* One gossip participant: the decision loop that PR 5's orchestrator
+   used to run centrally, re-homed onto each instance.  A node owns its
+   instance's mempool and decides {e locally, from gossip alone} when to
+   drain, when to apply, and when to revert:
+
+   - it votes on every proposal it first learns (Pro when the proposal
+     advances its own epoch from its own version, Con otherwise);
+   - it applies a proposal only once its mempool holds the apply quorum
+     of Pro votes — drain (stop admitting, wait for in-flight), then a
+     guarded DSU through the ordinary [Jvolve.request_spec] pipeline;
+   - a guard trip auto-reverts in-VM (the PR 5 machinery) and the node
+     then broadcasts the verdict as a ["trip:"]-prefixed Con vote;
+   - trip votes reaching the {e fence} quorum condemn the proposal
+     everywhere: appliers force-trip their open guard (or apply the
+     inverse spec if the window already closed) and non-appliers refuse
+     the proposal forever — the peer-to-peer inverse wave, with no
+     central coordinator anywhere.
+
+   Epoch bookkeeping makes convergence checkable: applying proposal P
+   sets the node's epoch to [P.p_epoch]; a fence revert sets it to
+   [P.p_epoch - 1]; nodes that never applied stay put — so a fenced
+   rollout converges with every live node back on the old epoch. *)
+
+module J = Jvolve_core
+module VM = Jv_vm
+module Instance = Jv_fleet.Instance
+
+type config = {
+  nc_quorum : int; (* Pro votes required to apply (self included) *)
+  nc_fence : int; (* trip votes required to condemn a proposal *)
+  nc_drain_timeout : int;
+  nc_update_timeout : int;
+  nc_max_retries : int;
+  nc_backoff_base : int;
+  nc_guard : J.Guard.config option; (* per-node, probe already bound *)
+}
+
+type phase =
+  | Idle
+  | Draining of { prop : string; until : int }
+  | Updating of { prop : string; handle : J.Jvolve.handle }
+  | Guarded of { prop : string; handle : J.Jvolve.handle }
+  | Reverting of { prop : string; handle : J.Jvolve.handle }
+  | Backoff of { prop : string; until : int }
+  | Stuck of string
+
+let phase_to_string = function
+  | Idle -> "idle"
+  | Draining _ -> "draining"
+  | Updating _ -> "updating"
+  | Guarded _ -> "guarded"
+  | Reverting _ -> "reverting"
+  | Backoff _ -> "backoff"
+  | Stuck why -> "stuck: " ^ why
+
+type t = {
+  n_id : int;
+  n_inst : Instance.t;
+  n_pool : Mempool.t;
+  n_cfg : config;
+  n_set_admit : bool -> unit; (* LB admission for this backend *)
+  n_in_flight : unit -> int; (* this backend's live proxied sessions *)
+  n_spec_for : Mempool.proposal -> (J.Spec.t, string) result;
+  n_on_epoch : int -> int -> unit; (* old -> new, for fleet tallies *)
+  n_obs : Jv_obs.Obs.t; (* the instance VM's own sink *)
+  mutable n_epoch : int;
+  mutable n_phase : phase;
+  mutable n_applied : (string * J.Spec.t) option; (* live forward spec *)
+  mutable n_fenced : string list; (* condemned proposal ids *)
+  mutable n_attempts : (string * int) list; (* per-proposal aborts *)
+  mutable n_out : Wire.msg list; (* fresh rumors, drained by the runtime *)
+}
+
+let epoch_gauge = "gossip.epoch"
+
+let create ~id ~inst ~cfg ~set_admit ~in_flight ~spec_for ~on_epoch () =
+  let obs = VM.Vm.obs inst.Instance.i_vm in
+  Jv_obs.Obs.set_gauge obs epoch_gauge 0.0;
+  {
+    n_id = id;
+    n_inst = inst;
+    n_pool = Mempool.create ();
+    n_cfg = cfg;
+    n_set_admit = set_admit;
+    n_in_flight = in_flight;
+    n_spec_for = spec_for;
+    n_on_epoch = on_epoch;
+    n_obs = obs;
+    n_epoch = 0;
+    n_phase = Idle;
+    n_applied = None;
+    n_fenced = [];
+    n_attempts = [];
+    n_out = [];
+  }
+
+let epoch t = t.n_epoch
+let phase t = t.n_phase
+let pool t = t.n_pool
+let live t = match t.n_phase with Stuck _ -> false | _ -> true
+let take_out t =
+  let out = List.rev t.n_out in
+  t.n_out <- [];
+  out
+
+let set_epoch t e =
+  if e <> t.n_epoch then begin
+    let old = t.n_epoch in
+    t.n_epoch <- e;
+    Jv_obs.Obs.set_gauge t.n_obs epoch_gauge (float_of_int e);
+    t.n_on_epoch old e
+  end
+
+(* --- voting (call under the pool lock) --------------------------------- *)
+
+let cast t ~prop ~stance ~why =
+  let v =
+    { Mempool.v_prop = prop; v_voter = t.n_id; v_stance = stance; v_why = why }
+  in
+  match Mempool.add_vote t.n_pool v with
+  | `Fresh | `Hardened -> t.n_out <- Wire.Vote v :: t.n_out
+  | `Stale -> ()
+
+(* --- ingesting gossip --------------------------------------------------- *)
+
+(* Feed one decoded payload into the pool; anything fresh is queued for
+   re-broadcast (rumor mongering) and a fresh proposal is voted on
+   immediately: Pro iff it advances this node's own epoch starting from
+   the version it actually runs. *)
+let learn t msg =
+  Mempool.with_lock t.n_pool (fun () ->
+      match msg with
+      | Wire.Prop p -> (
+          match Mempool.add_proposal t.n_pool p with
+          | `Duplicate -> ()
+          | `Fresh ->
+              t.n_out <- Wire.Prop p :: t.n_out;
+              if
+                p.Mempool.p_from_version = t.n_inst.Instance.i_version
+                && p.Mempool.p_epoch = t.n_epoch + 1
+              then cast t ~prop:p.Mempool.p_id ~stance:Mempool.Pro ~why:"ok"
+              else
+                cast t ~prop:p.Mempool.p_id ~stance:Mempool.Con
+                  ~why:
+                    (Printf.sprintf "base-mismatch:%s@e%d"
+                       t.n_inst.Instance.i_version t.n_epoch))
+      | Wire.Vote v -> (
+          match Mempool.add_vote t.n_pool v with
+          | `Fresh | `Hardened ->
+              Jv_obs.Obs.incr t.n_obs "gossip.votes_seen";
+              t.n_out <- Wire.Vote v :: t.n_out
+          | `Stale -> ())
+      | Wire.Digest _ | Wire.Want _ | Wire.Bye -> ())
+
+(* --- the per-round decision step ---------------------------------------- *)
+
+let attempts t prop =
+  Option.value ~default:0 (List.assoc_opt prop t.n_attempts)
+
+let note_attempt t prop =
+  let n = attempts t prop + 1 in
+  t.n_attempts <- (prop, n) :: List.remove_assoc prop t.n_attempts;
+  n
+
+let readmit t =
+  t.n_inst.Instance.i_status <- Instance.In_service;
+  t.n_set_admit true
+
+(* A proposal this node should move on: targets our epoch + version, has
+   the apply quorum of Pro votes, and is not condemned. *)
+let actionable t =
+  Mempool.with_lock t.n_pool (fun () ->
+      List.find_opt
+        (fun (p : Mempool.proposal) ->
+          (not (List.mem p.Mempool.p_id t.n_fenced))
+          && p.Mempool.p_epoch = t.n_epoch + 1
+          && p.Mempool.p_from_version = t.n_inst.Instance.i_version
+          && attempts t p.Mempool.p_id <= t.n_cfg.nc_max_retries
+          &&
+          let pro, _, trip = Mempool.tally t.n_pool ~prop:p.Mempool.p_id in
+          pro >= t.n_cfg.nc_quorum && trip < t.n_cfg.nc_fence)
+        (Mempool.proposals t.n_pool))
+
+(* Proposals whose trip votes reached the fence quorum since we last
+   looked: condemn them locally. *)
+let newly_fenced t =
+  Mempool.with_lock t.n_pool (fun () ->
+      List.filter
+        (fun (p : Mempool.proposal) ->
+          (not (List.mem p.Mempool.p_id t.n_fenced))
+          &&
+          let _, _, trip = Mempool.tally t.n_pool ~prop:p.Mempool.p_id in
+          trip >= t.n_cfg.nc_fence)
+        (Mempool.proposals t.n_pool))
+
+let start_update t ~prop ~now:_ =
+  match
+    Mempool.with_lock t.n_pool (fun () -> Mempool.find t.n_pool prop)
+  with
+  | None -> t.n_phase <- Idle (* cannot happen: pools never forget *)
+  | Some p -> (
+      match t.n_spec_for p with
+      | Error e ->
+          Mempool.with_lock t.n_pool (fun () ->
+              cast t ~prop ~stance:Mempool.Con ~why:("prepare:" ^ e));
+          readmit t;
+          t.n_phase <- Stuck ("spec build failed: " ^ e)
+      | Ok spec -> (
+          t.n_inst.Instance.i_status <- Instance.Updating;
+          match
+            J.Jvolve.request_spec
+              ~timeout_rounds:t.n_cfg.nc_update_timeout
+              ?guard:t.n_cfg.nc_guard t.n_inst.Instance.i_vm spec
+          with
+          | handle ->
+              t.n_applied <- Some (prop, spec);
+              t.n_phase <- Updating { prop; handle }
+          | exception J.Transformers.Prepare_error e ->
+              Mempool.with_lock t.n_pool (fun () ->
+                  cast t ~prop ~stance:Mempool.Con ~why:("prepare:" ^ e));
+              readmit t;
+              t.n_phase <- Stuck ("prepare error: " ^ e)))
+
+(* The guard tripped (budget or force): the VM already reverted itself.
+   Publish the verdict as a trip vote and fall back to the old epoch
+   ([p_epoch - 1] — a no-op when the trip outran our own apply scan and
+   the epoch was never bumped). *)
+let guard_reverted t ~prop (v : J.Guard.verdict) =
+  Jv_obs.Obs.incr t.n_obs "gossip.guard_trips";
+  Mempool.with_lock t.n_pool (fun () ->
+      cast t ~prop ~stance:Mempool.Con
+        ~why:(Mempool.trip_prefix ^ J.Guard.verdict_to_string v));
+  if not (List.mem prop t.n_fenced) then t.n_fenced <- prop :: t.n_fenced;
+  (match
+     ( Mempool.with_lock t.n_pool (fun () -> Mempool.find t.n_pool prop),
+       t.n_applied )
+   with
+  | Some pr, Some (p, spec) when p = prop ->
+      t.n_inst.Instance.i_version <- pr.Mempool.p_from_version;
+      t.n_inst.Instance.i_program <- spec.J.Spec.old_program;
+      t.n_applied <- None;
+      set_epoch t (pr.Mempool.p_epoch - 1)
+  | _ -> ());
+  readmit t;
+  t.n_phase <- Idle
+
+(* The peer-to-peer inverse wave: this node applied [prop], the fence
+   quorum condemned it, and the guard window is already closed — apply
+   the inverse spec through the ordinary update pipeline (unguarded,
+   like the orchestrator's rollbacks). *)
+let start_inverse t ~prop =
+  match t.n_applied with
+  | Some (p, spec) when p = prop -> (
+      t.n_inst.Instance.i_status <- Instance.Rolling_back;
+      t.n_set_admit false;
+      match
+        J.Jvolve.request_spec ~timeout_rounds:t.n_cfg.nc_update_timeout
+          t.n_inst.Instance.i_vm (J.Spec.inverse spec)
+      with
+      | handle -> t.n_phase <- Reverting { prop; handle }
+      | exception J.Transformers.Prepare_error e ->
+          t.n_inst.Instance.i_status <- Instance.Out_of_service;
+          t.n_set_admit false;
+          t.n_phase <- Stuck ("inverse prepare error: " ^ e))
+  | _ -> t.n_phase <- Idle (* nothing applied: nothing to undo *)
+
+(* Fence consequences for the node's own position on [prop].  A node
+   mid-[Updating] is left alone — its DSU attempt must resolve first,
+   and the resolution path re-checks [n_fenced]. *)
+let enforce_fence t ~prop ~now:_ =
+  if not (List.mem prop t.n_fenced) then t.n_fenced <- prop :: t.n_fenced;
+  Jv_obs.Obs.incr t.n_obs "gossip.fences_enforced";
+  match t.n_phase with
+  | Draining { prop = p; _ } | Backoff { prop = p; _ } when p = prop ->
+      (* never started: stand down and keep serving the old version *)
+      readmit t;
+      t.n_phase <- Idle
+  | Guarded { prop = p; handle } when p = prop ->
+      (* window still open: the in-VM revert replays the retained log;
+         a window that already closed cleanly is caught at the Guarded
+         resolution step via [n_fenced] *)
+      if J.Jvolve.guard_active handle then
+        J.Jvolve.force_trip t.n_inst.Instance.i_vm handle
+          ~reason:"gossip fence quorum"
+  | Idle -> (
+      match t.n_applied with
+      | Some (p, _) when p = prop -> start_inverse t ~prop
+      | _ -> ())
+  | _ -> ()
+
+let resolve_update t ~prop ~(handle : J.Jvolve.handle) ~now =
+  match handle.J.Jvolve.h_outcome with
+  | J.Jvolve.Pending -> ()
+  | J.Jvolve.Applied _ -> (
+      let p =
+        Mempool.with_lock t.n_pool (fun () -> Mempool.find t.n_pool prop)
+      in
+      (match (p, t.n_applied) with
+      | Some pr, Some (_, spec) ->
+          t.n_inst.Instance.i_version <- pr.Mempool.p_to_version;
+          t.n_inst.Instance.i_program <- spec.J.Spec.new_program;
+          set_epoch t pr.Mempool.p_epoch
+      | _ -> ());
+      Jv_obs.Obs.incr t.n_obs "gossip.applies";
+      (* the fence may have arrived while our attempt was in flight *)
+      if List.mem prop t.n_fenced then
+        if J.Jvolve.guard_active handle then begin
+          J.Jvolve.force_trip t.n_inst.Instance.i_vm handle
+            ~reason:"gossip fence quorum";
+          t.n_phase <- Guarded { prop; handle }
+        end
+        else start_inverse t ~prop
+      else begin
+        readmit t;
+        if J.Jvolve.guard_active handle then
+          t.n_phase <- Guarded { prop; handle }
+        else t.n_phase <- Idle
+      end)
+  | J.Jvolve.Reverted v ->
+      (* tripped before we ever saw the apply: already back on old code *)
+      guard_reverted t ~prop v
+  | J.Jvolve.Aborted a ->
+      t.n_applied <- None;
+      let e = J.Updater.abort_to_string a in
+      let killed = VM.Vm.killed t.n_inst.Instance.i_vm <> None in
+      if killed || not a.J.Updater.a_rolled_back then begin
+        t.n_inst.Instance.i_status <- Instance.Out_of_service;
+        t.n_set_admit false;
+        t.n_phase <- Stuck ("abort without rollback: " ^ e)
+      end
+      else begin
+        let n = note_attempt t prop in
+        readmit t;
+        if n <= t.n_cfg.nc_max_retries then
+          t.n_phase <-
+            Backoff { prop; until = now + (t.n_cfg.nc_backoff_base * (1 lsl (n - 1))) }
+        else begin
+          Mempool.with_lock t.n_pool (fun () ->
+              cast t ~prop ~stance:Mempool.Con ~why:("abort:" ^ e));
+          t.n_phase <- Stuck ("retries exhausted: " ^ e)
+        end
+      end
+
+let resolve_revert t ~prop ~(handle : J.Jvolve.handle) =
+  match handle.J.Jvolve.h_outcome with
+  | J.Jvolve.Pending -> ()
+  | J.Jvolve.Applied _ ->
+      (match
+         ( Mempool.with_lock t.n_pool (fun () -> Mempool.find t.n_pool prop),
+           t.n_applied )
+       with
+      | Some pr, Some (_, spec) ->
+          t.n_inst.Instance.i_version <- pr.Mempool.p_from_version;
+          t.n_inst.Instance.i_program <- spec.J.Spec.old_program;
+          set_epoch t (pr.Mempool.p_epoch - 1)
+      | _ -> ());
+      t.n_applied <- None;
+      Jv_obs.Obs.incr t.n_obs "gossip.reverts";
+      readmit t;
+      t.n_phase <- Idle
+  | J.Jvolve.Reverted _ | J.Jvolve.Aborted _ ->
+      (* the inverse update failed: this VM's state is not trusted *)
+      t.n_inst.Instance.i_status <- Instance.Out_of_service;
+      t.n_set_admit false;
+      t.n_phase <- Stuck "inverse update failed"
+
+(* One decision step per fleet round. *)
+let tick t ~now =
+  (* fences first: a condemnation must interrupt whatever we are doing *)
+  List.iter
+    (fun (p : Mempool.proposal) -> enforce_fence t ~prop:p.Mempool.p_id ~now)
+    (newly_fenced t);
+  match t.n_phase with
+  | Stuck _ -> ()
+  | Idle -> (
+      match actionable t with
+      | None -> ()
+      | Some p ->
+          t.n_inst.Instance.i_status <- Instance.Draining;
+          t.n_set_admit false;
+          t.n_phase <-
+            Draining
+              { prop = p.Mempool.p_id; until = now + t.n_cfg.nc_drain_timeout })
+  | Draining { prop; until } ->
+      if t.n_in_flight () = 0 || now >= until then start_update t ~prop ~now
+  | Updating { prop; handle } ->
+      if J.Jvolve.resolved handle then resolve_update t ~prop ~handle ~now
+  | Guarded { prop; handle } ->
+      if not (J.Jvolve.guard_active handle) then begin
+        match handle.J.Jvolve.h_outcome with
+        | J.Jvolve.Pending -> ()
+        | J.Jvolve.Applied _ ->
+            (* clean close: the commit is final — unless the fence
+               quorum arrived between the close and this scan *)
+            if List.mem prop t.n_fenced then start_inverse t ~prop
+            else t.n_phase <- Idle
+        | J.Jvolve.Reverted v -> guard_reverted t ~prop v
+        | J.Jvolve.Aborted a ->
+            (* trip whose in-VM revert rolled forward: not trusted *)
+            Mempool.with_lock t.n_pool (fun () ->
+                cast t ~prop ~stance:Mempool.Con
+                  ~why:
+                    (Mempool.trip_prefix ^ "revert-failed:"
+                   ^ J.Updater.abort_to_string a));
+            t.n_inst.Instance.i_status <- Instance.Out_of_service;
+            t.n_set_admit false;
+            t.n_phase <- Stuck "guard revert failed"
+      end
+  | Reverting { prop; handle } ->
+      if J.Jvolve.resolved handle then resolve_revert t ~prop ~handle
+  | Backoff { prop; until } ->
+      if now >= until then begin
+        t.n_inst.Instance.i_status <- Instance.Draining;
+        t.n_set_admit false;
+        t.n_phase <- Draining { prop; until = now + t.n_cfg.nc_drain_timeout }
+      end

@@ -1,0 +1,112 @@
+(* Line codec for the gossip control plane.  One message per simnet
+   line, space-separated fields, first token the message kind:
+
+     PROP   <id> <epoch> <from-version> <to-version> <digest> <origin>
+     VOTE   <proposal-id> <voter> P|C <why>
+     DIGEST <sender> <epoch> <key,key,...>      (or "-" when empty)
+     WANT   <key,key,...>                        (or "-")
+     BYE
+
+   PROP and VOTE are rumor payloads; DIGEST opens an anti-entropy
+   reconciliation (the receiver answers with the full items the sender's
+   key set lacks, plus a WANT for keys it lacks itself); BYE ends an
+   exchange.  The free-text [why] of a vote is percent-escaped so it can
+   carry spaces without breaking the token structure. *)
+
+type msg =
+  | Prop of Mempool.proposal
+  | Vote of Mempool.vote
+  | Digest of { d_sender : int; d_epoch : int; d_keys : string list }
+  | Want of string list
+  | Bye
+
+(* why-field escaping: '%' and ' ' only, enough for verdict strings *)
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | ' ' -> Buffer.add_string b "%20"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       (match String.sub s (!i + 1) 2 with
+       | "20" -> Buffer.add_char b ' '
+       | "25" -> Buffer.add_char b '%'
+       | other ->
+           Buffer.add_char b '%';
+           Buffer.add_string b other);
+       i := !i + 2
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let keys_field = function [] -> "-" | ks -> String.concat "," ks
+let parse_keys = function "-" -> [] | s -> String.split_on_char ',' s
+
+let encode = function
+  | Prop p ->
+      Printf.sprintf "PROP %s %d %s %s %s %d" p.Mempool.p_id p.Mempool.p_epoch
+        p.Mempool.p_from_version p.Mempool.p_to_version p.Mempool.p_digest
+        p.Mempool.p_origin
+  | Vote v ->
+      Printf.sprintf "VOTE %s %d %s %s" v.Mempool.v_prop v.Mempool.v_voter
+        (match v.Mempool.v_stance with Mempool.Pro -> "P" | Mempool.Con -> "C")
+        (escape v.Mempool.v_why)
+  | Digest { d_sender; d_epoch; d_keys } ->
+      Printf.sprintf "DIGEST %d %d %s" d_sender d_epoch (keys_field d_keys)
+  | Want ks -> Printf.sprintf "WANT %s" (keys_field ks)
+  | Bye -> "BYE"
+
+let decode line : (msg, string) result =
+  match String.split_on_char ' ' line with
+  | [ "PROP"; id; epoch; from_v; to_v; digest; origin ] -> (
+      match (int_of_string_opt epoch, int_of_string_opt origin) with
+      | Some e, Some o ->
+          Ok
+            (Prop
+               {
+                 Mempool.p_id = id;
+                 p_epoch = e;
+                 p_from_version = from_v;
+                 p_to_version = to_v;
+                 p_digest = digest;
+                 p_origin = o;
+               })
+      | _ -> Error ("bad PROP: " ^ line))
+  | [ "VOTE"; prop; voter; stance; why ] -> (
+      match
+        ( int_of_string_opt voter,
+          match stance with
+          | "P" -> Some Mempool.Pro
+          | "C" -> Some Mempool.Con
+          | _ -> None )
+      with
+      | Some voter, Some st ->
+          Ok
+            (Vote
+               {
+                 Mempool.v_prop = prop;
+                 v_voter = voter;
+                 v_stance = st;
+                 v_why = unescape why;
+               })
+      | _ -> Error ("bad VOTE: " ^ line))
+  | [ "DIGEST"; sender; epoch; keys ] -> (
+      match (int_of_string_opt sender, int_of_string_opt epoch) with
+      | Some s, Some e ->
+          Ok (Digest { d_sender = s; d_epoch = e; d_keys = parse_keys keys })
+      | _ -> Error ("bad DIGEST: " ^ line))
+  | [ "WANT"; keys ] -> Ok (Want (parse_keys keys))
+  | [ "BYE" ] -> Ok Bye
+  | _ -> Error ("unparseable gossip line: " ^ line)

@@ -13,6 +13,8 @@
 
 type conn = {
   conn_id : int;
+  c_port : int; (* server port this connection landed on *)
+  c_from : int; (* client's claimed source port; -1 = anonymous *)
   mutable to_server : string list; (* queued lines, oldest first *)
   mutable to_server_back : string list;
   mutable to_client : string list;
@@ -47,9 +49,16 @@ type t = {
   mutable bytes_to_client : int; (* throughput accounting *)
   mutable bytes_to_server : int;
   mutable obs : Jv_obs.Obs.t option; (* per-connection events and meters *)
-  (* armed chaos plan: the [net.connect] and [net.link] points live here.
-     Delay faults are timed on the attached sink's clock *)
+  (* armed chaos plan: the [net.connect], [net.link] and
+     [simnet.partition] points live here.  Delay faults are timed on the
+     attached sink's clock *)
   mutable faults : Jv_faults.Faults.t option;
+  (* network partition: port -> island id.  Ports in different islands
+     cannot connect to each other, and lines on established
+     cross-island connections are silently dropped (as across a real
+     split).  Ports absent from the map share island -1. *)
+  mutable islands : (int, int) Hashtbl.t option;
+  mutable partition_until : int; (* heal at this sink tick; max_int = manual *)
 }
 
 let create () =
@@ -63,6 +72,8 @@ let create () =
     bytes_to_server = 0;
     obs = None;
     faults = None;
+    islands = None;
+    partition_until = max_int;
   }
 
 (* Attach the owning VM's (or fleet's) sink; connection open/close events
@@ -107,6 +118,79 @@ let pop_q front back =
       match List.rev back with
       | [] -> None
       | v :: rest -> Some (v, rest, []))
+
+(* --- partitions -------------------------------------------------------- *)
+
+let heal t =
+  t.islands <- None;
+  t.partition_until <- max_int
+
+let set_partition t ~groups =
+  let m = Hashtbl.create 16 in
+  List.iteri
+    (fun island ports -> List.iter (fun p -> Hashtbl.replace m p island) ports)
+    groups;
+  t.islands <- Some m;
+  t.partition_until <- max_int;
+  obs_incr t "net.partitions";
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Jv_obs.Obs.emit o ~scope:"net" "partition.set"
+        [ ("islands", Jv_obs.Obs.Int (List.length groups)) ]
+
+(* Lazily heal a timed partition once its deadline passes. *)
+let check_heal t =
+  if t.islands <> None && obs_tick t >= t.partition_until then begin
+    heal t;
+    obs_incr t "net.partition_heals";
+    match t.obs with
+    | None -> ()
+    | Some o -> Jv_obs.Obs.emit o ~scope:"net" "partition.heal" []
+  end
+
+let island t port =
+  match t.islands with
+  | None -> -1
+  | Some m -> Option.value ~default:(-1) (Hashtbl.find_opt m port)
+
+let partitioned t ~a ~b =
+  check_heal t;
+  t.islands <> None && island t a <> island t b
+
+(* The [simnet.partition] chaos point: consulted once per owner round
+   (the fleet's gossip layer ticks it).  A fire splits the currently
+   listening ports into two random islands; [delay:N] heals after N
+   ticks of the sink's clock, any other action uses a default window.
+   The split is drawn from the plan's own xorshift stream, so a seed
+   fixes which ports land on which side. *)
+let default_partition_ticks = 32
+
+let tick_faults t =
+  check_heal t;
+  match Jv_faults.Faults.check t.faults "simnet.partition" with
+  | None -> ()
+  | Some action -> (
+      match t.faults with
+      | None -> ()
+      | Some plan ->
+          let ports = List.map fst t.listeners in
+          let left, right =
+            List.partition (fun _ -> Jv_faults.Faults.draw plan < 0.5) ports
+          in
+          (* a one-sided draw is no partition at all: force a split *)
+          let left, right =
+            match (left, right) with
+            | [], p :: rest -> ([ p ], rest)
+            | p :: rest, [] -> (rest, [ p ])
+            | lr -> lr
+          in
+          set_partition t ~groups:[ left; right ];
+          t.partition_until <-
+            obs_tick t
+            + (match action with
+              | Jv_faults.Faults.Delay n -> max 1 n
+              | _ -> default_partition_ticks))
 
 (* --- link faults ------------------------------------------------------- *)
 
@@ -216,7 +300,10 @@ let can_recv t ~conn_id =
 let send t ~conn_id line =
   let c = conn t conn_id in
   if not c.closed_by_server then begin
-    (match link_verdict t with
+    (match
+       if partitioned t ~a:c.c_port ~b:c.c_from then `Drop
+       else link_verdict t
+     with
     | `Drop -> note_dropped t
     | `Delay n ->
         c.c_delayed_to_client <-
@@ -239,10 +326,16 @@ let close_server t ~conn_id =
 
 (* --- client side (used by workload drivers) --- *)
 
-(* Connect to a port; [None] if nothing is listening. *)
-let connect t ~port =
+(* Connect to a port; [None] if nothing is listening.  [from] is the
+   client's own port identity (a gossip peer's listener), used by the
+   partition check; anonymous clients (-1) share island -1. *)
+let connect ?(from = -1) t ~port =
   match List.assoc_opt port t.listeners with
   | None -> None
+  | Some _ when partitioned t ~a:from ~b:port ->
+      (* the split is between us and the server: refused *)
+      obs_incr t "net.partition_refused_conns";
+      None
   | Some l when not l.open_ -> None
   | Some _
     when Jv_faults.Faults.link t.faults "net.connect" <> `Ok ->
@@ -255,6 +348,8 @@ let connect t ~port =
       let c =
         {
           conn_id = id;
+          c_port = port;
+          c_from = from;
           to_server = [];
           to_server_back = [];
           to_client = [];
@@ -286,7 +381,10 @@ let connect t ~port =
 let client_send t ~conn_id line =
   let c = conn t conn_id in
   if not c.closed_by_client then begin
-    (match link_verdict t with
+    (match
+       if partitioned t ~a:c.c_from ~b:c.c_port then `Drop
+       else link_verdict t
+     with
     | `Drop -> note_dropped t
     | `Delay n ->
         c.c_delayed_to_server <-

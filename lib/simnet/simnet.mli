@@ -16,8 +16,36 @@ val set_faults : t -> Jv_faults.Faults.t option -> unit
     ["net.connect"] — a firing rule refuses the connection ([connect]
     returns [None], as across a partition); ["net.link"] — consulted
     once per sent line in either direction: [drop] discards the line,
-    [delay:N] holds it for N ticks of the attached sink's clock.
-    Delay faults require a sink ({!set_obs}) whose clock advances. *)
+    [delay:N] holds it for N ticks of the attached sink's clock;
+    ["simnet.partition"] — consulted by {!tick_faults}: a fire splits
+    the listening ports into two random islands for a while.
+    Delay and timed-partition faults require a sink ({!set_obs}) whose
+    clock advances. *)
+
+(** {1 Partitions}
+
+    A partition assigns ports to islands: connections cannot be opened
+    across islands ([connect ~from] returns [None]) and lines sent on
+    established cross-island connections are silently dropped.  Ports
+    not named in any group share the implicit island [-1] — anonymous
+    clients ([connect] without [~from]) live there too. *)
+
+val set_partition : t -> groups:int list list -> unit
+(** Split the network: each [groups] element is one island of ports.
+    Replaces any previous partition; stays until {!heal} (or the timer
+    installed by a [simnet.partition] fault fires). *)
+
+val heal : t -> unit
+(** Remove the partition. *)
+
+val partitioned : t -> a:int -> b:int -> bool
+(** Are ports [a] and [b] currently on different islands? *)
+
+val tick_faults : t -> unit
+(** Consult the ["simnet.partition"] chaos point once (call once per
+    owner round): a fire installs a seeded random two-way split of the
+    listening ports, healing after [delay:N] ticks (other actions use a
+    default window).  Also heals any expired timed partition. *)
 
 exception Net_error of string
 
@@ -42,8 +70,10 @@ val can_recv : t -> conn_id:int -> bool
 
 (** {1 Client side (used by workload drivers)} *)
 
-val connect : t -> port:int -> int option
-(** [None] if nothing listens on [port]. *)
+val connect : ?from:int -> t -> port:int -> int option
+(** [None] if nothing listens on [port] (or a partition separates
+    [from] and [port]).  [from] is the client's own port identity for
+    partition checks; default [-1] (anonymous). *)
 
 val client_send : t -> conn_id:int -> string -> unit
 val client_recv : t -> conn_id:int -> [ `Line of string | `Eof | `Wait ]
