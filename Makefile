@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke clean
 
 all:
 	dune build @all
@@ -66,6 +66,23 @@ gossip-smoke:
 	! grep -q "DID NOT FENCE" _build/gossip-smoke.out
 	grep -q "central decisions:.*0 (all" _build/gossip-smoke.out
 	grep -q "tripped and converged back to epoch 0" _build/gossip-smoke.out
+
+# Stateful-workload probe: ministore's schema-migration ladder (field
+# split, index re-key, value re-encoding) walks end to end on a loaded
+# VM with the heap verifier green after every rung, a tripped guard
+# window reverts a committed migration by inverse transformers, and a
+# 16-instance gossip rollout of a migration converges with every
+# instance heap green and zero dropped connections.
+store-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe store | tee _build/store-smoke.out
+	grep -q "1.0->1.1" _build/store-smoke.out
+	grep -q "1.2->1.3" _build/store-smoke.out
+	! grep -q "DIRTY" _build/store-smoke.out
+	! grep -q "did not apply" _build/store-smoke.out
+	! grep -q "expected a revert" _build/store-smoke.out
+	grep -q "CONVERGED in" _build/store-smoke.out
+	grep -q "16 of 16 instances green" _build/store-smoke.out
+	grep -q "0 dropped in flight" _build/store-smoke.out
 
 clean:
 	dune clean

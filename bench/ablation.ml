@@ -30,9 +30,9 @@ let try_update ?(use_osr = true) ?(use_barriers = true) desc ~from_version
   let loads = A.Experience.attach_loads vm desc ~concurrency:4 in
   VM.Vm.run vm ~rounds:40;
   let spec =
-    J.Spec.make
-      ~object_overrides:(desc.A.Experience.d_object_overrides ~to_version)
-      ~version_tag:(String.concat "" (String.split_on_char '.' from_version))
+    A.Common.spec
+      ~overrides:(desc.A.Experience.d_overrides ~to_version)
+      ~version_tag:(A.Common.version_tag from_version)
       ~old_program:(Support.compile_version desc.A.Experience.d_versioned ~version:from_version)
       ~new_program:(Support.compile_version desc.A.Experience.d_versioned ~version:to_version)
       ()

@@ -1,7 +1,8 @@
-(* Tables 2, 3, 4 and the §4 experience results.
+(* Tables 2-5 and the §4 experience results.
 
-   For every release of miniweb (Jetty), minimail (JavaEmailServer) and
-   miniftp (CrossFTP) we print the UPT change summary — the paper's
+   For every release of miniweb (Jetty), minimail (JavaEmailServer),
+   miniftp (CrossFTP) and ministore (the stateful KV store whose ladder
+   is all schema migrations) we print the UPT change summary — the paper's
    per-release table row — and the outcome of actually applying the update
    to the running, loaded server.  Aborted updates are retried on an idle
    server, reproducing the paper's observation that CrossFTP 1.07->1.08
@@ -62,15 +63,20 @@ let run () =
     table_for A.Experience.ftp_desc
       ~title:"Table 4: summary of updates to miniftp (CrossFTP analogue)"
   in
+  let store =
+    table_for A.Experience.store_desc
+      ~title:"Table 5: summary of updates to ministore (stateful KV store, \
+              schema-migration ladder)"
+  in
   Support.section "Experience summary (paper §4)";
-  let all = List.map fst (web @ mail @ ftp) in
+  let all = List.map fst (web @ mail @ ftp @ store) in
   let idle_rescued =
     List.concat_map
       (fun (_, i) -> match i with
         | Some ({ A.Experience.a_outcome = A.Experience.Applied _; _ } as x) ->
             [ x ]
         | _ -> [])
-      (web @ mail @ ftp)
+      (web @ mail @ ftp @ store)
   in
   let applied, hotswap, total = A.Experience.summary all in
   let applied_counting_idle = applied + List.length idle_rescued in

@@ -5,7 +5,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe table1       # Table 1 + Figure 6
      dune exec bench/main.exe fig5         # Figure 5
-     dune exec bench/main.exe experience   # Tables 2, 3, 4 + §4 summary
+     dune exec bench/main.exe experience   # Tables 2-5 + §4 summary
      dune exec bench/main.exe overhead     # steady-state / baseline costs
      dune exec bench/main.exe ablation     # design-choice ablations
      dune exec bench/main.exe micro        # Bechamel kernels
@@ -21,19 +21,25 @@
      dune exec bench/main.exe guard        # guard window: revert pause,
                                            # watchdog overhead, bad-update
                                            # auto-revert demo
+     dune exec bench/main.exe store        # ministore schema migrations:
+                                           # transformer objects/sec and
+                                           # pause vs store size, guard
+                                           # revert vs log size, gossip
+                                           # rollout of a migration
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|all]";
+     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|store|all]";
   exit 1
 
 let run_one = function
   | "table1" | "fig6" -> Table1.run ()
   | "fig5" -> Fig5.run ()
-  | "experience" | "table2" | "table3" | "table4" -> Experience_bench.run ()
+  | "experience" | "table2" | "table3" | "table4" | "table5" ->
+      Experience_bench.run ()
   | "overhead" -> Overhead.run ()
   | "ablation" -> Ablation.run ()
   | "micro" -> Micro.run ()
@@ -42,6 +48,7 @@ let run_one = function
   | "chaos" -> Chaos.run ()
   | "safety" -> Safety.run ()
   | "guard" -> Guard_bench.run ()
+  | "store" -> Store_bench.run ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)
@@ -55,7 +62,8 @@ let run_one = function
       Fleet.run_gossip ();
       Chaos.run ();
       Safety.run ();
-      Guard_bench.run ()
+      Guard_bench.run ();
+      Store_bench.run ()
   | _ -> usage ()
 
 let () =

@@ -82,11 +82,9 @@ let admission_latency () =
       A.Patching.update_pairs d.A.Experience.d_versioned
       |> List.iter (fun ((from_v, _), (to_v, _)) ->
              let spec =
-               J.Spec.make
-                 ~object_overrides:
-                   (d.A.Experience.d_object_overrides ~to_version:to_v)
-                 ~version_tag:
-                   (String.concat "" (String.split_on_char '.' to_v))
+               A.Common.spec
+                 ~overrides:(d.A.Experience.d_overrides ~to_version:to_v)
+                 ~version_tag:(A.Common.version_tag to_v)
                  ~old_program:
                    (Support.compile_version d.A.Experience.d_versioned
                       ~version:from_v)
@@ -143,9 +141,8 @@ let gauntlet () =
           Faults.arm plan ~point ~max_fires:1 Faults.Raise;
           VM.Vm.set_faults vm (Some plan);
           let spec =
-            J.Spec.make
-              ~object_overrides:
-                (d.A.Experience.d_object_overrides ~to_version:to_v)
+            A.Common.spec
+              ~overrides:(d.A.Experience.d_overrides ~to_version:to_v)
               ~version_tag:(Printf.sprintf "g%d" k)
               ~old_program:
                 (Support.compile_version d.A.Experience.d_versioned

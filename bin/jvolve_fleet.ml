@@ -280,7 +280,9 @@ open Cmdliner
 
 let app_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
-         ~doc:"Server app to run: miniweb, minimail or miniftp.")
+         ~doc:"Server app to run: miniweb, minimail, miniftp or ministore \
+               (the stateful KV store whose updates are schema \
+               migrations).")
 
 let from_v =
   Arg.(required & opt (some string) None & info [ "from" ] ~docv:"VERSION"

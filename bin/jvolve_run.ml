@@ -3,10 +3,17 @@
 
      dune exec bin/jvolve_run.exe -- program.mj
      dune exec bin/jvolve_run.exe -- v1.mj --update v2.mj --at 50 --tag 2 \
-       --transformers custom.mj --rounds 500 *)
+       --transformers custom.mj --rounds 500
+
+   Or run a built-in server app's version ladder under load, applying
+   every release in [--from, --to] as a dynamic update (with the app's
+   own custom transformers, e.g. ministore's schema migrations):
+
+     dune exec bin/jvolve_run.exe -- --app ministore --from 1.0 --to 1.3 *)
 
 module VM = Jv_vm
 module J = Jvolve_core
+module A = Jv_apps
 
 let read_file path =
   let ic = open_in_bin path in
@@ -31,9 +38,127 @@ let emit_trace obs = function
            obs)
   | Some file -> write_file file (Jv_obs.Export.jsonl obs)
 
-let run path main_class rounds update_path at tag transformers_path
-    timeout_rounds admit_strict verify_heap transformer_fuel guard_rounds
-    guard_budget no_guard faults fault_seed trace metrics verbose =
+(* Common tail: program output, trace/metrics export, stats, exit code. *)
+let finish vm ~trace ~metrics ~verbose ~failed =
+  print_string (VM.Vm.output vm);
+  emit_trace (VM.Vm.obs vm) trace;
+  if metrics then print_string (Jv_obs.Export.prometheus (VM.Vm.obs vm));
+  let stats = VM.Vm.stats vm in
+  if verbose then begin
+    Printf.eprintf
+      "[jvolve] %d instructions, %d base compiles, %d opt compiles, %d \
+       GCs, %d OSRs\n"
+      stats.VM.Vm.instr_count stats.VM.Vm.compile_count
+      stats.VM.Vm.opt_compile_count stats.VM.Vm.gc_count
+      stats.VM.Vm.osr_count;
+    List.iter
+      (fun (tid, msg) ->
+        Printf.eprintf "[jvolve] thread %d trapped: %s\n" tid msg)
+      stats.VM.Vm.traps
+  end;
+  if stats.VM.Vm.traps = [] && not failed then 0 else 2
+
+(* --app mode: boot a built-in server app under load and walk its
+   version ladder from --from to --to, one dynamic update per release,
+   using the app's own transformer overrides (ministore's rungs are all
+   schema migrations with custom forward and inverse transformers). *)
+let run_app_ladder ~app_name ~from_v ~to_v ~config ~plan ~guard
+    ~timeout_rounds ~admit_strict ~trace ~metrics ~verbose =
+  let d =
+    match
+      List.find_opt
+        (fun (d : A.Experience.app_desc) -> d.A.Experience.d_name = app_name)
+        A.Experience.all_apps
+    with
+    | Some d -> d
+    | None ->
+        Printf.eprintf "unknown app %s (have: %s)\n" app_name
+          (String.concat ", "
+             (List.map
+                (fun (d : A.Experience.app_desc) -> d.A.Experience.d_name)
+                A.Experience.all_apps));
+        exit 1
+  in
+  let versions = List.map fst d.A.Experience.d_versioned.A.Patching.versions in
+  let index_of v =
+    let rec go i = function
+      | [] -> None
+      | x :: _ when x = v -> Some i
+      | _ :: r -> go (i + 1) r
+    in
+    go 0 versions
+  in
+  let from_v = Option.value from_v ~default:(List.hd versions) in
+  let to_v =
+    Option.value to_v ~default:(List.nth versions (List.length versions - 1))
+  in
+  let rungs =
+    match (index_of from_v, index_of to_v) with
+    | Some i, Some j when i < j ->
+        List.init (j - i) (fun k ->
+            (List.nth versions (i + k), List.nth versions (i + k + 1)))
+    | _ ->
+        Printf.eprintf "no ladder from %s to %s (versions: %s)\n" from_v to_v
+          (String.concat ", " versions);
+        exit 1
+  in
+  let vm = A.Experience.boot_version ~config d ~version:from_v in
+  VM.Vm.set_faults vm plan;
+  let loads = A.Experience.attach_loads vm d ~concurrency:4 in
+  VM.Vm.run vm ~rounds:60;
+  let compile v =
+    Jv_lang.Compile.compile_program
+      (A.Patching.source d.A.Experience.d_versioned ~version:v)
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (f, t) ->
+      let before = A.Experience.total_requests loads in
+      let spec =
+        A.Common.spec
+          ~overrides:(d.A.Experience.d_overrides ~to_version:t)
+          ~version_tag:(A.Common.version_tag f)
+          ~old_program:(compile f) ~new_program:(compile t) ()
+      in
+      let h =
+        J.Jvolve.update_now ~timeout_rounds ~admit_strict ?guard vm spec
+      in
+      Printf.eprintf "[jvolve] %s %s -> %s: %s\n" app_name f t
+        (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome);
+      if not (J.Jvolve.succeeded h) then incr failures
+      else
+        Option.iter
+          (fun _ ->
+            match J.Jvolve.run_to_guard_close vm h with
+            | J.Jvolve.Applied _ ->
+                Printf.eprintf
+                  "[jvolve]   guard window closed clean (update kept)\n"
+            | o ->
+                incr failures;
+                Printf.eprintf "[jvolve]   guard window: %s\n"
+                  (J.Jvolve.outcome_to_string o))
+          guard;
+      VM.Vm.run vm ~rounds:80;
+      (* collect first: the committed update's dropped log leaves
+         superseded old copies in the heap until the next collection *)
+      ignore (VM.Gc.collect vm : VM.Gc.result);
+      let hv = VM.Heapverify.run vm in
+      if not hv.VM.Heapverify.hv_ok then incr failures;
+      Printf.eprintf "[jvolve]   served %d request(s) during the rung; heap %s\n"
+        (A.Experience.total_requests loads - before)
+        (if hv.VM.Heapverify.hv_ok then "green" else "DIRTY"))
+    rungs;
+  VM.Vm.run vm ~rounds:60;
+  Printf.eprintf
+    "[jvolve] ladder complete: %d rung(s), %d failure(s), %d requests served\n"
+    (List.length rungs) !failures
+    (A.Experience.total_requests loads);
+  finish vm ~trace ~metrics ~verbose ~failed:(!failures > 0)
+
+let run app from_v to_v path main_class rounds update_path at tag
+    transformers_path timeout_rounds admit_strict verify_heap
+    transformer_fuel guard_rounds guard_budget no_guard faults fault_seed
+    trace metrics verbose =
   try
     let plan =
       match faults with
@@ -57,6 +182,24 @@ let run path main_class rounds update_path at tag transformers_path
               (J.Guard.config
                  ~budget:{ b with J.Guard.b_rounds = guard_rounds }
                  ())
+    in
+    match app with
+    | Some app_name ->
+        run_app_ladder ~app_name ~from_v ~to_v
+          ~config:
+            {
+              A.Experience.default_config with
+              VM.State.verify_heap;
+              transformer_fuel;
+            }
+          ~plan ~guard ~timeout_rounds ~admit_strict ~trace ~metrics ~verbose
+    | None ->
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "either FILE or --app is required\n";
+          exit 1
     in
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let config =
@@ -93,21 +236,7 @@ let run path main_class rounds update_path at tag transformers_path
         | Some pt -> Printf.eprintf "[jvolve] VM killed at %s\n" pt
         | None -> ());
         ignore (VM.Vm.run_to_quiescence ~max_rounds:(max 0 (rounds - at)) vm));
-    print_string (VM.Vm.output vm);
-    emit_trace (VM.Vm.obs vm) trace;
-    if metrics then print_string (Jv_obs.Export.prometheus (VM.Vm.obs vm));
-    let stats = VM.Vm.stats vm in
-    if verbose then begin
-      Printf.eprintf
-        "[jvolve] %d instructions, %d base compiles, %d opt compiles, %d \
-         GCs, %d OSRs\n"
-        stats.VM.Vm.instr_count stats.VM.Vm.compile_count
-        stats.VM.Vm.opt_compile_count stats.VM.Vm.gc_count stats.VM.Vm.osr_count;
-      List.iter
-        (fun (tid, msg) -> Printf.eprintf "[jvolve] thread %d trapped: %s\n" tid msg)
-        stats.VM.Vm.traps
-    end;
-    if stats.VM.Vm.traps = [] then 0 else 2
+    finish vm ~trace ~metrics ~verbose ~failed:false
   with
   | Jv_lang.Compile.Error e ->
       Printf.eprintf "compile error: %s\n" e;
@@ -122,8 +251,23 @@ let run path main_class rounds update_path at tag transformers_path
 open Cmdliner
 
 let path =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"MiniJava program.")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniJava program (omit when using --app).")
+
+let app_arg =
+  Arg.(value & opt (some string) None & info [ "app" ] ~docv:"APP"
+         ~doc:"Walk a built-in server app's version ladder under load \
+               instead of running a file: miniweb, minimail, miniftp or \
+               ministore.  Each release in [--from, --to] is applied as \
+               a dynamic update with the app's own transformers.")
+
+let from_v =
+  Arg.(value & opt (some string) None & info [ "from" ] ~docv:"VERSION"
+         ~doc:"With --app: version to boot (default: the app's first).")
+
+let to_v =
+  Arg.(value & opt (some string) None & info [ "to" ] ~docv:"VERSION"
+         ~doc:"With --app: version to end on (default: the app's last).")
 
 let main_class =
   Arg.(value & opt string "Main" & info [ "main" ] ~docv:"CLASS"
@@ -225,9 +369,10 @@ let cmd =
   Cmd.v
     (Cmd.info "jvolve_run" ~doc:"Run MiniJava programs with dynamic updates")
     Term.(
-      const run $ path $ main_class $ rounds $ update_path $ at $ tag
-      $ transformers_path $ timeout_rounds $ admit_strict $ verify_heap
-      $ transformer_fuel $ guard_rounds $ guard_budget $ no_guard $ faults
-      $ fault_seed $ trace $ metrics $ verbose)
+      const run $ app_arg $ from_v $ to_v $ path $ main_class $ rounds
+      $ update_path $ at $ tag $ transformers_path $ timeout_rounds
+      $ admit_strict $ verify_heap $ transformer_fuel $ guard_rounds
+      $ guard_budget $ no_guard $ faults $ fault_seed $ trace $ metrics
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

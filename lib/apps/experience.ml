@@ -36,7 +36,8 @@ type app_desc = {
   d_versioned : Patching.versioned;
   d_loads : (int * string list * (string -> bool)) list;
       (* (port, script, ok) — one workload per protocol the app serves *)
-  d_object_overrides : to_version:string -> (string * string) list;
+  d_overrides : to_version:string -> Common.overrides;
+      (* custom transformer bodies (both directions) per update step *)
 }
 
 let web_desc =
@@ -44,7 +45,7 @@ let web_desc =
     d_name = "miniweb";
     d_versioned = Miniweb.app;
     d_loads = [ (Miniweb.protocol_port, Workload.web_script, Workload.web_ok) ];
-    d_object_overrides = (fun ~to_version:_ -> []);
+    d_overrides = (fun ~to_version:_ -> Common.no_overrides);
   }
 
 let mail_desc =
@@ -56,8 +57,7 @@ let mail_desc =
         (Minimail.smtp_port, Workload.smtp_script, Workload.default_ok);
         (Minimail.pop_port, Workload.pop_script, Workload.default_ok);
       ];
-    d_object_overrides =
-      (fun ~to_version -> Minimail.object_overrides ~to_version);
+    d_overrides = (fun ~to_version -> Minimail.overrides ~to_version);
   }
 
 let ftp_desc =
@@ -65,10 +65,19 @@ let ftp_desc =
     d_name = "miniftp";
     d_versioned = Miniftp.app;
     d_loads = [ (Miniftp.port, Workload.ftp_script, Workload.default_ok) ];
-    d_object_overrides = (fun ~to_version:_ -> []);
+    d_overrides = (fun ~to_version:_ -> Common.no_overrides);
   }
 
-let all_apps = [ web_desc; mail_desc; ftp_desc ]
+let store_desc =
+  {
+    d_name = "ministore";
+    d_versioned = Ministore.app;
+    d_loads =
+      [ (Ministore.port, Workload.store_script, Workload.store_ok) ];
+    d_overrides = (fun ~to_version -> Ministore.overrides ~to_version);
+  }
+
+let all_apps = [ web_desc; mail_desc; ftp_desc; store_desc ]
 
 (* High opt threshold keeps the per-session run() methods base-compiled
    (in Jikes RVM they are never sample-hot either); the per-request
@@ -120,10 +129,9 @@ let run_one ?(config = default_config) ?(concurrency = 4) ?(warmup = 60)
   VM.Vm.run vm ~rounds:warmup;
   let before = total_requests loads in
   let spec =
-    J.Spec.make
-      ~object_overrides:(d.d_object_overrides ~to_version)
-      ~version_tag:
-        (String.concat "" (String.split_on_char '.' from_version))
+    Common.spec
+      ~overrides:(d.d_overrides ~to_version)
+      ~version_tag:(Common.version_tag from_version)
       ~old_program ~new_program ()
   in
   let outcome, osr, barriers =

@@ -430,5 +430,5 @@ let busy_update = "1.08"
 (* Health probe (fleet orchestration).  The probing client may see the
    "220" greeting banner first; the prober accepts any line passing
    [health_ok], so only the "200 healthy" reply satisfies it. *)
-let health_probe = "HLTH"
+let health_probe = Common.hlth_probe
 let health_ok = Common.prefix_ok "200"

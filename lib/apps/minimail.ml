@@ -770,7 +770,7 @@ let failing_update = "1.3"
 
 (* Health probe (fleet orchestration), on the SMTP side: present in every
    version, never touched by release patches. *)
-let health_probe = "HLTH"
+let health_probe = Common.hlth_probe
 let health_ok = Common.prefix_ok "250"
 
 (* The customized object transformer for the 1.3.1 -> 1.3.2 update: the
@@ -789,9 +789,30 @@ let user_transformer_132 =
     }
 |}
 
+(* The rollback direction of the same migration: join each EmailAddress
+   back into a forwarding string, so a guard revert of 1.3.2 recomputes
+   the 1.3.1 representation from live state. *)
+let user_inverse_132 =
+  {|
+    to.username = from.username;
+    to.domain = from.domain;
+    to.password = from.password;
+    int len = from.forwardAddresses.length;
+    to.forwardAddresses = new String[len];
+    for (int i = 0; i < len; i = i + 1) {
+      to.forwardAddresses[i] =
+        from.forwardAddresses[i].username + "@" + from.forwardAddresses[i].host;
+    }
+|}
+
 (* Per-update customized transformers (class name -> body), keyed by the
    *target* version; everything else uses UPT defaults. *)
-let object_overrides ~to_version =
+let overrides ~to_version =
   match to_version with
-  | "1.3.2" -> [ ("User", user_transformer_132) ]
-  | _ -> []
+  | "1.3.2" ->
+      {
+        Common.no_overrides with
+        Common.ov_object = [ ("User", user_transformer_132) ];
+        ov_inverse_object = [ ("User", user_inverse_132) ];
+      }
+  | _ -> Common.no_overrides

@@ -196,3 +196,20 @@ let ftp_script =
              "RETR readme.txt";
            ]))
   @ [ "QUIT" ]
+
+(* A block-explorer-ish session: one batched write, a point write, point
+   reads of keys the session itself wrote, a page scan and a stat poll.
+   Every response is version-stable ("+OK ...") across the whole schema-
+   migration ladder, so the same script drives every rung. *)
+let store_script =
+  [
+    "MPUT 100 8 131072";
+    "PUT 5 196613 hello-world";
+    "GET 5";
+    "GET 103";
+    "SCAN 0";
+    "STAT";
+    "QUIT";
+  ]
+
+let store_ok = Common.prefix_ok "+OK"

@@ -16,12 +16,21 @@ type t = {
      output (paper Figure 3) *)
   object_overrides : (string * string) list;
   class_overrides : (string * string) list;
+  (* overrides for the *rollback* direction: spliced into the inverse
+     spec's generated transformer when a guard window (or orchestrator)
+     backs this update out.  A schema migration that reshapes data — a
+     field split, an index re-key, an encoding change — supplies both
+     directions so the revert recomputes the old representation from live
+     state instead of falling back to default-mapped values. *)
+  inverse_object_overrides : (string * string) list;
+  inverse_class_overrides : (string * string) list;
   blacklist : Diff.mref list;
 }
 
 let make ?(transformer_src = None) ?(object_overrides = [])
-    ?(class_overrides = []) ?(blacklist = []) ~version_tag ~old_program
-    ~new_program () =
+    ?(class_overrides = []) ?(inverse_object_overrides = [])
+    ?(inverse_class_overrides = []) ?(blacklist = []) ~version_tag
+    ~old_program ~new_program () =
   {
     version_tag;
     diff = Diff.compute ~old_program ~new_program;
@@ -30,20 +39,28 @@ let make ?(transformer_src = None) ?(object_overrides = [])
     transformer_src;
     object_overrides;
     class_overrides;
+    inverse_object_overrides;
+    inverse_class_overrides;
     blacklist;
   }
 
 let old_class_name ~tag name = Printf.sprintf "v%s_%s" tag name
 
 (* The rollback spec: swap old and new programs and re-run the UPT diff.
-   Custom transformers and per-class overrides describe the forward
-   migration only, so the inverse falls back to the UPT-generated
-   defaults; fields the forward update introduced are simply dropped and
-   reverted fields get default-mapped values.  The blacklist is kept —
-   version-consistency concerns restrict the same methods in both
-   directions. *)
+   If the spec carries inverse overrides (a real schema migration), they
+   become the rollback's forward transformers, so the revert recomputes
+   the old representation from live state; otherwise the inverse falls
+   back to the UPT-generated defaults and fields the forward update
+   introduced are simply dropped.  The two override directions swap, so
+   the inverse of the inverse is the forward spec again.  The blacklist
+   is kept — version-consistency concerns restrict the same methods in
+   both directions. *)
 let inverse spec =
   make ~blacklist:spec.blacklist
+    ~object_overrides:spec.inverse_object_overrides
+    ~class_overrides:spec.inverse_class_overrides
+    ~inverse_object_overrides:spec.object_overrides
+    ~inverse_class_overrides:spec.class_overrides
     ~version_tag:(spec.version_tag ^ "rb")
     ~old_program:spec.new_program ~new_program:spec.old_program ()
 

@@ -19,6 +19,13 @@ type t = {
           output (paper Figure 3) *)
   class_overrides : (string * string) list;
       (** same, for [jvolveClass] (static-state) transformers *)
+  inverse_object_overrides : (string * string) list;
+      (** override bodies for the {e rollback} direction: spliced into
+          the inverse spec's generated transformer so a guard revert of a
+          schema migration recomputes the old representation from live
+          state instead of default-mapping it *)
+  inverse_class_overrides : (string * string) list;
+      (** same, for the rollback's [jvolveClass] transformers *)
   blacklist : Diff.mref list;
       (** user-restricted methods — category (3) of the DSU safe-point
           condition, for version-consistency concerns (paper §3.2) *)
@@ -29,6 +36,8 @@ val make :
   ?transformer_src:string option ->
   ?object_overrides:(string * string) list ->
   ?class_overrides:(string * string) list ->
+  ?inverse_object_overrides:(string * string) list ->
+  ?inverse_class_overrides:(string * string) list ->
   ?blacklist:Diff.mref list ->
   version_tag:string ->
   old_program:CF.Cls.t list ->
@@ -40,10 +49,11 @@ val make :
 val old_class_name : tag:string -> string -> string
 
 (** The rollback spec: old and new programs swapped, diff recomputed,
-    version tag suffixed with ["rb"].  Custom transformers describe the
-    forward migration only, so the inverse uses UPT-generated defaults;
-    the blacklist carries over.  Used by the fleet orchestrator to revert
-    canaries when a rollout fails. *)
+    version tag suffixed with ["rb"].  [inverse_object_overrides] /
+    [inverse_class_overrides] (if any) become the rollback's forward
+    transformers; otherwise the inverse uses UPT-generated defaults.  The
+    blacklist carries over.  Used by the guard watchdog and the fleet
+    orchestrator to revert updates. *)
 val inverse : t -> t
 
 (** [Some reason] if the update falls outside Jvolve's model (currently:

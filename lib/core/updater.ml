@@ -507,6 +507,10 @@ let replay_retained vm (spec : Spec.t) (fwd_log : int array) : int =
     if
       c_cls.Rt.valid
       && List.mem c_cls.Rt.name spec.Spec.diff.Diff.class_updates_closure
+      (* a custom inverse transformer recomputes the old representation
+         from *live* state (so in-window writes survive); replaying the
+         pre-update copies over it would roll those writes back *)
+      && not (List.mem_assoc c_cls.Rt.name spec.Spec.object_overrides)
     then
       match
         Rt.find_class reg

@@ -6,7 +6,16 @@
 
    [dropped_in_flight] counts sessions severed while a request was
    outstanding — the "dropped connection" number a rollout must keep at
-   zero. *)
+   zero.
+
+   A closed-loop client never sends the next line until the previous one
+   is answered, so a request (or response) swallowed by a lossy link
+   ([net.link=drop] on an instance net) would wedge the session — and
+   its balancer route — forever.  [request_timeout] is the client-side
+   recovery: an unanswered request past the budget closes the connection
+   (counted in [timed_out_requests], separate from [dropped_in_flight]:
+   fault-induced loss is not an update-window sever) and frees the slot
+   for a fresh session. *)
 
 module Simnet = Jv_simnet.Simnet
 
@@ -24,6 +33,7 @@ type t = {
   ok : string -> bool;
   concurrency : int;
   max_sessions : int;
+  request_timeout : int; (* rounds an unanswered request may wait *)
   mutable launched : int;
   mutable active : conn_state list;
   mutable completed_sessions : int;
@@ -31,11 +41,15 @@ type t = {
   mutable errors : int;
   mutable dropped_in_flight : int;
   mutable severed_sessions : int; (* EOF between requests, script unfinished *)
+  mutable timed_out_requests : int; (* gave up waiting (lossy link) *)
   mutable latency_rounds : int;
 }
 
+let default_request_timeout = 200
+
 let create ~net ~port ~script ?(ok = Jv_apps.Workload.default_ok)
-    ~concurrency ?(max_sessions = max_int) () =
+    ~concurrency ?(max_sessions = max_int)
+    ?(request_timeout = default_request_timeout) () =
   {
     net;
     port;
@@ -43,6 +57,7 @@ let create ~net ~port ~script ?(ok = Jv_apps.Workload.default_ok)
     ok;
     concurrency;
     max_sessions;
+    request_timeout;
     launched = 0;
     active = [];
     completed_sessions = 0;
@@ -50,6 +65,7 @@ let create ~net ~port ~script ?(ok = Jv_apps.Workload.default_ok)
     errors = 0;
     dropped_in_flight = 0;
     severed_sessions = 0;
+    timed_out_requests = 0;
     latency_rounds = 0;
   }
 
@@ -61,7 +77,15 @@ let pump_conn t ~tick (c : conn_state) : bool (* keep? *) =
   if not c.awaiting then true
   else
     match Simnet.client_recv t.net ~conn_id:c.cid with
-    | `Wait -> true
+    | `Wait ->
+        if tick - c.sent_at > t.request_timeout then begin
+          (* the request or its response was lost in transit: close, so
+             the balancer reaps the wedged route, and move on *)
+          t.timed_out_requests <- t.timed_out_requests + 1;
+          close_conn t c;
+          false
+        end
+        else true
     | `Eof ->
         (* active sessions always have a request outstanding (the next
            line is sent as soon as a response arrives), so EOF here is a

@@ -45,11 +45,11 @@ let lb t = t.lb
 let ticks t = t.ticks
 let obs t = t.obs
 
-let attach_load ?(concurrency = 4) ?max_sessions t =
+let attach_load ?(concurrency = 4) ?max_sessions ?request_timeout t =
   let d =
     Driver.create ~net:(Lb.front t.lb) ~port:t.lb.Lb.port
       ~script:t.profile.Profile.pr_script ~ok:t.profile.Profile.pr_ok
-      ~concurrency ?max_sessions ()
+      ~concurrency ?max_sessions ?request_timeout ()
   in
   t.drivers <- t.drivers @ [ d ];
   d

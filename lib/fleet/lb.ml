@@ -301,9 +301,11 @@ let pump_route t ~tick (r : route) : bool (* keep? *) =
           bwd ()
       | `Eof ->
           (* backend hung up; a still-unanswered request means the
-             connection was dropped in flight *)
+             connection was dropped in flight — unless the client already
+             abandoned the route (request timeout on a lossy link), in
+             which case this EOF is just the echo of our own close *)
           r.rt_back_closed <- true;
-          if r.rt_outstanding > 0 then begin
+          if r.rt_outstanding > 0 && not r.rt_front_closed then begin
             t.dropped <- t.dropped + 1;
             obs_incr t "fleet.lb.dropped";
             obs_emit t "lb.drop"

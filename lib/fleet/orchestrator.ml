@@ -205,9 +205,8 @@ let create ?(mutate_spec = fun _id spec -> spec) ~params ~fleet ~to_version
     List.map
       (fun (i : Instance.t) ->
         let spec =
-          J.Spec.make
-            ~object_overrides:
-              (profile.Profile.pr_object_overrides ~to_version)
+          Jv_apps.Common.spec
+            ~overrides:(profile.Profile.pr_overrides ~to_version)
             ~version_tag:
               (Profile.version_tag ~from_version ~instance_id:i.Instance.i_id)
             ~old_program:i.Instance.i_program ~new_program ()

@@ -19,7 +19,7 @@ type t = {
   pr_ok : string -> bool; (* is this response healthy? *)
   pr_health_probe : string;
   pr_health_ok : string -> bool;
-  pr_object_overrides : to_version:string -> (string * string) list;
+  pr_overrides : to_version:string -> Apps.Common.overrides;
 }
 
 let miniweb =
@@ -31,7 +31,7 @@ let miniweb =
     pr_ok = Apps.Workload.web_ok;
     pr_health_probe = Apps.Miniweb.health_probe;
     pr_health_ok = Apps.Miniweb.health_ok;
-    pr_object_overrides = (fun ~to_version:_ -> []);
+    pr_overrides = (fun ~to_version:_ -> Apps.Common.no_overrides);
   }
 
 let minimail =
@@ -43,8 +43,7 @@ let minimail =
     pr_ok = Apps.Workload.default_ok;
     pr_health_probe = Apps.Minimail.health_probe;
     pr_health_ok = Apps.Minimail.health_ok;
-    pr_object_overrides =
-      (fun ~to_version -> Apps.Minimail.object_overrides ~to_version);
+    pr_overrides = (fun ~to_version -> Apps.Minimail.overrides ~to_version);
   }
 
 let miniftp =
@@ -56,10 +55,22 @@ let miniftp =
     pr_ok = Apps.Workload.default_ok;
     pr_health_probe = Apps.Miniftp.health_probe;
     pr_health_ok = Apps.Miniftp.health_ok;
-    pr_object_overrides = (fun ~to_version:_ -> []);
+    pr_overrides = (fun ~to_version:_ -> Apps.Common.no_overrides);
   }
 
-let all = [ miniweb; minimail; miniftp ]
+let ministore =
+  {
+    pr_name = "ministore";
+    pr_versioned = Apps.Ministore.app;
+    pr_port = Apps.Ministore.port;
+    pr_script = Apps.Workload.store_script;
+    pr_ok = Apps.Workload.store_ok;
+    pr_health_probe = Apps.Ministore.health_probe;
+    pr_health_ok = Apps.Ministore.health_ok;
+    pr_overrides = (fun ~to_version -> Apps.Ministore.overrides ~to_version);
+  }
+
+let all = [ miniweb; minimail; miniftp; ministore ]
 
 let by_name name =
   List.find_opt (fun p -> p.pr_name = name) all
@@ -74,6 +85,4 @@ let compile p ~version =
 (* Version tag for renamed old classes, per-instance so a fleet never
    collides: "514i3" = from-version 5.1.4 on instance 3. *)
 let version_tag ~from_version ~instance_id =
-  Printf.sprintf "%si%d"
-    (String.concat "" (String.split_on_char '.' from_version))
-    instance_id
+  Printf.sprintf "%si%d" (Apps.Common.version_tag from_version) instance_id

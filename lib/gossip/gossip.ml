@@ -218,9 +218,9 @@ let create ?chaos ?(params = default_params) ~fleet () =
                 Error "base version mismatch"
               else
                 Ok
-                  (J.Spec.make
-                     ~object_overrides:
-                       (profile.F.Profile.pr_object_overrides
+                  (Jv_apps.Common.spec
+                     ~overrides:
+                       (profile.F.Profile.pr_overrides
                           ~to_version:p.Mempool.p_to_version)
                      ~version_tag:
                        (F.Profile.version_tag

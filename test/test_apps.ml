@@ -4,7 +4,8 @@ module VM = Jv_vm
 module J = Jvolve_core
 module A = Jv_apps
 
-let all_apps = [ A.Miniweb.app; A.Minimail.app; A.Miniftp.app ]
+let all_apps =
+  [ A.Miniweb.app; A.Minimail.app; A.Miniftp.app; A.Ministore.app ]
 
 (* every version of every app compiles and verifies *)
 let all_versions_compile () =
@@ -26,7 +27,9 @@ let expected_version_counts () =
   Alcotest.(check int) "minimail versions" 10
     (List.length A.Minimail.app.A.Patching.versions);
   Alcotest.(check int) "miniftp versions" 4
-    (List.length A.Miniftp.app.A.Patching.versions)
+    (List.length A.Miniftp.app.A.Patching.versions);
+  Alcotest.(check int) "ministore versions" 4
+    (List.length A.Ministore.app.A.Patching.versions)
 
 (* boot each app's base version under load and watch sessions complete *)
 let serve_app desc port_script_count () =
@@ -54,6 +57,7 @@ let serve_app desc port_script_count () =
 let web_serves () = serve_app A.Experience.web_desc 5 ()
 let mail_serves () = serve_app A.Experience.mail_desc 5 ()
 let ftp_serves () = serve_app A.Experience.ftp_desc 5 ()
+let store_serves () = serve_app A.Experience.store_desc 5 ()
 
 (* the per-update outcomes the paper reports *)
 
@@ -178,7 +182,10 @@ let hotswap_counts () =
   Alcotest.(check int) "minimail body-only updates" 4
     (count A.Experience.mail_desc);
   Alcotest.(check int) "miniftp body-only updates" 0
-    (count A.Experience.ftp_desc)
+    (count A.Experience.ftp_desc);
+  (* every ministore rung is a schema migration *)
+  Alcotest.(check int) "ministore body-only updates" 0
+    (count A.Experience.store_desc)
 
 let suite =
   [
@@ -187,6 +194,7 @@ let suite =
     Alcotest.test_case "miniweb serves" `Quick web_serves;
     Alcotest.test_case "minimail serves" `Quick mail_serves;
     Alcotest.test_case "miniftp serves" `Quick ftp_serves;
+    Alcotest.test_case "ministore serves" `Quick store_serves;
     Alcotest.test_case "web 5.1.3 cannot reach safe point" `Slow web_513_fails;
     Alcotest.test_case "web 5.1.5 applies with OSR" `Quick
       web_515_applies_with_osr;

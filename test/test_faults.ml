@@ -29,9 +29,8 @@ let boot_loaded (d : A.Experience.app_desc) ~version =
   (vm, loads)
 
 let spec_of (d : A.Experience.app_desc) ~from_v ~to_v ~tag =
-  J.Spec.make
-    ~object_overrides:
-      (d.A.Experience.d_object_overrides ~to_version:to_v)
+  A.Common.spec
+    ~overrides:(d.A.Experience.d_overrides ~to_version:to_v)
     ~version_tag:tag
     ~old_program:
       (compile (A.Patching.source d.A.Experience.d_versioned ~version:from_v))

@@ -208,6 +208,46 @@ let test_health_probes_all_apps () =
           Alcotest.failf "%s: probe unhealthy: %s" profile.F.Profile.pr_name why)
     F.Profile.all
 
+(* --- lossy links must not wedge the closed-loop driver ------------------ *)
+
+(* With [net.link=drop] armed on the instance nets, a forwarded request
+   (or its response) silently vanishes on the LB-to-backend leg and the
+   closed-loop session awaiting it would otherwise hang forever — by the
+   time every conn slot has hit a lost line, the driver wedges at zero
+   progress and a chaos run never terminates.  The driver's request
+   timeout must keep recycling those sessions: progress in every window,
+   timeouts actually observed, and nothing leaked once the link heals. *)
+let test_driver_survives_lossy_links () =
+  let fleet =
+    F.Fleet.create ~config:fleet_config ~profile:F.Profile.miniweb
+      ~version:"5.1.1" ~size:3 ()
+  in
+  F.Fleet.run fleet ~rounds:30;
+  let d = F.Fleet.attach_load ~concurrency:6 ~request_timeout:40 fleet in
+  F.Fleet.run fleet ~rounds:60;
+  let chaos =
+    match Jv_faults.Faults.parse ~seed:7 "net.link=drop@0.15" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  F.Fleet.set_faults fleet (Some chaos);
+  let stalled = ref 0 in
+  for _ = 1 to 5 do
+    let before = d.F.Driver.completed_sessions in
+    F.Fleet.run fleet ~rounds:150;
+    if d.F.Driver.completed_sessions = before then incr stalled
+  done;
+  Alcotest.(check int) "sessions completed in every chaos window" 0 !stalled;
+  Alcotest.(check bool) "lost lines were timed out, not awaited forever" true
+    (d.F.Driver.timed_out_requests > 0);
+  (* fault-induced loss is not an update-window sever: the zero-drop SLO
+     counter stays untouched by the chaos *)
+  Alcotest.(check int) "no dropped in-flight connections" 0
+    (F.Fleet.dropped_in_flight fleet);
+  F.Fleet.set_faults fleet None;
+  F.Fleet.run fleet ~rounds:60;
+  check_no_leaked_conns fleet
+
 (* --- property: completed rollouts converge ----------------------------- *)
 
 (* Whatever the fleet size, policy and batching, a completed rolling
@@ -260,5 +300,7 @@ let suite =
       test_rollback_on_failed_health_check;
     Alcotest.test_case "health probes answer on every app" `Quick
       test_health_probes_all_apps;
+    Alcotest.test_case "lossy links do not wedge the driver" `Quick
+      test_driver_survives_lossy_links;
     QCheck_alcotest.to_alcotest prop_rollout_converges;
   ]

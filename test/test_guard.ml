@@ -325,9 +325,9 @@ let transcript ~updated (d, from_v, to_v) ~warm =
   VM.Vm.run vm ~rounds:warm;
   if updated then begin
     let spec =
-      J.Spec.make
-        ~object_overrides:(d.A.Experience.d_object_overrides ~to_version:to_v)
-        ~version_tag:(String.concat "" (String.split_on_char '.' from_v))
+      A.Common.spec
+        ~overrides:(d.A.Experience.d_overrides ~to_version:to_v)
+        ~version_tag:(A.Common.version_tag from_v)
         ~old_program:
           (Jv_lang.Compile.compile_program
              (A.Patching.source d.A.Experience.d_versioned ~version:from_v))
