@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke lazy-smoke clean
 
 all:
 	dune build @all
@@ -83,6 +83,16 @@ store-smoke:
 	grep -q "CONVERGED in" _build/store-smoke.out
 	grep -q "16 of 16 instances green" _build/store-smoke.out
 	grep -q "0 dropped in flight" _build/store-smoke.out
+
+# Lazy-update probe: under config.lazy_update the commit pause must not
+# scale with the heap — the 1M-record ministore migration must commit
+# within 2x the 10k-record pause (records migrate on first access and by
+# the background sweeper instead of inside the pause).
+lazy-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe -- store --lazy | tee _build/lazy-smoke.out
+	grep -q "lazy pause flat: PASS" _build/lazy-smoke.out
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe -- guard --lazy | tee _build/lazy-guard-smoke.out
+	grep -q "lazy pause flat: PASS" _build/lazy-guard-smoke.out
 
 clean:
 	dune clean

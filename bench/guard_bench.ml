@@ -198,6 +198,68 @@ let bad_update () =
     (w.A.Workload.errors - errors_at_revert);
   Printf.printf "    dropped connections: %d\n" w.A.Workload.dropped
 
+(* --- section 4 (--lazy): guarded lazy migration -------------------------- *)
+
+(* The guard window riding on a lazy update: commit is metadata-only (the
+   pause must not scale with the store), the watchdog trips while the
+   sweeper is mid-heap, and the revert first drains the residual
+   transforms, then replays the retained log inversely.  Store sizes
+   reuse the ministore fixture so the 1M-record point is buildable in
+   bench time. *)
+let run_lazy () =
+  Support.section
+    "GUARD --lazy: guarded lazy migration (commit pause, trip mid-sweep, \
+     revert over the half-transformed heap)";
+  Printf.printf "    %10s %12s %12s %10s\n" "records" "commit ms"
+    "revert ms" "outcome";
+  (* outcome "reverted*" = the sweeper had already drained the window
+     before the trip, so the revert was a plain eager log replay *)
+  let sizes =
+    if Support.quick then [ 2_000; 8_000 ] else [ 10_000; 1_000_000 ]
+  in
+  let pauses =
+    List.map
+      (fun n ->
+        let vm = Store_bench.boot_store ~lazy_mode:true ~words_per_rec:30 ~n () in
+        let guard = J.Guard.config ~budget:(lenient ~rounds:4000) () in
+        let h =
+          J.Jvolve.update_now ~timeout_rounds:400 ~guard vm
+            (Store_bench.spec_for ~from_version:"1.0" ~to_version:"1.1")
+        in
+        match h.J.Jvolve.h_outcome with
+        | J.Jvolve.Applied t ->
+            let commit_ms = t.J.Updater.u_total_ms in
+            (* a few rounds of sweeping, then trip mid-heap.  The wall
+               clock brackets the trip: the revert first force-drains the
+               residual transforms, then replays the retained log
+               inversely, and both phases bill to the revert *)
+            VM.Vm.run vm ~rounds:3;
+            let mid_sweep = vm.VM.State.lazy_info <> None in
+            let t0 = Unix.gettimeofday () in
+            J.Jvolve.force_trip vm h ~reason:"bench: revert mid-sweep";
+            let final = J.Jvolve.run_to_guard_close vm h in
+            let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            Printf.printf "    %10d %12.3f %12.1f %10s\n" n commit_ms
+              wall_ms
+              (match final with
+              | J.Jvolve.Reverted _ ->
+                  if mid_sweep then "reverted" else "reverted*"
+              | o -> J.Jvolve.outcome_to_string o);
+            commit_ms
+        | o ->
+            Printf.printf "    %10d !! did not apply: %s\n" n
+              (J.Jvolve.outcome_to_string o);
+            Float.infinity)
+      sizes
+  in
+  match pauses with
+  | [ small; large ] ->
+      let ratio = large /. Float.max 0.1 small in
+      Printf.printf "    lazy pause flat: %s (ratio %.2f <= 2)\n"
+        (if ratio <= 2.0 then "PASS" else "FAIL")
+        ratio
+  | _ -> ()
+
 let run () =
   revert_pause ();
   overhead ();

@@ -26,13 +26,18 @@
                                            # pause vs store size, guard
                                            # revert vs log size, gossip
                                            # rollout of a migration
+     dune exec bench/main.exe store --lazy # lazy-mode commit pause vs
+                                           # store size (must stay flat)
+     dune exec bench/main.exe guard --lazy # guarded lazy migration:
+                                           # commit pause + tripped revert
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|store|all]";
+     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|store|\
+     guard --lazy|store --lazy|all]";
   exit 1
 
 let run_one = function
@@ -79,6 +84,8 @@ let () =
   (match Array.to_list Sys.argv with
   | [ _ ] -> run_one "all"
   | [ _; "fleet"; "--gossip" ] -> run_one "gossip"
+  | [ _; "store"; "--lazy" ] -> Store_bench.run_lazy ()
+  | [ _; "guard"; "--lazy" ] -> Guard_bench.run_lazy ()
   | [ _; cmd ] -> run_one cmd
   | _ -> usage ());
   Printf.printf "\n[bench completed in %.1f s%s]\n"

@@ -64,6 +64,7 @@ let finish vm ~trace ~metrics ~verbose ~failed =
    schema migrations with custom forward and inverse transformers). *)
 let run_app_ladder ~app_name ~from_v ~to_v ~config ~plan ~guard
     ~timeout_rounds ~admit_strict ~trace ~metrics ~verbose =
+  let lazy_mode = config.VM.State.lazy_update in
   let d =
     match
       List.find_opt
@@ -139,6 +140,16 @@ let run_app_ladder ~app_name ~from_v ~to_v ~config ~plan ~guard
                   (J.Jvolve.outcome_to_string o))
           guard;
       VM.Vm.run vm ~rounds:80;
+      (match vm.VM.State.lazy_info with
+      | Some li ->
+          Printf.eprintf
+            "[jvolve]   lazy window open: %d object(s) migrated so far (%d \
+             by barrier, %d by sweeper)\n"
+            li.VM.State.li_transformed li.VM.State.li_barrier_hits
+            li.VM.State.li_swept
+      | None ->
+          if lazy_mode then
+            Printf.eprintf "[jvolve]   lazy window drained\n");
       (* collect first: the committed update's dropped log leaves
          superseded old copies in the heap until the next collection *)
       ignore (VM.Gc.collect vm : VM.Gc.result);
@@ -157,8 +168,8 @@ let run_app_ladder ~app_name ~from_v ~to_v ~config ~plan ~guard
 
 let run app from_v to_v path main_class rounds update_path at tag
     transformers_path timeout_rounds admit_strict verify_heap
-    transformer_fuel guard_rounds guard_budget no_guard faults fault_seed
-    trace metrics verbose =
+    transformer_fuel lazy_update lazy_sweep_budget guard_rounds guard_budget
+    no_guard faults fault_seed trace metrics verbose =
   try
     let plan =
       match faults with
@@ -191,6 +202,8 @@ let run app from_v to_v path main_class rounds update_path at tag
               A.Experience.default_config with
               VM.State.verify_heap;
               transformer_fuel;
+              lazy_update;
+              lazy_sweep_budget;
             }
           ~plan ~guard ~timeout_rounds ~admit_strict ~trace ~metrics ~verbose
     | None ->
@@ -203,7 +216,13 @@ let run app from_v to_v path main_class rounds update_path at tag
     in
     let old_program = Jv_lang.Compile.compile_program (read_file path) in
     let config =
-      { VM.State.default_config with VM.State.verify_heap; transformer_fuel }
+      {
+        VM.State.default_config with
+        VM.State.verify_heap;
+        transformer_fuel;
+        lazy_update;
+        lazy_sweep_budget;
+      }
     in
     let vm = VM.Vm.create ~config () in
     VM.Vm.set_faults vm plan;
@@ -317,6 +336,20 @@ let transformer_fuel =
                    a transformer that exceeds it traps and the update \
                    aborts.")
 
+let lazy_update =
+  Arg.(value & flag & info [ "lazy" ]
+         ~doc:"Commit updates lazily: the pause covers only metadata, \
+               statics and a heap-epoch flip.  Old-epoch objects are \
+               transformed on first access by a read barrier, and a \
+               background sweeper migrates a bounded number of objects \
+               per scheduler round until the heap converges.")
+
+let lazy_sweep_budget =
+  Arg.(value & opt int VM.State.default_config.VM.State.lazy_sweep_budget
+         & info [ "lazy-budget" ] ~docv:"N"
+             ~doc:"With --lazy: heap objects the background sweeper visits \
+                   per scheduler round.")
+
 let guard_rounds =
   Arg.(value & opt int J.Guard.default_budget.J.Guard.b_rounds
          & info [ "guard-rounds" ] ~docv:"N"
@@ -371,8 +404,8 @@ let cmd =
     Term.(
       const run $ app_arg $ from_v $ to_v $ path $ main_class $ rounds
       $ update_path $ at $ tag $ transformers_path $ timeout_rounds
-      $ admit_strict $ verify_heap $ transformer_fuel $ guard_rounds
-      $ guard_budget $ no_guard $ faults $ fault_seed $ trace $ metrics
-      $ verbose)
+      $ admit_strict $ verify_heap $ transformer_fuel $ lazy_update
+      $ lazy_sweep_budget $ guard_rounds $ guard_budget $ no_guard $ faults
+      $ fault_seed $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -276,6 +276,21 @@ and start_revert vm h v =
       ("version", Jv_obs.Obs.Str (version_tag h));
       ("signal", Jv_obs.Obs.Str (Guard.signal_to_string v.Guard.v_signal));
     ];
+  match vm.State.lazy_drain with
+  | Some drain when not (drain vm) ->
+      (* the guarded update committed lazily and a residual transformer
+         trapped during the forced drain: the window's own rollback just
+         restored the old version — that IS the revert *)
+      h.h_guard_busy <- false;
+      Txn.release_retained vm;
+      h.h_outcome <- Reverted v;
+      record_outcome vm h h.h_outcome
+  | _ -> start_revert_eager vm h v
+
+(* The inverse update needs every object on the new layout before its
+   transforming collection runs, so a still-draining lazy window is
+   forced to completion first (the [lazy_drain] branch above). *)
+and start_revert_eager vm h v =
   let inv_spec = Spec.inverse h.h_prepared.Transformers.p_spec in
   match Transformers.prepare inv_spec with
   | exception Transformers.Prepare_error msg ->

@@ -125,15 +125,25 @@ let commit_retaining vm txn ~update_log =
 
 (* Close the guard window: unroot the retained log and collect, so the
    old copies finally die and subsequent heap verifications see no
-   superseded objects at all. *)
+   superseded objects at all.
+
+   Lazy-aware: while a lazy update window is still draining, the
+   retained log IS the window's live update log — clearing the guard
+   publication must neither unroot it (residual transforms still append
+   to it and a late abort still replays it) nor collect (the sweeper
+   owns the window's lifecycle); the window's own finalize/rollback
+   releases the array. *)
 let release_retained vm =
   match vm.State.guard_retained with
   | None -> ()
-  | Some log ->
+  | Some log -> (
       vm.State.guard_retained <- None;
-      vm.State.extra_roots <-
-        List.filter (fun a -> a != log) vm.State.extra_roots;
-      ignore (Gc.collect vm)
+      match vm.State.lazy_info with
+      | Some li when li.State.li_log == log -> ()
+      | _ ->
+          vm.State.extra_roots <-
+            List.filter (fun a -> a != log) vm.State.extra_roots;
+          ignore (Gc.collect vm))
 
 (* Exact metadata restoration: truncate the appended ids, put back every
    saved mutable field, rebuild the name table. *)

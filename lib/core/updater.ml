@@ -356,8 +356,8 @@ let build_index ctx vm =
 let refresh_index ctx vm =
   if vm.State.heap.Heap.gc_count <> ctx.index_gc_count then build_index ctx vm
 
-let find_transformer_method ctx ~name ~params =
-  Array.to_seq ctx.transformer_rc.Rt.methods
+let find_transformer_method (transformer_rc : Rt.rt_class) ~name ~params =
+  Array.to_seq transformer_rc.Rt.methods
   |> Seq.find (fun (m : Rt.rt_method) ->
          String.equal m.Rt.m_name name
          && List.length m.Rt.m_sig.CF.Types.params = List.length params
@@ -383,7 +383,7 @@ let rec run_pair vm ctx i =
             let new_cls = Rt.class_by_id vm.State.reg new_cid in
             let old_cls = Rt.class_by_id vm.State.reg old_cid in
             match
-              find_transformer_method ctx ~name:"jvolveObject"
+              find_transformer_method ctx.transformer_rc ~name:"jvolveObject"
                 ~params:
                   [
                     CF.Types.TRef new_cls.Rt.name;
@@ -444,7 +444,7 @@ let run_class_transformers vm (spec : Spec.t) ctx =
   List.iter
     (fun cname ->
       match
-        find_transformer_method ctx ~name:"jvolveClass"
+        find_transformer_method ctx.transformer_rc ~name:"jvolveClass"
           ~params:[ CF.Types.TRef cname ]
       with
       | None -> uerr "no jvolveClass(%s) in transformer class" cname
@@ -548,6 +548,577 @@ let unload_transformer vm (rc : Rt.rt_class) =
       m.Rt.opt_code <- None)
     rc.Rt.methods
 
+(* --- the lazy update window ----------------------------------------------
+
+   With [config.lazy_update] the commit pause runs no transforming
+   collection at all: metadata is installed, statics carried, the heap
+   epoch is bumped, and the world resumes.  Old-epoch objects are then
+   transformed on first access — the interpreter's read barrier hands
+   every dereferenced reference slot to [transform_slot] — while the
+   scheduler's incremental sweeper drains the remainder a bounded number
+   of objects per round.
+
+   A transformed original is overwritten with a lazy-forward marker
+   ([Heap.make_lazy_fwd]) pointing at its new-layout replacement; its
+   verbatim pristine copy carries a copy tag ([Heap.make_copy_tag]) so
+   neither the barrier nor the sweeper touches it again, and the (copy,
+   replacement) pair goes into the window's update log — the same shape
+   the eager transforming collection produces, so [Txn.rollback] and the
+   guard window's inverse-update replay work unchanged.
+
+   The commit's [Txn] stays open for the life of the window.  It commits
+   when the last pending object has been transformed ([lazy_finalize]);
+   a residual transformer failure instead parks the faulting thread
+   (B_dsu) and the next scheduler round rolls the whole window back
+   ([lazy_rollback]). *)
+
+type lazy_via = L_barrier | L_sweep | L_force
+
+type lazy_ctx = {
+  lz_spec : Spec.t; (* for recomputing the restricted set at rollback *)
+  lz_txn : Txn.t; (* open until finalize or rollback *)
+  lz_transformer_rc : Rt.rt_class;
+  lz_method_cache : (int * int, Rt.rt_method) Hashtbl.t;
+  lz_carrier : State.vthread;
+  lz_sandbox : State.sandbox; (* active only around invocations *)
+  lz_scratch : int array; (* one rooted slot for sweeper/force targets *)
+  lz_info : State.lazy_info;
+  mutable lz_cursor : int; (* sweeper position in to-space *)
+  mutable lz_cursor_gc : int; (* gc_count the cursor belongs to *)
+  mutable lz_abort : (cause * string) option;
+  mutable lz_abort_attempts : int; (* rounds spent waiting to roll back *)
+}
+
+(* The window's log grows pair by pair (the eager path gets its size from
+   the collection up front).  The grown array replaces the old one both
+   as a GC root and, when a guard window already rides on this log, as
+   the retained publication. *)
+let lazy_log_append vm (ctx : lazy_ctx) ~old_copy ~new_addr =
+  let li = ctx.lz_info in
+  if li.State.li_log_len + 2 > Array.length li.State.li_log then begin
+    let a = Array.make (max 16 (2 * Array.length li.State.li_log)) 0 in
+    Array.blit li.State.li_log 0 a 0 li.State.li_log_len;
+    vm.State.extra_roots <-
+      a :: List.filter (fun x -> x != li.State.li_log) vm.State.extra_roots;
+    (match vm.State.guard_retained with
+    | Some g when g == li.State.li_log -> vm.State.guard_retained <- Some a
+    | _ -> ());
+    li.State.li_log <- a
+  end;
+  li.State.li_log.(li.State.li_log_len) <- Value.of_ref old_copy;
+  li.State.li_log.(li.State.li_log_len + 1) <- Value.of_ref new_addr;
+  li.State.li_log_len <- li.State.li_log_len + 2
+
+(* The carrier outlives the commit pause (transformers keep running at
+   barrier hits for the life of the window), and the scheduler reaps it
+   as done between invocations: re-register it so its frames are GC
+   roots while the transformer runs.  Recursive transforms arrive while
+   the carrier is mid-call and take a fresh temporary thread. *)
+let lazy_invoke vm (ctx : lazy_ctx) (m : Rt.rt_method) args =
+  if ctx.lz_carrier.State.frames = [] then begin
+    if not (List.memq ctx.lz_carrier vm.State.threads) then
+      vm.State.threads <- vm.State.threads @ [ ctx.lz_carrier ];
+    Interp.call_on vm ctx.lz_carrier m args
+  end
+  else Interp.call_sync vm m args
+
+(* Run jvolveObject(new, old) for one freshly made pair.  Unlike the
+   eager phase the sandbox is installed only for the duration of the
+   invocation — app code between barrier hits must not be fuel-charged
+   or write-guarded — and the allocation watermark is reset per call so
+   the transformer's own temporaries are writable. *)
+let lazy_run_transformer vm (ctx : lazy_ctx) ~new_addr ~old_copy =
+  let heap = vm.State.heap in
+  let new_cid = Heap.class_id heap new_addr in
+  let old_cid = Heap.class_id heap old_copy in
+  let m =
+    match Hashtbl.find_opt ctx.lz_method_cache (new_cid, old_cid) with
+    | Some m -> m
+    | None -> (
+        let new_cls = Rt.class_by_id vm.State.reg new_cid in
+        let old_cls = Rt.class_by_id vm.State.reg old_cid in
+        match
+          find_transformer_method ctx.lz_transformer_rc ~name:"jvolveObject"
+            ~params:
+              [ CF.Types.TRef new_cls.Rt.name; CF.Types.TRef old_cls.Rt.name ]
+        with
+        | Some m ->
+            Hashtbl.replace ctx.lz_method_cache (new_cid, old_cid) m;
+            m
+        | None ->
+            uerr "no jvolveObject(%s, %s) in transformer class"
+              new_cls.Rt.name old_cls.Rt.name)
+  in
+  let site =
+    {
+      ts_method = Rt.method_qname ctx.lz_transformer_rc m;
+      ts_class = (Rt.class_by_id vm.State.reg new_cid).Rt.name;
+      ts_object = new_addr;
+    }
+  in
+  let sb = ctx.lz_sandbox in
+  let saved_sandbox = vm.State.sandbox in
+  let saved_guard = sb.State.sb_guard in
+  let saved_wm = sb.State.sb_watermark in
+  let saved_wm_gc = sb.State.sb_watermark_gc in
+  vm.State.sandbox <- Some sb;
+  sb.State.sb_steps <- 0;
+  sb.State.sb_watermark <- heap.Heap.free;
+  sb.State.sb_watermark_gc <- heap.Heap.gc_count;
+  Fun.protect
+    ~finally:(fun () ->
+      vm.State.sandbox <- saved_sandbox;
+      sb.State.sb_guard <- saved_guard;
+      sb.State.sb_watermark <- saved_wm;
+      sb.State.sb_watermark_gc <- saved_wm_gc)
+    (fun () ->
+      try
+        consult_transformer_faults vm sb ~bad_target:(Some old_copy);
+        sb.State.sb_guard <- true;
+        ignore
+          (lazy_invoke vm ctx m [| Value.of_ref new_addr; Value.of_ref old_copy |])
+      with Interp.Sync_trap e | Interp.Trap e -> (
+        (* a nested transform aborted inside this invocation: the carrier
+           surfaced it as a generic blocked-call trap — keep the inner
+           typed cause instead *)
+        match ctx.lz_abort with
+        | Some (c, m') -> raise (Update_failure (c, m'))
+        | None -> fail_transformer vm site e))
+
+(* Transform the object referenced by [slots.(idx)] if it is still
+   pending, chase an already-installed marker, and rewrite the slot.
+   [slots] must be a GC root (an operand stack, the scratch root): the
+   transformer may allocate and collect. *)
+let transform_slot vm (ctx : lazy_ctx) ~via slots idx =
+  (match ctx.lz_abort with
+  | Some _ -> raise Interp.Lazy_abort
+  | None -> ());
+  let heap = vm.State.heap in
+  let li = ctx.lz_info in
+  let addr = Value.to_ref slots.(idx) in
+  let gcw = heap.Heap.space.(addr + Heap.off_gc) in
+  if Heap.is_lazy_fwd gcw then begin
+    let rec chase a =
+      let w = heap.Heap.space.(a + Heap.off_gc) in
+      if Heap.is_lazy_fwd w then chase (Heap.lazy_fwd_target w) else a
+    in
+    slots.(idx) <- Value.of_ref (chase (Heap.lazy_fwd_target gcw));
+    li.State.li_chases <- li.State.li_chases + 1
+  end
+  else if Heap.is_copy_tag gcw then () (* pristine update-log copy *)
+  else
+    let cid = heap.Heap.space.(addr + Heap.off_class) in
+    match Hashtbl.find_opt li.State.li_plan cid with
+    | None -> ()
+    | Some new_cid ->
+        let old_cls = Rt.class_by_id vm.State.reg cid in
+        let new_cls = Rt.class_by_id vm.State.reg new_cid in
+        let old_size =
+          if old_cls.Rt.is_array then
+            Heap.array_header_words
+            + heap.Heap.space.(addr + Heap.off_array_len)
+          else old_cls.Rt.size_words
+        in
+        (* both allocations must land without an intervening collection,
+           so the blit source cannot move between them *)
+        State.ensure_free vm (new_cls.Rt.size_words + old_size);
+        let addr = Value.to_ref slots.(idx) (* the GC may have moved it *) in
+        let old_tag = heap.Heap.space.(addr + Heap.off_gc) in
+        let new_addr = State.alloc_object vm new_cls in
+        let old_copy =
+          match Heap.alloc_raw heap ~nwords:old_size with
+          | Some a -> a
+          | None -> State.fatal "lazy transform: reserved space vanished"
+        in
+        Array.blit heap.Heap.space addr heap.Heap.space old_copy old_size;
+        heap.Heap.space.(old_copy + Heap.off_gc) <- Heap.make_copy_tag old_tag;
+        (* marker first: a re-entrant touch of the same object during its
+           own transformer (the cyclic case, fatal in the eager path)
+           chases the marker and reads the half-written replacement
+           instead of recursing *)
+        heap.Heap.space.(addr + Heap.off_gc) <- Heap.make_lazy_fwd new_addr;
+        lazy_log_append vm ctx ~old_copy ~new_addr;
+        State.sandbox_allow vm ctx.lz_sandbox new_addr;
+        slots.(idx) <- Value.of_ref new_addr;
+        li.State.li_transformed <- li.State.li_transformed + 1;
+        (match via with
+        | L_barrier ->
+            li.State.li_barrier_hits <- li.State.li_barrier_hits + 1
+        | L_sweep -> li.State.li_swept <- li.State.li_swept + 1
+        | L_force -> ());
+        let gc_before = heap.Heap.gc_count in
+        (try lazy_run_transformer vm ctx ~new_addr ~old_copy
+         with Update_failure (cause, msg) ->
+           (* undo the pair when nothing moved, so the failed transform
+              leaves no marker behind; after a collection the rollback's
+              redirect restores it from the copy instead *)
+           if heap.Heap.gc_count = gc_before then begin
+             heap.Heap.space.(addr + Heap.off_gc) <- old_tag;
+             li.State.li_log_len <- li.State.li_log_len - 2;
+             slots.(idx) <- Value.of_ref addr;
+             li.State.li_transformed <- li.State.li_transformed - 1;
+             match via with
+             | L_barrier ->
+                 li.State.li_barrier_hits <- li.State.li_barrier_hits - 1
+             | L_sweep -> li.State.li_swept <- li.State.li_swept - 1
+             | L_force -> ()
+           end;
+           if ctx.lz_abort = None then ctx.lz_abort <- Some (cause, msg);
+           Jv_obs.Obs.emit vm.State.obs ~scope:"core.lazy" "lazy.abort"
+             [ ("reason", Jv_obs.Obs.Str msg) ];
+           raise Interp.Lazy_abort)
+
+(* The read barrier (State.lazy_barrier).  Fast path: one gc-word load
+   and compare against the window's epoch.  Old-epoch objects of
+   unchanged classes are stamped current on first touch so they too take
+   the fast path from then on. *)
+let lazy_barrier_hook (ctx : lazy_ctx) vm slots idx =
+  let w = slots.(idx) in
+  if Value.is_ref w then begin
+    let heap = vm.State.heap in
+    let li = ctx.lz_info in
+    let addr = Value.to_ref w in
+    let gcw = heap.Heap.space.(addr + Heap.off_gc) in
+    if gcw = li.State.li_epoch then ()
+    else if
+      Heap.is_plain_tag gcw
+      && not
+           (Hashtbl.mem li.State.li_plan
+              heap.Heap.space.(addr + Heap.off_class))
+    then heap.Heap.space.(addr + Heap.off_gc) <- li.State.li_epoch
+    else transform_slot vm ctx ~via:L_barrier slots idx
+  end
+
+(* The Jvolve.transform native under an open window: force one object. *)
+let lazy_force vm (ctx : lazy_ctx) addr =
+  ctx.lz_scratch.(0) <- Value.of_ref addr;
+  Fun.protect
+    ~finally:(fun () -> ctx.lz_scratch.(0) <- 0)
+    (fun () -> transform_slot vm ctx ~via:L_force ctx.lz_scratch 0)
+
+(* One bounded sweep over to-space.  Returns true when the walk reached
+   the allocation frontier with no pending object left (and no abort and
+   no mid-pass collection): the window has drained. *)
+let sweep_pass vm (ctx : lazy_ctx) ~budget =
+  let heap = vm.State.heap in
+  let li = ctx.lz_info in
+  if ctx.lz_cursor_gc <> heap.Heap.gc_count then begin
+    (* a collection moved everything: restart the walk in new to-space *)
+    ctx.lz_cursor <- 1;
+    ctx.lz_cursor_gc <- heap.Heap.gc_count
+  end;
+  let budget = ref budget in
+  while
+    !budget > 0
+    && ctx.lz_cursor < heap.Heap.free
+    && ctx.lz_cursor_gc = heap.Heap.gc_count
+    && ctx.lz_abort = None
+  do
+    let addr = ctx.lz_cursor in
+    let cid = heap.Heap.space.(addr + Heap.off_class) in
+    let cls = Rt.class_by_id vm.State.reg cid in
+    let size =
+      if cls.Rt.is_array then
+        Heap.array_header_words + heap.Heap.space.(addr + Heap.off_array_len)
+      else cls.Rt.size_words
+    in
+    let gcw = heap.Heap.space.(addr + Heap.off_gc) in
+    if Heap.is_plain_tag gcw && Hashtbl.mem li.State.li_plan cid then begin
+      ctx.lz_scratch.(0) <- Value.of_ref addr;
+      (try transform_slot vm ctx ~via:L_sweep ctx.lz_scratch 0
+       with Interp.Lazy_abort -> ());
+      ctx.lz_scratch.(0) <- 0
+    end;
+    (* the budget bounds objects *visited*, not just transformed: each
+       round's sweep work stays O(budget) regardless of heap size *)
+    decr budget;
+    if ctx.lz_cursor_gc = heap.Heap.gc_count then ctx.lz_cursor <- addr + size
+  done;
+  ctx.lz_abort = None
+  && ctx.lz_cursor >= heap.Heap.free
+  && ctx.lz_cursor_gc = heap.Heap.gc_count
+
+(* Restore the plain epoch tag on every surviving update-log copy: after
+   a rollback the copies ARE the live objects again, and a later window
+   must not skip them as pristine copies. *)
+let scrub_copy_tags vm =
+  let heap = vm.State.heap in
+  let scan = ref 1 in
+  while !scan < heap.Heap.free do
+    let addr = !scan in
+    let cid = heap.Heap.space.(addr + Heap.off_class) in
+    let cls = Rt.class_by_id vm.State.reg cid in
+    let size =
+      if cls.Rt.is_array then
+        Heap.array_header_words + heap.Heap.space.(addr + Heap.off_array_len)
+      else cls.Rt.size_words
+    in
+    let gcw = heap.Heap.space.(addr + Heap.off_gc) in
+    if Heap.is_copy_tag gcw then
+      heap.Heap.space.(addr + Heap.off_gc) <- Heap.copy_tag_epoch gcw;
+    scan := addr + size
+  done
+
+(* Detach the window's hooks and per-window resources (shared by
+   finalize and rollback). *)
+let lazy_detach vm (ctx : lazy_ctx) =
+  vm.State.lazy_barrier <- None;
+  vm.State.lazy_sweep <- None;
+  vm.State.lazy_drain <- None;
+  vm.State.force_transform <- None;
+  State.sandbox_dispose vm ctx.lz_sandbox;
+  Interp.release_carrier vm ctx.lz_carrier;
+  vm.State.extra_roots <-
+    List.filter (fun a -> a != ctx.lz_scratch) vm.State.extra_roots
+
+(* Every pending object has been transformed: commit the transaction
+   that has been open since the pause.  When a guard window rides on the
+   log, hand it the trimmed array — the inverse-update replay iterates
+   the whole array, so the growth slack must go. *)
+let lazy_finalize vm (ctx : lazy_ctx) =
+  let li = ctx.lz_info in
+  lazy_detach vm ctx;
+  unload_transformer vm ctx.lz_transformer_rc;
+  let trimmed = Array.sub li.State.li_log 0 li.State.li_log_len in
+  (match vm.State.guard_retained with
+  | Some g when g == li.State.li_log ->
+      vm.State.extra_roots <-
+        trimmed
+        :: List.filter (fun a -> a != li.State.li_log) vm.State.extra_roots;
+      vm.State.guard_retained <- Some trimmed;
+      Txn.commit_retaining vm ctx.lz_txn ~update_log:trimmed
+  | _ ->
+      vm.State.extra_roots <-
+        List.filter (fun a -> a != li.State.li_log) vm.State.extra_roots;
+      Txn.commit vm ctx.lz_txn);
+  vm.State.lazy_info <- None;
+  (* every pending object is transformed, but interior pointers still
+     aiming at lazy-forward markers are only rewritten on dereference —
+     and the barrier is gone now.  One collection chases them all (the
+     GC does it at [forward] entry), after which the markers (and the
+     copies, unless a guard window retains the log) are garbage. *)
+  ignore (Gc.collect vm);
+  let obs = vm.State.obs in
+  Jv_obs.Obs.incr obs "core.lazy.drained";
+  Jv_obs.Obs.observe_int obs "core.lazy.transformed" li.State.li_transformed;
+  Jv_obs.Obs.emit obs ~scope:"core.lazy" "lazy.drained"
+    [
+      ("transformed", Jv_obs.Obs.Int li.State.li_transformed);
+      ("barrier_hits", Jv_obs.Obs.Int li.State.li_barrier_hits);
+      ("swept", Jv_obs.Obs.Int li.State.li_swept);
+      ("chases", Jv_obs.Obs.Int li.State.li_chases);
+    ]
+
+(* Copy same-named fields from each inverse pair's new-layout snapshot
+   into its zeroed old-layout replacement — the default inverse
+   transformation, applied to objects the app allocated as new-version
+   instances during the window (they are in no update log, so the
+   rollback's redirect cannot restore them). *)
+let lazy_untransform_defaults vm (inv_log : int array) =
+  let heap = vm.State.heap in
+  let reg = vm.State.reg in
+  for i = 0 to (Array.length inv_log / 2) - 1 do
+    let snap = Value.to_ref inv_log.(2 * i)
+    and restored = Value.to_ref inv_log.((2 * i) + 1) in
+    let new_cls = Rt.class_by_id reg (Heap.class_id heap snap) in
+    let old_cls = Rt.class_by_id reg (Heap.class_id heap restored) in
+    Array.iter
+      (fun (ofi : Rt.field_info) ->
+        Array.iter
+          (fun (nfi : Rt.field_info) ->
+            if
+              String.equal ofi.Rt.fi_name nfi.Rt.fi_name
+              && CF.Types.is_reference ofi.Rt.fi_ty
+                 = CF.Types.is_reference nfi.Rt.fi_ty
+            then
+              Heap.set heap ~addr:restored ~off:ofi.Rt.fi_offset
+                (Heap.get heap ~addr:snap ~off:nfi.Rt.fi_offset))
+          new_cls.Rt.instance_fields)
+      old_cls.Rt.instance_fields
+  done
+
+(* Roll the whole window back: the VM resumes on the old version as if
+   the update never committed.  Unlike the eager failure path the app
+   has been RUNNING on the new version, so this needs a DSU-grade sync:
+   the restricted set is recomputed against current (new) metadata — a
+   thread inside a changed method cannot survive the metadata swap — and
+   a blocked check parks behind return barriers and retries next round.
+   [force] overrides that after the retry budget is spent (counted as
+   unsafe frames).
+
+   Heap restoration runs as ONE collection doing double duty before the
+   metadata swap: the window log's redirects send every reference that
+   landed on a transformed replacement back to its pristine copy, and an
+   inverse transform plan (new cid -> old cid) replaces app-allocated
+   new-version instances with default-untransformed old-layout objects.
+   After the metadata swap a plain collection flushes the garbage this
+   left behind (its class ids dangle once the registry is truncated). *)
+let lazy_rollback vm (ctx : lazy_ctx) ~force : bool =
+  let _, reason =
+    match ctx.lz_abort with
+    | Some (c, r) -> (c, r)
+    | None -> (C_generic, "lazy window rollback")
+  in
+  let restricted = Safepoint.compute vm ctx.lz_spec in
+  match Safepoint.check vm restricted with
+  | Safepoint.Blocked stuck when not force ->
+      ignore (Safepoint.install_barriers stuck : int);
+      Safepoint.unpark_stuck stuck;
+      false
+  | res ->
+      let osr_frames, forced_through =
+        match res with
+        | Safepoint.Safe frames -> (frames, false)
+        | Safepoint.Blocked _ -> ([], true)
+      in
+      let li = ctx.lz_info in
+      let obs = vm.State.obs in
+      let t0 = now () in
+      lazy_detach vm ctx;
+      unload_transformer vm ctx.lz_transformer_rc;
+      (* the guard window (if any) rode on this log and dies with it *)
+      (match vm.State.guard_retained with
+      | Some g when g == li.State.li_log ->
+          vm.State.guard_retained <- None;
+          vm.State.guard_tick <- None
+      | _ -> ());
+      let trimmed = Array.sub li.State.li_log 0 li.State.li_log_len in
+      vm.State.extra_roots <-
+        List.filter (fun a -> a != li.State.li_log) vm.State.extra_roots;
+      vm.State.lazy_info <- None;
+      (* 1: the combined redirect + inverse-transform collection (still
+         on new metadata) *)
+      let redirect = Hashtbl.create (max 16 (Array.length trimmed)) in
+      for i = 0 to (Array.length trimmed / 2) - 1 do
+        Hashtbl.replace redirect
+          (Value.to_ref trimmed.((2 * i) + 1))
+          (Value.to_ref trimmed.(2 * i))
+      done;
+      let inv_plan = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun old_cid new_cid -> Hashtbl.replace inv_plan new_cid old_cid)
+        li.State.li_plan;
+      let invres = Gc.collect ~plan:inv_plan ~redirect vm in
+      lazy_untransform_defaults vm invres.Gc.update_log;
+      (* 2: the copies the redirect restored are live again *)
+      scrub_copy_tags vm;
+      (* 3: metadata + statics back to the snapshot (no heap pass: step 1
+         already did it) *)
+      let rolled_back, note =
+        match Txn.rollback vm ctx.lz_txn with
+        | () -> (
+            match Txn.audit vm ctx.lz_txn with
+            | Ok () -> (true, "")
+            | Error why -> (false, "; audit: " ^ why))
+        | exception ex ->
+            (false, "; rollback raised: " ^ Printexc.to_string ex)
+      in
+      (* 4: flush the inverse collection's own snapshots (their class ids
+         dangle now that the registry is truncated) *)
+      ignore (Gc.collect vm);
+      (* 5: lift stale-code frames onto the restored metadata *)
+      let osr_failures = ref 0 in
+      List.iter
+        (fun fr ->
+          try Osr.replace_frame vm fr
+          with Osr.Osr_failed _ -> incr osr_failures)
+        osr_frames;
+      Safepoint.clear_barriers vm;
+      Safepoint.release_parked vm;
+      if forced_through then
+        Jv_obs.Obs.incr obs "core.lazy.rollback_unsafe_frames";
+      let rolled_back, note =
+        if rolled_back && vm.State.config.verify_heap then begin
+          let rep = Jv_vm.Heapverify.run vm in
+          if rep.Jv_vm.Heapverify.hv_ok then (rolled_back, note)
+          else
+            ( false,
+              note
+              ^ Printf.sprintf "; post-rollback heap verify found %d issue(s)"
+                  rep.Jv_vm.Heapverify.hv_total_issues )
+        end
+        else (rolled_back, note)
+      in
+      let ms = (now () -. t0) *. 1000.0 in
+      Jv_obs.Obs.incr obs "core.lazy.rollbacks";
+      Jv_obs.Obs.observe obs "core.lazy.rollback_ms" ms;
+      Jv_obs.Obs.emit obs ~scope:"core.lazy" "lazy.rollback"
+        [
+          ("reason", Jv_obs.Obs.Str reason);
+          ("ok", Jv_obs.Obs.Str (string_of_bool rolled_back));
+          ("transformed", Jv_obs.Obs.Int li.State.li_transformed);
+          ("forced", Jv_obs.Obs.Str (string_of_bool forced_through));
+          ("osr_failures", Jv_obs.Obs.Int !osr_failures);
+          ("note", Jv_obs.Obs.Str note);
+          ("ms", Jv_obs.Obs.Float ms);
+        ];
+      true
+
+(* The per-round hook (State.lazy_sweep): roll back if aborting, else
+   sweep one budget's worth and finalize on completion. *)
+let lazy_round (ctx : lazy_ctx) vm =
+  match ctx.lz_abort with
+  | Some _ ->
+      ctx.lz_abort_attempts <- ctx.lz_abort_attempts + 1;
+      ignore
+        (lazy_rollback vm ctx ~force:(ctx.lz_abort_attempts > 200) : bool)
+  | None ->
+      let budget = max 1 vm.State.config.lazy_sweep_budget in
+      if sweep_pass vm ctx ~budget then lazy_finalize vm ctx
+
+(* Synchronous drain (State.lazy_drain): force every residual transform
+   now — a new update, or the guard's inverse update, needs the window
+   resolved before it can install metadata.  Returns false when a
+   residual transformer trapped and the window rolled back instead. *)
+let rec lazy_drain_now (ctx : lazy_ctx) vm =
+  if ctx.lz_abort <> None then begin
+    ignore (lazy_rollback vm ctx ~force:true : bool);
+    false
+  end
+  else if sweep_pass vm ctx ~budget:max_int then begin
+    lazy_finalize vm ctx;
+    true
+  end
+  else lazy_drain_now ctx vm
+
+(* Class transformers at a lazy commit: same contract as the eager phase
+   (fresh fuel, no write guard — statics reinitialization legitimately
+   reaches arbitrary objects), but run through [lazy_invoke] with the
+   barrier live, since they dereference old-epoch statics and force
+   transforms as they go (the paper's eager islands inside the lazy
+   window). *)
+let run_class_transformers_lazy vm (spec : Spec.t) (ctx : lazy_ctx) =
+  List.iter
+    (fun cname ->
+      match
+        find_transformer_method ctx.lz_transformer_rc ~name:"jvolveClass"
+          ~params:[ CF.Types.TRef cname ]
+      with
+      | None -> uerr "no jvolveClass(%s) in transformer class" cname
+      | Some m ->
+          let site =
+            {
+              ts_method = Rt.method_qname ctx.lz_transformer_rc m;
+              ts_class = cname;
+              ts_object = 0;
+            }
+          in
+          let sb = ctx.lz_sandbox in
+          let saved_sandbox = vm.State.sandbox in
+          vm.State.sandbox <- Some sb;
+          sb.State.sb_steps <- 0;
+          Fun.protect
+            ~finally:(fun () -> vm.State.sandbox <- saved_sandbox)
+            (fun () ->
+              try
+                consult_transformer_faults vm sb ~bad_target:None;
+                ignore (lazy_invoke vm ctx m [| Value.null |])
+              with Interp.Sync_trap e | Interp.Trap e -> (
+                match ctx.lz_abort with
+                | Some (c, m') -> raise (Update_failure (c, m'))
+                | None -> fail_transformer vm site e)))
+    spec.Spec.diff.Diff.class_updates_closure
+
 (* --- the driver ----------------------------------------------------------- *)
 
 (* What OSR mutates per frame, for restoration when a later frame's
@@ -590,7 +1161,17 @@ let restore_frame (fr : State.frame) s =
 let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
     ~(restricted : Safepoint.restricted)
     ~(osr_frames : State.frame list) : (timings, abort) result =
+  (* a still-draining lazy window from a previous update must resolve
+     before new metadata can install on top of it; proceed either way —
+     a drain-time rollback leaves the VM cleanly on the older version *)
+  (match vm.State.lazy_drain with
+  | Some drain -> ignore (drain vm : bool)
+  | None -> ());
   let spec = p.Transformers.p_spec in
+  (* a guard revert must be eager: the inverse replay reads restored
+     objects immediately after the transforming collection *)
+  let lazy_mode = vm.State.config.lazy_update && replay = None in
+  let lazy_ctx_r = ref None in
   let faults = vm.State.faults in
   let obs = vm.State.obs in
   let t0 = now () in
@@ -645,6 +1226,129 @@ let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
         | Some new_rc -> Hashtbl.replace plan old_rc.Rt.cid new_rc.Rt.cid
         | None -> () (* deleted classes: instances survive untransformed *))
       olds;
+    if lazy_mode then begin
+      (* lazy commit: no heap pass at all.  Bump the heap epoch, open the
+         window, install the read barrier; old-epoch objects transform on
+         first access and the scheduler's sweeper drains the rest. *)
+      vm.State.heap.Heap.epoch <- vm.State.heap.Heap.epoch + 1;
+      let li =
+        {
+          State.li_plan = plan;
+          li_epoch = vm.State.heap.Heap.epoch;
+          li_log = Array.make 16 0;
+          li_log_len = 0;
+          li_transformed = 0;
+          li_barrier_hits = 0;
+          li_swept = 0;
+          li_chases = 0;
+        }
+      in
+      vm.State.lazy_info <- Some li;
+      vm.State.extra_roots <- li.State.li_log :: vm.State.extra_roots;
+      let sb =
+        State.sandbox_create vm ~fuel:vm.State.config.transformer_fuel
+      in
+      (* the sandbox is installed only around transformer invocations —
+         the app code running between barrier hits is not fuel-charged *)
+      vm.State.sandbox <- None;
+      let scratch = Array.make 1 0 in
+      vm.State.extra_roots <- scratch :: vm.State.extra_roots;
+      let carrier = Interp.make_carrier vm in
+      (* idle between invocations: marked done so the scheduler never
+         slices it; [lazy_invoke] re-registers it per call *)
+      carrier.State.tstate <- State.T_done;
+      let lctx =
+        {
+          lz_spec = spec;
+          lz_txn = txn;
+          lz_transformer_rc = transformer_rc;
+          lz_method_cache = Hashtbl.create 8;
+          lz_carrier = carrier;
+          lz_sandbox = sb;
+          lz_scratch = scratch;
+          lz_info = li;
+          lz_cursor = 1;
+          lz_cursor_gc = vm.State.heap.Heap.gc_count;
+          lz_abort = None;
+          lz_abort_attempts = 0;
+        }
+      in
+      lazy_ctx_r := Some lctx;
+      vm.State.lazy_barrier <- Some (lazy_barrier_hook lctx);
+      vm.State.force_transform <-
+        Some (fun vm addr -> lazy_force vm lctx addr);
+      let t_gc = now () in
+      Jv_obs.Obs.emit obs ~scope:"core.update" "phase.gc.done"
+        [
+          ("ms", Jv_obs.Obs.Float ((t_gc -. t_load) *. 1000.0));
+          ("transformed", Jv_obs.Obs.Int 0);
+          ("copied", Jv_obs.Obs.Int 0);
+          ("lazy", Jv_obs.Obs.Str "true");
+        ];
+      (* 6: class transformers only — they run eagerly even in a lazy
+         update (statics must be coherent when the world resumes),
+         forcing through the barrier whatever objects they touch *)
+      phase := P_transform;
+      Faults.point faults "updater.transform";
+      run_class_transformers_lazy vm spec lctx;
+      let t_transform = now () in
+      Jv_obs.Obs.emit obs ~scope:"core.update" "phase.transform.done"
+        [
+          ("ms", Jv_obs.Obs.Float ((t_transform -. t_gc) *. 1000.0));
+          ("pairs", Jv_obs.Obs.Int (li.State.li_log_len / 2));
+          ("steps", Jv_obs.Obs.Int sb.State.sb_total_steps);
+        ];
+      if vm.State.config.verify_heap then begin
+        phase := P_verify;
+        let old_copies = Hashtbl.create 16 in
+        for i = 0 to (li.State.li_log_len / 2) - 1 do
+          Hashtbl.replace old_copies (Value.to_ref li.State.li_log.(2 * i)) ()
+        done;
+        let rep =
+          Jv_vm.Heapverify.run ~stale_ok:(Hashtbl.mem old_copies) vm
+        in
+        Jv_obs.Obs.emit obs ~scope:"core.update" "phase.verify.done"
+          [
+            ("ms", Jv_obs.Obs.Float rep.Jv_vm.Heapverify.hv_ms);
+            ("objects", Jv_obs.Obs.Int rep.Jv_vm.Heapverify.hv_objects);
+            ("issues", Jv_obs.Obs.Int rep.Jv_vm.Heapverify.hv_total_issues);
+          ];
+        if not rep.Jv_vm.Heapverify.hv_ok then begin
+          let msgs =
+            List.map Jv_vm.Heapverify.issue_to_string
+              rep.Jv_vm.Heapverify.hv_issues
+          in
+          raise
+            (Update_failure
+               ( C_heap_verify msgs,
+                 Printf.sprintf "heap verify found %d issue(s): %s"
+                   rep.Jv_vm.Heapverify.hv_total_issues
+                   (match msgs with m :: _ -> m | [] -> "?") ))
+        end
+      end;
+      let t_verify = now () in
+      phase := P_osr;
+      frame_snaps := List.map snap_frame osr_frames;
+      Faults.point faults "updater.osr";
+      List.iter
+        (fun fr ->
+          try Osr.replace_frame vm fr
+          with Osr.Osr_failed e -> uerr "OSR failed: %s" e)
+        osr_frames;
+      let t_end = now () in
+      {
+        u_load_ms = ((t_load -. t0) +. (t_end -. t_verify)) *. 1000.0;
+        u_gc_ms = (t_gc -. t_load) *. 1000.0;
+        u_transform_ms = (t_transform -. t_gc) *. 1000.0;
+        u_verify_ms = (t_verify -. t_transform) *. 1000.0;
+        u_total_ms = (t_end -. t0) *. 1000.0;
+        u_osr = List.length osr_frames;
+        u_invalidated_methods = invalidated;
+        u_transformed_objects = li.State.li_transformed;
+        u_copied_objects = 0;
+      }
+    end
+    else begin
     let gcres = Gc.collect ~plan vm in
     update_log := gcres.Gc.update_log;
     let t_gc = now () in
@@ -777,11 +1481,23 @@ let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
       u_transformed_objects = gcres.Gc.transformed_objects;
       u_copied_objects = gcres.Gc.copied_objects;
     }
+    end
   in
   match run () with
   | timings ->
-      if retain_log then Txn.commit_retaining vm txn ~update_log:!update_log
-      else Txn.commit vm txn;
+      (match !lazy_ctx_r with
+      | Some lctx ->
+          (* the window stays open (and the txn with it): the scheduler
+             sweeps it and finalize/rollback closes it *)
+          vm.State.lazy_sweep <- Some (lazy_round lctx);
+          vm.State.lazy_drain <- Some (lazy_drain_now lctx);
+          if retain_log then
+            vm.State.guard_retained <- Some lctx.lz_info.State.li_log;
+          Jv_obs.Obs.emit obs ~scope:"core.lazy" "lazy.window.open"
+            [ ("epoch", Jv_obs.Obs.Int lctx.lz_info.State.li_epoch) ]
+      | None ->
+          if retain_log then Txn.commit_retaining vm txn ~update_log:!update_log
+          else Txn.commit vm txn);
       Ok timings
   | exception e ->
       let reason, cause, killed_at =
@@ -801,6 +1517,18 @@ let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
             raise e
       in
       let rt0 = now () in
+      (* a lazy commit that failed before opening the window: the world
+         never resumed, so the pairs made so far roll back exactly like
+         an eager log — detach the half-built window first *)
+      (match !lazy_ctx_r with
+      | Some lctx ->
+          let li = lctx.lz_info in
+          lazy_detach vm lctx;
+          update_log := Array.sub li.State.li_log 0 li.State.li_log_len;
+          vm.State.extra_roots <-
+            List.filter (fun a -> a != li.State.li_log) vm.State.extra_roots;
+          vm.State.lazy_info <- None
+      | None -> ());
       (* with [retain_log], the log stayed rooted past the transform phase;
          a verify/OSR failure must unroot it before the rollback's redirect
          collection, or the redirect would rewrite the log's own slots *)
@@ -819,6 +1547,11 @@ let apply ?(retain_log = false) ?replay vm (p : Transformers.prepared)
         | exception ex ->
             (false, "; rollback raised: " ^ Printexc.to_string ex)
       in
+      (* the redirect collection restored lazy pairs from their pristine
+         copies, which still carry copy tags: make them plain live
+         objects again or a later window would skip them *)
+      if !lazy_ctx_r <> None && rolled_back && Array.length !update_log > 0
+      then scrub_copy_tags vm;
       (* Re-verify the restored heap: a rollback that leaves ill-typed
          references standing is no rollback at all — reporting it as
          unreliable is what routes the instance into the orchestrator's

@@ -71,6 +71,15 @@ let collect ?plan ?redirect (vm : State.t) : result =
     in
     let gcw = from.(addr + Heap.off_gc) in
     if gcw < 0 then -(gcw + 1) (* already forwarded *)
+    else if Heap.is_lazy_fwd gcw then begin
+      (* lazily transformed original: every surviving reference lands on
+         its new-layout replacement.  [forward] (not a raw chase) so a
+         rollback's redirect applies at the hop, and memoized so the
+         marker behaves like an ordinary forwarding pointer from here. *)
+      let target = forward (Heap.lazy_fwd_target gcw) in
+      from.(addr + Heap.off_gc) <- -(target + 1);
+      target
+    end
     else begin
       let cid = from.(addr + Heap.off_class) in
       let cls = Rt.class_by_id vm.State.reg cid in
@@ -88,10 +97,12 @@ let collect ?plan ?redirect (vm : State.t) : result =
           let new_cls = Rt.class_by_id vm.State.reg new_cid in
           let new_addr = bump new_cls.Rt.size_words in
           (space ()).(new_addr + Heap.off_class) <- new_cid;
-          (* fields stay zero until the transformer runs *)
+          (* fields stay zero until the transformer runs; the new object
+             carries the current heap epoch tag *)
+          (space ()).(new_addr + Heap.off_gc) <- heap.Heap.epoch;
           let old_copy = bump size in
           Array.blit from addr (space ()) old_copy size;
-          (space ()).(old_copy + Heap.off_gc) <- 0;
+          (* the blit carried the original's epoch tag into the copy *)
           from.(addr + Heap.off_gc) <- -(new_addr + 1);
           incr transformed;
           incr copied;
@@ -100,7 +111,10 @@ let collect ?plan ?redirect (vm : State.t) : result =
       | None ->
           let new_addr = bump size in
           Array.blit from addr (space ()) new_addr size;
-          (space ()).(new_addr + Heap.off_gc) <- 0;
+          (* preserve the gc word: the epoch tag, and the copy marker on
+             retained update-log copies (the blit already carried it; the
+             explicit store documents that nothing is cleared) *)
+          (space ()).(new_addr + Heap.off_gc) <- gcw;
           from.(addr + Heap.off_gc) <- -(new_addr + 1);
           incr copied;
           new_addr

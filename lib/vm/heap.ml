@@ -7,10 +7,22 @@
      scalar object:  [class id | gc word | field 0 | field 1 | ...]
      array:          [class id | gc word | length  | elem 0  | ...]
 
-   The gc word is 0 in a live object; during collection the from-space
-   original's gc word holds [-(new_addr + 1)] once the object has been
-   forwarded.  Addresses start at 1 so that address 0 can never be handed
-   out (0 encodes null). *)
+   The gc word doubles as the epoch tag.  Encodings, all disjoint:
+
+     gcw < 0                          collection-time forwarding pointer,
+                                      [-(new_addr + 1)]
+     0 <= gcw < lazy_fwd_flag         live object, epoch tag (0 until the
+                                      first lazy update commits)
+     lazy_fwd_flag <= gcw < copy_flag lazily-forwarded original: the object
+                                      was transformed on first access and
+                                      [gcw - lazy_fwd_flag] is the address
+                                      of its new-layout replacement
+     copy_flag <= gcw                 pristine pre-update copy retained in
+                                      the update log (must never be
+                                      re-transformed or swept)
+
+   Addresses start at 1 so that address 0 can never be handed out (0
+   encodes null). *)
 
 let header_words = 2
 let array_header_words = 3 (* class id, gc word, length *)
@@ -19,6 +31,19 @@ let off_class = 0
 let off_gc = 1
 let off_array_len = 2
 
+(* Epoch tags and heap addresses are both far below 2^40, so the flag
+   ranges cannot collide with either. *)
+let lazy_fwd_flag = 1 lsl 40
+let copy_flag = 1 lsl 41
+
+let is_plain_tag gcw = gcw >= 0 && gcw < lazy_fwd_flag
+let is_lazy_fwd gcw = gcw >= lazy_fwd_flag && gcw < copy_flag
+let lazy_fwd_target gcw = gcw - lazy_fwd_flag
+let make_lazy_fwd addr = lazy_fwd_flag + addr
+let is_copy_tag gcw = gcw >= copy_flag
+let copy_tag_epoch gcw = gcw - copy_flag
+let make_copy_tag epoch = copy_flag + epoch
+
 type t = {
   mutable space : int array; (* active (to-)space *)
   mutable other : int array; (* idle (from-)space after a flip *)
@@ -26,6 +51,9 @@ type t = {
   size_words : int; (* per semi-space *)
   mutable gc_count : int;
   mutable allocations : int; (* objects allocated since creation *)
+  mutable epoch : int;
+      (* current heap epoch: stamped into the gc word of fresh
+         allocations once nonzero (bumped by each lazy update commit) *)
 }
 
 let create ~words =
@@ -37,6 +65,7 @@ let create ~words =
     size_words = words;
     gc_count = 0;
     allocations = 0;
+    epoch = 0;
   }
 
 let words_free h = h.size_words - h.free

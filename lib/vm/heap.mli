@@ -6,15 +6,29 @@
       scalar object:  [class id | gc word | field 0 | field 1 | ...]
       array:          [class id | gc word | length  | elem 0  | ...]
     v}
-    The gc word is 0 in a live object; during collection the from-space
-    original holds [-(new_addr + 1)] once forwarded.  Addresses start
-    at 1 (0 encodes null). *)
+    The gc word doubles as the epoch tag: negative values are
+    collection-time forwarding pointers ([-(new_addr + 1)]); small
+    non-negative values are the live object's epoch tag;
+    [lazy_fwd_flag]-range values mark lazily-forwarded originals whose
+    replacement lives at [lazy_fwd_target gcw]; [copy_flag]-range values
+    mark pristine pre-update copies retained in an update log.
+    Addresses start at 1 (0 encodes null). *)
 
 val header_words : int
 val array_header_words : int
 val off_class : int
 val off_gc : int
 val off_array_len : int
+
+val lazy_fwd_flag : int
+val copy_flag : int
+val is_plain_tag : int -> bool
+val is_lazy_fwd : int -> bool
+val lazy_fwd_target : int -> int
+val make_lazy_fwd : int -> int
+val is_copy_tag : int -> bool
+val copy_tag_epoch : int -> int
+val make_copy_tag : int -> int
 
 type t = {
   mutable space : int array;  (** active (to-)space *)
@@ -23,6 +37,9 @@ type t = {
   size_words : int;  (** per semi-space *)
   mutable gc_count : int;
   mutable allocations : int;
+  mutable epoch : int;
+      (** stamped into fresh allocations' gc words once nonzero; bumped
+          by each lazy update commit *)
 }
 
 val create : words:int -> t

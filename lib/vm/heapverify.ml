@@ -24,9 +24,22 @@
    classes, the unloaded transformer class) are tolerated: their
    surviving instances are legal, if unusual, post-update state.
 
-   The verifier only reads; it allocates nothing and never collects, so
-   it can run between an update's transform phase and its commit, and
-   again after a rollback. *)
+   While a lazy update window is open ([State.lazy_info]) the heap is
+   legitimately mixed-epoch: instances of the classes in the window's
+   plan are still awaiting transformation, so both they and references
+   to them are allowed (and exempt from the declared-type check — their
+   layout is the old version's until the barrier or sweeper gets to
+   them).  The allowance is keyed by class id, not address, so it needs
+   no walk of its own.
+
+   The verifier's checking passes only read; but when every issue found
+   is an instance of a superseded class that nothing references — the
+   signature of stale update-log copies lingering as garbage after an
+   unguarded commit, which no collection has erased yet — [run] collects
+   once and re-verifies instead of reporting a false failure
+   ([hv_collected] records that it did).  Callers that verify
+   mid-update pass [stale_ok] and are never collected under; open guard
+   or lazy windows also suppress it. *)
 
 module CF = Jv_classfile
 
@@ -40,6 +53,7 @@ type report = {
   hv_issues : issue list; (* first [max_issues] only *)
   hv_total_issues : int;
   hv_ms : float;
+  hv_collected : bool; (* a stale-copy collection ran before the verdict *)
 }
 
 let max_issues = 16
@@ -67,19 +81,18 @@ let default_guard_pending (vm : State.t) =
       done;
       Hashtbl.mem olds
 
-let run ?(stale_ok = fun (_ : int) -> false) ?guard_pending (vm : State.t) :
-    report =
+(* One full verification pass.  Returns the report plus the number of
+   issues that were unreferenced superseded instances — the only kind a
+   plain collection can erase. *)
+let run_once ~stale_ok ~guard_pending ~lazy_pending (vm : State.t) :
+    report * int =
   let t0 = Unix.gettimeofday () in
-  let guard_pending =
-    match guard_pending with
-    | Some f -> f
-    | None -> default_guard_pending vm
-  in
   let stale_ok a = stale_ok a || guard_pending a in
   let heap = vm.State.heap in
   let reg = vm.State.reg in
   let issues = ref [] in
   let n_issues = ref 0 in
+  let n_stale_instances = ref 0 in
   let objects = ref 0 in
   let refs = ref 0 in
   let statics = ref 0 in
@@ -170,7 +183,9 @@ let run ?(stale_ok = fun (_ : int) -> false) ?guard_pending (vm : State.t) :
             what ta
       | Some tcid ->
           let tcls = reg.Rt.classes.(tcid) in
-          if superseded.(tcid) && not (stale_ok ta) then
+          if lazy_pending tcid then
+            () (* awaiting lazy transformation: old layout, old type *)
+          else if superseded.(tcid) && not (stale_ok ta) then
             flag home home_cls
               "%s reaches superseded object %s@%d outside the update log"
               what tcls.Rt.name ta
@@ -199,9 +214,12 @@ let run ?(stale_ok = fun (_ : int) -> false) ?guard_pending (vm : State.t) :
     Hashtbl.iter
       (fun addr cid ->
         let cls = reg.Rt.classes.(cid) in
-        if superseded.(cid) && not (stale_ok addr) then
+        if superseded.(cid) && (not (lazy_pending cid)) && not (stale_ok addr)
+        then begin
+          incr n_stale_instances;
           flag addr cls.Rt.name
-            "instance of superseded class outside the update log";
+            "instance of superseded class outside the update log"
+        end;
         if cls.Rt.is_array then begin
           let len = Heap.array_length heap addr in
           for i = 0 to len - 1 do
@@ -251,12 +269,46 @@ let run ?(stale_ok = fun (_ : int) -> false) ?guard_pending (vm : State.t) :
             | i :: _ -> issue_to_string i
             | [] -> "") );
       ];
-  {
-    hv_ok = !n_issues = 0;
-    hv_objects = !objects;
-    hv_refs = !refs;
-    hv_statics = !statics;
-    hv_issues = List.rev !issues;
-    hv_total_issues = !n_issues;
-    hv_ms = ms;
-  }
+  ( {
+      hv_ok = !n_issues = 0;
+      hv_objects = !objects;
+      hv_refs = !refs;
+      hv_statics = !statics;
+      hv_issues = List.rev !issues;
+      hv_total_issues = !n_issues;
+      hv_ms = ms;
+      hv_collected = false;
+    },
+    !n_stale_instances )
+
+let run ?stale_ok ?guard_pending ?(collect_stale = true) (vm : State.t) :
+    report =
+  let explicit_stale = stale_ok <> None in
+  let stale_ok =
+    match stale_ok with Some f -> f | None -> fun (_ : int) -> false
+  in
+  let guard_pending =
+    match guard_pending with
+    | Some f -> f
+    | None -> default_guard_pending vm
+  in
+  let lazy_pending =
+    match vm.State.lazy_info with
+    | None -> fun (_ : int) -> false
+    | Some li -> fun cid -> Hashtbl.mem li.State.li_plan cid
+  in
+  let rep, n_stale = run_once ~stale_ok ~guard_pending ~lazy_pending vm in
+  if
+    rep.hv_ok || (not collect_stale) || explicit_stale
+    || vm.State.guard_retained <> None
+    || vm.State.lazy_info <> None
+    || n_stale <> rep.hv_total_issues
+  then rep
+  else begin
+    (* every issue is an unreferenced stale copy: garbage a collection
+       erases, not corruption — collect once and take the second verdict *)
+    ignore (Gc.collect vm);
+    Jv_obs.Obs.incr vm.State.obs "vm.heapverify.stale_collections";
+    let rep, _ = run_once ~stale_ok ~guard_pending ~lazy_pending vm in
+    { rep with hv_collected = true }
+  end

@@ -41,6 +41,26 @@ let deref_check_slot vm (fr : State.frame) idx =
             | None -> ())
   end
 
+(* Raised by the lazy-update read barrier when the window is aborting (a
+   residual transformer trapped): the current instruction has not
+   executed, so the thread parks at its safe point and re-executes it
+   once the window's rollback has restored the old version. *)
+exception Lazy_abort
+
+(* Lazy-update read barrier.  While a lazy update window is open every
+   dereference site consults the hook, which chases lazy-forward markers
+   and transforms still-pending old-epoch objects on first access,
+   rewriting the operand-stack slot in place (the slot stays a GC root
+   while the transformer allocates).  With no window open the cost is a
+   single [None] check — steady state still pays no per-dereference tax,
+   unlike the JDrums-style [indirection_mode] baseline above. *)
+let lazy_check_slot vm (fr : State.frame) idx =
+  match vm.State.lazy_barrier with
+  | None -> ()
+  | Some hook ->
+      if idx >= 0 && Value.is_ref fr.State.ostack.(idx) then
+        hook vm fr.State.ostack idx
+
 let ref_addr what w =
   if Value.is_null w then trap "null dereference in %s" what
   else Value.to_ref w
@@ -236,6 +256,11 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                State.push_op fr (Value.of_bool (not a));
                next ()
            | M_acmp eq ->
+               (* identity compares must see through lazy-forward
+                  markers, or an original and its replacement would
+                  compare unequal mid-window *)
+               lazy_check_slot vm fr (fr.State.sp - 1);
+               lazy_check_slot vm fr (fr.State.sp - 2);
                let b = State.pop_op fr in
                let a = State.pop_op fr in
                State.push_op fr (Value.of_bool (if eq then a = b else a <> b));
@@ -249,11 +274,13 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
            | M_goto target -> fr.State.pc <- target
            | M_getfield off ->
                deref_check_slot vm fr (fr.State.sp - 1);
+               lazy_check_slot vm fr (fr.State.sp - 1);
                let addr = ref_addr "getfield" (State.pop_op fr) in
                State.push_op fr (Heap.get heap ~addr ~off);
                next ()
            | M_putfield off ->
                deref_check_slot vm fr (fr.State.sp - 2);
+               lazy_check_slot vm fr (fr.State.sp - 2);
                let v = State.pop_op fr in
                let addr = ref_addr "putfield" (State.pop_op fr) in
                guard_write vm ~addr ~what:"putfield";
@@ -269,6 +296,7 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                let recv_idx = fr.State.sp - argc in
                if recv_idx < 0 then trap "operand stack underflow at call";
                deref_check_slot vm fr recv_idx;
+               lazy_check_slot vm fr recv_idx;
                let addr = ref_addr "virtual call" fr.State.ostack.(recv_idx) in
                let cls = Rt.class_by_id reg (Heap.class_id heap addr) in
                if slot >= Array.length cls.Rt.tib then
@@ -325,6 +353,10 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                State.push_op fr (Value.of_int (Heap.array_length heap addr));
                next ()
            | M_checkcast cid ->
+               (* the class-id read below must see the current-epoch
+                  object, or a pending old-epoch instance would fail a
+                  cast its replacement passes *)
+               lazy_check_slot vm fr (fr.State.sp - 1);
                let w = State.pop_op fr in
                if Value.is_null w then State.push_op fr w
                else begin
@@ -338,6 +370,7 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                end;
                next ()
            | M_instanceof cid ->
+               lazy_check_slot vm fr (fr.State.sp - 1);
                let w = State.pop_op fr in
                let r =
                  (not (Value.is_null w))
@@ -373,6 +406,12 @@ let run_slice vm (t : State.vthread) ~fuel : slice_end =
                if !fuel <= 0 then result := Some S_parked)
      done
    with
+  | Lazy_abort ->
+      (* the lazy update window is rolling back: the instruction whose
+         barrier raised has not executed, so the thread parks at its
+         safe point and re-executes it on the restored old version *)
+      t.State.tstate <- State.T_blocked State.B_dsu;
+      result := Some S_blocked
   | Trap msg ->
       t.State.tstate <- State.T_trapped msg;
       State.record_trap vm t msg;

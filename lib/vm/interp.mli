@@ -7,6 +7,12 @@ exception Trap of string
 (** Runtime faults (null dereference, division by zero, bounds, failed
     casts, Sys.fail) are terminal per-thread, never per-VM. *)
 
+exception Lazy_abort
+(** Raised by the lazy-update read barrier when the open window is
+    aborting: the current instruction has not executed, so [run_slice]
+    parks the thread at its safe point to re-execute it once the
+    window's rollback has restored the old version. *)
+
 type slice_end = S_parked | S_blocked | S_finished | S_trapped of string
 
 val run_slice : State.t -> State.vthread -> fuel:int -> slice_end

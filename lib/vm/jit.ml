@@ -12,7 +12,17 @@
    (transitively, up to a depth budget).  Inlined regions map back to the
    call-site bytecode pc and are recorded in [compiled.inlined] so the DSU
    safe-point analysis can restrict inline *callers* of restricted methods
-   (paper §3.2). *)
+   (paper §3.2).
+
+   Lazy updates: the read barrier lives at the dereference *machine
+   instructions* (M_getfield/M_putfield/M_invokevirtual/M_checkcast/
+   M_instanceof/M_acmp in [Interp]), and both compilers emit exactly
+   those instructions for every dereference — inlining rewrites call
+   structure, never field access — so base and opt code participate in
+   the barrier identically and no compiled path can reach an old-epoch
+   object's fields around it.  Offsets baked into compiled code are
+   always current-epoch: an update invalidates every method whose
+   resolved offsets it stales before any new-epoch code runs. *)
 
 module CF = Jv_classfile
 open Machine

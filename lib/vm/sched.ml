@@ -63,6 +63,9 @@ let round vm =
     runnable;
   (* all threads parked at safe points: attempt any pending update *)
   (match vm.State.dsu_attempt with Some f -> f vm | None -> ());
+  (* an open lazy update window sweeps a bounded number of pending
+     objects per round (and drives its own rollback when aborting) *)
+  (match vm.State.lazy_sweep with Some f -> f vm | None -> ());
   (* the post-commit guard watchdog ticks once per round, after the
      slices it is judging (and after any revert the DSU hook ran) *)
   (match vm.State.guard_tick with Some f -> f vm | None -> ());
@@ -81,6 +84,7 @@ let progress_possible vm =
   vm.State.killed = None
   && (vm.State.dsu_attempt <> None
   || vm.State.guard_tick <> None (* an open guard window still needs rounds *)
+  || vm.State.lazy_sweep <> None (* an open lazy window still drains *)
   || List.exists
        (fun (t : State.vthread) ->
          match t.State.tstate with

@@ -27,6 +27,13 @@ type config = {
   verify_heap : bool;
       (* walk the whole heap after the transform phase (and again after a
          rollback) checking headers, reference-field types and statics *)
+  lazy_update : bool;
+      (* commit updates lazily: no transforming collection at the pause;
+         old-epoch objects are transformed on first access by a read
+         barrier and drained by the scheduler's incremental sweeper *)
+  lazy_sweep_budget : int;
+      (* objects the background sweeper may transform per scheduler round
+         while a lazy update window is open *)
 }
 
 let default_config =
@@ -41,6 +48,8 @@ let default_config =
     trace = false;
     transformer_fuel = 200_000;
     verify_heap = false;
+    lazy_update = false;
+    lazy_sweep_budget = 64;
   }
 
 (* --- threads --- *)
@@ -118,6 +127,24 @@ type sandbox = {
   mutable sb_watermark_gc : int; (* gc_count the watermark belongs to *)
 }
 
+(* Bookkeeping for an open lazy update window: the commit flipped
+   metadata and bumped the heap epoch but left old-epoch objects in
+   place, to be transformed on first access (read barrier) or by the
+   background sweeper.  Plain data so the verifier and tests can key
+   mixed-epoch allowances off it without depending on the updater. *)
+type lazy_info = {
+  li_plan : (int, int) Hashtbl.t; (* old cid -> new cid *)
+  li_epoch : int; (* the heap epoch this window installed *)
+  mutable li_log : int array;
+      (* flattened (old copy, new object) pairs, log_len valid entries;
+         registered as an extra GC root while the window is open *)
+  mutable li_log_len : int;
+  mutable li_transformed : int; (* objects transformed so far *)
+  mutable li_barrier_hits : int; (* barrier-triggered transforms *)
+  mutable li_swept : int; (* sweeper-triggered transforms *)
+  mutable li_chases : int; (* barrier chases of lazy-forward markers *)
+}
+
 type t = {
   config : config;
   reg : Rt.registry;
@@ -153,6 +180,20 @@ type t = {
      up-to-date reference, transforming the object on first touch.  Slot-
      based so the reference stays a GC root while the hook allocates. *)
   mutable lazy_hook : (t -> frame -> int -> unit) option;
+  (* --- lazy update window (epoch-tagged heap) ----------------------- *)
+  (* read barrier, installed while a lazy update window is open: receives
+     a rooted word array (an operand stack or a scratch root) and the
+     index of a reference slot; chases lazy-forward markers and
+     transforms pending old-epoch objects in place, rewriting the slot *)
+  mutable lazy_barrier : (t -> int array -> int -> unit) option;
+  (* background sweeper: visits up to [lazy_sweep_budget] heap objects
+     per scheduler round, transforming the pending ones *)
+  mutable lazy_sweep : (t -> unit) option;
+  (* synchronously drain the open window (force every residual
+     transform); returns false when the window was rolled back instead
+     of drained (a residual transformer trapped) *)
+  mutable lazy_drain : (t -> bool) option;
+  mutable lazy_info : lazy_info option;
   (* word arrays that the GC must treat as extra roots and rewrite
      (e.g. the update log while transformers run) *)
   mutable extra_roots : int array list;
@@ -232,6 +273,10 @@ let create ?(config = default_config) () =
     barrier_fired = false;
     force_transform = None;
     lazy_hook = None;
+    lazy_barrier = None;
+    lazy_sweep = None;
+    lazy_drain = None;
+    lazy_info = None;
     extra_roots = [];
     sandbox = None;
     faults = None;
@@ -382,7 +427,11 @@ let alloc_object vm (cls : Rt.rt_class) =
         | None -> fatal "allocation failed after GC")
   in
   Heap.set vm.heap ~addr ~off:Heap.off_class cls.Rt.cid;
-  (* remaining words are pre-zeroed: gc word 0, fields default *)
+  (* remaining words are pre-zeroed: gc word 0, fields default; once a
+     lazy update has bumped the heap epoch, fresh objects are stamped
+     with the current epoch tag *)
+  if vm.heap.Heap.epoch <> 0 then
+    Heap.set vm.heap ~addr ~off:Heap.off_gc vm.heap.Heap.epoch;
   (match vm.sandbox with
   | Some sb -> sandbox_note_alloc vm sb addr (* fresh allocation: writable *)
   | None -> ());
@@ -402,6 +451,8 @@ let alloc_array vm ~len =
   in
   Heap.set vm.heap ~addr ~off:Heap.off_class vm.array_cid;
   Heap.set vm.heap ~addr ~off:Heap.off_array_len len;
+  if vm.heap.Heap.epoch <> 0 then
+    Heap.set vm.heap ~addr ~off:Heap.off_gc vm.heap.Heap.epoch;
   (match vm.sandbox with
   | Some sb -> sandbox_note_alloc vm sb addr
   | None -> ());

@@ -281,6 +281,96 @@ let heap_exhaustion () =
       if not (Helpers.contains msg "out of memory") then
         Alcotest.failf "unexpected fatal: %s" msg
 
+(* --- mixed-epoch collection ---------------------------------------------------
+
+   During a lazy update window the heap holds objects of two epochs plus
+   the window's own bookkeeping (lazy-forward markers, pristine-copy
+   tags), and allocation does not stop.  A collection in that state must
+   preserve every epoch tag verbatim, forward objects of both epochs,
+   chase lazy-forward markers out of every surviving reference, and keep
+   copy tags on retained copies. *)
+let mixed_epoch_collection () =
+  let vm = fresh_vm () in
+  let cls = node_cls vm in
+  let heap = vm.VM.State.heap in
+  let gcw a = VM.Heap.get heap ~addr:a ~off:VM.Heap.off_gc in
+  (* two objects born before the epoch bump, one after *)
+  let old1 = VM.State.alloc_object vm cls in
+  let old2 = VM.State.alloc_object vm cls in
+  heap.VM.Heap.epoch <- 7;
+  let fresh = VM.State.alloc_object vm cls in
+  Alcotest.(check int) "pre-bump tag" 0 (gcw old1);
+  Alcotest.(check int) "post-bump tag" 7 (gcw fresh);
+  set_field vm old1 0 (VM.Value.of_int 1);
+  set_field vm old2 0 (VM.Value.of_int 2);
+  set_field vm fresh 0 (VM.Value.of_int 3);
+  (* cross-epoch edges both ways *)
+  set_field vm fresh 1 (VM.Value.of_ref old1);
+  set_field vm old1 1 (VM.Value.of_ref fresh);
+  set_field vm old1 2 (VM.Value.of_ref old2);
+  (* old2 has been lazily transformed: its replacement is current-epoch,
+     the original carries a forward marker, the pristine copy its tag *)
+  let repl = VM.State.alloc_object vm cls in
+  set_field vm repl 0 (VM.Value.of_int 99);
+  let copy = VM.State.alloc_object vm cls in
+  set_field vm copy 0 (VM.Value.of_int 2);
+  VM.Heap.set heap ~addr:copy ~off:VM.Heap.off_gc
+    (VM.Heap.make_copy_tag (gcw old2));
+  VM.Heap.set heap ~addr:old2 ~off:VM.Heap.off_gc
+    (VM.Heap.make_lazy_fwd repl);
+  let roots =
+    [|
+      VM.Value.of_ref old1;
+      VM.Value.of_ref fresh;
+      VM.Value.of_ref copy;
+      VM.Value.of_ref old2 (* a root that still aims at the marker *);
+    |]
+  in
+  vm.VM.State.extra_roots <- [ roots ];
+  ignore (VM.Gc.collect vm);
+  let old1' = VM.Value.to_ref roots.(0) in
+  let fresh' = VM.Value.to_ref roots.(1) in
+  let copy' = VM.Value.to_ref roots.(2) in
+  let via_marker = VM.Value.to_ref roots.(3) in
+  (* epoch tags survive the copy verbatim, for both epochs *)
+  Alcotest.(check int) "old epoch tag preserved" 0 (gcw old1');
+  Alcotest.(check int) "new epoch tag preserved" 7 (gcw fresh');
+  (* values and cross-epoch edges intact *)
+  Alcotest.(check int) "old payload" 1 (VM.Value.to_int (get_field vm old1' 0));
+  Alcotest.(check int) "new payload" 3
+    (VM.Value.to_int (get_field vm fresh' 0));
+  Alcotest.(check int) "new->old edge" old1'
+    (VM.Value.to_ref (get_field vm fresh' 1));
+  Alcotest.(check int) "old->new edge" fresh'
+    (VM.Value.to_ref (get_field vm old1' 1));
+  (* every route to the marked object now lands on its replacement: the
+     collection chased the marker out of the field and the root alike *)
+  Alcotest.(check int) "field chased to replacement" 99
+    (VM.Value.to_int (get_field vm (VM.Value.to_ref (get_field vm old1' 2)) 0));
+  Alcotest.(check int) "root chased to replacement" 99
+    (VM.Value.to_int (get_field vm via_marker 0));
+  Alcotest.(check int) "replacement is current-epoch" 7 (gcw via_marker);
+  (* the retained pristine copy keeps its tag (and the epoch under it) *)
+  Alcotest.(check bool) "copy tag preserved" true
+    (VM.Heap.is_copy_tag (gcw copy'));
+  Alcotest.(check int) "copy tag epoch" 0
+    (VM.Heap.copy_tag_epoch (gcw copy'));
+  (* no marker survived the collection anywhere in the heap *)
+  let scan = ref 1 in
+  let markers = ref 0 in
+  while !scan < heap.VM.Heap.free do
+    let addr = !scan in
+    let c = VM.Rt.class_by_id vm.VM.State.reg (VM.Heap.class_id heap addr) in
+    let size =
+      if c.VM.Rt.is_array then
+        VM.Heap.array_header_words + VM.Heap.array_length heap addr
+      else c.VM.Rt.size_words
+    in
+    if VM.Heap.is_lazy_fwd (gcw addr) then incr markers;
+    scan := addr + size
+  done;
+  Alcotest.(check int) "zero surviving markers" 0 !markers
+
 let suite =
   [
     Alcotest.test_case "value encoding" `Quick encoding_basics;
@@ -296,5 +386,6 @@ let suite =
       gc_rewrites_thread_roots;
     Alcotest.test_case "transform plan and update log" `Quick
       transform_plan_log;
+    Alcotest.test_case "mixed-epoch collection" `Quick mixed_epoch_collection;
     Alcotest.test_case "heap exhaustion" `Quick heap_exhaustion;
   ]

@@ -1,0 +1,351 @@
+(* The lazy update window (lib/core/updater, lazy section): epoch-tagged
+   heap, read-barrier transformation, background sweeper, and the
+   whole-window rollback when a residual transformer traps.
+
+   The fixture is a deliberately tiny program: one changed class ([Box])
+   with a known instance count, one *unchanged* reader method that
+   touches every instance per iteration, so barrier-once and
+   chase-vs-retransform behaviour are exactly countable — and so a
+   window rollback always finds the running thread parked in an
+   unrestricted frame. *)
+
+module VM = Jv_vm
+module J = Jvolve_core
+module A = Jv_apps
+module Faults = Jv_faults.Faults
+module Obs = Jv_obs.Obs
+module Simnet = Jv_simnet.Simnet
+
+let n_boxes = 50
+
+(* the reader only touches the first [hot] boxes: the rest are cold,
+   reachable only by the background sweeper *)
+let hot_sum hot = hot * (hot - 1) / 2
+
+let boxes_src ~hot ~extra =
+  Printf.sprintf
+    {|
+class Box { int a; %s}
+class Keeper { static Box[] all; }
+class Reader {
+  static int sum() {
+    int s = 0;
+    for (int i = 0; i < %d; i = i + 1) { s = s + Keeper.all[i].a; }
+    return s;
+  }
+}
+class Main {
+  static void main() {
+    Keeper.all = new Box[%d];
+    for (int i = 0; i < %d; i = i + 1) {
+      Box b = new Box();
+      b.a = i;
+      Keeper.all[i] = b;
+    }
+    for (int j = 0; j < 100000; j = j + 1) {
+      Sys.println("s=" + Reader.sum());
+      Thread.yieldNow();
+    }
+  }
+}
+|}
+    (if extra then "int b; " else "")
+    hot n_boxes n_boxes
+
+let lazy_config ?(budget = 64) () =
+  {
+    Helpers.test_config with
+    VM.State.lazy_update = true;
+    VM.State.lazy_sweep_budget = budget;
+  }
+
+let boot_boxes ?(hot = n_boxes) ~config () =
+  let vm = VM.Vm.create ~config () in
+  VM.Vm.boot vm
+    (Jv_lang.Compile.compile_program (boxes_src ~hot ~extra:false));
+  ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+  VM.Vm.run vm ~rounds:5;
+  vm
+
+let boxes_spec ?(hot = n_boxes) () =
+  J.Spec.make ~version_tag:"lz"
+    ~old_program:
+      (Jv_lang.Compile.compile_program (boxes_src ~hot ~extra:false))
+    ~new_program:(Jv_lang.Compile.compile_program (boxes_src ~hot ~extra:true))
+    ()
+
+let apply_lazy ?hot vm =
+  let h = J.Jvolve.update_now ~timeout_rounds:100 vm (boxes_spec ?hot ()) in
+  (match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Applied _ -> ()
+  | o ->
+      Alcotest.failf "lazy update did not apply: %s"
+        (J.Jvolve.outcome_to_string o));
+  h
+
+let lazy_info vm =
+  match vm.VM.State.lazy_info with
+  | Some li -> li
+  | None -> Alcotest.fail "lazy window closed earlier than the test expects"
+
+(* Count heap words whose gc slot still carries lazy machinery: forward
+   markers or pristine-copy tags.  Zero residue is the post-drain (and
+   post-rollback) steady state. *)
+let residue_count vm =
+  let heap = vm.VM.State.heap in
+  let reg = vm.VM.State.reg in
+  let n = ref 0 in
+  let scan = ref 1 in
+  while !scan < heap.VM.Heap.free do
+    let addr = !scan in
+    let cls = VM.Rt.class_by_id reg (VM.Heap.class_id heap addr) in
+    let size =
+      if cls.VM.Rt.is_array then
+        VM.Heap.array_header_words + VM.Heap.array_length heap addr
+      else cls.VM.Rt.size_words
+    in
+    let gcw = VM.Heap.get heap ~addr ~off:VM.Heap.off_gc in
+    if VM.Heap.is_lazy_fwd gcw || VM.Heap.is_copy_tag gcw then incr n;
+    scan := addr + size
+  done;
+  !n
+
+let drain vm =
+  match vm.VM.State.lazy_drain with
+  | Some d -> d vm
+  | None -> true
+
+let check_clean vm label =
+  Alcotest.(check int) (label ^ ": zero lazy residue") 0 (residue_count vm);
+  let r = VM.Heapverify.run vm in
+  Alcotest.(check bool) (label ^ ": heap verifies") true r.VM.Heapverify.hv_ok
+
+(* --- the commit is metadata-only; the barrier transforms exactly once --- *)
+
+let barrier_fires_once () =
+  (* budget 1: the sweeper crawls, so the reader's accesses dominate and
+     the window demonstrably stays open across many iterations *)
+  let vm = boot_boxes ~config:(lazy_config ~budget:1 ()) () in
+  let h = apply_lazy vm in
+  ignore h;
+  Alcotest.(check bool) "window open after commit" true
+    (vm.VM.State.lazy_info <> None);
+  (* several full passes of Reader.sum over all 50 boxes *)
+  VM.Vm.run vm ~rounds:30;
+  let li = lazy_info vm in
+  Alcotest.(check bool) "barrier transformed something" true
+    (li.VM.State.li_barrier_hits > 0);
+  (* exactly-once: every access after the first chases a forward marker
+     instead of re-transforming, so the count never exceeds the number
+     of Box instances no matter how often the reader loops *)
+  Alcotest.(check bool)
+    (Printf.sprintf "transforms (%d) bounded by instances (%d)"
+       li.VM.State.li_transformed n_boxes)
+    true
+    (li.VM.State.li_transformed <= n_boxes);
+  let b1 = li.VM.State.li_barrier_hits in
+  let t1 = li.VM.State.li_transformed in
+  let s1 = li.VM.State.li_swept in
+  VM.Vm.run vm ~rounds:30;
+  let li = lazy_info vm in
+  (* all reader-reachable boxes were transformed in the first passes:
+     every later transform is the sweeper's, never a barrier re-fire *)
+  Alcotest.(check int) "no barrier re-transform on re-access" b1
+    li.VM.State.li_barrier_hits;
+  Alcotest.(check int) "later transforms all come from the sweeper"
+    (li.VM.State.li_transformed - t1)
+    (li.VM.State.li_swept - s1);
+  Alcotest.(check bool) "re-accesses chase forward markers" true
+    (li.VM.State.li_chases > 0);
+  (* the program never observed a torn heap *)
+  let out = VM.Vm.output vm in
+  String.split_on_char '\n' (String.trim out)
+  |> List.iter (fun l ->
+         if l <> "" && l <> Printf.sprintf "s=%d" (hot_sum n_boxes) then
+           Alcotest.failf "reader saw a wrong sum: %S" l);
+  (* drain the remainder synchronously and check steady state *)
+  Alcotest.(check bool) "drain completes" true (drain vm);
+  Alcotest.(check bool) "window closed" true (vm.VM.State.lazy_info = None);
+  check_clean vm "after drain"
+
+(* --- the background sweeper alone reaches quiescence -------------------- *)
+
+let sweeper_converges () =
+  let vm = boot_boxes ~config:(lazy_config ~budget:128 ()) () in
+  ignore (apply_lazy vm);
+  (* no help from the drain hook: scheduler rounds only *)
+  let budget = ref 3000 in
+  while vm.VM.State.lazy_info <> None && !budget > 0 do
+    VM.Vm.run vm ~rounds:1;
+    decr budget
+  done;
+  Alcotest.(check bool) "sweeper drained the window" true
+    (vm.VM.State.lazy_info = None);
+  Alcotest.(check int) "one window drained" 1
+    (Obs.counter_value vm.VM.State.obs "core.lazy.drained");
+  Alcotest.(check int) "no rollback" 0
+    (Obs.counter_value vm.VM.State.obs "core.lazy.rollbacks");
+  (* the finalize collection already chased every marker *)
+  check_clean vm "after sweeper quiescence";
+  (* every Box instance went through its transformer exactly once *)
+  match Obs.find_histogram vm.VM.State.obs "core.lazy.transformed" with
+  | None -> Alcotest.fail "core.lazy.transformed not recorded"
+  | Some hist ->
+      Alcotest.(check int) "all boxes transformed exactly once" n_boxes
+        (int_of_float (Jv_obs.Metrics.hist_max hist))
+
+(* --- a residual transformer trap rolls the whole window back ------------ *)
+
+let residual_trap_rolls_back () =
+  (* half the boxes are cold: only the crawling sweeper (budget 1)
+     reaches them, so arming the trap after the hot set has migrated
+     guarantees the failure lands on a genuinely half-transformed heap *)
+  let hot = 25 in
+  let vm = boot_boxes ~hot ~config:(lazy_config ~budget:1 ()) () in
+  ignore (apply_lazy ~hot vm);
+  VM.Vm.run vm ~rounds:10;
+  let li = lazy_info vm in
+  Alcotest.(check bool) "hot set migrated, cold set pending" true
+    (li.VM.State.li_transformed >= hot && li.VM.State.li_transformed < n_boxes);
+  (* arm a one-shot transformer trap: the next transform — a sweeper
+     visit to a cold box — fails, which must abort the whole window *)
+  let plan = Faults.create ~seed:11 () in
+  Faults.arm plan ~point:"transformer.throw" ~max_fires:1 Faults.Raise;
+  VM.Vm.set_faults vm (Some plan);
+  let budget = ref 3000 in
+  while vm.VM.State.lazy_info <> None && !budget > 0 do
+    VM.Vm.run vm ~rounds:1;
+    decr budget
+  done;
+  VM.Vm.set_faults vm None;
+  Alcotest.(check bool) "window resolved" true (vm.VM.State.lazy_info = None);
+  Alcotest.(check int) "rolled back, not drained" 1
+    (Obs.counter_value vm.VM.State.obs "core.lazy.rollbacks");
+  Alcotest.(check int) "no drain" 0
+    (Obs.counter_value vm.VM.State.obs "core.lazy.drained");
+  check_clean vm "after rollback";
+  (* the old version is demonstrably serving again, values intact: let
+     the reader run on and require every line (including those printed
+     mid-window against the half-transformed heap) to show the seeded
+     sum *)
+  VM.Vm.run vm ~rounds:40;
+  let lines =
+    String.split_on_char '\n' (String.trim (VM.Vm.output vm))
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "reader kept printing" true (List.length lines > 20);
+  List.iter
+    (fun l ->
+      if l <> Printf.sprintf "s=%d" (hot_sum hot) then
+        Alcotest.failf "wrong sum after rollback: %S" l)
+    lines;
+  (* the metadata snapshot restored exactly: a fresh update of the same
+     spec applies cleanly on top *)
+  let vm_ok =
+    let h = J.Jvolve.update_now ~timeout_rounds:100 vm (boxes_spec ~hot ()) in
+    match h.J.Jvolve.h_outcome with
+    | J.Jvolve.Applied _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "same spec re-applies after rollback" true vm_ok
+
+(* --- guard revert over a half-transformed ministore heap ---------------- *)
+
+let store = A.Experience.store_desc
+
+let store_config =
+  {
+    A.Experience.default_config with
+    VM.State.lazy_update = true;
+    VM.State.lazy_sweep_budget = 4;
+  }
+
+let store_spec ~from_version ~to_version =
+  A.Common.spec
+    ~overrides:(A.Ministore.overrides ~to_version)
+    ~version_tag:(A.Common.version_tag from_version)
+    ~old_program:
+      (Jv_lang.Compile.compile_program
+         (A.Patching.source A.Ministore.app ~version:from_version))
+    ~new_program:
+      (Jv_lang.Compile.compile_program
+         (A.Patching.source A.Ministore.app ~version:to_version))
+    ()
+
+let session vm lines : string list =
+  let net = vm.VM.State.net in
+  match Simnet.connect net ~port:A.Ministore.port with
+  | None -> Alcotest.fail "ministore: connect refused"
+  | Some cid ->
+      let recv_one sent =
+        let resp = ref None in
+        let budget = ref 500 in
+        while !resp = None && !budget > 0 do
+          VM.Vm.run vm ~rounds:1;
+          decr budget;
+          match Simnet.client_recv net ~conn_id:cid with
+          | `Line l -> resp := Some l
+          | `Eof -> Alcotest.failf "ministore: EOF awaiting reply to %S" sent
+          | `Wait -> ()
+        done;
+        match !resp with
+        | Some l -> l
+        | None -> Alcotest.failf "ministore: no reply to %S" sent
+      in
+      let resps =
+        List.map
+          (fun line ->
+            Simnet.client_send net ~conn_id:cid line;
+            recv_one line)
+          lines
+      in
+      Simnet.client_close net ~conn_id:cid;
+      Simnet.reap net ~conn_id:cid;
+      resps
+
+(* A guarded lazy migration trips while the heap is still mixed-epoch:
+   the revert must first force the residual transforms (so the inverse
+   update sees a uniformly new-layout heap), then restore every record
+   bit-for-bit. *)
+let guard_revert_half_transformed () =
+  let vm = A.Experience.boot_version ~config:store_config store ~version:"1.0" in
+  let reads = [ "GET 1000"; "GET 1013"; "GET 5"; "SCAN 0"; "STAT"; "QUIT" ] in
+  let before = session vm reads in
+  let spec = store_spec ~from_version:"1.0" ~to_version:"1.1" in
+  let h =
+    J.Jvolve.update_now ~timeout_rounds:400 ~guard:(J.Guard.config ()) vm spec
+  in
+  Alcotest.(check bool) "migration committed" true (J.Jvolve.succeeded h);
+  (* touch a couple of records so part of the heap migrates, then trip
+     while the sweeper (budget 4) is still far from done *)
+  ignore (session vm [ "GET 1000"; "GET 5"; "QUIT" ]);
+  Alcotest.(check bool) "window still open at the trip" true
+    (vm.VM.State.lazy_info <> None);
+  J.Jvolve.force_trip vm h ~reason:"test: trip over mixed-epoch heap";
+  (match J.Jvolve.run_to_guard_close vm h with
+  | J.Jvolve.Reverted _ -> ()
+  | o ->
+      Alcotest.failf "expected a revert, got %s"
+        (J.Jvolve.outcome_to_string o));
+  VM.Vm.run vm ~rounds:120;
+  Alcotest.(check bool) "lazy window resolved by the revert" true
+    (vm.VM.State.lazy_info = None);
+  Alcotest.(check bool) "retained log freed" true
+    (vm.VM.State.guard_retained = None);
+  ignore (VM.Gc.collect vm : VM.Gc.result);
+  check_clean vm "after guard revert";
+  let after = session vm reads in
+  Alcotest.(check (list string))
+    "store answers bit-for-bit as before the migration" before after
+
+let suite =
+  [
+    Alcotest.test_case "lazy barrier transforms exactly once" `Quick
+      barrier_fires_once;
+    Alcotest.test_case "sweeper converges to quiescence" `Quick
+      sweeper_converges;
+    Alcotest.test_case "residual transformer trap rolls the window back"
+      `Quick residual_trap_rolls_back;
+    Alcotest.test_case "guard revert over a half-transformed heap" `Quick
+      guard_revert_half_transformed;
+  ]

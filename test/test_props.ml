@@ -557,6 +557,159 @@ let rollout_converges =
         QCheck.Test.fail_reportf "dropped %d conns > bound %d" dropped bound;
       converged)
 
+(* --- lazy/eager differential over the app ladders --------------------------
+
+   For every rung of every app's update ladder, two fresh VMs — one
+   updating eagerly (stop-the-world transform), one lazily (metadata-only
+   commit, read-barrier + sweeper) — are driven through the exact same
+   scripted sessions before and after the update.  The transcripts must
+   be byte-identical: laziness is an implementation strategy, never an
+   observable one.  Afterwards the lazy VM drains its window, collects,
+   and must show a verified heap with zero mixed-epoch residue. *)
+
+module A = Jv_apps
+
+let diff_session vm ~port lines : string list =
+  let module Simnet = Jv_simnet.Simnet in
+  let net = vm.VM.State.net in
+  match Simnet.connect net ~port with
+  | None -> QCheck.Test.fail_reportf "differential: port %d refused" port
+  | Some cid ->
+      let recv_one sent =
+        let resp = ref None in
+        let budget = ref 500 in
+        while !resp = None && !budget > 0 do
+          VM.Vm.run vm ~rounds:1;
+          decr budget;
+          match Simnet.client_recv net ~conn_id:cid with
+          | `Line l -> resp := Some l
+          | `Eof -> QCheck.Test.fail_reportf "differential: EOF after %S" sent
+          | `Wait -> ()
+        done;
+        match !resp with
+        | Some l -> l
+        | None -> QCheck.Test.fail_reportf "differential: no reply to %S" sent
+      in
+      let resps =
+        List.map
+          (fun line ->
+            Simnet.client_send net ~conn_id:cid line;
+            recv_one line)
+          lines
+      in
+      Simnet.client_close net ~conn_id:cid;
+      Simnet.reap net ~conn_id:cid;
+      resps
+
+let diff_drive vm (d : A.Experience.app_desc) buf =
+  List.iter
+    (fun (port, script, _) ->
+      List.iter
+        (fun r ->
+          Buffer.add_string buf r;
+          Buffer.add_char buf '\n')
+        (diff_session vm ~port script))
+    d.A.Experience.d_loads
+
+(* One rung, one mode: boot at [from_version], drive, update, drive. *)
+let diff_rung ~lazy_mode ~warmup (d : A.Experience.app_desc)
+    (from_version, to_version) : string =
+  let config =
+    if lazy_mode then
+      {
+        A.Experience.default_config with
+        VM.State.lazy_update = true;
+        VM.State.lazy_sweep_budget = 16;
+      }
+    else A.Experience.default_config
+  in
+  let vm = A.Experience.boot_version ~config d ~version:from_version in
+  VM.Vm.run vm ~rounds:warmup;
+  let buf = Buffer.create 1024 in
+  diff_drive vm d buf;
+  let spec =
+    A.Common.spec
+      ~overrides:(d.A.Experience.d_overrides ~to_version)
+      ~version_tag:(A.Common.version_tag from_version)
+      ~old_program:
+        (Jv_lang.Compile.compile_program
+           (A.Patching.source d.A.Experience.d_versioned ~version:from_version))
+      ~new_program:
+        (Jv_lang.Compile.compile_program
+           (A.Patching.source d.A.Experience.d_versioned ~version:to_version))
+      ()
+  in
+  let h = J.Jvolve.update_now ~timeout_rounds:400 vm spec in
+  Buffer.add_string buf
+    (if J.Jvolve.succeeded h then "update: applied\n" else "update: refused\n");
+  (* these sessions run against the half-transformed heap in lazy mode:
+     the barrier must make that invisible *)
+  diff_drive vm d buf;
+  if lazy_mode then begin
+    (match vm.VM.State.lazy_drain with
+    | Some drain ->
+        if not (drain vm) then
+          QCheck.Test.fail_reportf "%s %s->%s: lazy drain rolled back"
+            d.A.Experience.d_name from_version to_version
+    | None -> ());
+    ignore (VM.Gc.collect vm);
+    let residue = Test_lazy.residue_count vm in
+    if residue <> 0 then
+      QCheck.Test.fail_reportf "%s %s->%s: %d lazy-residue objects"
+        d.A.Experience.d_name from_version to_version residue;
+    let rep = VM.Heapverify.run vm in
+    if not rep.VM.Heapverify.hv_ok then
+      QCheck.Test.fail_reportf "%s %s->%s: lazy heap fails verification"
+        d.A.Experience.d_name from_version to_version
+  end;
+  Buffer.contents buf
+
+let lazy_eager_differential =
+  QCheck.Test.make ~name:"lazy and eager updates are indistinguishable"
+    ~count:2
+    QCheck.(make Gen.(int_range 0 10))
+    (fun warmup ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun rung ->
+              let eager = diff_rung ~lazy_mode:false ~warmup d rung in
+              let lz = diff_rung ~lazy_mode:true ~warmup d rung in
+              if not (String.equal eager lz) then
+                QCheck.Test.fail_reportf
+                  "%s %s->%s: transcripts diverge\n--- eager ---\n%s\n--- lazy ---\n%s"
+                  d.A.Experience.d_name (fst rung) (snd rung) eager lz)
+            (List.map
+               (fun ((fv, _), (tv, _)) -> (fv, tv))
+               (A.Patching.update_pairs d.A.Experience.d_versioned)))
+        A.Experience.all_apps;
+      true)
+
+(* --- the verifier collects stale update-log copies itself -------------------
+
+   Regression for the observability footgun: after an *unguarded* eager
+   commit the update log's pristine old copies linger as unreferenced
+   garbage until some collection erases them, and [Heapverify.run] used
+   to report them as corruption.  It now recognizes the
+   all-issues-are-unreferenced-stale-copies shape, collects once, and
+   re-verifies. *)
+let verifier_autocollects_stale_copies () =
+  let vm = Test_lazy.boot_boxes ~config:Helpers.test_config () in
+  let h =
+    J.Jvolve.update_now ~timeout_rounds:100 vm (Test_lazy.boxes_spec ())
+  in
+  if not (J.Jvolve.succeeded h) then Alcotest.fail "eager update refused";
+  (* no manual Gc.collect here: that was the workaround *)
+  let rep = VM.Heapverify.run vm in
+  Alcotest.(check bool) "verdict is green" true rep.VM.Heapverify.hv_ok;
+  Alcotest.(check bool) "a stale-copy collection ran" true
+    rep.VM.Heapverify.hv_collected;
+  (* and the collection is not re-run once the heap is actually clean *)
+  let rep2 = VM.Heapverify.run vm in
+  Alcotest.(check bool) "second verdict green" true rep2.VM.Heapverify.hv_ok;
+  Alcotest.(check bool) "no second collection" false
+    rep2.VM.Heapverify.hv_collected
+
 let suite =
   [
     QCheck_alcotest.to_alcotest arith_agrees;
@@ -567,4 +720,7 @@ let suite =
     QCheck_alcotest.to_alcotest classification_matches;
     QCheck_alcotest.to_alcotest admitted_specs_verify;
     QCheck_alcotest.to_alcotest rollout_converges;
+    QCheck_alcotest.to_alcotest lazy_eager_differential;
+    Alcotest.test_case "heapverify auto-collects stale copies" `Quick
+      verifier_autocollects_stale_copies;
   ]
