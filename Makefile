@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke lazy-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke lazy-smoke confree-smoke clean
 
 all:
 	dune build @all
@@ -93,6 +93,18 @@ lazy-smoke:
 	grep -q "lazy pause flat: PASS" _build/lazy-smoke.out
 	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe -- guard --lazy | tee _build/lazy-guard-smoke.out
 	grep -q "lazy pause flat: PASS" _build/lazy-guard-smoke.out
+
+# Con-freeness probe: the §5.1.3 always-on-stack update (miniweb
+# 5.1.2 -> 5.1.3 body-updates every run() loop) must apply on the
+# first attempt with the static backward-compatibility analysis on,
+# and must time out with it off — and the analysis must shrink the
+# restricted set (6 changed methods, 5 proven, 1 left restricted).
+confree-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe confree | tee _build/confree-smoke.out
+	grep -Eq "^on +1 +5 " _build/confree-smoke.out
+	grep -E "^on " _build/confree-smoke.out | grep -q " yes "
+	grep -E "^off " _build/confree-smoke.out | grep -q "no (timeout)"
+	grep -Eq "^off +6 " _build/confree-smoke.out
 
 clean:
 	dune clean

@@ -6,9 +6,13 @@
    per-release table row — and the outcome of actually applying the update
    to the running, loaded server.  Aborted updates are retried on an idle
    server, reproducing the paper's observation that CrossFTP 1.07->1.08
-   applies only when "relatively idle", while Jetty 5.1.3 and
-   JavaEmailServer 1.3 fail even then (their changed methods run in
-   infinite loops regardless of load). *)
+   applies only when "relatively idle".  The paper's two permanently
+   stuck updates — Jetty 5.1.3 and JavaEmailServer 1.3, whose changed
+   methods run in infinite loops regardless of load — now apply on the
+   first attempt because the con-freeness analysis (on by default)
+   proves those loops backward-compatible; run `bench confree` for the
+   on/off contrast, or this bench with --no-confree semantics via
+   test/test_apps.ml's off-pair tests. *)
 
 module A = Jv_apps
 module J = Jvolve_core

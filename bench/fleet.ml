@@ -7,8 +7,8 @@
    - canary deployment: update K instances, observe against the stable
      pool, promote
    - automatic halt: the always-on-stack 5.1.3 update (paper §5.1.3
-     analogue) aborts on every instance — rollout halts, fleet stays on
-     the old version
+     analogue, con-freeness analysis off) aborts on every instance —
+     rollout halts, fleet stays on the old version
    - automatic rollback: a mid-rollout abort (injected via a safe-point
      blacklist on one instance) reverts the already-updated instances
      with inverse specs *)
@@ -33,8 +33,10 @@ let canary_params ~observe_rounds =
 
 (* Boot the fleet, let every server reach its accept loop, then put it
    under steady scripted load before any rollout starts. *)
-let boot_under_load ~profile ~version ~size =
-  let fleet = F.Fleet.create ~policy:F.Lb.Round_robin ~profile ~version ~size () in
+let boot_under_load ?config ~profile ~version ~size () =
+  let fleet =
+    F.Fleet.create ?config ~policy:F.Lb.Round_robin ~profile ~version ~size ()
+  in
   F.Fleet.run fleet ~rounds:30;
   let _driver = F.Fleet.attach_load ~concurrency:(2 * size) fleet in
   F.Fleet.run fleet ~rounds:120;
@@ -74,7 +76,7 @@ let rolling () =
   List.iter
     (fun size ->
       let fleet =
-        boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size
+        boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size ()
       in
       let req0 = F.Fleet.total_requests fleet in
       let r =
@@ -91,7 +93,7 @@ let canary () =
     "FLEET: canary deployment (miniweb 5.1.4 -> 5.1.5, 2 canaries)";
   let size = if Support.quick then 4 else 6 in
   let observe_rounds = if Support.quick then 150 else 300 in
-  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.4" ~size in
+  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.4" ~size () in
   let req0 = F.Fleet.total_requests fleet in
   let r =
     F.Orchestrator.run
@@ -105,9 +107,17 @@ let canary () =
 
 let halt_on_abort () =
   Support.section
-    "FLEET: automatic halt (miniweb 5.1.2 -> 5.1.3, always-on-stack update)";
+    "FLEET: automatic halt (miniweb 5.1.2 -> 5.1.3, always-on-stack update, \
+     con-freeness off)";
   let size = 4 in
-  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.2" ~size in
+  (* with con-freeness on (the default) this update is proven compatible
+     and applies; the halt demo needs the analysis off *)
+  let fleet =
+    boot_under_load
+      ~config:
+        { F.Instance.default_config with Jv_vm.State.confree = false }
+      ~profile:F.Profile.miniweb ~version:"5.1.2" ~size ()
+  in
   let req0 = F.Fleet.total_requests fleet in
   let params =
     { rolling_params with F.Orchestrator.update_timeout = 150 }
@@ -126,7 +136,7 @@ let rollback_mid_rollout () =
   Support.section
     "FLEET: automatic rollback (abort injected on instance 2 mid-rollout)";
   let size = 4 in
-  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size in
+  let fleet = boot_under_load ~profile:F.Profile.miniweb ~version:"5.1.1" ~size () in
   let req0 = F.Fleet.total_requests fleet in
   (* instance 2's safe-point check is poisoned with a blacklist on
      ThreadedServer.run (the accept loop — always on stack), so

@@ -30,6 +30,10 @@
                                            # store size (must stay flat)
      dune exec bench/main.exe guard --lazy # guarded lazy migration:
                                            # commit pause + tripped revert
+     dune exec bench/main.exe confree      # con-freeness: restricted-set
+                                           # size and time-to-safe-point
+                                           # for the always-on-stack
+                                           # miniweb 5.1.3 update, on vs off
 
    Set JVOLVE_BENCH_QUICK=1 to shrink the long experiments. *)
 
@@ -37,7 +41,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
      ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|store|\
-     guard --lazy|store --lazy|all]";
+     guard --lazy|store --lazy|confree|all]";
   exit 1
 
 let run_one = function
@@ -54,6 +58,7 @@ let run_one = function
   | "safety" -> Safety.run ()
   | "guard" -> Guard_bench.run ()
   | "store" -> Store_bench.run ()
+  | "confree" -> Table1.confree_section ()
   | "all" ->
       (* Table 1 first: its pause measurements are the most sensitive to
          host-heap churn from the other sections *)

@@ -19,6 +19,8 @@
 
 module VM = Jv_vm
 module J = Jvolve_core
+module Obs = Jv_obs.Obs
+module Metrics = Jv_obs.Metrics
 
 let v1_src =
   {|
@@ -130,6 +132,72 @@ let quick_rows = [ (30_000, "~17 MB"); (120_000, "~70 MB") ]
 
 let fractions = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
 
+(* --- con-freeness: restricted-set size and time-to-safe-point ----------- *)
+
+(* The paper's §5.1.3 update (miniweb 5.1.2 -> 5.1.3) body-updates the
+   always-on-stack run() loops: without the con-freeness analysis the
+   safe point is unreachable and the attempt times out.  Run the same
+   update with the analysis on and off and read every figure back from
+   the VM's metrics sink — the restricted-set gauge, the safe-point
+   rounds histogram, the analysis-time histogram — not from bench-local
+   timers. *)
+let confree_row ~confree =
+  let module A = Jv_apps in
+  let config =
+    { A.Experience.default_config with VM.State.confree }
+  in
+  let d = A.Experience.web_desc in
+  let vm = A.Experience.boot_version ~config d ~version:"5.1.2" in
+  let loads = A.Experience.attach_loads vm d ~concurrency:4 in
+  VM.Vm.run vm ~rounds:60;
+  let compile v =
+    Jv_lang.Compile.compile_program
+      (A.Patching.source d.A.Experience.d_versioned ~version:v)
+  in
+  let spec =
+    A.Common.spec
+      ~overrides:(d.A.Experience.d_overrides ~to_version:"5.1.3")
+      ~version_tag:(A.Common.version_tag "5.1.2")
+      ~old_program:(compile "5.1.2") ~new_program:(compile "5.1.3") ()
+  in
+  let h = J.Jvolve.update_now ~timeout_rounds:150 vm spec in
+  VM.Vm.run vm ~rounds:40;
+  List.iter (fun w -> A.Workload.detach vm w) loads;
+  let obs = VM.Vm.obs vm in
+  let restricted = int_of_float (Obs.gauge_value obs "core.restricted_set.size") in
+  let proven = int_of_float (Obs.gauge_value obs "core.confree.proven") in
+  let analyze_ms =
+    match Obs.find_histogram obs "core.confree.analyze_ms" with
+    | Some hg when Metrics.count hg > 0 -> Printf.sprintf "%.2f" (Metrics.mean hg)
+    | _ -> "-"
+  in
+  let to_safe =
+    match Obs.find_histogram obs "core.safepoint.rounds" with
+    | Some hg when Metrics.count hg > 0 ->
+        Printf.sprintf "%.0f" (Metrics.mean hg)
+    | _ -> "never"
+  in
+  let first_attempt =
+    match h.J.Jvolve.h_outcome with
+    | J.Jvolve.Applied _ when h.J.Jvolve.h_attempts = 1 -> "yes"
+    | J.Jvolve.Applied _ -> Printf.sprintf "no (%d)" h.J.Jvolve.h_attempts
+    | _ -> "no (timeout)"
+  in
+  Printf.printf "%-12s %12d %10d %12s %14s %15s   %s\n"
+    (if confree then "on" else "off")
+    restricted proven analyze_ms to_safe first_attempt
+    (J.Jvolve.outcome_to_string h.J.Jvolve.h_outcome)
+
+let confree_section () =
+  Support.section
+    "Con-freeness: restricted set and time-to-safe-point, miniweb 5.1.2 -> \
+     5.1.3 (always-on-stack update)";
+  Printf.printf "%-12s %12s %10s %12s %14s %15s   %s\n" "analysis"
+    "restricted" "proven" "analyze_ms" "rounds_to_sp" "first_attempt"
+    "outcome";
+  confree_row ~confree:true;
+  confree_row ~confree:false
+
 let run () =
   Support.section
     "Table 1: Jvolve update pause time (ms) vs heap size and fraction of \
@@ -180,4 +248,5 @@ let run () =
      slope steeper than GC slope: %b\n"
     (c100.total_ms /. c0.total_ms)
     (c100.transform_ms -. c0.transform_ms
-    > c100.gc_ms -. c0.gc_ms)
+    > c100.gc_ms -. c0.gc_ms);
+  confree_section ()

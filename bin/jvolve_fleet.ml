@@ -6,7 +6,7 @@
      dune exec bin/jvolve_fleet.exe -- miniweb --from 5.1.4 --to 5.1.5 \
        --size 6 --mode canary --canaries 2 --observe 300
      dune exec bin/jvolve_fleet.exe -- miniweb --from 5.1.2 --to 5.1.3 \
-       --size 4 --timeout-rounds 150        # always-on-stack: halts *)
+       --size 4 --timeout-rounds 150 --no-confree  # always-on-stack: halts *)
 
 module F = Jv_fleet
 module G = Jv_gossip
@@ -31,8 +31,9 @@ let print_versions fleet =
 
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
     timeout_rounds probes max_retries backoff_base quarantine admit_strict
-    verify_heap transformer_fuel guard_rounds guard_budget no_guard faults
-    fault_seed concurrency policy gossip fanout quorum trace metrics verbose =
+    verify_heap transformer_fuel confree guard_rounds guard_budget no_guard
+    faults fault_seed concurrency policy gossip fanout quorum trace metrics
+    verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -100,6 +101,7 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           F.Instance.default_config with
           Jv_vm.State.verify_heap;
           transformer_fuel;
+          confree;
         }
       in
       let plan =
@@ -357,6 +359,25 @@ let transformer_fuel =
          & info [ "transformer-fuel" ] ~docv:"N"
              ~doc:"Machine-instruction budget per transformer invocation.")
 
+let confree =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "confree" ]
+              ~doc:
+                "Run the static con-freeness analysis on every instance: \
+                 changed methods proven backward-compatible stop blocking \
+                 the per-instance safe point (default)." );
+          ( false,
+            info [ "no-confree" ]
+              ~doc:
+                "Disable the con-freeness analysis on every instance: \
+                 every changed method blocks its safe point wherever it \
+                 is on stack." );
+        ])
+
 let guard_rounds =
   Arg.(value & opt int J.Guard.default_budget.J.Guard.b_rounds
          & info [ "guard-rounds" ] ~docv:"N"
@@ -445,8 +466,8 @@ let cmd =
       const run $ app_arg $ from_v $ to_v $ size $ mode $ batch $ canaries
       $ observe $ drain_timeout $ timeout_rounds $ probes $ max_retries
       $ backoff_base $ quarantine $ admit_strict $ verify_heap
-      $ transformer_fuel $ guard_rounds $ guard_budget $ no_guard $ faults
-      $ fault_seed $ concurrency $ policy $ gossip $ fanout $ quorum $ trace
-      $ metrics $ verbose)
+      $ transformer_fuel $ confree $ guard_rounds $ guard_budget $ no_guard
+      $ faults $ fault_seed $ concurrency $ policy $ gossip $ fanout $ quorum
+      $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

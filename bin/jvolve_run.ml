@@ -168,8 +168,8 @@ let run_app_ladder ~app_name ~from_v ~to_v ~config ~plan ~guard
 
 let run app from_v to_v path main_class rounds update_path at tag
     transformers_path timeout_rounds admit_strict verify_heap
-    transformer_fuel lazy_update lazy_sweep_budget guard_rounds guard_budget
-    no_guard faults fault_seed trace metrics verbose =
+    transformer_fuel lazy_update lazy_sweep_budget confree guard_rounds
+    guard_budget no_guard faults fault_seed trace metrics verbose =
   try
     let plan =
       match faults with
@@ -204,6 +204,7 @@ let run app from_v to_v path main_class rounds update_path at tag
               transformer_fuel;
               lazy_update;
               lazy_sweep_budget;
+              confree;
             }
           ~plan ~guard ~timeout_rounds ~admit_strict ~trace ~metrics ~verbose
     | None ->
@@ -222,6 +223,7 @@ let run app from_v to_v path main_class rounds update_path at tag
         transformer_fuel;
         lazy_update;
         lazy_sweep_budget;
+        confree;
       }
     in
     let vm = VM.Vm.create ~config () in
@@ -350,6 +352,28 @@ let lazy_sweep_budget =
              ~doc:"With --lazy: heap objects the background sweeper visits \
                    per scheduler round.")
 
+let confree =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "confree" ]
+              ~doc:
+                "Run the static con-freeness (backward-compatibility) \
+                 analysis at admission time: changed methods whose old \
+                 bodies are proven safe to keep running across the commit \
+                 are subtracted from the restricted set, so always-on-stack \
+                 run() loops no longer block the safe point.  This is the \
+                 default." );
+          ( false,
+            info [ "no-confree" ]
+              ~doc:
+                "Disable the con-freeness analysis: every changed method \
+                 blocks the safe point wherever it is on stack (the \
+                 paper's baseline behaviour)." );
+        ])
+
 let guard_rounds =
   Arg.(value & opt int J.Guard.default_budget.J.Guard.b_rounds
          & info [ "guard-rounds" ] ~docv:"N"
@@ -405,7 +429,7 @@ let cmd =
       const run $ app_arg $ from_v $ to_v $ path $ main_class $ rounds
       $ update_path $ at $ tag $ transformers_path $ timeout_rounds
       $ admit_strict $ verify_heap $ transformer_fuel $ lazy_update
-      $ lazy_sweep_budget $ guard_rounds $ guard_budget $ no_guard $ faults
-      $ fault_seed $ trace $ metrics $ verbose)
+      $ lazy_sweep_budget $ confree $ guard_rounds $ guard_budget $ no_guard
+      $ faults $ fault_seed $ trace $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

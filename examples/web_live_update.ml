@@ -40,7 +40,7 @@ let () =
   let restricted = J.Safepoint.compute vm spec in
   (match J.Safepoint.check vm restricted with
   | J.Safepoint.Blocked stuck ->
-      Printf.printf "  %s\n" (J.Safepoint.describe_blockers vm stuck)
+      Printf.printf "  %s\n" (J.Safepoint.describe_blockers vm restricted stuck)
   | J.Safepoint.Safe frames ->
       Printf.printf "  none blocking; %d category-(2) frames need OSR\n"
         (List.length frames));

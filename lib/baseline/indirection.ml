@@ -97,7 +97,7 @@ let apply vm (prepared : J.Transformers.prepared) : (lazy_state, string) result
     | J.Safepoint.Blocked stuck ->
         Error
           ("restricted methods on stack: "
-          ^ J.Safepoint.describe_blockers vm stuck)
+          ^ J.Safepoint.describe_blockers vm restricted stuck)
     | J.Safepoint.Safe osr_frames ->
         let olds = J.Updater.rename_old_classes vm spec in
         let news = J.Updater.install_new_classes vm spec in

@@ -21,7 +21,11 @@
    - same-name instance fields whose types differ between versions are
      flagged: the default copier skips them silently, which is the
      classic silent-data-loss update bug (Warn; strict mode rejects);
-   - blacklist entries that resolve to nothing are typos (Warn).
+   - blacklist entries that resolve to nothing are typos (Warn);
+   - the con-freeness proof set must certify against this very bundle
+     (every proof re-validates and the set is closed under the call
+     graph), and a blacklist entry shadowing a proof is surfaced so the
+     operator sees the pin winning instead of silently losing it.
 
    Warn verdicts admit the update unless strict mode promotes them. *)
 
@@ -63,7 +67,7 @@ let same_names a b =
 
 let mref_names l = List.map Diff.mref_to_string l
 
-let review (p : Transformers.prepared) : report =
+let review ?(confree = true) (p : Transformers.prepared) : report =
   let t0 = Unix.gettimeofday () in
   let spec = p.Transformers.p_spec in
   let verdicts = ref [] in
@@ -227,6 +231,25 @@ let review (p : Transformers.prepared) : report =
             flag Warn c "blacklisted %s does not resolve in the old program"
               (Diff.mref_to_string r))
         spec.Spec.blacklist);
+  (* 9: the con-freeness proof set [Safepoint.compute] will subtract from
+     the restricted set must be sound against this very bundle: every
+     proof re-validates its recorded obligations and the proven set is
+     closed under the call graph.  A blacklist entry naming a proven
+     method is surfaced: the pin wins, the proof is shadowed. *)
+  if confree then
+    check "confree" (fun c ->
+        let proofs = Confree.analyze spec in
+        List.iter
+          (fun e -> flag Reject c "%s" e)
+          (Confree.audit proofs spec);
+        List.iter
+          (fun (r : Confree.result) ->
+            flag Warn c
+              "blacklist pins %s, overriding its %s proof (%s)"
+              (Diff.mref_to_string r.Confree.cr_ref)
+              (Confree.verdict_to_string r.Confree.cr_verdict)
+              (Confree.reason_to_string r.Confree.cr_reason))
+          (Confree.shadowed_by_blacklist proofs spec));
   {
     a_verdicts = List.rev !verdicts;
     a_checks = !checks;

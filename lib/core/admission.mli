@@ -23,7 +23,12 @@ type report = {
 
 val verdict_to_string : verdict -> string
 
-val review : Transformers.prepared -> report
+val review : ?confree:bool -> Transformers.prepared -> report
+(** [confree] (default [true]) additionally certifies the con-freeness
+    proof set against the bundle: every proof must re-validate its
+    recorded obligations and the proven set must be closed under the
+    call graph; blacklist entries shadowing a proof are surfaced as
+    warnings. *)
 
 val rejections : strict:bool -> report -> string list
 (** The rendered verdicts that sink the update: every [Reject], plus

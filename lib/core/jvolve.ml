@@ -159,10 +159,19 @@ let rec attempt h vm =
   | Pending -> (
       h.h_attempts <- h.h_attempts + 1;
       Jv_obs.Obs.incr vm.State.obs "core.update.attempts";
+      (* per attempt: the restricted-set size the safe-point check feeds
+         on (post con-freeness subtraction), for --metrics and table1 *)
+      Jv_obs.Obs.set_gauge vm.State.obs "core.restricted_set.size"
+        (float_of_int
+           (Safepoint.IntSet.cardinal h.h_restricted.Safepoint.changed
+           + Safepoint.IntSet.cardinal h.h_restricted.Safepoint.stale));
       let t0 = Unix.gettimeofday () in
       match Safepoint.check ~allow_osr:h.h_use_osr vm h.h_restricted with
       | Safepoint.Safe osr_frames -> (
           h.h_sync_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
+          (* time-to-safe-point, in scheduler rounds since the request *)
+          Jv_obs.Obs.observe_int vm.State.obs "core.safepoint.rounds"
+            (vm.State.ticks - h.h_requested_at);
           let replay =
             match h.h_revert_of with
             | Some _ -> vm.State.guard_retained
@@ -189,8 +198,8 @@ let rec attempt h vm =
                        a.Updater.a_reason)
               | None -> ()))
       | Safepoint.Blocked stuck ->
-          h.h_stuck <- Safepoint.blocker_list vm stuck;
-          let blockers = Safepoint.describe_blockers vm stuck in
+          h.h_stuck <- Safepoint.blocker_list vm h.h_restricted stuck;
+          let blockers = Safepoint.describe_blockers vm h.h_restricted stuck in
           if blockers <> h.h_blockers then
             Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.blocked"
               [
@@ -206,8 +215,11 @@ let rec attempt h vm =
               | b :: rest ->
                   Printf.sprintf
                     "timeout: thread %d blocked the DSU safe point in \
-                     restricted frame %s%s"
+                     restricted frame %s%s%s"
                     b.Safepoint.b_tid b.Safepoint.b_method
+                    (match b.Safepoint.b_why with
+                    | None -> ""
+                    | Some w -> " [" ^ w ^ "]")
                     (match rest with
                     | [] -> ""
                     | _ ->
@@ -395,10 +407,26 @@ let request ?(timeout_rounds = default_timeout_rounds) ?(use_osr = true)
       ("timeout_rounds", Jv_obs.Obs.Int timeout_rounds);
       ("guarded", Jv_obs.Obs.Str (string_of_bool (guard <> None)));
     ];
+  (match h.h_restricted.Safepoint.proofs with
+  | None -> ()
+  | Some t ->
+      Jv_obs.Obs.set_gauge vm.State.obs "core.confree.proven"
+        (float_of_int h.h_restricted.Safepoint.proven_off);
+      Jv_obs.Obs.observe vm.State.obs "core.confree.analyze_ms"
+        t.Confree.analyzed_ms;
+      Jv_obs.Obs.emit vm.State.obs ~scope:"core.update" "update.confree"
+        [
+          ( "version",
+            Jv_obs.Obs.Str prepared.Transformers.p_spec.Spec.version_tag );
+          ("summary", Jv_obs.Obs.Str (Confree.summary t));
+          ("proven_off", Jv_obs.Obs.Int h.h_restricted.Safepoint.proven_off);
+        ]);
   let rejected =
     if not admit then []
     else begin
-      let rep = Admission.review prepared in
+      let rep =
+        Admission.review ~confree:vm.State.config.State.confree prepared
+      in
       let obs = vm.State.obs in
       Jv_obs.Obs.incr obs "core.admission.reviews";
       Jv_obs.Obs.observe obs "core.admission.ms" rep.Admission.a_ms;

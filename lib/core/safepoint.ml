@@ -12,6 +12,14 @@
        frames are lifted by OSR;
    (3) methods the user blacklists for version consistency.
 
+   With [config.confree] on, the static con-freeness analysis ([Confree])
+   runs first and every changed method it proves [Identical] or
+   [Compatible] is subtracted from category (1): its old body may legally
+   keep running across the commit, so its frames no longer block the safe
+   point.  User blacklist entries always override a proof, and an
+   opt-compiled caller that inlined a changed body stays restricted unless
+   every body it inlined is itself proven.
+
    When restricted methods are on stack, Jvolve installs a return barrier
    on the topmost restricted frame of each stuck thread and retries when it
    fires. *)
@@ -24,6 +32,8 @@ module Machine = Jv_vm.Machine
 type restricted = {
   changed : IntSet.t; (* categories (1) and (3) + inline callers: blocking *)
   stale : IntSet.t; (* category (2): OSR-able when base-compiled *)
+  proofs : Confree.t option; (* con-freeness verdicts (None: analysis off) *)
+  proven_off : int; (* proven methods subtracted from [changed] *)
 }
 
 let resolve_mref vm (r : Diff.mref) : int option =
@@ -57,13 +67,33 @@ let compute vm (spec : Spec.t) : restricted =
       | Some uid -> add_set changed uid
       | None -> ())
     spec.Spec.diff.Diff.body_updates;
+  (* Con-freeness subtraction: changed methods proven compatible may keep
+     running across the commit.  A user blacklist pin always overrides a
+     proof, so blacklisted uids are never subtracted. *)
+  let blacklist_uids =
+    List.filter_map (resolve_mref vm) spec.Spec.blacklist
+    |> List.fold_left (fun s u -> IntSet.add u s) IntSet.empty
+  in
+  let proofs =
+    if vm.State.config.State.confree then Some (Confree.analyze spec)
+    else None
+  in
+  let proven_off = ref 0 in
+  (match proofs with
+  | None -> ()
+  | Some t ->
+      List.iter
+        (fun r ->
+          match resolve_mref vm r with
+          | Some uid
+            when IntSet.mem uid !changed
+                 && not (IntSet.mem uid blacklist_uids) ->
+              changed := IntSet.remove uid !changed;
+              incr proven_off
+          | _ -> ())
+        (Confree.proven t));
   (* user blacklist: category (3) *)
-  List.iter
-    (fun r ->
-      match resolve_mref vm r with
-      | Some uid -> add_set changed uid
-      | None -> ())
-    spec.Spec.blacklist;
+  IntSet.iter (add_set changed) blacklist_uids;
   (* category (2) *)
   let stale = ref IntSet.empty in
   List.iter
@@ -88,7 +118,10 @@ let compute vm (spec : Spec.t) : restricted =
              && not (IntSet.mem m.Rt.uid !changed) ->
           add_set stale m.Rt.uid
       | _ -> ());
-  { changed = !changed; stale = !stale }
+  (* the seed above is the post-subtraction changed set: an opt caller
+     whose every inlined changed body is proven never joins [stale] —
+     inlined copies of proven bodies may keep running too *)
+  { changed = !changed; stale = !stale; proofs; proven_off = !proven_off }
 
 type check_result =
   | Safe of State.frame list (* base-compiled category-(2) frames to OSR *)
@@ -181,22 +214,56 @@ let unpark_stuck (stuck : (State.vthread * State.frame) list) =
 type blocker = {
   b_tid : int;
   b_method : string; (* qualified name of the topmost restricted frame *)
+  b_why : string option;
+      (* why the frame has no con-freeness proof (timeout diagnostics) *)
 }
 
-let blocker_list vm (stuck : (State.vthread * State.frame) list) :
-    blocker list =
+(* Why a restricted frame could not be proven off the restricted set:
+   the analysis's recorded reason, a blacklist override, or the analysis
+   being off entirely. *)
+let unproven_why vm (r : restricted) (fr : State.frame) : string option =
+  let m = Rt.method_by_uid vm.State.reg fr.State.f_method in
+  let c = Rt.class_by_id vm.State.reg m.Rt.owner in
+  let mref =
+    { Diff.r_class = c.Rt.name; r_name = m.Rt.m_name; r_sig = m.Rt.m_sig }
+  in
+  match r.proofs with
+  | None -> Some "con-freeness analysis off"
+  | Some t -> (
+      match Confree.find t mref with
+      | Some res when res.Confree.cr_verdict = Confree.Restricted ->
+          Some
+            ("no proof: " ^ Confree.reason_to_string res.Confree.cr_reason)
+      | Some res ->
+          (* proven, yet still blocking: a blacklist pin overrode it *)
+          Some
+            (Printf.sprintf "blacklisted (overrides its %s proof)"
+               (Confree.verdict_to_string res.Confree.cr_verdict))
+      | None ->
+          if IntSet.mem fr.State.f_method r.stale then
+            Some "stale compiled code (indirect update), not OSR-able here"
+          else Some "blacklisted"
+      )
+
+let blocker_list vm (r : restricted)
+    (stuck : (State.vthread * State.frame) list) : blocker list =
   stuck
   |> List.map (fun ((t : State.vthread), (fr : State.frame)) ->
          let m = Rt.method_by_uid vm.State.reg fr.State.f_method in
          let c = Rt.class_by_id vm.State.reg m.Rt.owner in
-         { b_tid = t.State.tid; b_method = Rt.method_qname c m })
+         {
+           b_tid = t.State.tid;
+           b_method = Rt.method_qname c m;
+           b_why = unproven_why vm r fr;
+         })
   |> List.sort_uniq compare
 
 let blocker_to_string b =
-  Printf.sprintf "thread %d: %s" b.b_tid b.b_method
+  Printf.sprintf "thread %d: %s%s" b.b_tid b.b_method
+    (match b.b_why with None -> "" | Some w -> " [" ^ w ^ "]")
 
 (* Human-readable description of what blocks the update (for abort
    messages and the experience tables). *)
-let describe_blockers vm (stuck : (State.vthread * State.frame) list) :
-    string =
-  blocker_list vm stuck |> List.map blocker_to_string |> String.concat "; "
+let describe_blockers vm (r : restricted)
+    (stuck : (State.vthread * State.frame) list) : string =
+  blocker_list vm r stuck |> List.map blocker_to_string |> String.concat "; "

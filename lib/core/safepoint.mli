@@ -9,11 +9,19 @@ module State = Jv_vm.State
 type restricted = {
   changed : IntSet.t;
       (** categories (1) and (3): changed bytecode, methods of updated or
-          deleted classes, user blacklist — blocking wherever on stack *)
+          deleted classes, user blacklist — blocking wherever on stack.
+          With [config.confree] on, changed methods the static analysis
+          proves backward-compatible are subtracted (blacklist pins
+          always override a proof). *)
   stale : IntSet.t;
       (** category (2): unchanged bytecode with stale compiled code, plus
           unchanged-bytecode inline callers of restricted methods —
           blocking unless OSR can replace the frame *)
+  proofs : Confree.t option;
+      (** the con-freeness verdicts this computation used ([None] when
+          the analysis is off) *)
+  proven_off : int;
+      (** how many changed methods the proofs subtracted from [changed] *)
 }
 
 val resolve_mref : State.t -> Diff.mref -> int option
@@ -55,13 +63,21 @@ val unpark_stuck : (State.vthread * State.frame) list -> unit
 type blocker = {
   b_tid : int;
   b_method : string;  (** qualified name of the topmost restricted frame *)
+  b_why : string option;
+      (** why the frame has no con-freeness proof: the analysis's
+          recorded reason, a blacklist override, stale compiled code, or
+          the analysis being off *)
 }
 
+val unproven_why : State.t -> restricted -> State.frame -> string option
+(** Why a restricted frame could not be proven off the restricted set. *)
+
 val blocker_list :
-  State.t -> (State.vthread * State.frame) list -> blocker list
+  State.t -> restricted -> (State.vthread * State.frame) list -> blocker list
 (** Deduplicated, sorted (thread, topmost restricted frame) pairs — what
     a safe-point timeout abort names instead of a bare timeout. *)
 
 val blocker_to_string : blocker -> string
 
-val describe_blockers : State.t -> (State.vthread * State.frame) list -> string
+val describe_blockers :
+  State.t -> restricted -> (State.vthread * State.frame) list -> string

@@ -34,6 +34,11 @@ type config = {
   lazy_sweep_budget : int;
       (* objects the background sweeper may transform per scheduler round
          while a lazy update window is open *)
+  confree : bool;
+      (* run the static con-freeness / backward-compatibility analysis at
+         admission time and let proven-compatible changed methods stay on
+         stack across the commit, shrinking the restricted set the DSU
+         safe-point check feeds on *)
 }
 
 let default_config =
@@ -50,6 +55,7 @@ let default_config =
     verify_heap = false;
     lazy_update = false;
     lazy_sweep_budget = 64;
+    confree = true;
   }
 
 (* --- threads --- *)

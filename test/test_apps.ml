@@ -75,10 +75,24 @@ let check_aborted (a : A.Experience.attempt) =
       Alcotest.failf "%s %s->%s should abort but applied"
         a.A.Experience.a_app a.A.Experience.a_from a.A.Experience.a_to
 
-let web_513_fails () =
+(* the paper's 5.1.2 -> 5.1.3 update changes the pool threads' run()
+   loops, which are always on stack.  Without con-freeness analysis the
+   safe point is unreachable; with it (the default) the changed bodies
+   are proven backward-compatible and the update lands first attempt. *)
+let web_513_applies_with_confree () =
   let a =
     A.Experience.run_one ~timeout_rounds:80 A.Experience.web_desc
       ~from_version:"5.1.2" ~to_version:"5.1.3"
+  in
+  ignore (check_applied a);
+  Alcotest.(check int) "no barriers under a proof" 0 a.A.Experience.a_barriers
+
+let web_513_fails_without_confree () =
+  let a =
+    A.Experience.run_one
+      ~config:{ A.Experience.default_config with VM.State.confree = false }
+      ~timeout_rounds:80 A.Experience.web_desc ~from_version:"5.1.2"
+      ~to_version:"5.1.3"
   in
   check_aborted a
 
@@ -95,10 +109,23 @@ let web_515_applies_with_osr () =
   if a.A.Experience.a_requests_after <= a.A.Experience.a_requests_before then
     Alcotest.fail "server stopped serving after update"
 
-let mail_13_fails () =
+(* mail 1.2.4 -> 1.3 body-updates the three always-on-stack run() loops;
+   con-freeness proves them compatible (Main.main stays restricted — it
+   references the deleted AdminTool — but it is never on stack) *)
+let mail_13_applies_with_confree () =
   let a =
     A.Experience.run_one ~timeout_rounds:80 A.Experience.mail_desc
       ~from_version:"1.2.4" ~to_version:"1.3"
+  in
+  ignore (check_applied a);
+  Alcotest.(check int) "no barriers under a proof" 0 a.A.Experience.a_barriers
+
+let mail_13_fails_without_confree () =
+  let a =
+    A.Experience.run_one
+      ~config:{ A.Experience.default_config with VM.State.confree = false }
+      ~timeout_rounds:80 A.Experience.mail_desc ~from_version:"1.2.4"
+      ~to_version:"1.3"
   in
   check_aborted a
 
@@ -195,10 +222,16 @@ let suite =
     Alcotest.test_case "minimail serves" `Quick mail_serves;
     Alcotest.test_case "miniftp serves" `Quick ftp_serves;
     Alcotest.test_case "ministore serves" `Quick store_serves;
-    Alcotest.test_case "web 5.1.3 cannot reach safe point" `Slow web_513_fails;
+    Alcotest.test_case "web 5.1.3 applies via con-freeness" `Slow
+      web_513_applies_with_confree;
+    Alcotest.test_case "web 5.1.3 cannot reach safe point without confree"
+      `Slow web_513_fails_without_confree;
     Alcotest.test_case "web 5.1.5 applies with OSR" `Quick
       web_515_applies_with_osr;
-    Alcotest.test_case "mail 1.3 cannot reach safe point" `Slow mail_13_fails;
+    Alcotest.test_case "mail 1.3 applies via con-freeness" `Slow
+      mail_13_applies_with_confree;
+    Alcotest.test_case "mail 1.3 cannot reach safe point without confree"
+      `Slow mail_13_fails_without_confree;
     Alcotest.test_case "mail 1.3.2 paper example" `Quick
       mail_132_paper_example;
     Alcotest.test_case "ftp 1.08 busy vs idle" `Slow ftp_108_busy_vs_idle;

@@ -1,0 +1,266 @@
+(* Directed tests for the static con-freeness analysis (lib/core/confree).
+
+   Each case builds a two-version program pair, runs [Confree.analyze] on
+   the spec, and checks the verdict (and its machine-checkable reason)
+   for one particular method:
+
+   - identical body in a class that only gains an appended field
+   - "renumber-only" change: the class gains a method, which historically
+     renumbers the constant pool; the symbolic ISA makes the untouched
+     body structurally equal, so it stays provable
+   - a body reading a field whose word offset shifts -> restricted
+   - a body calling into a layout-updated class -> restricted
+   - a blacklist pin shadowing a proof: the pin wins at the safe point
+     and admission surfaces the conflict
+   - mutually recursive changed bodies prove each other (the greatest
+     fixpoint keeps clean cycles proven) *)
+
+module CF = Jv_classfile
+module VM = Jv_vm
+module J = Jvolve_core
+
+let compile = Jv_lang.Compile.compile_program
+
+let mref_of program cname mname : J.Diff.mref =
+  let p = CF.Cls.program_of_list program in
+  match CF.Cls.find_class p cname with
+  | None -> Alcotest.failf "no class %s" cname
+  | Some c -> (
+      match
+        List.find_opt
+          (fun (m : CF.Cls.meth) -> String.equal m.CF.Cls.md_name mname)
+          c.CF.Cls.c_methods
+      with
+      | None -> Alcotest.failf "no method %s.%s" cname mname
+      | Some m ->
+          {
+            J.Diff.r_class = cname;
+            r_name = m.CF.Cls.md_name;
+            r_sig = m.CF.Cls.md_sig;
+          })
+
+let spec_of ?blacklist v1 v2 =
+  let old_program = compile v1 and new_program = compile v2 in
+  (J.Spec.make ?blacklist ~version_tag:"1" ~old_program ~new_program (),
+   old_program)
+
+let verdict_of spec old_program cname mname =
+  let t = J.Confree.analyze spec in
+  match J.Confree.find t (mref_of old_program cname mname) with
+  | Some r -> r
+  | None ->
+      Alcotest.failf "%s.%s is not in the changed-method universe" cname mname
+
+let check_verdict what expected (r : J.Confree.result) =
+  if r.J.Confree.cr_verdict <> expected then
+    Alcotest.failf "%s: expected %s, got %s" what
+      (J.Confree.verdict_to_string expected)
+      (J.Confree.result_to_string r)
+
+(* --- 1. identical body, appended field ------------------------------------ *)
+
+let identical_body () =
+  let v1 =
+    {|
+class Box { int a; int b; int get() { return a + b; } }
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  let v2 =
+    {|
+class Box { int a; int b; int c; int get() { return a + b; } }
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  let spec, oldp = spec_of v1 v2 in
+  let r = verdict_of spec oldp "Box" "get" in
+  check_verdict "appended field, untouched body" J.Confree.Identical r;
+  (match r.J.Confree.cr_reason with
+  | J.Confree.R_bytecode_identical n when n > 0 -> ()
+  | _ ->
+      Alcotest.failf "expected stable-resolution count, got %s"
+        (J.Confree.result_to_string r))
+
+(* --- 2. renumber-only: an added method leaves the body provable ----------- *)
+
+let renumber_only () =
+  let v1 =
+    {|
+class Box { int a; int get() { return a; } }
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  (* adding twice() renumbers the class's constant pool and method table;
+     get() itself is untouched and its burned resolutions are stable *)
+  let v2 =
+    {|
+class Box {
+  int a;
+  int get() { return a; }
+  int twice() { return a * 2; }
+}
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  let spec, oldp = spec_of v1 v2 in
+  check_verdict "added sibling method" J.Confree.Identical
+    (verdict_of spec oldp "Box" "get")
+
+(* --- 3. field whose offset shifts ----------------------------------------- *)
+
+let field_offset_shift () =
+  let v1 =
+    {|
+class Box { int a; int get() { return a; } }
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  (* pad is *prepended*, shifting a's word offset: the old body's burned
+     offset is wrong in the new world *)
+  let v2 =
+    {|
+class Box { int pad; int a; int get() { return a; } }
+class Main { static void main() { Sys.println("" + new Box().get()); } }
+|}
+  in
+  let spec, oldp = spec_of v1 v2 in
+  let r = verdict_of spec oldp "Box" "get" in
+  check_verdict "prepended field" J.Confree.Restricted r;
+  (match r.J.Confree.cr_reason with
+  | J.Confree.R_field_unstable _ -> ()
+  | _ ->
+      Alcotest.failf "expected a field-unstable reason, got %s"
+        (J.Confree.result_to_string r))
+
+(* --- 4. call into a layout-updated class ---------------------------------- *)
+
+let call_into_changed () =
+  let v1 =
+    {|
+class Data { int x; static int make() { return 7; } }
+class Caller { int use() { return Data.make(); } }
+class Main { static void main() { Sys.println("" + new Caller().use()); } }
+|}
+  in
+  (* Data's layout changes (appended field), so every Data method's uid is
+     invalidated at commit; Caller.use's body also changes so it enters
+     the universe — and its burned Data.make uid sinks it *)
+  let v2 =
+    {|
+class Data { int x; int y; static int make() { return 7; } }
+class Caller { int use() { return Data.make() + 0; } }
+class Main { static void main() { Sys.println("" + new Caller().use()); } }
+|}
+  in
+  let spec, oldp = spec_of v1 v2 in
+  let r = verdict_of spec oldp "Caller" "use" in
+  check_verdict "call into updated class" J.Confree.Restricted r;
+  (match r.J.Confree.cr_reason with
+  | J.Confree.R_callee_restricted _ -> ()
+  | _ ->
+      Alcotest.failf "expected a callee-restricted reason, got %s"
+        (J.Confree.result_to_string r))
+
+(* --- 5. blacklist overrides a proof ---------------------------------------- *)
+
+let spinner_v1 =
+  {|
+class Worker {
+  int n;
+  void run() { while (true) { n = n + 1; Thread.yieldNow(); } }
+}
+class Main { static void main() { Thread.spawn(new Worker()); } }
+|}
+
+let spinner_v2 =
+  {|
+class Worker {
+  int n;
+  void run() { while (true) { n = n + 2; Thread.yieldNow(); } }
+}
+class Main { static void main() { Thread.spawn(new Worker()); } }
+|}
+
+let blacklist_overrides_proof () =
+  let old_program = compile spinner_v1 in
+  let blacklist = [ mref_of old_program "Worker" "run" ] in
+  let spec, oldp = spec_of ~blacklist spinner_v1 spinner_v2 in
+  (* the analysis itself still proves the body compatible... *)
+  let r = verdict_of spec oldp "Worker" "run" in
+  check_verdict "provable body" J.Confree.Compatible r;
+  (* ...and reports the pin shadowing the proof *)
+  let t = J.Confree.analyze spec in
+  (match J.Confree.shadowed_by_blacklist t spec with
+  | [ s ] when J.Diff.mref_to_string s.J.Confree.cr_ref = "Worker.run()V" -> ()
+  | l -> Alcotest.failf "expected Worker.run shadowed, got %d entries"
+           (List.length l));
+  (* end to end: with run() pinned and always on stack, the update still
+     aborts even though the analysis is on *)
+  let vm = VM.Vm.create ~config:Helpers.test_config () in
+  VM.Vm.boot vm old_program;
+  ignore (VM.Vm.spawn_main vm ~main_class:"Main");
+  VM.Vm.run vm ~rounds:10;
+  let h = J.Jvolve.update_now ~timeout_rounds:50 vm spec in
+  (match h.J.Jvolve.h_outcome with
+  | J.Jvolve.Aborted a ->
+      let e = J.Updater.abort_to_string a in
+      if not (Helpers.contains e "Worker.run") then
+        Alcotest.failf "abort does not name the pinned frame: %s" e;
+      if not (Helpers.contains e "blacklisted (overrides its compatible proof)")
+      then Alcotest.failf "abort does not explain the shadowed proof: %s" e
+  | o ->
+      Alcotest.failf "pinned update should abort, got %s"
+        (J.Jvolve.outcome_to_string o))
+
+(* --- 6. mutually recursive clean cycle ------------------------------------- *)
+
+let fixpoint_cycle () =
+  let v1 =
+    {|
+class M {
+  int f(int n) { if (n < 1) { return 0; } return g(n - 1); }
+  int g(int n) { if (n < 1) { return 1; } return f(n - 1); }
+}
+class Main { static void main() { Sys.println("" + new M().f(5)); } }
+|}
+  in
+  (* both bodies change, each calls the other: the optimistic fixpoint
+     must keep the clean cycle proven instead of demoting both *)
+  let v2 =
+    {|
+class M {
+  int f(int n) { if (n < 1) { return 5; } return g(n - 1); }
+  int g(int n) { if (n < 1) { return 6; } return f(n - 1); }
+}
+class Main { static void main() { Sys.println("" + new M().f(5)); } }
+|}
+  in
+  let spec, oldp = spec_of v1 v2 in
+  check_verdict "cycle member f" J.Confree.Compatible
+    (verdict_of spec oldp "M" "f");
+  check_verdict "cycle member g" J.Confree.Compatible
+    (verdict_of spec oldp "M" "g")
+
+(* --- 7. the proof set certifies (audit) ------------------------------------ *)
+
+let audit_certifies () =
+  let spec, _ = spec_of spinner_v1 spinner_v2 in
+  let t = J.Confree.analyze spec in
+  Alcotest.(check (list string)) "audit is clean" [] (J.Confree.audit t spec)
+
+let suite =
+  [
+    Alcotest.test_case "identical body, appended field" `Quick identical_body;
+    Alcotest.test_case "renumber-only change stays provable" `Quick
+      renumber_only;
+    Alcotest.test_case "shifted field offset restricts" `Quick
+      field_offset_shift;
+    Alcotest.test_case "call into updated class restricts" `Quick
+      call_into_changed;
+    Alcotest.test_case "blacklist overrides a proof" `Quick
+      blacklist_overrides_proof;
+    Alcotest.test_case "mutually recursive cycle stays proven" `Quick
+      fixpoint_cycle;
+    Alcotest.test_case "proof set certifies under audit" `Quick
+      audit_certifies;
+  ]

@@ -299,14 +299,33 @@ class Main {
 |}
 
 let infinite_loop_blocks () =
+  (* con-freeness would prove this body-only change compatible and skip
+     the barrier entirely; this test pins the barrier machinery itself,
+     so run it with the analysis off *)
   let _vm, h =
-    run_update ~tag:"3" ~timeout_rounds:50 ~cooldown:10 ~v1:spinner_v1
-      ~v2:spinner_v2 ()
+    run_update
+      ~config:{ Helpers.test_config with VM.State.confree = false }
+      ~tag:"3" ~timeout_rounds:50 ~cooldown:10 ~v1:spinner_v1 ~v2:spinner_v2 ()
   in
   check_aborted h ~substr:"Worker.run";
   (* a return barrier was installed on the stuck frame *)
   if h.J.Jvolve.h_barriers_installed < 1 then
     Alcotest.fail "expected a return barrier installation"
+
+(* the same spinner with the con-freeness analysis on: the changed body
+   touches only its own (unchanged-layout) field, so the analysis proves
+   it compatible and the update lands first attempt, no barrier *)
+let infinite_loop_proven_compatible () =
+  let _vm, h =
+    run_update ~tag:"3" ~timeout_rounds:50 ~cooldown:10 ~v1:spinner_v1
+      ~v2:spinner_v2 ()
+  in
+  ignore (check_applied h);
+  if h.J.Jvolve.h_attempts <> 1 then
+    Alcotest.failf "expected first-attempt success, took %d"
+      h.J.Jvolve.h_attempts;
+  if h.J.Jvolve.h_barriers_installed <> 0 then
+    Alcotest.fail "no barrier should be needed under a con-freeness proof"
 
 (* --- 5. return barrier lets the update through ----------------------------- *)
 
@@ -348,10 +367,14 @@ class Main {
 
 let return_barrier_applies () =
   (* request while work() (a changed method) is on stack: Jvolve must
-     install a return barrier and apply the update when work() returns *)
+     install a return barrier and apply the update when work() returns.
+     Run with con-freeness off — the analysis would prove this body-only
+     change compatible and bypass the barrier this test pins. *)
   let vm, h =
-    run_update ~tag:"4" ~warmup:20 ~cooldown:600 ~timeout_rounds:500
-      ~v1:barrier_v1 ~v2:barrier_v2 ()
+    run_update
+      ~config:{ Helpers.test_config with VM.State.confree = false }
+      ~tag:"4" ~warmup:20 ~cooldown:600 ~timeout_rounds:500 ~v1:barrier_v1
+      ~v2:barrier_v2 ()
   in
   ignore (check_applied h);
   if h.J.Jvolve.h_barriers_installed < 1 then
@@ -677,6 +700,8 @@ let suite =
       paper_example_default_transformer;
     Alcotest.test_case "infinite loop blocks update" `Quick
       infinite_loop_blocks;
+    Alcotest.test_case "infinite loop proven compatible" `Quick
+      infinite_loop_proven_compatible;
     Alcotest.test_case "return barrier applies update" `Quick
       return_barrier_applies;
     Alcotest.test_case "OSR lifts category 2" `Quick osr_lifts_category2;

@@ -612,7 +612,7 @@ let diff_drive vm (d : A.Experience.app_desc) buf =
     d.A.Experience.d_loads
 
 (* One rung, one mode: boot at [from_version], drive, update, drive. *)
-let diff_rung ~lazy_mode ~warmup (d : A.Experience.app_desc)
+let diff_rung ?(confree = true) ~lazy_mode ~warmup (d : A.Experience.app_desc)
     (from_version, to_version) : string =
   let config =
     if lazy_mode then
@@ -620,8 +620,9 @@ let diff_rung ~lazy_mode ~warmup (d : A.Experience.app_desc)
         A.Experience.default_config with
         VM.State.lazy_update = true;
         VM.State.lazy_sweep_budget = 16;
+        confree;
       }
-    else A.Experience.default_config
+    else { A.Experience.default_config with VM.State.confree = confree }
   in
   let vm = A.Experience.boot_version ~config d ~version:from_version in
   VM.Vm.run vm ~rounds:warmup;
@@ -685,6 +686,57 @@ let lazy_eager_differential =
         A.Experience.all_apps;
       true)
 
+(* --- con-freeness differential over the app ladders --------------------------
+
+   For every rung of every app's update ladder, two fresh VMs — one with
+   the con-freeness analysis on, one with it off — run the exact same
+   scripted sessions before and after the update attempt.  The analysis
+   may only *relax* the safe-point condition, never break an update or
+   change observable behaviour:
+
+   - if the rung applies with the analysis off, it must also apply with
+     it on (the proven set only shrinks the restricted set);
+   - when both apply, the transcripts must be byte-identical (a proof
+     lets old code keep running, it never changes what that code does);
+   - rungs the analysis newly unlocks (off times out, on applies) are
+     the win this feature exists for — counted, and at least one must
+     appear across the four ladders (miniweb 5.1.3 at minimum). *)
+
+let confree_differential =
+  QCheck.Test.make ~name:"con-freeness only relaxes the safe point"
+    ~count:1
+    QCheck.(make Gen.(int_range 0 10))
+    (fun warmup ->
+      let unlocked = ref 0 in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun rung ->
+              let on = diff_rung ~confree:true ~lazy_mode:false ~warmup d rung in
+              let off = diff_rung ~confree:false ~lazy_mode:false ~warmup d rung in
+              let applied t = Helpers.contains t "update: applied\n" in
+              match (applied on, applied off) with
+              | false, true ->
+                  QCheck.Test.fail_reportf
+                    "%s %s->%s: applies without con-freeness but not with it"
+                    d.A.Experience.d_name (fst rung) (snd rung)
+              | true, true ->
+                  if not (String.equal on off) then
+                    QCheck.Test.fail_reportf
+                      "%s %s->%s: transcripts diverge\n--- on ---\n%s\n--- \
+                       off ---\n%s"
+                      d.A.Experience.d_name (fst rung) (snd rung) on off
+              | true, false -> incr unlocked
+              | false, false -> ())
+            (List.map
+               (fun ((fv, _), (tv, _)) -> (fv, tv))
+               (A.Patching.update_pairs d.A.Experience.d_versioned)))
+        A.Experience.all_apps;
+      if !unlocked < 1 then
+        QCheck.Test.fail_reportf
+          "expected at least one rung only the analysis unlocks, found none";
+      true)
+
 (* --- the verifier collects stale update-log copies itself -------------------
 
    Regression for the observability footgun: after an *unguarded* eager
@@ -721,6 +773,7 @@ let suite =
     QCheck_alcotest.to_alcotest admitted_specs_verify;
     QCheck_alcotest.to_alcotest rollout_converges;
     QCheck_alcotest.to_alcotest lazy_eager_differential;
+    QCheck_alcotest.to_alcotest confree_differential;
     Alcotest.test_case "heapverify auto-collects stale copies" `Quick
       verifier_autocollects_stale_copies;
   ]
