@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke lazy-smoke confree-smoke clean
+.PHONY: all check test bench bench-smoke chaos-smoke safety-smoke guard-smoke gossip-smoke store-smoke lazy-smoke confree-smoke heal-smoke clean
 
 all:
 	dune build @all
@@ -105,6 +105,21 @@ confree-smoke:
 	grep -E "^on " _build/confree-smoke.out | grep -q " yes "
 	grep -E "^off " _build/confree-smoke.out | grep -q "no (timeout)"
 	grep -Eq "^off +6 " _build/confree-smoke.out
+
+# Self-healing probe: a seeded kill plan takes instances down
+# mid-rollout and the supervisor must restart, restore, catch up and
+# readmit every corpse — full strength on one version with zero
+# residual errors, a restarted ministore serving its pre-crash records
+# bit-for-bit at the current schema, and the whole recovery transcript
+# byte-identical across two runs of the same (plan, seed).
+heal-smoke:
+	JVOLVE_BENCH_QUICK=1 dune exec bench/main.exe -- fleet --heal \
+	  | tee _build/heal-smoke.out
+	grep -q "full strength:" _build/heal-smoke.out
+	grep -q "residual errors:.*PASS" _build/heal-smoke.out
+	grep -q "pre-crash records served bit-for-bit after recovery" _build/heal-smoke.out
+	grep -q "byte-identical across runs" _build/heal-smoke.out
+	! grep -q "FAIL" _build/heal-smoke.out
 
 clean:
 	dune clean

@@ -182,6 +182,72 @@ let convergence () =
         (F.Fleet.dropped_in_flight fleet))
     rates
 
+(* Kills enabled: the storm now takes whole VMs down mid-rollout, and the
+   supervisor must restart, catch up and readmit every corpse — the
+   fleet has to return to full strength on one version, with zero
+   instances lost for good. *)
+let kill_convergence () =
+  Support.section
+    "CHAOS: kill-storm convergence (vm.crash kills mid-rollout, \
+     supervisor restarts + ladder catch-up, quarantine on exhaustion)";
+  let kill_counts = if Support.quick then [ 0; 1 ] else [ 0; 1; 2; 4 ] in
+  List.iter
+    (fun kills ->
+      let fleet = boot_fleet ~size:4 in
+      let plan = Faults.create ~seed:77 () in
+      if kills > 0 then
+        Faults.arm plan ~point:"vm.crash" ~rate:0.002 ~max_fires:kills
+          Faults.Kill;
+      F.Fleet.set_faults fleet (Some plan);
+      let orch =
+        F.Orchestrator.create ~params:chaos_params ~fleet
+          ~to_version:"5.1.2" ()
+      in
+      let sup =
+        F.Supervisor.create
+          ~params:
+            {
+              F.Supervisor.default_params with
+              F.Supervisor.s_backoff_base = 20;
+            }
+          ~fleet ()
+      in
+      let rec drive n =
+        if n > 30_000 then None
+        else
+          match F.Orchestrator.result orch with
+          | Some r when F.Supervisor.settled sup -> Some r
+          | _ ->
+              F.Fleet.round fleet;
+              F.Orchestrator.step orch;
+              F.Supervisor.step sup;
+              drive (n + 1)
+      in
+      let r = drive 0 in
+      F.Fleet.set_faults fleet None;
+      F.Fleet.run fleet ~rounds:30;
+      let alive = F.Supervisor.alive sup in
+      let verdict =
+        match (F.Fleet.uniform_version fleet, alive) with
+        | Some v, a when a = 4 -> Printf.sprintf "full strength on %s" v
+        | Some v, a -> Printf.sprintf "%d/4 alive on %s" a v
+        | None, a -> Printf.sprintf "MIXED VERSIONS (%d/4 alive)" a
+      in
+      Printf.printf
+        "    kills %d: %-26s %5d rounds, %d restarts, %d recovered, %d \
+         parked, %d aborts (%d unclean)\n"
+        kills verdict
+        (match r with Some r -> r.F.Orchestrator.r_rounds | None -> -1)
+        (F.Supervisor.restarts sup)
+        (List.length (F.Supervisor.recovered sup))
+        (List.length (F.Supervisor.parked sup))
+        (match r with
+        | Some r -> List.length r.F.Orchestrator.r_aborted
+        | None -> -1)
+        (match r with Some r -> unclean_aborts r | None -> -1))
+    kill_counts
+
 let run () =
   abort_cost ();
-  convergence ()
+  convergence ();
+  kill_convergence ()

@@ -309,6 +309,271 @@ let gossip_fence () =
          r.G.Gossip.gr_guard_trips r.G.Gossip.gr_reverts
      else "DID NOT FENCE")
 
+(* --- self-healing: supervised recovery under a kill storm --------------- *)
+
+let heal_supervisor_params =
+  {
+    F.Supervisor.default_params with
+    F.Supervisor.s_backoff_base = 20;
+    s_snapshot_every = 40;
+  }
+
+let heal_orch_params ~batch =
+  {
+    (F.Orchestrator.default_params
+       (F.Orchestrator.Rolling { batch_size = batch }))
+    with
+    F.Orchestrator.update_timeout = 250;
+    max_retries = 1;
+    backoff_base = 20;
+    on_exhausted = `Quarantine;
+  }
+
+(* Drive rollout + supervisor (+ open-loop arrivals) until the rollout
+   has a result AND every recovery has finished, or [max_rounds]
+   elapse. *)
+let drive_heal ~fleet ~orch ~sup ?ol ~max_rounds () =
+  let tick () =
+    F.Fleet.round fleet;
+    F.Orchestrator.step orch;
+    F.Supervisor.step sup;
+    match ol with
+    | None -> ()
+    | Some ol -> F.Openloop.step ol ~tick:(F.Fleet.ticks fleet)
+  in
+  let rec go n =
+    if n >= max_rounds then ()
+    else
+      match F.Orchestrator.result orch with
+      | Some _ when F.Supervisor.settled sup -> ()
+      | _ ->
+          tick ();
+          go (n + 1)
+  in
+  go 0
+
+let mttr_line obs =
+  match Obs.find_histogram obs "fleet.mttr_rounds" with
+  | Some h when Metrics.count h > 0 ->
+      Printf.sprintf "p50 %.0f max %.0f rounds over %d recoveries"
+        (Metrics.quantile h 0.5) (Metrics.quantile h 1.0) (Metrics.count h)
+  | _ -> "n/a (no recoveries)"
+
+(* The supervisor's recovery transcript: the deterministic down -> up
+   event arc, for byte-identical replay checks. *)
+let heal_transcript fleet =
+  let keep = function
+    | "instance.down" | "restart.scheduled" | "restart.failed"
+    | "instance.restart" | "instance.parked" | "instance.readmit"
+    | "snapshot.failed" | "probe.unhealthy" ->
+        true
+    | _ -> false
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (ev : Obs.event) ->
+      if keep ev.Obs.ev_name then begin
+        Buffer.add_string buf
+          (Printf.sprintf "[%d] %s %s" ev.Obs.ev_tick ev.Obs.ev_name
+             (String.concat " "
+                (List.map
+                   (fun (k, v) ->
+                     k ^ "="
+                     ^
+                     match v with
+                     | Obs.Int i -> string_of_int i
+                     | Obs.Float f -> Printf.sprintf "%.3f" f
+                     | Obs.Str s -> s)
+                   ev.Obs.ev_fields)));
+        Buffer.add_char buf '\n'
+      end)
+    (Obs.events (F.Fleet.obs fleet));
+  Buffer.contents buf
+
+(* One supervised kill-storm rollout; returns (fleet, reconciled result
+   option, supervisor, transcript).  [size/5] seeded kills (a 20% storm)
+   fire while the rolling update is in flight; the supervisor restarts,
+   restores, catches up and readmits each corpse. *)
+let heal_storm_run ~size ~seed =
+  let kills = max 1 (size / 5) in
+  let fleet, ol = boot_open_loop ~version:"5.1.1" ~size ~rate:4.0 in
+  let plan =
+    match
+      Jv_faults.Faults.parse ~seed
+        (Printf.sprintf "vm.crash=kill@0.002x%d" kills)
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  F.Fleet.set_faults fleet (Some plan);
+  let orch =
+    F.Orchestrator.create
+      ~params:(heal_orch_params ~batch:(max 1 (size / 8)))
+      ~fleet ~to_version:"5.1.2" ()
+  in
+  let sup = F.Supervisor.create ~params:heal_supervisor_params ~fleet () in
+  drive_heal ~fleet ~orch ~sup ~ol ~max_rounds:30_000 ();
+  let r =
+    Option.map
+      (fun r ->
+        F.Orchestrator.reconcile r ~recovered:(F.Supervisor.recovered sup))
+      (F.Orchestrator.result orch)
+  in
+  (fleet, ol, r, sup, plan)
+
+let heal_storm () =
+  let size = if Support.quick then 4 else 64 in
+  let kills = max 1 (size / 5) in
+  Support.section
+    (Printf.sprintf
+       "FLEET: self-healing kill storm (miniweb 5.1.1 -> 5.1.2, %d \
+        instances, %d seeded kills mid-rollout, supervisor on)"
+       size kills);
+  let fleet, ol, r, sup, plan = heal_storm_run ~size ~seed:7 in
+  let obs = F.Fleet.obs fleet in
+  (* storm over: measure residual errors on the healed fleet *)
+  let errs0 = F.Openloop.errors ol in
+  for _ = 1 to 300 do
+    F.Fleet.round fleet;
+    F.Supervisor.step sup;
+    F.Openloop.step ol ~tick:(F.Fleet.ticks fleet)
+  done;
+  let _drained =
+    F.Openloop.drain ol
+      ~tick:(F.Fleet.ticks fleet)
+      ~round:(fun () -> F.Fleet.round fleet)
+      ~patience:600
+  in
+  let residual = F.Openloop.errors ol - errs0 in
+  let alive = F.Supervisor.alive sup in
+  (match r with
+  | Some r ->
+      Printf.printf "    %-44s %s\n" "outcome:"
+        (Fmt.str "%a" F.Orchestrator.pp_result r)
+  | None -> Printf.printf "    %-44s DID NOT FINISH\n" "outcome:");
+  Printf.printf "    %-44s %d fired (%d kill budget)\n" "kill storm:"
+    (Jv_faults.Faults.fired plan) kills;
+  Printf.printf "    %-44s %d restart(s), %d recovered, %d parked\n"
+    "supervisor:" (F.Supervisor.restarts sup)
+    (List.length (F.Supervisor.recovered sup))
+    (List.length (F.Supervisor.parked sup));
+  Printf.printf "    %-44s %s\n" "MTTR:" (mttr_line obs);
+  Printf.printf "    %-44s %d round(s)\n" "time below capacity:"
+    (F.Supervisor.below_capacity_rounds sup);
+  Printf.printf "    %-44s p50 %.0f p99 %.0f rounds, %d dropped in flight\n"
+    "open-loop latency:"
+    (F.Openloop.latency_quantile ol 0.5)
+    (F.Openloop.latency_quantile ol 0.99)
+    (F.Openloop.dropped_in_flight ol + F.Lb.dropped (F.Fleet.lb fleet));
+  let uniform = F.Fleet.uniform_version fleet in
+  Printf.printf "    %-44s %d/%d alive at %s -- %s\n" "full strength:" alive
+    size
+    (match uniform with Some v -> v ^ " (uniform)" | None -> "MIXED")
+    (if alive = size && uniform <> None then "PASS" else "FAIL");
+  Printf.printf "    %-44s %d -- %s\n" "residual errors:" residual
+    (if residual = 0 then "PASS" else "FAIL")
+
+(* A restarted ministore instance must come back serving its pre-crash
+   records, migrated forward through the schema hop it missed: the
+   fleet rolls 1.0 -> 1.1, writes stop, the supervisor snapshots, a
+   seeded crash kills instance 0, and the recovered store's scrape must
+   be bit-for-bit the pre-crash scrape. *)
+let heal_durability () =
+  Support.section
+    "FLEET: durable ministore recovery (snapshot restore + schema \
+     catch-up through a missed 1.0 -> 1.1 hop)";
+  let size = 4 in
+  let fleet =
+    boot_under_load ~profile:F.Profile.ministore ~version:"1.0" ~size ()
+  in
+  let req0 = F.Fleet.total_requests fleet in
+  let r =
+    F.Orchestrator.run ~params:rolling_params ~fleet ~to_version:"1.1" ()
+  in
+  F.Fleet.detach_loads fleet;
+  (* writes frozen: run to a snapshot boundary so the supervisor holds a
+     current image of every store *)
+  let sup = F.Supervisor.create ~params:heal_supervisor_params ~fleet () in
+  for _ = 1 to 2 * heal_supervisor_params.F.Supervisor.s_snapshot_every do
+    F.Fleet.round fleet;
+    F.Supervisor.step sup
+  done;
+  let victim = 0 in
+  let pre =
+    match
+      Jv_apps.Ministore.scrape (F.Fleet.instance fleet victim).F.Instance.i_vm
+    with
+    | Ok s -> s
+    | Error e -> failwith ("pre-crash scrape failed: " ^ e)
+  in
+  (* the seeded crash: rate 1.0, one fire — instance 0 dies on the next
+     consult (round order makes that deterministic) *)
+  let plan =
+    match Jv_faults.Faults.parse ~seed:3 "vm.crash=kill@1.0x1" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  F.Fleet.set_faults fleet (Some plan);
+  let rounds = ref 0 in
+  while (not (F.Supervisor.settled sup)) || !rounds < 5 do
+    F.Fleet.round fleet;
+    F.Supervisor.step sup;
+    incr rounds;
+    if !rounds > 20_000 then failwith "durability leg did not settle"
+  done;
+  let post =
+    match
+      Jv_apps.Ministore.scrape (F.Fleet.instance fleet victim).F.Instance.i_vm
+    with
+    | Ok s -> s
+    | Error e -> failwith ("post-recovery scrape failed: " ^ e)
+  in
+  Printf.printf "    %-44s %s\n" "rollout:"
+    (Fmt.str "%a" F.Orchestrator.pp_result r);
+  Printf.printf "    %-44s %d restart(s), %d recovered\n" "supervisor:"
+    (F.Supervisor.restarts sup)
+    (List.length (F.Supervisor.recovered sup));
+  Printf.printf "    %-44s %d records at schema %s\n" "pre-crash store:"
+    (List.length pre.Jv_apps.Ministore.s_records)
+    pre.Jv_apps.Ministore.s_version;
+  Printf.printf "    %-44s %d records at schema %s\n" "recovered store:"
+    (List.length post.Jv_apps.Ministore.s_records)
+    post.Jv_apps.Ministore.s_version;
+  let same =
+    pre.Jv_apps.Ministore.s_records = post.Jv_apps.Ministore.s_records
+    && pre.Jv_apps.Ministore.s_version = post.Jv_apps.Ministore.s_version
+  in
+  Printf.printf "    %-44s %s -- %s\n" "durability:"
+    (if same then "pre-crash records served bit-for-bit after recovery"
+     else "RECORDS DIVERGED")
+    (if same then "PASS" else "FAIL");
+  ignore req0
+
+(* Same (plan, seed) must give the same recovery, byte for byte: two
+   independent storms compared on their supervisor event transcripts. *)
+let heal_determinism () =
+  Support.section
+    "FLEET: recovery determinism (same seeded kill plan, twice; \
+     transcripts must be byte-identical)";
+  let size = if Support.quick then 4 else 8 in
+  let once () =
+    let fleet, _ol, _r, _sup, _plan = heal_storm_run ~size ~seed:13 in
+    heal_transcript fleet
+  in
+  let a = once () in
+  let b = once () in
+  let lines = List.length (String.split_on_char '\n' a) - 1 in
+  Printf.printf "    %-44s %d transcript line(s)\n" "recovery events:" lines;
+  Printf.printf "    %-44s %s -- %s\n" "replay:"
+    (if a = b then "byte-identical across runs"
+     else "TRANSCRIPTS DIVERGED")
+    (if a = b && lines > 0 then "PASS" else "FAIL")
+
+let run_heal () =
+  heal_storm ();
+  heal_durability ();
+  heal_determinism ()
+
 let run_gossip () =
   gossip_rollout ();
   gossip_fence ()

@@ -14,8 +14,14 @@
                                            # 256-instance quorum epoch
                                            # agreement under open-loop load
                                            # (alias: gossip)
+     dune exec bench/main.exe fleet --heal # self-healing: supervised
+                                           # kill-storm recovery, ministore
+                                           # snapshot/restore durability,
+                                           # byte-identical replay
+                                           # (alias: heal)
      dune exec bench/main.exe chaos        # fault injection: abort cost,
-                                           # convergence under fault rates
+                                           # convergence under fault rates,
+                                           # kill-storm heal convergence
      dune exec bench/main.exe safety       # admission latency, verifier
                                            # pause cost, fault gauntlet
      dune exec bench/main.exe guard        # guard window: revert pause,
@@ -40,8 +46,8 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig5|experience|table2|table3|table4|overhead|\
-     ablation|micro|fleet|fleet --gossip|gossip|chaos|safety|guard|store|\
-     guard --lazy|store --lazy|confree|all]";
+     ablation|micro|fleet|fleet --gossip|gossip|fleet --heal|heal|chaos|\
+     safety|guard|store|guard --lazy|store --lazy|confree|all]";
   exit 1
 
 let run_one = function
@@ -54,6 +60,7 @@ let run_one = function
   | "micro" -> Micro.run ()
   | "fleet" -> Fleet.run ()
   | "gossip" -> Fleet.run_gossip ()
+  | "heal" -> Fleet.run_heal ()
   | "chaos" -> Chaos.run ()
   | "safety" -> Safety.run ()
   | "guard" -> Guard_bench.run ()
@@ -70,6 +77,7 @@ let run_one = function
       Micro.run ();
       Fleet.run ();
       Fleet.run_gossip ();
+      Fleet.run_heal ();
       Chaos.run ();
       Safety.run ();
       Guard_bench.run ();
@@ -89,6 +97,7 @@ let () =
   (match Array.to_list Sys.argv with
   | [ _ ] -> run_one "all"
   | [ _; "fleet"; "--gossip" ] -> run_one "gossip"
+  | [ _; "fleet"; "--heal" ] -> run_one "heal"
   | [ _; "store"; "--lazy" ] -> Store_bench.run_lazy ()
   | [ _; "guard"; "--lazy" ] -> Guard_bench.run_lazy ()
   | [ _; cmd ] -> run_one cmd

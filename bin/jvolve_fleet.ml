@@ -32,8 +32,8 @@ let print_versions fleet =
 let run app_name from_v to_v size mode batch canaries observe drain_timeout
     timeout_rounds probes max_retries backoff_base quarantine admit_strict
     verify_heap transformer_fuel confree guard_rounds guard_budget no_guard
-    faults fault_seed concurrency policy gossip fanout quorum trace metrics
-    verbose =
+    faults fault_seed concurrency policy gossip fanout quorum supervise
+    restart_backoff max_restarts snapshot_every trace metrics verbose =
   match F.Profile.by_name app_name with
   | None ->
       Printf.eprintf "unknown app %S (try: %s)\n" app_name
@@ -133,6 +133,33 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
         ignore (F.Fleet.attach_load ~concurrency fleet);
         F.Fleet.run fleet ~rounds:120;
         let req0 = F.Fleet.total_requests fleet in
+        let sup =
+          if supervise then
+            Some
+              (F.Supervisor.create
+                 ~params:
+                   {
+                     F.Supervisor.default_params with
+                     F.Supervisor.s_backoff_base = restart_backoff;
+                     s_max_restarts = max_restarts;
+                     s_snapshot_every = snapshot_every;
+                   }
+                 ~fleet ())
+          else None
+        in
+        let print_supervisor () =
+          match sup with
+          | None -> ()
+          | Some sup ->
+              Printf.printf
+                "supervisor: %d restart(s), %d recovered, %d parked, %d \
+                 alive, %d round(s) below capacity\n"
+                (F.Supervisor.restarts sup)
+                (List.length (F.Supervisor.recovered sup))
+                (List.length (F.Supervisor.parked sup))
+                (F.Supervisor.alive sup)
+                (F.Supervisor.below_capacity_rounds sup)
+        in
         if gossip then begin
           (* decentralized path: no orchestrator — a proposal injected
              at node 0 spreads by rumor, every instance applies on its
@@ -156,9 +183,19 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
             }
           in
           let g = G.Gossip.create ?chaos:plan ~params:gparams ~fleet () in
+          (match sup with
+          | None -> ()
+          | Some sup ->
+              (* a restarted instance also rebuilds its gossip node and
+                 bootstraps its mempool from a peer *)
+              F.Supervisor.set_on_restarted sup (fun id ->
+                  G.Gossip.rejoin g id));
           ignore (G.Gossip.propose g ~origin:0 ~to_version:to_v);
           let last = ref "" in
           let on_round g =
+            (match sup with
+            | None -> ()
+            | Some sup -> F.Supervisor.step sup);
             if verbose then begin
               let counts = Hashtbl.create 4 in
               for id = 0 to F.Fleet.size fleet - 1 do
@@ -178,12 +215,24 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
             end
           in
           let rounds = G.Gossip.run g ~on_round ~max_rounds:20_000 () in
+          (* let in-flight recoveries finish: the gossip loop may have
+             quiesced while a restarted node was still probing *)
+          (match sup with
+          | None -> ()
+          | Some sup ->
+              let budget = ref 20_000 in
+              while (not (F.Supervisor.settled sup)) && !budget > 0 do
+                G.Gossip.step g;
+                F.Supervisor.step sup;
+                decr budget
+              done);
           F.Fleet.run fleet ~rounds:50;
           let served = F.Fleet.total_requests fleet - req0 in
           let dropped = F.Fleet.dropped_in_flight fleet in
           F.Fleet.detach_loads fleet;
           let r = G.Gossip.report g ~rounds in
           Printf.printf "%s\n" (Fmt.str "%a" G.Gossip.pp_report r);
+          print_supervisor ();
           Printf.printf
             "connections: %d dropped in flight, %d rejected at the door, %d \
              requests served during the rollout\n"
@@ -216,6 +265,9 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
           | None ->
               F.Fleet.round fleet;
               F.Orchestrator.step orch;
+              (match sup with
+              | None -> ()
+              | Some sup -> F.Supervisor.step sup);
               (if verbose then
                  let d = F.Orchestrator.describe orch in
                  if d <> !last then begin
@@ -225,11 +277,28 @@ let run app_name from_v to_v size mode batch canaries observe drain_timeout
               drive ()
         in
         let r = drive () in
+        (* let in-flight recoveries finish, then fold supervisor rescues
+           into the result: a quarantined-then-readmitted instance moves
+           from r_quarantined to r_recovered *)
+        let r =
+          match sup with
+          | None -> r
+          | Some sup ->
+              let budget = ref 20_000 in
+              while (not (F.Supervisor.settled sup)) && !budget > 0 do
+                F.Fleet.round fleet;
+                F.Supervisor.step sup;
+                decr budget
+              done;
+              F.Orchestrator.reconcile r
+                ~recovered:(F.Supervisor.recovered sup)
+        in
         F.Fleet.run fleet ~rounds:50;
         let served = F.Fleet.total_requests fleet - req0 in
         let dropped = F.Fleet.dropped_in_flight fleet in
         F.Fleet.detach_loads fleet;
         Printf.printf "%s\n" (Fmt.str "%a" F.Orchestrator.pp_result r);
+        print_supervisor ();
         Printf.printf
           "connections: %d dropped in flight, %d rejected at the door, %d \
            requests served during the rollout\n"
@@ -441,6 +510,37 @@ let quorum =
              ~doc:"Gossip: apply once ceil($(docv) * size) positive \
                    votes are in the local mempool.")
 
+let supervise =
+  Arg.(value & flag & info [ "supervise" ]
+         ~doc:"Run the self-healing supervisor alongside the rollout: \
+               crashed (or quarantined) instances are restarted with \
+               exponential backoff, restored from their latest state \
+               snapshot, caught up through every missed version hop via \
+               the normal update pipeline, and readmitted only after \
+               health probes pass.  Crash-looping instances are parked \
+               after --max-restarts attempts.")
+
+let restart_backoff =
+  Arg.(value & opt int F.Supervisor.default_params.F.Supervisor.s_backoff_base
+         & info [ "restart-backoff" ] ~docv:"ROUNDS"
+             ~doc:"Supervisor: rounds before the first restart attempt; \
+                   doubles per consecutive crash.")
+
+let max_restarts =
+  Arg.(value & opt int F.Supervisor.default_params.F.Supervisor.s_max_restarts
+         & info [ "max-restarts" ] ~docv:"N"
+             ~doc:"Supervisor: restart attempts per instance before it is \
+                   parked permanently as crash-looping.")
+
+let snapshot_every =
+  Arg.(value
+         & opt int F.Supervisor.default_params.F.Supervisor.s_snapshot_every
+         & info [ "snapshot-every" ] ~docv:"ROUNDS"
+             ~doc:"Supervisor: rounds between state snapshots of stateful \
+                   apps (ministore); a restarted instance replays its \
+                   latest snapshot before catching up.  0 disables \
+                   snapshots.")
+
 let trace =
   Arg.(value & opt ~vopt:(Some "") (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -468,6 +568,7 @@ let cmd =
       $ backoff_base $ quarantine $ admit_strict $ verify_heap
       $ transformer_fuel $ confree $ guard_rounds $ guard_budget $ no_guard
       $ faults $ fault_seed $ concurrency $ policy $ gossip $ fanout $ quorum
-      $ trace $ metrics $ verbose)
+      $ supervise $ restart_backoff $ max_restarts $ snapshot_every $ trace
+      $ metrics $ verbose)
 
 let () = exit (Cmd.eval' cmd)

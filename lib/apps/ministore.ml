@@ -539,3 +539,200 @@ let overrides ~to_version =
         ov_inverse_object = [ ("Rec", rec_blob_inv) ];
       }
   | _ -> Common.no_overrides
+
+(* --- state snapshot / restore ----------------------------------------- *)
+
+(* Durability for the stateful workload: a snapshot is a wire-level
+   scrape of the live store — STAT for the shape, SCAN for every page
+   (yielding the record set in page-append order), GET for each record —
+   serialized with a checksum.  Restoring replays the records as PUTs
+   into a freshly booted base-version VM; because the wire protocol is
+   version-stable and [Store.put] only appends *new* keys to the page
+   index, a replay in snapshot order reconstructs the page directory
+   exactly, after which the normal update ladder migrates the recovered
+   data forward through any schema hops the dead instance missed. *)
+
+type snapshot = {
+  s_version : string; (* schema the store was serving when scraped *)
+  s_tick : int; (* VM tick at scrape time *)
+  s_records : (int * int * string) list; (* key, meta word, value text *)
+}
+
+exception Wire_error of string
+
+(* One synchronous client session against the in-VM server, driving the
+   VM's own scheduler until each reply lands. *)
+let wire_session vm (lines : string list) : string list =
+  let net = vm.Jv_vm.State.net in
+  match Jv_simnet.Simnet.connect net ~port with
+  | None -> raise (Wire_error "connect refused")
+  | Some cid ->
+      let recv_one sent =
+        let resp = ref None in
+        let budget = ref 500 in
+        while !resp = None && !budget > 0 do
+          Jv_vm.Vm.run vm ~rounds:1;
+          decr budget;
+          match Jv_simnet.Simnet.client_recv net ~conn_id:cid with
+          | `Line l -> resp := Some l
+          | `Eof -> raise (Wire_error ("EOF awaiting reply to " ^ sent))
+          | `Wait -> ()
+        done;
+        match !resp with
+        | Some l -> l
+        | None -> raise (Wire_error ("no reply to " ^ sent))
+      in
+      let resps =
+        List.map
+          (fun line ->
+            Jv_simnet.Simnet.client_send net ~conn_id:cid line;
+            recv_one line)
+          lines
+      in
+      Jv_simnet.Simnet.client_close net ~conn_id:cid;
+      resps
+
+let field_after ~tag reply =
+  let pat = " " ^ tag ^ "=" in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length reply then
+      raise (Wire_error ("missing field " ^ tag ^ " in: " ^ reply))
+    else if String.sub reply i plen = pat then i + plen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop =
+    match String.index_from_opt reply start ' ' with
+    | Some j -> j
+    | None -> String.length reply
+  in
+  String.sub reply start (stop - start)
+
+let int_field ~tag reply =
+  match int_of_string_opt (field_after ~tag reply) with
+  | Some n -> n
+  | None -> raise (Wire_error ("bad integer field " ^ tag ^ " in: " ^ reply))
+
+(* The value is the *rest of the line* after " v=", so it survives even
+   if a payload ever contains '='. *)
+let value_field reply =
+  let pat = " v=" in
+  let rec find i =
+    if i + 3 > String.length reply then
+      raise (Wire_error ("missing value in: " ^ reply))
+    else if String.sub reply i 3 = pat then i + 3
+    else find (i + 1)
+  in
+  let s = find 0 in
+  String.sub reply s (String.length reply - s)
+
+let scrape vm : (snapshot, string) result =
+  try
+    let stat =
+      match wire_session vm [ "STAT" ] with
+      | [ s ] -> s
+      | _ -> raise (Wire_error "STAT: no reply")
+    in
+    if not (Common.prefix_ok "+OK stat" stat) then
+      raise (Wire_error ("STAT failed: " ^ stat));
+    let version = field_after ~tag:"v" stat in
+    let pages = int_field ~tag:"pages" stat in
+    let scans =
+      wire_session vm (List.init pages (fun p -> Printf.sprintf "SCAN %d" p))
+    in
+    let keys =
+      List.concat_map
+        (fun reply ->
+          if not (Common.prefix_ok "+OK page" reply) then
+            raise (Wire_error ("SCAN failed: " ^ reply));
+          match field_after ~tag:"keys" reply with
+          | "" -> []
+          | ks -> List.map int_of_string (String.split_on_char ',' ks))
+        scans
+    in
+    let gets =
+      wire_session vm (List.map (fun k -> Printf.sprintf "GET %d" k) keys)
+    in
+    let records =
+      List.map2
+        (fun k reply ->
+          if not (Common.prefix_ok "+OK rec" reply) then
+            raise (Wire_error ("GET failed: " ^ reply));
+          (k, int_field ~tag:"m" reply, value_field reply))
+        keys gets
+    in
+    Ok { s_version = version; s_tick = vm.Jv_vm.State.ticks;
+         s_records = records }
+  with
+  | Wire_error m -> Error m
+  | Failure m -> Error m
+
+(* Serialized form: a header line, one line per record, and a trailing
+   MD5 over everything above it.  Same scrape => byte-identical string,
+   which is what the heal property tests compare. *)
+let snapshot_to_string (s : snapshot) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "jvsnap1 v=%s tick=%d n=%d\n" s.s_version s.s_tick
+       (List.length s.s_records));
+  List.iter
+    (fun (k, m, v) -> Buffer.add_string b (Printf.sprintf "%d %d %s\n" k m v))
+    s.s_records;
+  let body = Buffer.contents b in
+  body ^ "sum=" ^ Digest.to_hex (Digest.string body) ^ "\n"
+
+let snapshot_of_string (str : string) : (snapshot, string) result =
+  match String.rindex_opt (String.trim str) '\n' with
+  | None -> Error "snapshot: truncated"
+  | Some cut -> (
+      let body = String.sub str 0 (cut + 1) in
+      let sum_line = String.trim (String.sub str (cut + 1)
+                                    (String.length str - cut - 1)) in
+      if sum_line <> "sum=" ^ Digest.to_hex (Digest.string body) then
+        Error "snapshot: checksum mismatch"
+      else
+        match String.split_on_char '\n' (String.trim body) with
+        | [] -> Error "snapshot: empty"
+        | header :: rec_lines -> (
+            try
+              if not (String.length header >= 7
+                      && String.sub header 0 7 = "jvsnap1") then
+                raise (Wire_error "bad magic");
+              let version = field_after ~tag:"v" header in
+              let tick = int_field ~tag:"tick" header in
+              let n = int_field ~tag:"n" header in
+              let records =
+                List.map
+                  (fun line ->
+                    match String.split_on_char ' ' line with
+                    | k :: m :: rest when rest <> [] ->
+                        (int_of_string k, int_of_string m,
+                         String.concat " " rest)
+                    | _ -> raise (Wire_error ("bad record line: " ^ line)))
+                  rec_lines
+              in
+              if List.length records <> n then
+                raise (Wire_error "record count mismatch");
+              Ok { s_version = version; s_tick = tick; s_records = records }
+            with
+            | Wire_error m -> Error ("snapshot: " ^ m)
+            | Failure m -> Error ("snapshot: " ^ m)))
+
+(* Replay a snapshot into a (freshly booted, base-version) VM.  PUT is
+   version-stable, so the snapshot restores regardless of which schema
+   it was scraped under; catch-up migrations run afterwards. *)
+let restore vm (s : snapshot) : (unit, string) result =
+  try
+    let cmds =
+      List.map (fun (k, m, v) -> Printf.sprintf "PUT %d %d %s" k m v)
+        s.s_records
+    in
+    let replies = wire_session vm cmds in
+    List.iter
+      (fun reply ->
+        if not (Common.prefix_ok "+OK put" reply) then
+          raise (Wire_error ("PUT failed: " ^ reply)))
+      replies;
+    Ok ()
+  with Wire_error m -> Error m

@@ -18,6 +18,7 @@ type t = {
   mutable drivers : Driver.t list;
   mutable ticks : int;
   obs : Jv_obs.Obs.t; (* fleet-level sink, clocked by fleet rounds *)
+  mutable faults : Jv_faults.Faults.t option; (* plan armed by [set_faults] *)
 }
 
 let create ?(config = Instance.default_config) ?(policy = Lb.Round_robin)
@@ -34,7 +35,10 @@ let create ?(config = Instance.default_config) ?(policy = Lb.Round_robin)
       Lb.register lb ~id:inst.Instance.i_id ~net:(Instance.net inst)
         ~backend_port:inst.Instance.i_port)
     instances;
-  let t = { profile; config; instances; lb; drivers = []; ticks = 0; obs } in
+  let t =
+    { profile; config; instances; lb; drivers = []; ticks = 0; obs;
+      faults = None }
+  in
   Jv_obs.Obs.set_clock obs (fun () -> t.ticks);
   t
 
@@ -44,6 +48,9 @@ let instances t = Array.to_list t.instances
 let lb t = t.lb
 let ticks t = t.ticks
 let obs t = t.obs
+let profile t = t.profile
+let config t = t.config
+let faults t = t.faults
 
 let attach_load ?(concurrency = 4) ?max_sessions ?request_timeout t =
   let d =
@@ -63,6 +70,7 @@ let detach_loads t =
    instance network (the LB-to-backend links cross each instance's own
    simnet, so [net.*] faults partition exactly that path). *)
 let set_faults t f =
+  t.faults <- f;
   Array.iter
     (fun (i : Instance.t) -> VM.Vm.set_faults i.Instance.i_vm f)
     t.instances;

@@ -22,8 +22,9 @@ let status_to_string = function
 
 type t = {
   i_id : int;
-  i_vm : VM.Vm.t;
+  mutable i_vm : VM.Vm.t; (* swapped wholesale when the supervisor reboots *)
   i_port : int; (* backend port inside this VM's simnet *)
+  i_base_version : string; (* what a fresh boot of this instance runs *)
   mutable i_version : string;
   mutable i_status : status;
   mutable i_program : CF.Cls.t list; (* classfiles currently running *)
@@ -38,8 +39,7 @@ let default_config =
     opt_threshold = 150;
   }
 
-let boot ?(config = default_config) (profile : Profile.t) ~id ~version : t =
-  let program = Profile.compile profile ~version in
+let boot_vm ~config (profile : Profile.t) program =
   let vm = VM.Vm.create ~config () in
   VM.Vm.boot vm program;
   (* responses the profile's protocol rejects count as app-level errors,
@@ -48,14 +48,36 @@ let boot ?(config = default_config) (profile : Profile.t) ~id ~version : t =
   ignore (VM.Vm.spawn_main vm ~main_class:"Main");
   (* let the server open its listeners before the LB registers it *)
   VM.Vm.run vm ~rounds:5;
+  vm
+
+let boot ?(config = default_config) (profile : Profile.t) ~id ~version : t =
+  let program = Profile.compile profile ~version in
+  let vm = boot_vm ~config profile program in
   {
     i_id = id;
     i_vm = vm;
     i_port = profile.Profile.pr_port;
+    i_base_version = version;
     i_version = version;
     i_status = In_service;
     i_program = program;
   }
+
+(* Replace a dead (or parked) instance's VM with a fresh boot at
+   [version] (the base version by default; a supervisor restoring a
+   state snapshot boots at the snapshot's own schema rung).  The record
+   identity survives — the LB id, the port and any closures capturing
+   [t] keep working — but the simnet, heap and code world are brand
+   new, so the caller must re-register the net with the LB and drive
+   version catch-up before readmitting. *)
+let reboot ?(config = default_config) ?version (profile : Profile.t) inst =
+  let version = Option.value ~default:inst.i_base_version version in
+  let program = Profile.compile profile ~version in
+  let vm = boot_vm ~config profile program in
+  inst.i_vm <- vm;
+  inst.i_version <- version;
+  inst.i_program <- program;
+  inst.i_status <- Draining (* running and probe-able, but not admitted *)
 
 let net inst = VM.Vm.net inst.i_vm
 

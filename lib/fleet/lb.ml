@@ -125,6 +125,40 @@ let register t ~id ~net ~backend_port =
 
 let backend t id = Hashtbl.find_opt t.by_id id
 
+(* Swap a backend's simnet after a supervisor reboot.  A fresh record is
+   installed (not admitting) so the new VM starts with clean counters;
+   routes still proxying into the dead VM keep their reference to the
+   orphaned record and unwind through the normal EOF/timeout path, which
+   keeps the maintained in-flight total balanced. *)
+let replace t ~id ~net ~backend_port =
+  let idx = ref (-1) in
+  for i = 0 to t.n_backends - 1 do
+    if t.backends.(i).b_id = id then idx := i
+  done;
+  if !idx < 0 then invalid_arg "Lb.replace: unknown backend"
+  else begin
+    let old = t.backends.(!idx) in
+    if old.b_admit then begin
+      old.b_admit <- false;
+      t.admit_count <- t.admit_count - 1
+    end;
+    let b =
+      {
+        b_id = id;
+        b_net = net;
+        b_port = backend_port;
+        b_admit = false;
+        b_active = 0;
+        b_sessions = old.b_sessions;
+        b_responses = 0;
+        b_errors = 0;
+        b_latency_rounds = 0;
+      }
+    in
+    t.backends.(!idx) <- b;
+    Hashtbl.replace t.by_id id b
+  end
+
 let set_admit t ~id admit =
   match backend t id with
   | None -> invalid_arg "Lb.set_admit: unknown backend"

@@ -76,7 +76,11 @@ type result = {
   r_rollback_failed : (int * string) list;
   r_quarantined : (int * string) list;
       (* removed from the fleet: VM killed, rollback failed, or retries
-         spent under [`Quarantine] *)
+         spent under [`Quarantine] — and not (yet) recovered *)
+  r_recovered : int list;
+      (* instances a supervisor restarted and readmitted after this
+         rollout quarantined them (see [reconcile]): their capacity came
+         back, so SLO accounting must not count them as lost *)
   r_guard_tripped : (int * string) list;
       (* per-instance guard verdicts: in-VM auto-reverts (and failed
          reverts, which also land in [r_rollback_failed]) *)
@@ -103,6 +107,8 @@ let pp_result ppf r =
     ^ (if r.r_quarantined = [] then ""
        else
          Printf.sprintf ", %d quarantined" (List.length r.r_quarantined))
+    ^ (if r.r_recovered = [] then ""
+       else Printf.sprintf ", %d recovered" (List.length r.r_recovered))
     ^ (if r.r_guard_tripped = [] then ""
        else
          Printf.sprintf ", %d guard trip(s)" (List.length r.r_guard_tripped))
@@ -111,6 +117,21 @@ let pp_result ppf r =
     else
       Printf.sprintf ", ROLLBACK FAILED on %d instance(s)"
         (List.length r.r_rollback_failed))
+
+(* Fold supervisor recoveries back into a rollout result: instances the
+   rollout quarantined but a supervisor later restarted and readmitted
+   move from [r_quarantined] to [r_recovered], so restored capacity is
+   not double-counted as lost. *)
+let reconcile r ~recovered =
+  let rec_q, still_q =
+    List.partition (fun (id, _) -> List.mem id recovered) r.r_quarantined
+  in
+  {
+    r with
+    r_quarantined = still_q;
+    r_recovered =
+      List.sort_uniq compare (List.map fst rec_q @ r.r_recovered);
+  }
 
 (* --- the state machine ------------------------------------------------- *)
 
@@ -282,9 +303,12 @@ let set_status t ids status =
 let set_admit t ids admit =
   List.iter (fun id -> Lb.set_admit (lb t) ~id admit) ids
 
-(* Remove an instance from the fleet for good: its VM was killed, its
-   rollback failed (state not trusted), or its retries are spent under
-   [`Quarantine].  Never readmitted. *)
+(* Park an instance out of the fleet: its VM was killed, its rollback
+   failed (state not trusted), or its retries are spent under
+   [`Quarantine].  The rollout itself never readmits it — only a
+   [Supervisor] restart (fresh VM, snapshot restore, ladder catch-up,
+   health probes) brings it back, and [reconcile] then moves it from
+   [r_quarantined] to [r_recovered]. *)
 let quarantine t id ~why =
   t.quarantined <- (id, why) :: t.quarantined;
   (inst t id).Instance.i_status <- Instance.Out_of_service;
@@ -375,6 +399,34 @@ let enter_wave t (w : wave) =
       start_updates t w.w_ids
 
 let start_wave t (w : wave) =
+  (* A supervisor may have recovered instances under our feet: skip wave
+     members already on the target version (their catch-up beat us —
+     count them updated) and members that are out of service
+     (quarantined, or mid-recovery on the base version).  An emptied
+     wave is simply not started; the driver's next step advances. *)
+  let w =
+    match t.direction with
+    | Rollback _ -> w
+    | Forward ->
+        let keep =
+          List.filter
+            (fun id ->
+              let i = inst t id in
+              if i.Instance.i_version = t.to_version then begin
+                if not (List.mem id t.updated) then
+                  t.updated <- id :: t.updated;
+                false
+              end
+              else i.Instance.i_status <> Instance.Out_of_service)
+            w.w_ids
+        in
+        { w with w_ids = keep }
+  in
+  if w.w_ids = [] then begin
+    t.wave <- None;
+    t.stage <- None
+  end
+  else begin
   t.wave <- Some w;
   t.wave_started <- now t;
   if w.w_not_before > now t then begin
@@ -389,6 +441,7 @@ let start_wave t (w : wave) =
     t.stage <- Some (Backoff { until = w.w_not_before })
   end
   else enter_wave t w
+  end
 
 let start_probes t ids =
   emit_ev t "probe.begin"
@@ -465,6 +518,7 @@ let finish ?(force = false) t =
         r_unhealthy = List.rev t.unhealthy;
         r_rollback_failed = List.rev t.rollback_failed;
         r_quarantined = List.rev t.quarantined;
+        r_recovered = [];
         r_guard_tripped = List.rev t.guard_trips;
         r_retries = t.retries;
         r_rounds = rounds;
@@ -497,6 +551,20 @@ let begin_rollback t ~why =
       ("instances", ids_field (List.sort compare t.updated));
       ("in_vm_reverts", ids_field (List.sort compare in_vm_ids));
     ];
+  (* a wave caught mid-drain is abandoned here: its members never
+     updated, so put them back in service before the wave record is
+     dropped — otherwise they are left unadmitted forever *)
+  (match t.wave with
+  | Some w ->
+      List.iter
+        (fun id ->
+          let i = inst t id in
+          if i.Instance.i_status = Instance.Draining then begin
+            i.Instance.i_status <- Instance.In_service;
+            Lb.set_admit (lb t) ~id true
+          end)
+        w.w_ids
+  | None -> ());
   t.direction <- Rollback why;
   t.wave <- None;
   t.stage <- None;
@@ -514,11 +582,40 @@ let begin_rollback t ~why =
           };
         ])
 
+(* A supervisor may recover a quarantined instance mid-rollout, after
+   its wave has already passed: In_service again, but still on the old
+   version.  Sweep such stragglers into one more wave through the
+   normal pipeline rather than finishing with a split fleet.
+   (Recoveries that complete after the rollout are covered by the
+   supervisor's own ladder catch-up, which by then targets the updated
+   plurality.) *)
+let stragglers t =
+  match t.direction with
+  | Rollback _ -> []
+  | Forward ->
+      if t.fence <> None then []
+      else
+        List.filter_map
+          (fun (i : Instance.t) ->
+            if
+              i.Instance.i_status = Instance.In_service
+              && i.Instance.i_version <> t.to_version
+              && (not (List.mem i.Instance.i_id t.updated))
+              && VM.Vm.killed i.Instance.i_vm = None
+            then Some i.Instance.i_id
+            else None)
+          (Fleet.instances t.fleet)
+
 let next_wave t =
   t.wave <- None;
   t.stage <- None;
   match t.waves with
-  | [] -> finish t
+  | [] -> (
+      match stragglers t with
+      | [] -> finish t
+      | ids ->
+          start_wave t
+            { w_ids = List.sort compare ids; w_observe = None; w_not_before = 0 })
   | w :: rest ->
       t.waves <- rest;
       start_wave t w
@@ -535,7 +632,27 @@ let guard_watch t =
     let still = ref [] in
     List.iter
       (fun (id, (h : J.Jvolve.handle)) ->
-        if J.Jvolve.guard_active h then still := (id, h) :: !still
+        if J.Jvolve.guard_active h then begin
+          if VM.Vm.killed (inst t id).Instance.i_vm <> None then begin
+            (* the VM died with its window open: nothing in-VM can close
+               or revert it now.  Force-close the watch, quarantine the
+               corpse, and fence the rollout — the suspect version lost
+               its witness, so the survivors revert, and a supervisor
+               restart catches the instance up to the *reverted* epoch *)
+            let why = "vm killed during guard window" in
+            t.guard_trips <- (id, why) :: t.guard_trips;
+            t.updated <- List.filter (( <> ) id) t.updated;
+            quarantine t id ~why;
+            match (t.direction, t.fence) with
+            | Forward, None ->
+                t.fence <-
+                  Some
+                    (Printf.sprintf "instance %d killed during guard window"
+                       id)
+            | _ -> ()
+          end
+          else still := (id, h) :: !still
+        end
         else
           let i = inst t id in
           match h.J.Jvolve.h_outcome with
@@ -739,6 +856,21 @@ let update_resolved t (w : wave) handles =
       if ids = [] then next_wave t else start_probes t ids
 
 let probe_step t (w : wave) ~live ~needed set_live set_needed =
+  (* A VM that died while being probed is a crash, not evidence against
+     the new version: an unhealthy *response* indicts the code, a dead
+     process indicts the process.  Quarantine the corpse for the
+     supervisor instead of halting the whole rollout — and drop it from
+     [updated] so a later fence never tries to revert a dead VM. *)
+  let dead, live =
+    List.partition
+      (fun (id, _) -> VM.Vm.killed (inst t id).Instance.i_vm <> None)
+      live
+  in
+  List.iter
+    (fun (id, _) ->
+      t.updated <- List.filter (fun u -> u <> id) t.updated;
+      quarantine t id ~why:"vm killed during health probe")
+    dead;
   (* advance every live probe; collect verdicts *)
   List.iter (fun (_, p) -> Health.step p ~now:(now t)) live;
   let still_live = ref [] and failed = ref [] in
@@ -917,9 +1049,14 @@ let step t =
               drain_done ~timed_out:true
             end
         | Update { handles } ->
+            (* a VM killed while its request is pending can never reach
+               a safe point: count it resolved so the wave proceeds (the
+               resolution scan sees the corpse and quarantines it) *)
             if
               List.for_all
-                (fun (_, h) -> J.Jvolve.resolved h)
+                (fun (id, h) ->
+                  J.Jvolve.resolved h
+                  || VM.Vm.killed (inst t id).Instance.i_vm <> None)
                 handles
             then update_resolved t w handles
         | Probe p ->

@@ -20,6 +20,13 @@ type t = {
   pr_health_probe : string;
   pr_health_ok : string -> bool;
   pr_overrides : to_version:string -> Apps.Common.overrides;
+  (* Optional durability hooks for stateful apps: serialize the live
+     state of a running VM, and replay a serialized snapshot into a
+     freshly booted base-version VM (the supervisor migrates the data
+     forward through missed schema hops afterwards).  The serialized
+     form is opaque to the fleet layer. *)
+  pr_snapshot : (Jv_vm.Vm.t -> (string, string) result) option;
+  pr_restore : (Jv_vm.Vm.t -> string -> (unit, string) result) option;
 }
 
 let miniweb =
@@ -32,6 +39,8 @@ let miniweb =
     pr_health_probe = Apps.Miniweb.health_probe;
     pr_health_ok = Apps.Miniweb.health_ok;
     pr_overrides = (fun ~to_version:_ -> Apps.Common.no_overrides);
+    pr_snapshot = None;
+    pr_restore = None;
   }
 
 let minimail =
@@ -44,6 +53,8 @@ let minimail =
     pr_health_probe = Apps.Minimail.health_probe;
     pr_health_ok = Apps.Minimail.health_ok;
     pr_overrides = (fun ~to_version -> Apps.Minimail.overrides ~to_version);
+    pr_snapshot = None;
+    pr_restore = None;
   }
 
 let miniftp =
@@ -56,6 +67,8 @@ let miniftp =
     pr_health_probe = Apps.Miniftp.health_probe;
     pr_health_ok = Apps.Miniftp.health_ok;
     pr_overrides = (fun ~to_version:_ -> Apps.Common.no_overrides);
+    pr_snapshot = None;
+    pr_restore = None;
   }
 
 let ministore =
@@ -68,6 +81,16 @@ let ministore =
     pr_health_probe = Apps.Ministore.health_probe;
     pr_health_ok = Apps.Ministore.health_ok;
     pr_overrides = (fun ~to_version -> Apps.Ministore.overrides ~to_version);
+    pr_snapshot =
+      Some
+        (fun vm ->
+          Result.map Apps.Ministore.snapshot_to_string
+            (Apps.Ministore.scrape vm));
+    pr_restore =
+      Some
+        (fun vm str ->
+          Result.bind (Apps.Ministore.snapshot_of_string str)
+            (Apps.Ministore.restore vm));
   }
 
 let all = [ miniweb; minimail; miniftp; ministore ]

@@ -73,7 +73,7 @@ let is_settled_phase = function
   | _ -> false
 
 type peer_state = {
-  ps_node : Node.t;
+  mutable ps_node : Node.t; (* replaced on supervisor rejoin *)
   ps_port : int;
   ps_listener : int;
   mutable ps_sconns : int list; (* server conns, accept order *)
@@ -144,12 +144,58 @@ let guard_for params (profile : F.Profile.t) (inst : F.Instance.t) =
                      ~ok:profile.F.Profile.pr_health_ok ());
             })
 
+(* Build the [Node] for instance [id], drawing its backoff jitter from
+   the shared schedule stream.  Used by [create] for every instance and
+   again by [rejoin] when the supervisor replaces a crashed VM — the
+   closures capture the (mutable) [Instance.t] record, not the VM, so
+   they stay valid across a reboot. *)
+let node_for t ~id ~epoch =
+  let profile = t.fleet.F.Fleet.profile in
+  let inst = F.Fleet.instance t.fleet id in
+  let lb = F.Fleet.lb t.fleet in
+  let jitter =
+    if t.params.g_apply_jitter > 0 then
+      Faults.draw_int t.rng (t.params.g_apply_jitter + 1)
+    else 0
+  in
+  let cfg =
+    {
+      Node.nc_quorum = t.quorum;
+      nc_fence = t.fence;
+      nc_drain_timeout = t.params.g_drain_timeout;
+      nc_update_timeout = t.params.g_update_timeout;
+      nc_max_retries = t.params.g_max_retries;
+      nc_backoff_base = t.params.g_backoff_base + jitter;
+      nc_guard = guard_for t.params profile inst;
+    }
+  in
+  Node.create ~epoch ~id ~inst ~cfg
+    ~set_admit:(fun admit -> F.Lb.set_admit lb ~id admit)
+    ~in_flight:(fun () -> F.Lb.in_flight lb ~id)
+    ~spec_for:(fun (p : Mempool.proposal) ->
+      if p.Mempool.p_from_version <> inst.F.Instance.i_version then
+        Error "base version mismatch"
+      else
+        Ok
+          (Jv_apps.Common.spec
+             ~overrides:
+               (profile.F.Profile.pr_overrides
+                  ~to_version:p.Mempool.p_to_version)
+             ~version_tag:
+               (F.Profile.version_tag
+                  ~from_version:p.Mempool.p_from_version ~instance_id:id)
+             ~old_program:inst.F.Instance.i_program
+             ~new_program:(compile_cached t ~version:p.Mempool.p_to_version)
+             ()))
+    ~on_epoch:(fun old_e new_e ->
+      count_epoch t ~old_epoch:(Some old_e) ~new_epoch:(Some new_e))
+    ()
+
 (* [chaos], when given, is armed on the control net (net.connect,
    net.link, simnet.partition) and replaces the plain seeded stream as
    the source of every schedule draw. *)
 let create ?chaos ?(params = default_params) ~fleet () =
   let n = F.Fleet.size fleet in
-  let profile = fleet.F.Fleet.profile in
   let net = Simnet.create () in
   Simnet.set_obs net (F.Fleet.obs fleet);
   let rng =
@@ -187,55 +233,12 @@ let create ?chaos ?(params = default_params) ~fleet () =
     }
   in
   Hashtbl.replace t.epoch_counts 0 n;
-  let lb = F.Fleet.lb fleet in
   let peers =
     Array.init n (fun id ->
-        let inst = F.Fleet.instance fleet id in
         let port = t.base_port + id in
         let listener = Simnet.listen net ~port in
-        let jitter =
-          if params.g_apply_jitter > 0 then
-            Faults.draw_int rng (params.g_apply_jitter + 1)
-          else 0
-        in
-        let cfg =
-          {
-            Node.nc_quorum = quorum;
-            nc_fence = fence;
-            nc_drain_timeout = params.g_drain_timeout;
-            nc_update_timeout = params.g_update_timeout;
-            nc_max_retries = params.g_max_retries;
-            nc_backoff_base = params.g_backoff_base + jitter;
-            nc_guard = guard_for params profile inst;
-          }
-        in
-        let node =
-          Node.create ~id ~inst ~cfg
-            ~set_admit:(fun admit -> F.Lb.set_admit lb ~id admit)
-            ~in_flight:(fun () -> F.Lb.in_flight lb ~id)
-            ~spec_for:(fun (p : Mempool.proposal) ->
-              if p.Mempool.p_from_version <> inst.F.Instance.i_version then
-                Error "base version mismatch"
-              else
-                Ok
-                  (Jv_apps.Common.spec
-                     ~overrides:
-                       (profile.F.Profile.pr_overrides
-                          ~to_version:p.Mempool.p_to_version)
-                     ~version_tag:
-                       (F.Profile.version_tag
-                          ~from_version:p.Mempool.p_from_version
-                          ~instance_id:id)
-                     ~old_program:inst.F.Instance.i_program
-                     ~new_program:
-                       (compile_cached t ~version:p.Mempool.p_to_version)
-                     ()))
-            ~on_epoch:(fun old_e new_e ->
-              count_epoch t ~old_epoch:(Some old_e) ~new_epoch:(Some new_e))
-            ()
-        in
         {
-          ps_node = node;
+          ps_node = node_for t ~id ~epoch:0;
           ps_port = port;
           ps_listener = listener;
           ps_sconns = [];
@@ -473,6 +476,54 @@ let pump_digests t (ps : peer_state) =
         end
         else Some (cid, ttl - 1))
       ps.ps_digests
+
+(* --- rejoin ------------------------------------------------------------- *)
+
+(* Rebuild instance [id]'s gossip node after a supervisor restart.  The
+   restarted VM carries no mempool and no epoch history, so the node:
+
+   - adopts the {e mode} epoch of the surviving tally (tie -> higher:
+     under-claiming would re-count an already-applied hop as progress);
+   - is re-entered into the convergence tallies ([note_stuck] removed it
+     when the crash wedged the old node);
+   - bootstraps its empty mempool by opening an anti-entropy exchange
+     immediately: the DIGEST/WANT pull brings back every proposal, vote
+     and trip verdict the fleet holds, and the learned trip votes are
+     what stop the rejoiner from re-applying a fenced update —
+     [Node.actionable] refuses any proposal at or past the fence
+     threshold.
+
+   The listener and half-read server connections live on the shared
+   control net, not the dead VM, so they survive; only the hot-rumor
+   queue and open client exchanges of the old node are discarded. *)
+let rejoin t id =
+  let ps = t.peers.(id) in
+  let epoch =
+    let best =
+      Hashtbl.fold
+        (fun e n best ->
+          match best with
+          | Some (be, bn) when bn > n || (bn = n && be > e) -> best
+          | _ -> Some (e, n))
+        t.epoch_counts None
+    in
+    match best with Some (e, _) -> e | None -> Node.epoch ps.ps_node
+  in
+  let old_epoch =
+    if t.counted.(id) then Some (Node.epoch ps.ps_node) else None
+  in
+  count_epoch t ~old_epoch ~new_epoch:(Some epoch);
+  t.counted.(id) <- true;
+  ps.ps_node <- node_for t ~id ~epoch;
+  ps.ps_hot <- [];
+  List.iter
+    (fun (cid, _) -> Simnet.client_close t.net ~conn_id:cid)
+    ps.ps_digests;
+  ps.ps_digests <- [];
+  Obs.incr (obs t) "gossip.rejoins";
+  Obs.emit (obs t) ~scope:"gossip" "node.rejoin"
+    [ ("node", Obs.Int id); ("epoch", Obs.Int epoch) ];
+  start_digest t ~self:id ps
 
 (* --- the round ---------------------------------------------------------- *)
 

@@ -73,9 +73,10 @@ type t = {
 
 let epoch_gauge = "gossip.epoch"
 
-let create ~id ~inst ~cfg ~set_admit ~in_flight ~spec_for ~on_epoch () =
+let create ?(epoch = 0) ~id ~inst ~cfg ~set_admit ~in_flight ~spec_for
+    ~on_epoch () =
   let obs = VM.Vm.obs inst.Instance.i_vm in
-  Jv_obs.Obs.set_gauge obs epoch_gauge 0.0;
+  Jv_obs.Obs.set_gauge obs epoch_gauge (float_of_int epoch);
   {
     n_id = id;
     n_inst = inst;
@@ -86,7 +87,7 @@ let create ~id ~inst ~cfg ~set_admit ~in_flight ~spec_for ~on_epoch () =
     n_spec_for = spec_for;
     n_on_epoch = on_epoch;
     n_obs = obs;
-    n_epoch = 0;
+    n_epoch = epoch;
     n_phase = Idle;
     n_applied = None;
     n_fenced = [];
@@ -364,6 +365,20 @@ let resolve_revert t ~prop ~(handle : J.Jvolve.handle) =
       t.n_set_admit false;
       t.n_phase <- Stuck "inverse update failed"
 
+(* A crashed VM can never reach a safe point, so a pending update,
+   guard window, or inverse attempt on it would wedge the node forever.
+   Mark it Stuck instead: [note_stuck] then pulls it from the epoch
+   tallies and a supervisor restart rebuilds the node via [rejoin]. *)
+let wedge_if_killed t ~doing =
+  if VM.Vm.killed t.n_inst.Instance.i_vm <> None then begin
+    t.n_applied <- None;
+    t.n_inst.Instance.i_status <- Instance.Out_of_service;
+    t.n_set_admit false;
+    t.n_phase <- Stuck ("vm killed " ^ doing);
+    true
+  end
+  else false
+
 (* One decision step per fleet round. *)
 let tick t ~now =
   (* fences first: a condemnation must interrupt whatever we are doing *)
@@ -384,9 +399,11 @@ let tick t ~now =
   | Draining { prop; until } ->
       if t.n_in_flight () = 0 || now >= until then start_update t ~prop ~now
   | Updating { prop; handle } ->
-      if J.Jvolve.resolved handle then resolve_update t ~prop ~handle ~now
+      if wedge_if_killed t ~doing:"mid-update" then ()
+      else if J.Jvolve.resolved handle then resolve_update t ~prop ~handle ~now
   | Guarded { prop; handle } ->
-      if not (J.Jvolve.guard_active handle) then begin
+      if wedge_if_killed t ~doing:"during guard window" then ()
+      else if not (J.Jvolve.guard_active handle) then begin
         match handle.J.Jvolve.h_outcome with
         | J.Jvolve.Pending -> ()
         | J.Jvolve.Applied _ ->
@@ -407,7 +424,8 @@ let tick t ~now =
             t.n_phase <- Stuck "guard revert failed"
       end
   | Reverting { prop; handle } ->
-      if J.Jvolve.resolved handle then resolve_revert t ~prop ~handle
+      if wedge_if_killed t ~doing:"mid-revert" then ()
+      else if J.Jvolve.resolved handle then resolve_revert t ~prop ~handle
   | Backoff { prop; until } ->
       if now >= until then begin
         t.n_inst.Instance.i_status <- Instance.Draining;

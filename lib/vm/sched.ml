@@ -39,7 +39,21 @@ let reap vm =
         | _ -> true)
       vm.State.threads
 
+(* Steady-state crash point: an armed [vm.crash] rule turns this round
+   into the VM's last.  The kill is recorded directly (no exception
+   escapes into the harness) so a fleet supervisor can observe the corpse
+   via [State.killed] and restart it.  Plans without a matching rule
+   consume no RNG draws here, so existing seeded schedules are
+   unperturbed. *)
+let crash_check vm =
+  if vm.State.killed = None then
+    match Jv_faults.Faults.check vm.State.faults "vm.crash" with
+    | Some (Jv_faults.Faults.Kill | Jv_faults.Faults.Raise) ->
+        vm.State.killed <- Some "fault injected: vm.crash"
+    | Some (Jv_faults.Faults.Drop | Jv_faults.Faults.Delay _) | None -> ()
+
 let round vm =
+  crash_check vm;
   if vm.State.killed <> None then ()
   else begin
   vm.State.ticks <- vm.State.ticks + 1;
